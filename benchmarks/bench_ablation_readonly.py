@@ -1,0 +1,44 @@
+"""Ablation: read-only communication model vs naive Get-Update-Put.
+
+Section IV-B argues the naive design — remotely read, fence, update,
+put back, quiet — serialises PEs on shared data, and proposes the
+read-only model (accumulate locally, let consumers get+reduce) instead.
+This bench quantifies that choice with everything else held fixed.
+"""
+
+from conftest import once, publish
+
+from repro.bench.experiments import run_fig7  # noqa: F401 (context warm-up)
+from repro.bench.harness import context, geomean, run_design
+from repro.bench.report import format_table
+from repro.exec_model.costmodel import Design
+from repro.machine.node import dgx1
+from repro.workloads.suite import IN_MEMORY_NAMES
+
+
+def run_ablation():
+    machine = dgx1(4)
+    rows = []
+    for name in IN_MEMORY_NAMES:
+        ctx = context(name)
+        t_ro = run_design(ctx, machine, Design.SHMEM_READONLY).total_time
+        t_naive = run_design(ctx, machine, Design.SHMEM_NAIVE).total_time
+        rows.append([name, t_naive / t_ro])
+    rows.append(["geomean", geomean(r[1] for r in rows)])
+    return rows
+
+
+def test_ablation_readonly_vs_naive(benchmark):
+    rows = once(benchmark, run_ablation)
+    publish(
+        "ablation_readonly",
+        format_table(
+            "Ablation - read-only model speedup over naive Get-Update-Put",
+            ["matrix", "speedup"],
+            rows,
+        ),
+    )
+    # The read-only model never loses and wins clearly overall.
+    per_matrix = rows[:-1]
+    assert all(r[1] >= 1.0 for r in per_matrix)
+    assert rows[-1][1] > 1.3

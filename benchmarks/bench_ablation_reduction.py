@@ -1,0 +1,48 @@
+"""Ablation: warp-level O(log P) reduction vs serial O(P) sum loop.
+
+Section IV-B reduces the per-component sum over PE contributions with
+``__shfl_down_sync``.  At 4 PEs the gap is small; this bench also runs
+16 PEs (DGX-2) where the O(P) loop costs four times the O(log P) tree.
+"""
+
+from conftest import once, publish
+
+from repro.bench.harness import context, geomean, run_design
+from repro.bench.report import format_table
+from repro.exec_model.costmodel import Design
+from repro.machine.node import dgx1, dgx2
+from repro.workloads.suite import IN_MEMORY_NAMES
+
+
+def run_ablation():
+    rows = []
+    for label, machine in (("dgx1-4gpu", dgx1(4)), ("dgx2-16gpu", dgx2(16))):
+        speedups = []
+        for name in IN_MEMORY_NAMES:
+            ctx = context(name)
+            t_warp = run_design(
+                ctx, machine, Design.SHMEM_READONLY, tasks_per_gpu=8,
+                warp_reduce=True,
+            ).total_time
+            t_serial = run_design(
+                ctx, machine, Design.SHMEM_READONLY, tasks_per_gpu=8,
+                warp_reduce=False,
+            ).total_time
+            speedups.append(t_serial / t_warp)
+        rows.append([label, geomean(speedups), max(speedups)])
+    return rows
+
+
+def test_ablation_warp_reduction(benchmark):
+    rows = once(benchmark, run_ablation)
+    publish(
+        "ablation_reduction",
+        format_table(
+            "Ablation - warp reduction speedup over serial sum loop",
+            ["machine", "geomean", "max"],
+            rows,
+        ),
+    )
+    dgx1_row, dgx2_row = rows
+    assert dgx1_row[1] >= 1.0
+    assert dgx2_row[1] >= dgx1_row[1]  # more PEs, bigger win

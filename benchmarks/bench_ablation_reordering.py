@@ -1,0 +1,74 @@
+"""Extension study: how matrix ordering moves SpTRSV performance.
+
+Section II-B ties every parallel solver's behaviour to the level
+structure, which the ordering controls.  This bench reorders three suite
+matrices with RCM and with level packing, re-profiles them, and runs the
+zero-copy solver on each variant — quantifying the
+``(#levels, parallelism)``-to-performance relationship the paper uses
+throughout Section VI-D.
+"""
+
+from conftest import once, publish
+
+from repro.analysis.metrics import profile_matrix
+from repro.analysis.reorder import level_packing_ordering, rcm_ordering, reorder_lower
+from repro.bench.harness import context
+from repro.bench.report import format_table
+from repro.exec_model.costmodel import Design
+from repro.exec_model.timeline import simulate_execution
+from repro.machine.node import dgx1
+from repro.tasks.schedule import round_robin_distribution
+
+MATRICES = ("powersim", "Wordnet3", "roadNet-CA")
+
+
+def run_study():
+    machine = dgx1(4)
+    rows = []
+    for name in MATRICES:
+        base = context(name).lower
+        variants = {
+            "natural": base,
+            "rcm": reorder_lower(base, rcm_ordering(base)),
+            "level-packed": reorder_lower(base, level_packing_ordering(base)),
+        }
+        for label, mat in variants.items():
+            prof = profile_matrix(mat, f"{name}/{label}")
+            dist = round_robin_distribution(mat.shape[0], 4, tasks_per_gpu=8)
+            rep = simulate_execution(mat, dist, machine, Design.SHMEM_READONLY)
+            rows.append(
+                [
+                    f"{name}/{label}",
+                    prof.n_levels,
+                    round(prof.parallelism, 1),
+                    rep.total_time * 1e6,
+                ]
+            )
+    return rows
+
+
+def test_ablation_reordering(benchmark):
+    rows = once(benchmark, run_study)
+    publish(
+        "ablation_reordering",
+        format_table(
+            "Extension - ordering vs level structure vs zero-copy time (us)",
+            ["matrix/ordering", "levels", "parallel.", "time(us)"],
+            rows,
+            name_width=26,
+        ),
+    )
+    by_name = {r[0]: r for r in rows}
+    for name in MATRICES:
+        nat = by_name[f"{name}/natural"]
+        rcm = by_name[f"{name}/rcm"]
+        # Orderings really change the level structure.
+        assert rcm[1] != nat[1]
+    # Across all variants, more parallelism per level correlates with
+    # faster solves (Section VI-D's thesis): check the rank trend per
+    # matrix rather than globally.
+    for name in MATRICES:
+        variants = [r for r in rows if r[0].startswith(name + "/")]
+        most_par = max(variants, key=lambda r: r[2])
+        least_par = min(variants, key=lambda r: r[2])
+        assert most_par[3] <= least_par[3] * 1.5

@@ -1,0 +1,65 @@
+"""Analysis-phase overhead: the Section II-B preprocessing argument.
+
+The paper motivates sync-free execution partly by preprocessing cost:
+level-scheduled solvers (csrsv2) run an expensive analysis whose
+amortisation requires many solves, while the sync-free designs only
+count in-degrees.  This bench measures, per matrix:
+
+* each method's analysis : solve ratio, and
+* the number of repeated solves after which csrsv2's cheaper-per-solve
+  level sweep would overtake one-shot zero-copy usage (if ever).
+"""
+
+from conftest import once, publish
+
+from repro.bench.harness import context, geomean, run_cusparse, run_design
+from repro.bench.report import format_table
+from repro.exec_model.costmodel import Design
+from repro.machine.node import dgx1
+from repro.workloads.suite import IN_MEMORY_NAMES
+
+
+def run_study():
+    m4 = dgx1(4)
+    rows = []
+    for name in IN_MEMORY_NAMES:
+        ctx = context(name)
+        cus = run_cusparse(ctx)
+        zero = run_design(ctx, m4, Design.SHMEM_READONLY, tasks_per_gpu=8)
+        cus_ratio = cus.analysis_time / cus.solve_time
+        zero_ratio = zero.analysis_time / zero.solve_time
+        # Solves until csrsv2's total (analysis + k * solve) undercuts
+        # zero-copy's — infinite when its per-solve time is also worse.
+        if cus.solve_time < zero.solve_time:
+            k = (cus.analysis_time - zero.analysis_time) / (
+                zero.solve_time - cus.solve_time
+            )
+            breakeven = max(k, 0.0)
+        else:
+            breakeven = float("inf")
+        rows.append([name, cus_ratio, zero_ratio, breakeven])
+    return rows
+
+
+def test_analysis_overhead(benchmark):
+    rows = once(benchmark, run_study)
+    publish(
+        "analysis_overhead",
+        format_table(
+            "Analysis-phase overhead - csrsv2 vs zero-copy "
+            "(ratio = analysis/solve; breakeven in #solves)",
+            ["matrix", "csrsv2-ratio", "zerocopy-ratio", "breakeven"],
+            rows,
+        ),
+    )
+    cus_ratios = [r[1] for r in rows]
+    zero_ratios = [r[2] for r in rows]
+    # csrsv2 always spends relatively more on analysis...
+    assert geomean(cus_ratios) > 5 * geomean(zero_ratios)
+    # ...and for every matrix the zero-copy analysis is a small fraction
+    # of its solve (the sync-free design's whole point).
+    assert all(z < 0.5 for z in zero_ratios)
+    # csrsv2 never overtakes zero-copy regardless of reuse on the
+    # majority of the suite (it is slower per solve too).
+    never = sum(1 for r in rows if r[3] == float("inf"))
+    assert never >= len(rows) // 2

@@ -1,0 +1,35 @@
+"""Fig. 10b: strong scaling on DGX-2 (1-16 GPUs) vs cuSPARSE csrsv2.
+
+All GPUs are P2P-connected through NVSwitch, so the sweep reaches 16.
+Paper shape to match: the scaling curve is *flatter* than DGX-1's at
+higher GPU counts — per-GPU bandwidth stays constant behind the switch,
+and once dependency chains dominate, extra GPUs stop helping.
+"""
+
+from conftest import once, publish
+
+from repro.bench.experiments import run_fig10b
+from repro.bench.report import format_series_table
+
+GPU_COUNTS = (1, 2, 4, 8, 16)
+
+
+def test_fig10b_strong_scaling_dgx2(benchmark):
+    results = once(benchmark, run_fig10b, gpu_counts=GPU_COUNTS)
+    publish(
+        "fig10b",
+        format_series_table(
+            "Fig. 10b - DGX-2 speedup over cusparse_csrsv2 (32 total tasks)",
+            results,
+            series=list(GPU_COUNTS),
+        ),
+    )
+    avg = results["average"]
+    assert all(v > 1.0 for v in avg.values())
+    # Still improving 2 -> 4.
+    assert avg[4] > avg[2]
+    # Flattening: the 8->16 step is much smaller than the 2->4 step.
+    step_24 = avg[4] / avg[2]
+    step_816 = avg[16] / avg[8]
+    assert step_816 < step_24
+    assert step_816 < 1.25  # near-flat tail, as in the paper

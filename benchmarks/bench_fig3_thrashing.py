@@ -1,0 +1,44 @@
+"""Fig. 3: unified-memory page thrashing vs GPU count.
+
+Regenerates both panels for the four profiled matrices (belgium_osm,
+dc2, nlpkkt160, roadNet-CA), normalized to the 2-GPU run:
+
+* Fig. 3a — page-fault counts;
+* Fig. 3b — execution time.
+
+Paper shape to match: both series grow with the number of GPUs (more
+GPUs = more computing resources, yet unified memory gets *slower*).
+"""
+
+from conftest import once, publish
+
+from repro.bench.experiments import FIG3_NAMES, run_fig3
+from repro.bench.report import format_table
+
+
+def test_fig3_page_thrashing(benchmark):
+    results = once(benchmark, run_fig3)
+
+    gpu_counts = sorted(next(iter(results.values())).keys())
+    fault_rows = [
+        [name] + [results[name][g]["faults_norm"] for g in gpu_counts]
+        for name in FIG3_NAMES
+    ]
+    time_rows = [
+        [name] + [results[name][g]["time_norm"] for g in gpu_counts]
+        for name in FIG3_NAMES
+    ]
+    header = ["matrix"] + [f"{g}-GPU" for g in gpu_counts]
+    publish(
+        "fig3",
+        format_table("Fig. 3a - page faults (normalized to 2-GPU)", header, fault_rows)
+        + "\n\n"
+        + format_table("Fig. 3b - execution time (normalized to 2-GPU)", header, time_rows),
+    )
+
+    for name in FIG3_NAMES:
+        series_f = [results[name][g]["faults_norm"] for g in gpu_counts]
+        series_t = [results[name][g]["time_norm"] for g in gpu_counts]
+        # Faults strictly increase with GPU count; time degrades too.
+        assert all(b > a for a, b in zip(series_f, series_f[1:])), name
+        assert series_t[-1] > 1.0, name

@@ -1,0 +1,29 @@
+"""Fig. 8: DGX-1 vs DGX-2 (4 GPUs, 8 tasks/GPU), normalized to DGX-1-Unified.
+
+Paper shape to match: zero-copy achieves *similar* speedups on both
+platforms (3.53x on DGX-1 vs 3.66x on DGX-2) even though the DGX-2
+fabric has higher bandwidth — evidence that lock-wait communication
+overlaps with solve-update computation and the algorithm is not
+bandwidth-bound at 4 GPUs.
+"""
+
+from conftest import once, publish
+
+from repro.bench.experiments import run_fig8
+from repro.bench.report import format_series_table
+
+
+def test_fig8_dgx1_vs_dgx2(benchmark):
+    results = once(benchmark, run_fig8)
+    publish(
+        "fig8",
+        format_series_table(
+            "Fig. 8 - DGX-1 vs DGX-2 (normalized to DGX-1-Unified)", results
+        ),
+    )
+    avg = results["average"]
+    assert avg["dgx1-zerocopy"] > 2.0
+    assert avg["dgx2-zerocopy"] > 2.0
+    # Similar improvement on both fabrics (paper: 3.53 vs 3.66).
+    ratio = avg["dgx2-zerocopy"] / avg["dgx1-zerocopy"]
+    assert 0.7 < ratio < 1.4

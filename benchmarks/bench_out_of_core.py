@@ -1,0 +1,70 @@
+"""Out-of-core study: the twitter7 / uk-2005 memory wall.
+
+Table I's last two matrices have 21.6 GB / 16.8 GB inputs — beyond one
+V100's 16 GB.  This bench scales the stand-ins' footprints back to paper
+size, shows a single GPU must stage over PCIe while 2-4 GPUs fit
+entirely in HBM, and reports the intermediate-array overhead the paper
+quotes at ~10% of the total footprint.
+"""
+
+from conftest import once, publish
+
+from repro.bench.harness import context
+from repro.bench.report import format_table
+from repro.exec_model.memory_plan import memory_plan, min_gpus_required
+from repro.machine.node import dgx1
+from repro.tasks.schedule import round_robin_distribution
+
+# Paper input sizes (Section VI-A).
+PAPER_BYTES = {"twitter7": 21.6e9, "uk-2005": 16.8e9}
+
+
+def run_study():
+    rows = []
+    for name, target in PAPER_BYTES.items():
+        ctx = context(name)
+        # The paper quotes raw *input file* sizes; intermediates (the ~10%
+        # the paper measures) come on top, so scale the CSC bytes alone.
+        csc_only = ctx.lower.nnz * 16 + (ctx.lower.shape[0] + 1) * 8
+        scale = target / csc_only
+        per_gpu_rows = []
+        for g in (1, 2, 4):
+            machine = dgx1(g, require_p2p=False)
+            dist = round_robin_distribution(
+                ctx.lower.shape[0], g, tasks_per_gpu=8
+            )
+            plan = memory_plan(ctx.lower, machine, dist, scale=scale)
+            per_gpu_rows.append((g, plan))
+        need = min_gpus_required(ctx.lower, dgx1(4), scale=scale)
+        for g, plan in per_gpu_rows:
+            rows.append(
+                [
+                    f"{name}@{g}gpu",
+                    plan.utilisation,
+                    "yes" if plan.fits else "NO",
+                    plan.staging_time * 1e3,
+                    need,
+                ]
+            )
+    return rows
+
+
+def test_out_of_core_memory_wall(benchmark):
+    rows = once(benchmark, run_study)
+    publish(
+        "out_of_core",
+        format_table(
+            "Out-of-core study - paper-scale footprints on V100 HBM",
+            ["config", "util", "fits", "staging(ms)", "minGPUs"],
+            rows,
+            name_width=20,
+        ),
+    )
+    by = {r[0]: r for r in rows}
+    for name in PAPER_BYTES:
+        # One GPU cannot hold the paper-scale input...
+        assert by[f"{name}@1gpu"][2] == "NO"
+        assert by[f"{name}@1gpu"][3] > 0.0
+        # ...but the multi-GPU partition fits without staging.
+        assert by[f"{name}@4gpu"][2] == "yes"
+        assert by[f"{name}@4gpu"][4] > 1  # needs more than one GPU

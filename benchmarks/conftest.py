@@ -1,0 +1,26 @@
+"""Shared helpers for the figure-regeneration benches.
+
+Each bench regenerates one table/figure of the paper: it runs the
+experiment driver once under pytest-benchmark (wall-clock of the harness
+itself) and emits the paper-style table both to stdout and to
+``benchmarks/results/<name>.txt`` so the numbers survive output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def publish(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,70 @@
+"""Ordering study: how elimination order decides SpTRSV parallelism.
+
+Section II-B observes that the level structure — and with it everything
+about parallel SpTRSV performance — comes from the matrix ordering, not
+the operator.  This example makes that concrete with the 2-D Poisson
+problem and the package's own factorisation:
+
+* natural (row-major) order      -> the band fills, the factor is a
+  single dependency chain (parallelism 1!);
+* red-black (checkerboard) order -> ILU(0) factors collapse to ~2
+  levels, the embarrassingly parallel extreme.
+
+It then solves both factors on the simulated 4-GPU machine to show the
+order-of-magnitude performance spread the same physics problem yields.
+
+Run:  python examples/ordering_study.py
+"""
+
+import numpy as np
+
+from repro import Design, dgx1, ilu0, profile_matrix, simulate_execution
+from repro.analysis.reorder import red_black_ordering
+from repro.sparse.triangular import permute_symmetric
+from repro.tasks.schedule import round_robin_distribution
+from repro.workloads.factors import poisson2d_factor, poisson2d_matrix
+
+NX = NY = 20
+
+
+def describe(label, lower):
+    prof = profile_matrix(lower, label)
+    machine = dgx1(4)
+    dist = round_robin_distribution(lower.shape[0], 4, tasks_per_gpu=8)
+    rep = simulate_execution(lower, dist, machine, Design.SHMEM_READONLY)
+    print(
+        f"  {label:<28s} nnz={prof.nnz:6d}  levels={prof.n_levels:4d}  "
+        f"parallelism={prof.parallelism:8.1f}  "
+        f"4-GPU zero-copy time={rep.total_time * 1e6:8.1f} us"
+    )
+    return rep.total_time
+
+
+def main() -> None:
+    print(f"2-D Poisson, {NX}x{NY} grid ({NX * NY} unknowns)\n")
+
+    print("complete LU factor:")
+    t_natural = describe("natural order (banded)", poisson2d_factor(NX, NY))
+
+    print("\nILU(0) factors (pattern-preserving):")
+    a = poisson2d_matrix(NX, NY)
+    t_ilu_nat = describe("natural order", ilu0(a.to_csc()).lower)
+
+    perm = red_black_ordering(NX, NY)
+    a_rb = permute_symmetric(a.to_csc(), perm)
+    t_ilu_rb = describe("red-black order", ilu0(a_rb).lower)
+
+    print()
+    print(
+        f"red-black ILU(0) solve is {t_ilu_nat / t_ilu_rb:.1f}x faster than "
+        f"natural-order ILU(0)"
+    )
+    print(
+        f"and {t_natural / t_ilu_rb:.1f}x faster than the sequential "
+        f"complete factor"
+    )
+    assert t_ilu_rb < t_ilu_nat < t_natural
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""ILU(0)-preconditioned iterative solver with SpTRSV preconditioner solves.
+
+The paper's second headline application (Section I): triangular solves
+as the preconditioner application inside iterative methods.  Every
+iteration of preconditioned BiCGSTAB/CG applies ``M^{-1} r`` where
+``M = L U`` is an incomplete factorisation — one forward and one
+backward substitution per iteration, executed here through the package's
+solvers.
+
+The example builds a 2-D anisotropic diffusion operator, runs Richardson
+iteration with and without the ILU(0) preconditioner, and reports the
+iteration counts plus the simulated multi-GPU time spent inside SpTRSV.
+
+Run:  python examples/preconditioned_solver.py
+"""
+
+import numpy as np
+
+from repro import dgx1, ilu0
+from repro.solvers.serial import serial_backward, serial_forward
+from repro.solvers.zerocopy import ZeroCopySolver
+from repro.sparse.coo import CooMatrix
+
+NX, NY = 28, 28
+ANISOTROPY = 25.0  # strong y-coupling: hard for unpreconditioned methods
+TOL = 1e-8
+MAX_IT = 4000
+
+
+def build_diffusion(nx: int, ny: int) -> CooMatrix:
+    """5-point stencil for -div(K grad u) with anisotropic K."""
+    n = nx * ny
+    vid = np.arange(n).reshape(ny, nx)
+    rows, cols, vals = [], [], []
+
+    def add(a, b, v):
+        rows.append(a)
+        cols.append(b)
+        vals.append(v)
+
+    for r in range(ny):
+        for c in range(nx):
+            v = vid[r, c]
+            diag = 2.0 + 2.0 * ANISOTROPY
+            add(v, v, diag)
+            if c > 0:
+                add(v, vid[r, c - 1], -1.0)
+            if c + 1 < nx:
+                add(v, vid[r, c + 1], -1.0)
+            if r > 0:
+                add(v, vid[r - 1, c], -ANISOTROPY)
+            if r + 1 < ny:
+                add(v, vid[r + 1, c], -ANISOTROPY)
+    return CooMatrix(np.asarray(rows), np.asarray(cols), np.asarray(vals), (n, n))
+
+
+def richardson(a_dense, b, apply_prec, omega=1.0):
+    """Preconditioned Richardson: x += omega * M^-1 (b - A x)."""
+    x = np.zeros_like(b)
+    b_norm = np.linalg.norm(b)
+    for it in range(1, MAX_IT + 1):
+        r = b - a_dense @ x
+        if np.linalg.norm(r) / b_norm < TOL:
+            return x, it
+        x = x + omega * apply_prec(r)
+    return x, MAX_IT
+
+
+def main() -> None:
+    a = build_diffusion(NX, NY)
+    n = a.shape[0]
+    a_dense = a.to_dense()
+    rng = np.random.default_rng(3)
+    x_true = rng.uniform(0.5, 1.5, size=n)
+    b = a_dense @ x_true
+    print(f"anisotropic diffusion: {n} unknowns, K_y/K_x = {ANISOTROPY}")
+
+    # --- unpreconditioned baseline (Jacobi-scaled Richardson) ------------
+    d_inv = 1.0 / np.diag(a_dense)
+    _, it_plain = richardson(a_dense, b, lambda r: d_inv * r, omega=0.9)
+    print(f"Jacobi-Richardson iterations      : {it_plain}")
+
+    # --- ILU(0) preconditioner -------------------------------------------
+    factors = ilu0(a)
+    machine = dgx1(4)
+    fwd_solver = ZeroCopySolver(machine=machine, tasks_per_gpu=8, emulate=False)
+    sim_time = {"t": 0.0, "solves": 0}
+
+    def apply_ilu(r):
+        res = fwd_solver.solve(factors.lower, r)
+        sim_time["t"] += res.report.total_time
+        sim_time["solves"] += 1
+        return serial_backward(factors.upper, res.x)
+
+    x, it_ilu = richardson(a_dense, b, apply_ilu)
+    err = np.max(np.abs(x - x_true)) / np.max(np.abs(x_true))
+    print(f"ILU(0)-Richardson iterations      : {it_ilu}")
+    print(f"solution error                    : {err:.2e}")
+    print(f"SpTRSV preconditioner solves      : {sim_time['solves']}")
+    print(
+        f"simulated multi-GPU SpTRSV time   : {sim_time['t'] * 1e3:.2f} ms "
+        f"({sim_time['t'] / max(sim_time['solves'], 1) * 1e6:.1f} us/solve)"
+    )
+    speedup = it_plain / max(it_ilu, 1)
+    print(f"iteration reduction vs Jacobi     : {speedup:.1f}x")
+    assert it_ilu < it_plain, "preconditioner must accelerate convergence"
+    assert err < 1e-6
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Quickstart: solve a sparse triangular system on a simulated DGX-1.
+
+Builds a synthetic lower-triangular system, solves it with the paper's
+zero-copy multi-GPU design (NVSHMEM read-only communication + task
+pool), validates the solution against the serial reference, and prints
+the simulated execution report.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    SerialSolver,
+    UnifiedMemorySolver,
+    ZeroCopySolver,
+    dag_profile_matrix,
+    dgx1,
+    profile_matrix,
+)
+
+
+def main() -> None:
+    # 1. A lower-triangular system: 4,000 unknowns, 30 level sets,
+    #    ~3 nonzeros per row, levels scattered through the index space
+    #    the way real LU factors are.
+    lower = dag_profile_matrix(
+        n=4_000, n_levels=30, dependency=3.0, scatter=0.6, seed=42
+    )
+    rng = np.random.default_rng(0)
+    x_true = rng.uniform(0.5, 1.5, size=lower.shape[0])
+    b = lower.matvec(x_true)
+
+    print("System profile")
+    print("--------------")
+    prof = profile_matrix(lower, "quickstart")
+    print(f"  rows         : {prof.n_rows:,}")
+    print(f"  nonzeros     : {prof.nnz:,}")
+    print(f"  level sets   : {prof.n_levels}")
+    print(f"  parallelism  : {prof.parallelism:,.0f} components/level")
+    print(f"  dependency   : {prof.dependency:.2f} nnz/row")
+    print()
+
+    # 2. Solve with the zero-copy design on a 4-GPU DGX-1 clique.
+    machine = dgx1(4)
+    solver = ZeroCopySolver(machine=machine, tasks_per_gpu=8)
+    result = solver.solve(lower, b)
+
+    # 3. Validate against the serial reference (Algorithm 1).
+    reference = SerialSolver().solve(lower, b)
+    err = np.max(np.abs(result.x - reference.x)) / np.max(np.abs(reference.x))
+    true_err = np.max(np.abs(result.x - x_true)) / np.max(np.abs(x_true))
+    print("Correctness")
+    print("-----------")
+    print(f"  vs serial reference : {err:.2e}")
+    print(f"  vs true solution    : {true_err:.2e}")
+    print()
+
+    # 4. The simulated execution report.
+    rep = result.report
+    print("Zero-copy execution on simulated DGX-1 (4 GPUs, 8 tasks/GPU)")
+    print("-------------------------------------------------------------")
+    print(f"  analysis phase : {rep.analysis_time * 1e6:9.1f} us")
+    print(f"  solve phase    : {rep.solve_time * 1e6:9.1f} us")
+    print(f"  total          : {rep.total_time * 1e6:9.1f} us")
+    print(f"  local updates  : {rep.local_updates:,}")
+    print(f"  remote updates : {rep.remote_updates:,}")
+    print(f"  fabric traffic : {rep.fabric_bytes / 1024:.1f} KiB")
+    print(f"  busy/GPU (us)  : {np.round(rep.gpu_busy * 1e6, 1)}")
+    print()
+
+    # 5. Compare with the unified-memory baseline the paper improves on.
+    baseline = UnifiedMemorySolver(machine=dgx1(4, require_p2p=False))
+    base_rep = baseline.solve(lower, b).report
+    print("Against the Unified-Memory baseline")
+    print("-----------------------------------")
+    print(f"  unified total  : {base_rep.total_time * 1e6:9.1f} us")
+    print(f"  page faults    : {base_rep.page_faults:,.0f}")
+    print(f"  speedup        : {base_rep.total_time / rep.total_time:5.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Mini scalability study: one matrix, every design, 1-16 GPUs.
+
+Reproduces the Section VI-D methodology on a single suite matrix of your
+choice: sweeps GPU counts on both simulated platforms (DGX-1's NVSHMEM
+clique limit enforced), prints per-design times, and reports the
+dependency/parallelism metrics the paper uses to predict which matrices
+scale.
+
+Run:  python examples/scaling_study.py [matrix-name]
+      python examples/scaling_study.py Wordnet3
+"""
+
+import sys
+
+from repro import Design, dgx1, dgx2, load_suite_matrix, profile_matrix, scaling_class
+from repro.bench.harness import context, run_cusparse, run_design
+from repro.errors import TopologyError
+
+DEFAULT_MATRIX = "Wordnet3"
+
+
+def main(name: str) -> None:
+    ctx = context(name)
+    prof = ctx.profile
+    print(f"matrix {name}: {prof.n_rows:,} rows, {prof.nnz:,} nnz")
+    print(
+        f"  dependency = {prof.dependency:.2f} nnz/row, "
+        f"parallelism = {prof.parallelism:,.0f}, "
+        f"levels = {prof.n_levels}"
+    )
+    print(f"  predicted scaling class: {scaling_class(prof)}")
+    print()
+
+    t_cusparse = run_cusparse(ctx).total_time
+    print(f"cuSPARSE csrsv2 model (1 GPU): {t_cusparse * 1e6:9.1f} us")
+    print()
+
+    header = (
+        f"{'platform':<8s} {'gpus':>4s} {'design':<16s} "
+        f"{'total(us)':>10s} {'vs csrsv2':>10s} {'imbalance':>10s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for platform, machine_of, counts in (
+        ("DGX-1", lambda g: dgx1(g), (1, 2, 3, 4, 5)),
+        ("DGX-2", lambda g: dgx2(g), (1, 2, 4, 8, 16)),
+    ):
+        for g in counts:
+            try:
+                machine = machine_of(g)
+            except TopologyError as exc:
+                print(f"{platform:<8s} {g:>4d} -- {exc}")
+                continue
+            for design, tasks, label in (
+                (Design.SHMEM_READONLY, None, "shmem-block"),
+                (Design.SHMEM_READONLY, max(32 // g, 1), "zerocopy"),
+            ):
+                rep = run_design(ctx, machine, design, tasks_per_gpu=tasks)
+                print(
+                    f"{platform:<8s} {g:>4d} {label:<16s} "
+                    f"{rep.total_time * 1e6:>10.1f} "
+                    f"{t_cusparse / rep.total_time:>10.2f} "
+                    f"{rep.imbalance:>10.2f}"
+                )
+        print()
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else DEFAULT_MATRIX)

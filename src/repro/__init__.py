@@ -1,0 +1,164 @@
+"""repro — Fast and Scalable Sparse Triangular Solver for Multi-GPU HPC.
+
+A complete, simulation-based reproduction of Xie et al., *"Fast and
+Scalable Sparse Triangular Solver for Multi-GPU Based HPC Architectures"*
+(ICPP 2021): the unified-memory and NVSHMEM zero-copy SpTRSV designs, the
+task-pool execution model, the DGX-1/DGX-2 machine models they run on,
+and the benchmark harness that regenerates every table and figure of the
+paper's evaluation.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import ZeroCopySolver, dgx1, dag_profile_matrix
+>>> L = dag_profile_matrix(n=2000, n_levels=20, dependency=3.0, seed=7)
+>>> b = np.ones(2000)
+>>> result = ZeroCopySolver(machine=dgx1(4), tasks_per_gpu=8).solve(L, b)
+>>> result.x.shape
+(2000,)
+>>> result.report.n_gpus
+4
+"""
+
+from repro.analysis import (
+    CriticalPath,
+    DependencyDag,
+    LevelSets,
+    MatrixProfile,
+    build_dag,
+    compute_levels,
+    critical_path,
+    profile_matrix,
+    scaling_class,
+)
+from repro.errors import ReproError
+from repro.exec_model import (
+    CommCosts,
+    Design,
+    ExecutionReport,
+    build_comm_costs,
+    simulate_execution,
+)
+from repro.machine import (
+    MachineConfig,
+    SymmetricHeap,
+    Topology,
+    UnifiedMemory,
+    dgx1,
+    dgx2,
+    dgx1_topology,
+    dgx2_topology,
+)
+from repro.solvers import (
+    CusparseCsrsv2Solver,
+    LevelSetSolver,
+    NaiveShmemSolver,
+    SerialSolver,
+    ShmemSolver,
+    SolveResult,
+    SyncFreeSolver,
+    TriangularSolver,
+    UnifiedMemorySolver,
+    ZeroCopySolver,
+    serial_backward,
+    serial_forward,
+)
+from repro.sparse import (
+    CooMatrix,
+    CscMatrix,
+    CsrMatrix,
+    LuFactors,
+    ilu0,
+    lower_triangle,
+    read_matrix_market,
+    sparse_lu,
+    upper_triangle,
+    write_matrix_market,
+)
+from repro.tasks import (
+    Distribution,
+    block_distribution,
+    partition_components,
+    round_robin_distribution,
+)
+from repro.workloads import (
+    PAPER_STATS,
+    SUITE,
+    dag_profile_matrix,
+    grid_graph_lower,
+    random_lower,
+    suite_names,
+    tridiagonal_lower,
+)
+from repro.workloads import load as load_suite_matrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    # sparse
+    "CooMatrix",
+    "CscMatrix",
+    "CsrMatrix",
+    "LuFactors",
+    "sparse_lu",
+    "ilu0",
+    "lower_triangle",
+    "upper_triangle",
+    "read_matrix_market",
+    "write_matrix_market",
+    # analysis
+    "DependencyDag",
+    "build_dag",
+    "LevelSets",
+    "compute_levels",
+    "MatrixProfile",
+    "profile_matrix",
+    "scaling_class",
+    "CriticalPath",
+    "critical_path",
+    # machine
+    "MachineConfig",
+    "Topology",
+    "dgx1",
+    "dgx2",
+    "dgx1_topology",
+    "dgx2_topology",
+    "UnifiedMemory",
+    "SymmetricHeap",
+    # exec model
+    "Design",
+    "CommCosts",
+    "build_comm_costs",
+    "ExecutionReport",
+    "simulate_execution",
+    # solvers
+    "TriangularSolver",
+    "SolveResult",
+    "SerialSolver",
+    "serial_forward",
+    "serial_backward",
+    "LevelSetSolver",
+    "CusparseCsrsv2Solver",
+    "SyncFreeSolver",
+    "UnifiedMemorySolver",
+    "ShmemSolver",
+    "NaiveShmemSolver",
+    "ZeroCopySolver",
+    # tasks
+    "Distribution",
+    "partition_components",
+    "block_distribution",
+    "round_robin_distribution",
+    # workloads
+    "dag_profile_matrix",
+    "tridiagonal_lower",
+    "random_lower",
+    "grid_graph_lower",
+    "SUITE",
+    "PAPER_STATS",
+    "suite_names",
+    "load_suite_matrix",
+]

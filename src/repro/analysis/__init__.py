@@ -1,0 +1,28 @@
+"""Dependency analysis: DAG extraction, level sets, metrics, critical path."""
+
+from repro.analysis.criticalpath import CriticalPath, critical_path
+from repro.analysis.dag import DependencyDag, build_dag
+from repro.analysis.levels import LevelSets, compute_levels
+from repro.analysis.metrics import MatrixProfile, profile_matrix, scaling_class
+from repro.analysis.reorder import (
+    level_packing_ordering,
+    rcm_ordering,
+    red_black_ordering,
+    reorder_lower,
+)
+
+__all__ = [
+    "DependencyDag",
+    "build_dag",
+    "LevelSets",
+    "compute_levels",
+    "MatrixProfile",
+    "profile_matrix",
+    "scaling_class",
+    "CriticalPath",
+    "critical_path",
+    "rcm_ordering",
+    "level_packing_ordering",
+    "red_black_ordering",
+    "reorder_lower",
+]

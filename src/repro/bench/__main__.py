@@ -1,0 +1,217 @@
+"""Command-line figure runner: ``python -m repro.bench <experiment>``.
+
+Regenerates any table/figure without pytest:
+
+    python -m repro.bench table1
+    python -m repro.bench fig7
+    python -m repro.bench fig9 --tasks 2 4 8 16 32
+    python -m repro.bench fig10a --gpus 1 2 3 4
+    python -m repro.bench all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.experiments import (
+    run_fig3,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10a,
+    run_fig10b,
+    run_table1,
+)
+from repro.bench.report import format_series_table, format_table, format_table1
+
+EXPERIMENTS = ("table1", "fig3", "fig7", "fig8", "fig9", "fig10a", "fig10b")
+
+
+def _render_fig3(gpus: tuple[int, ...]) -> str:
+    results = run_fig3(gpu_counts=gpus)
+    header = ["matrix"] + [f"{g}-GPU" for g in gpus]
+    faults = [
+        [name] + [results[name][g]["faults_norm"] for g in gpus]
+        for name in results
+    ]
+    times = [
+        [name] + [results[name][g]["time_norm"] for g in gpus]
+        for name in results
+    ]
+    return (
+        format_table("Fig. 3a - page faults (normalized)", header, faults)
+        + "\n\n"
+        + format_table("Fig. 3b - execution time (normalized)", header, times)
+    )
+
+
+def render(name: str, args: argparse.Namespace) -> str:
+    """Run one experiment and return its formatted table."""
+    if name == "table1":
+        return format_table1(run_table1())
+    if name == "fig3":
+        return _render_fig3(tuple(args.gpus or (2, 4, 8)))
+    if name == "fig7":
+        return format_series_table(
+            "Fig. 7 - speedup over 4GPU-Unified", run_fig7()
+        )
+    if name == "fig8":
+        return format_series_table(
+            "Fig. 8 - DGX-1 vs DGX-2 (normalized to DGX-1-Unified)", run_fig8()
+        )
+    if name == "fig9":
+        tasks = tuple(args.tasks or (2, 4, 8, 16, 32, 64))
+        return format_series_table(
+            "Fig. 9 - performance vs tasks/GPU (normalized to 4)",
+            run_fig9(task_counts=tasks),
+            series=list(tasks),
+        )
+    if name == "fig10a":
+        gpus = tuple(args.gpus or (1, 2, 3, 4))
+        return format_series_table(
+            "Fig. 10a - DGX-1 speedup over cusparse_csrsv2",
+            run_fig10a(gpu_counts=gpus),
+            series=list(gpus),
+        )
+    if name == "fig10b":
+        gpus = tuple(args.gpus or (1, 2, 4, 8, 16))
+        return format_series_table(
+            "Fig. 10b - DGX-2 speedup over cusparse_csrsv2",
+            run_fig10b(gpu_counts=gpus),
+            series=list(gpus),
+        )
+    raise SystemExit(f"unknown experiment {name!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS + ("all",),
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--gpus", type=int, nargs="+", default=None,
+        help="GPU counts (fig3/fig10a/fig10b)",
+    )
+    parser.add_argument(
+        "--tasks", type=int, nargs="+", default=None,
+        help="tasks-per-GPU sweep (fig9)",
+    )
+    parser.add_argument(
+        "--csv", metavar="PATH", default=None,
+        help="also write the experiment's tidy rows as CSV",
+    )
+    parser.add_argument(
+        "--svg", metavar="PATH", default=None,
+        help="also render the figure as an SVG chart (single experiment only)",
+    )
+    args = parser.parse_args(argv)
+    targets = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    if args.svg and len(targets) != 1:
+        raise SystemExit("--svg requires a single experiment")
+    if args.svg and targets[0] == "table1":
+        raise SystemExit("table1 has no chart form; use --csv")
+    for t in targets:
+        print(render(t, args))
+        print()
+    if args.csv:
+        _write_csv(args.csv, targets, args)
+    if args.svg:
+        if len(targets) != 1:
+            raise SystemExit("--svg requires a single experiment")
+        _write_svg(args.svg, targets[0], args)
+    return 0
+
+
+def _write_svg(path: str, target: str, args: argparse.Namespace) -> None:
+    """Render one experiment as an SVG chart."""
+    from repro.bench.svgplot import grouped_bar_svg, line_chart_svg
+
+    if target == "table1":
+        raise SystemExit("table1 has no chart form; use --csv")
+    if target == "fig3":
+        gpus = tuple(args.gpus or (2, 4, 8))
+        results = run_fig3(gpu_counts=gpus)
+        flat = {
+            name: {f"{g}-GPU": per[g]["time_norm"] for g in gpus}
+            for name, per in results.items()
+        }
+        svg = grouped_bar_svg(
+            flat, "Fig. 3b — unified-memory time, normalized to 2-GPU"
+        )
+    elif target == "fig7":
+        svg = grouped_bar_svg(
+            run_fig7(),
+            "Fig. 7 — speedup over 4GPU-Unified",
+            series=["unified+task", "shmem", "zerocopy"],
+        )
+    elif target == "fig8":
+        svg = grouped_bar_svg(
+            run_fig8(),
+            "Fig. 8 — DGX-1 vs DGX-2, normalized to DGX-1-Unified",
+            series=["dgx1-zerocopy", "dgx2-unified", "dgx2-zerocopy"],
+        )
+    elif target == "fig9":
+        tasks = tuple(args.tasks or (2, 4, 8, 16, 32, 64))
+        svg = grouped_bar_svg(
+            run_fig9(task_counts=tasks),
+            "Fig. 9 — performance vs tasks/GPU (normalized to 4)",
+            series=list(tasks),
+        )
+    elif target in ("fig10a", "fig10b"):
+        gpus = tuple(
+            args.gpus or ((1, 2, 3, 4) if target == "fig10a" else (1, 2, 4, 8, 16))
+        )
+        runner = run_fig10a if target == "fig10a" else run_fig10b
+        svg = line_chart_svg(
+            runner(gpu_counts=gpus),
+            f"Fig. {target[3:]} — speedup over cusparse_csrsv2",
+            x_values=list(gpus),
+            x_label="GPUs",
+        )
+    else:  # pragma: no cover - argparse already constrains choices
+        raise SystemExit(f"no SVG renderer for {target!r}")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(svg)
+    print(f"wrote {path}")
+
+
+def _write_csv(path: str, targets, args: argparse.Namespace) -> None:
+    """Re-run the targets through the raw drivers and dump tidy CSV."""
+    from repro.bench.export import series_to_rows, to_csv
+
+    rows: list[dict] = []
+    for t in targets:
+        if t == "table1":
+            recs = [dict(r, experiment="table1") for r in run_table1()]
+            rows.extend(recs)
+            continue
+        driver = {
+            "fig3": lambda: run_fig3(gpu_counts=tuple(args.gpus or (2, 4, 8))),
+            "fig7": run_fig7,
+            "fig8": run_fig8,
+            "fig9": lambda: run_fig9(
+                task_counts=tuple(args.tasks or (2, 4, 8, 16, 32, 64))
+            ),
+            "fig10a": lambda: run_fig10a(
+                gpu_counts=tuple(args.gpus or (1, 2, 3, 4))
+            ),
+            "fig10b": lambda: run_fig10b(
+                gpu_counts=tuple(args.gpus or (1, 2, 4, 8, 16))
+            ),
+        }[t]
+        for rec in series_to_rows(driver()):
+            rec["experiment"] = t
+            rows.append(rec)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_csv(rows))
+    print(f"wrote {len(rows)} rows to {path}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,270 @@
+"""Per-figure experiment drivers.
+
+One function per table/figure of the paper's evaluation (Section VI).
+Each returns plain data structures (dicts of floats keyed by matrix name)
+that the report module formats and the ``benchmarks/`` targets print; the
+figure semantics — what is normalized to what — follow the paper exactly:
+
+* Fig. 3: unified-memory page faults and execution time for 2/4/8 GPUs,
+  normalized to the 2-GPU run.
+* Fig. 7: total time of the four design scenarios on 4-GPU DGX-1,
+  normalized to ``4GPU-Unified`` (higher = faster).
+* Fig. 8: DGX-1 vs DGX-2 (4 GPUs, 8 tasks/GPU), normalized to
+  DGX-1-Unified.
+* Fig. 9: zero-copy with varying tasks/GPU, normalized to 4 tasks/GPU.
+* Fig. 10: strong scaling of zero-copy, normalized to single-GPU
+  cuSPARSE ``csrsv2``; total tasks fixed at 32.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exec_model.costmodel import Design
+from repro.machine.node import MachineConfig, dgx1, dgx2
+from repro.workloads.suite import IN_MEMORY_NAMES, SUITE, suite_names
+
+from repro.bench.harness import context, geomean, run_cusparse, run_design
+
+__all__ = [
+    "FIG3_NAMES",
+    "FIG10_NAMES",
+    "run_table1",
+    "run_fig3",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10a",
+    "run_fig10b",
+]
+
+#: The four representative matrices profiled in Fig. 3.
+FIG3_NAMES: tuple[str, ...] = ("belgium_osm", "dc2", "nlpkkt160", "roadNet-CA")
+
+#: The five matrices highlighted in the Fig. 10 scalability study.
+FIG10_NAMES: tuple[str, ...] = (
+    "chipcool0",
+    "dc2",
+    "nlpkkt160",
+    "powersim",
+    "Wordnet3",
+)
+
+
+def run_table1(include_out_of_memory: bool = True) -> list[dict]:
+    """Table I: structural statistics of every suite matrix.
+
+    Returns one dict per matrix with both the stand-in's measured stats
+    and the paper's original numbers.
+    """
+    from repro.workloads.suite import PAPER_STATS
+
+    rows = []
+    for name in suite_names(include_out_of_memory):
+        prof = context(name).profile
+        paper = PAPER_STATS[name]
+        rows.append(
+            {
+                "name": name,
+                "n_rows": prof.n_rows,
+                "nnz": prof.nnz,
+                "n_levels": prof.n_levels,
+                "parallelism": prof.parallelism,
+                "dependency": prof.dependency,
+                "paper_n_rows": paper.n_rows,
+                "paper_nnz": paper.nnz,
+                "paper_n_levels": paper.n_levels,
+                "paper_parallelism": paper.parallelism,
+            }
+        )
+    return rows
+
+
+def run_fig3(
+    gpu_counts: tuple[int, ...] = (2, 4, 8),
+    names: tuple[str, ...] = FIG3_NAMES,
+) -> dict[str, dict[int, dict[str, float]]]:
+    """Fig. 3: unified-memory page-fault and time growth with GPU count.
+
+    Returns ``{matrix: {n_gpus: {"faults": f, "time": t,
+    "faults_norm": fn, "time_norm": tn}}}`` with ``*_norm`` normalized to
+    the smallest GPU count.
+    """
+    out: dict[str, dict[int, dict[str, float]]] = {}
+    base = gpu_counts[0]
+    for name in names:
+        ctx = context(name)
+        per_gpu: dict[int, dict[str, float]] = {}
+        for g in gpu_counts:
+            machine = dgx1(g, require_p2p=False)
+            rep = run_design(ctx, machine, Design.UNIFIED)
+            per_gpu[g] = {
+                "faults": rep.page_faults,
+                "time": rep.total_time,
+            }
+        for g in gpu_counts:
+            per_gpu[g]["faults_norm"] = (
+                per_gpu[g]["faults"] / per_gpu[base]["faults"]
+                if per_gpu[base]["faults"]
+                else float("nan")
+            )
+            per_gpu[g]["time_norm"] = per_gpu[g]["time"] / per_gpu[base]["time"]
+        out[name] = per_gpu
+    return out
+
+
+def run_fig7(
+    names: tuple[str, ...] = IN_MEMORY_NAMES,
+    n_gpus: int = 4,
+    tasks_per_gpu: int = 8,
+) -> dict[str, dict[str, float]]:
+    """Fig. 7: speedup of the four design scenarios over 4GPU-Unified.
+
+    Returns ``{matrix: {scenario: speedup}}`` plus an ``"average"`` entry
+    (geometric mean across matrices) — speedup > 1 means faster than the
+    unified baseline.
+    """
+    m_um = dgx1(n_gpus, require_p2p=False)
+    m_sh = dgx1(n_gpus)
+    out: dict[str, dict[str, float]] = {}
+    for name in names:
+        ctx = context(name)
+        t_unified = run_design(ctx, m_um, Design.UNIFIED).total_time
+        t_um_task = run_design(
+            ctx, m_um, Design.UNIFIED, tasks_per_gpu=tasks_per_gpu
+        ).total_time
+        t_shmem = run_design(ctx, m_sh, Design.SHMEM_READONLY).total_time
+        t_zero = run_design(
+            ctx, m_sh, Design.SHMEM_READONLY, tasks_per_gpu=tasks_per_gpu
+        ).total_time
+        out[name] = {
+            "unified": 1.0,
+            "unified+task": t_unified / t_um_task,
+            "shmem": t_unified / t_shmem,
+            "zerocopy": t_unified / t_zero,
+        }
+    out["average"] = {
+        k: geomean(v[k] for n, v in out.items() if n != "average")
+        for k in ("unified", "unified+task", "shmem", "zerocopy")
+    }
+    return out
+
+
+def run_fig8(
+    names: tuple[str, ...] = IN_MEMORY_NAMES,
+    n_gpus: int = 4,
+    tasks_per_gpu: int = 8,
+) -> dict[str, dict[str, float]]:
+    """Fig. 8: DGX-1 vs DGX-2, normalized to DGX-1-Unified.
+
+    Returns ``{matrix: {series: speedup}}`` for the four series
+    ``dgx1-unified`` (== 1), ``dgx1-zerocopy``, ``dgx2-unified``,
+    ``dgx2-zerocopy``, plus the geometric-mean ``"average"`` row.
+    """
+    m1_um = dgx1(n_gpus, require_p2p=False)
+    m1_sh = dgx1(n_gpus)
+    m2_um = dgx2(n_gpus, require_p2p=False)
+    m2_sh = dgx2(n_gpus)
+    out: dict[str, dict[str, float]] = {}
+    for name in names:
+        ctx = context(name)
+        base = run_design(ctx, m1_um, Design.UNIFIED).total_time
+        out[name] = {
+            "dgx1-unified": 1.0,
+            "dgx1-zerocopy": base
+            / run_design(
+                ctx, m1_sh, Design.SHMEM_READONLY, tasks_per_gpu=tasks_per_gpu
+            ).total_time,
+            "dgx2-unified": base / run_design(ctx, m2_um, Design.UNIFIED).total_time,
+            "dgx2-zerocopy": base
+            / run_design(
+                ctx, m2_sh, Design.SHMEM_READONLY, tasks_per_gpu=tasks_per_gpu
+            ).total_time,
+        }
+    keys = ("dgx1-unified", "dgx1-zerocopy", "dgx2-unified", "dgx2-zerocopy")
+    out["average"] = {
+        k: geomean(v[k] for n, v in out.items() if n != "average") for k in keys
+    }
+    return out
+
+
+def run_fig9(
+    names: tuple[str, ...] = IN_MEMORY_NAMES,
+    n_gpus: int = 4,
+    task_counts: tuple[int, ...] = (2, 4, 8, 16, 32, 64),
+    baseline_tasks: int = 4,
+) -> dict[str, dict[int, float]]:
+    """Fig. 9: zero-copy performance vs tasks/GPU, normalized to 4 tasks.
+
+    Returns ``{matrix: {tasks_per_gpu: normalized_performance}}`` where
+    values > 1 mean faster than the 4-task configuration; includes the
+    geometric-mean ``"average"`` row.
+    """
+    machine = dgx1(n_gpus)
+    out: dict[str, dict[int, float]] = {}
+    for name in names:
+        ctx = context(name)
+        times = {
+            k: run_design(
+                ctx, machine, Design.SHMEM_READONLY, tasks_per_gpu=k
+            ).total_time
+            for k in task_counts
+        }
+        base = times[baseline_tasks]
+        out[name] = {k: base / t for k, t in times.items()}
+    out["average"] = {
+        k: geomean(v[k] for n, v in out.items() if n != "average")
+        for k in task_counts
+    }
+    return out
+
+
+def _scaling(
+    machine_for: "callable",
+    gpu_counts: tuple[int, ...],
+    names: tuple[str, ...],
+    total_tasks: int,
+) -> dict[str, dict[int, float]]:
+    out: dict[str, dict[int, float]] = {}
+    for name in names:
+        ctx = context(name)
+        t_cusparse = run_cusparse(ctx).total_time
+        per: dict[int, float] = {}
+        for g in gpu_counts:
+            machine = machine_for(g)
+            tasks_per_gpu = max(total_tasks // g, 1)
+            rep = run_design(
+                ctx,
+                machine,
+                Design.SHMEM_READONLY,
+                tasks_per_gpu=tasks_per_gpu,
+            )
+            per[g] = t_cusparse / rep.total_time
+        out[name] = per
+    out["average"] = {
+        g: geomean(v[g] for n, v in out.items() if n != "average")
+        for g in gpu_counts
+    }
+    return out
+
+
+def run_fig10a(
+    gpu_counts: tuple[int, ...] = (1, 2, 3, 4),
+    names: tuple[str, ...] = FIG10_NAMES,
+    total_tasks: int = 32,
+) -> dict[str, dict[int, float]]:
+    """Fig. 10a: DGX-1 strong scaling of zero-copy vs cuSPARSE csrsv2.
+
+    NVSHMEM on DGX-1 is restricted to the fully connected 4-GPU clique,
+    so ``gpu_counts`` beyond 4 raise — the same wall the paper reports.
+    """
+    return _scaling(lambda g: dgx1(g), gpu_counts, names, total_tasks)
+
+
+def run_fig10b(
+    gpu_counts: tuple[int, ...] = (1, 2, 4, 8, 16),
+    names: tuple[str, ...] = FIG10_NAMES,
+    total_tasks: int = 32,
+) -> dict[str, dict[int, float]]:
+    """Fig. 10b: DGX-2 strong scaling (all-to-all NVSwitch, up to 16)."""
+    return _scaling(lambda g: dgx2(g), gpu_counts, names, total_tasks)

@@ -1,0 +1,71 @@
+"""Machine-readable experiment export (CSV / JSON).
+
+The text tables in :mod:`repro.bench.report` are for humans; downstream
+analysis (plotting the figures, regression dashboards) wants structured
+data.  These helpers flatten every experiment driver's native result
+shape into tidy rows and serialise them.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Mapping
+
+__all__ = ["series_to_rows", "to_csv", "to_json"]
+
+
+def series_to_rows(
+    data: Mapping[str, Mapping],
+    value_name: str = "value",
+) -> list[dict]:
+    """Flatten ``{matrix: {series: value}}`` into tidy records.
+
+    Each record is ``{"matrix": ..., "series": ..., value_name: ...}`` —
+    the long format every plotting library consumes directly.
+    """
+    rows: list[dict] = []
+    for matrix, per_series in data.items():
+        for series, value in per_series.items():
+            if isinstance(value, Mapping):
+                # Nested shape (e.g. fig3: {gpus: {metric: v}}).
+                for metric, v in value.items():
+                    rows.append(
+                        {
+                            "matrix": matrix,
+                            "series": str(series),
+                            "metric": str(metric),
+                            value_name: float(v),
+                        }
+                    )
+            else:
+                rows.append(
+                    {
+                        "matrix": matrix,
+                        "series": str(series),
+                        value_name: float(value),
+                    }
+                )
+    return rows
+
+
+def to_csv(rows: list[dict]) -> str:
+    """Serialise tidy records as CSV (columns from the union of keys)."""
+    if not rows:
+        return ""
+    fields: list[str] = []
+    for r in rows:
+        for k in r:
+            if k not in fields:
+                fields.append(k)
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=fields, restval="")
+    writer.writeheader()
+    writer.writerows(rows)
+    return buf.getvalue()
+
+
+def to_json(rows: list[dict]) -> str:
+    """Serialise tidy records as pretty JSON."""
+    return json.dumps(rows, indent=2, sort_keys=True)

@@ -1,0 +1,104 @@
+"""Golden-number regression guard for the calibrated model.
+
+The machine constants were calibrated once against Fig. 7's aggregates
+and then frozen (docs/calibration.md).  Any code change that silently
+moves those aggregates — a cost-model tweak, a generator change, an
+"innocent" refactor of the scheduler — would invalidate EXPERIMENTS.md
+without failing a single correctness test.  This module pins the key
+aggregates to golden values with explicit tolerances:
+
+* ``capture()`` measures the current aggregates;
+* ``compare(measured, golden)`` returns the violations;
+* ``tests/test_regression_golden.py`` fails when the model drifts, with
+  instructions to re-bless (regenerate the JSON) if the change is
+  intentional.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.experiments import run_fig7, run_fig9, run_fig10a
+from repro.bench.harness import geomean
+
+__all__ = ["GOLDEN_PATH", "capture", "compare", "load_golden"]
+
+GOLDEN_PATH = Path(__file__).parent / "golden.json"
+
+#: Relative tolerance per aggregate: wide enough for numerical noise and
+#: platform variation, tight enough to catch real model drift.
+TOLERANCE = 0.10
+
+
+def capture() -> dict[str, float]:
+    """Measure the pinned aggregates on the current code."""
+    fig7 = run_fig7()
+    names = [n for n in fig7 if n != "average"]
+    fig9 = run_fig9(task_counts=(4, 16))
+    fig10 = run_fig10a(gpu_counts=(2, 4))
+    return {
+        "fig7.unified_task.geomean": fig7["average"]["unified+task"],
+        "fig7.shmem.geomean": fig7["average"]["shmem"],
+        "fig7.zerocopy.geomean": fig7["average"]["zerocopy"],
+        "fig7.zerocopy.max": float(
+            max(fig7[n]["zerocopy"] for n in names)
+        ),
+        "fig9.gain_at_16_tasks": float(
+            np.mean([fig9[n][16] for n in fig9 if n != "average"])
+        ),
+        "fig10a.scaling_4_over_2": fig10["average"][4] / fig10["average"][2],
+    }
+
+
+def load_golden(path: Path = GOLDEN_PATH) -> dict[str, float]:
+    """Read the blessed aggregates."""
+    return json.loads(path.read_text())
+
+
+@dataclass(frozen=True)
+class Violation:
+    key: str
+    golden: float
+    measured: float
+
+    @property
+    def drift(self) -> float:
+        return abs(self.measured - self.golden) / abs(self.golden)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.key}: golden {self.golden:.3f}, measured "
+            f"{self.measured:.3f} ({self.drift:+.1%})"
+        )
+
+
+def compare(
+    measured: dict[str, float],
+    golden: dict[str, float],
+    tolerance: float = TOLERANCE,
+) -> list[Violation]:
+    """Return every aggregate drifting beyond ``tolerance``."""
+    out = []
+    for key, gold in golden.items():
+        if key not in measured:
+            out.append(Violation(key=key, golden=gold, measured=float("nan")))
+            continue
+        v = Violation(key=key, golden=gold, measured=measured[key])
+        if not np.isfinite(v.measured) or v.drift > tolerance:
+            out.append(v)
+    return out
+
+
+def bless(path: Path = GOLDEN_PATH) -> dict[str, float]:
+    """Re-capture and persist the golden aggregates (intentional change)."""
+    values = capture()
+    path.write_text(json.dumps(values, indent=2, sort_keys=True) + "\n")
+    return values
+
+
+if __name__ == "__main__":  # pragma: no cover - maintenance entry point
+    print(json.dumps(bless(), indent=2, sort_keys=True))

@@ -1,0 +1,88 @@
+"""Formatting helpers: render experiment results as the paper's tables.
+
+Benches print through these so the console output reads like the paper's
+figures — one row per matrix, one column per series, with the
+geometric-mean "average" row the paper quotes in its prose.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_series_table", "format_table1"]
+
+
+def format_table(
+    title: str,
+    header: Sequence[str],
+    rows: Sequence[Sequence],
+    col_width: int = 14,
+    name_width: int = 18,
+) -> str:
+    """Generic fixed-width table with a title rule."""
+    lines = [title, "=" * max(len(title), 8)]
+    head = f"{header[0]:<{name_width}s}" + "".join(
+        f"{h:>{col_width}s}" for h in header[1:]
+    )
+    lines.append(head)
+    lines.append("-" * len(head))
+    for row in rows:
+        cells = [f"{str(row[0]):<{name_width}s}"]
+        for v in row[1:]:
+            if isinstance(v, float):
+                cells.append(f"{v:>{col_width}.3f}")
+            else:
+                cells.append(f"{str(v):>{col_width}s}")
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def format_series_table(
+    title: str,
+    data: Mapping[str, Mapping],
+    series: Sequence | None = None,
+    average_last: bool = True,
+) -> str:
+    """Render ``{matrix: {series_key: value}}`` results.
+
+    ``series`` fixes the column order (defaults to the first row's keys);
+    the ``"average"`` row is moved to the bottom.
+    """
+    names = [n for n in data if n != "average"]
+    if series is None:
+        series = list(next(iter(data.values())).keys())
+    header = ["matrix"] + [str(s) for s in series]
+    rows = [[n] + [float(data[n][s]) for s in series] for n in names]
+    if average_last and "average" in data:
+        rows.append(["average"] + [float(data["average"][s]) for s in series])
+    return format_table(title, header, rows)
+
+
+def format_table1(rows: Sequence[Mapping]) -> str:
+    """Render the Table I comparison (stand-in vs paper)."""
+    header = [
+        "matrix",
+        "rows",
+        "nnz",
+        "levels",
+        "parallel.",
+        "dep.",
+        "paper-lvl",
+        "paper-par",
+    ]
+    body = [
+        [
+            r["name"],
+            r["n_rows"],
+            r["nnz"],
+            r["n_levels"],
+            round(r["parallelism"], 1),
+            round(r["dependency"], 2),
+            r["paper_n_levels"],
+            round(r["paper_parallelism"], 0),
+        ]
+        for r in rows
+    ]
+    return format_table(
+        "Table I - test matrices (stand-in vs paper)", header, body, col_width=11
+    )

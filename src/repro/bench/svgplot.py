@@ -1,0 +1,199 @@
+"""Dependency-free SVG charts for the regenerated figures.
+
+The evaluation figures are grouped bar charts (Figs. 3, 7, 8, 9) and
+line charts (Fig. 10).  This module renders both as standalone SVG —
+no matplotlib required — so ``python -m repro.bench fig7 --svg out.svg``
+produces an actual figure file next to the text table.
+
+Layout is deliberately simple: linear y-axis from zero, one colour per
+series, legend on top, labels rotated when crowded.  The goal is a
+readable artefact, not a plotting library.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Mapping, Sequence
+
+__all__ = ["grouped_bar_svg", "line_chart_svg"]
+
+_COLOURS = (
+    "#4878a8",  # blue
+    "#e0883a",  # orange
+    "#6aa84f",  # green
+    "#b05a7a",  # plum
+    "#8a7cc2",  # violet
+    "#50a0a0",  # teal
+)
+
+_W, _H = 960, 420
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 70, 20, 56, 96
+
+
+def _esc(s: object) -> str:
+    return html.escape(str(s))
+
+
+def _frame(body: list[str], title: str) -> str:
+    head = (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_W}" height="{_H}" '
+        f'viewBox="0 0 {_W} {_H}" font-family="Helvetica, Arial, sans-serif">'
+        f'<rect width="{_W}" height="{_H}" fill="white"/>'
+        f'<text x="{_W / 2}" y="20" font-size="15" text-anchor="middle" '
+        f'font-weight="bold">{_esc(title)}</text>'
+    )
+    return head + "".join(body) + "</svg>"
+
+
+def _y_axis(body: list[str], y_max: float, plot_h: float) -> None:
+    ticks = 5
+    for k in range(ticks + 1):
+        val = y_max * k / ticks
+        y = _MARGIN_T + plot_h * (1 - k / ticks)
+        body.append(
+            f'<line x1="{_MARGIN_L}" y1="{y:.1f}" x2="{_W - _MARGIN_R}" '
+            f'y2="{y:.1f}" stroke="#dddddd" stroke-width="1"/>'
+        )
+        body.append(
+            f'<text x="{_MARGIN_L - 6}" y="{y + 4:.1f}" font-size="11" '
+            f'text-anchor="end">{val:g}</text>'
+        )
+
+
+def _legend(body: list[str], series: Sequence[str]) -> None:
+    x = _MARGIN_L
+    for i, s in enumerate(series):
+        colour = _COLOURS[i % len(_COLOURS)]
+        body.append(
+            f'<rect x="{x}" y="30" width="12" height="12" fill="{colour}"/>'
+        )
+        body.append(
+            f'<text x="{x + 16}" y="41" font-size="12">{_esc(s)}</text>'
+        )
+        x += 22 + 8 * len(str(s))
+
+
+def grouped_bar_svg(
+    data: Mapping[str, Mapping],
+    title: str,
+    series: Sequence | None = None,
+    drop: Sequence[str] = (),
+) -> str:
+    """Render ``{group: {series: value}}`` as a grouped bar chart.
+
+    ``drop`` removes rows (e.g. the all-ones baseline column); the
+    ``"average"`` group is kept last if present.
+    """
+    groups = [g for g in data if g not in drop and g != "average"]
+    if "average" in data and "average" not in drop:
+        groups.append("average")
+    if series is None:
+        series = list(next(iter(data.values())).keys())
+    values = {
+        g: [float(data[g][s]) for s in series] for g in groups
+    }
+    y_max = max((max(v) for v in values.values()), default=1.0) * 1.1 or 1.0
+
+    plot_w = _W - _MARGIN_L - _MARGIN_R
+    plot_h = _H - _MARGIN_T - _MARGIN_B
+    body: list[str] = []
+    _y_axis(body, y_max, plot_h)
+    _legend(body, [str(s) for s in series])
+
+    group_w = plot_w / max(len(groups), 1)
+    bar_w = group_w * 0.8 / max(len(series), 1)
+    for gi, g in enumerate(groups):
+        gx = _MARGIN_L + gi * group_w + group_w * 0.1
+        for si, v in enumerate(values[g]):
+            h = plot_h * v / y_max
+            x = gx + si * bar_w
+            y = _MARGIN_T + plot_h - h
+            colour = _COLOURS[si % len(_COLOURS)]
+            body.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w:.1f}" '
+                f'height="{h:.1f}" fill="{colour}"><title>'
+                f"{_esc(g)} / {_esc(series[si])}: {v:.3g}</title></rect>"
+            )
+        lx = gx + group_w * 0.4
+        ly = _MARGIN_T + plot_h + 12
+        body.append(
+            f'<text x="{lx:.1f}" y="{ly}" font-size="10" text-anchor="end" '
+            f'transform="rotate(-40 {lx:.1f} {ly})">{_esc(g)}</text>'
+        )
+    # Axis line.
+    body.append(
+        f'<line x1="{_MARGIN_L}" y1="{_MARGIN_T}" x2="{_MARGIN_L}" '
+        f'y2="{_MARGIN_T + plot_h}" stroke="black"/>'
+    )
+    return _frame(body, title)
+
+
+def line_chart_svg(
+    data: Mapping[str, Mapping],
+    title: str,
+    x_values: Sequence | None = None,
+    x_label: str = "",
+) -> str:
+    """Render ``{series: {x: y}}`` as a multi-line chart with markers."""
+    series_names = list(data)
+    if x_values is None:
+        x_values = list(next(iter(data.values())).keys())
+    xs = [float(x) for x in x_values]
+    y_max = (
+        max(
+            float(data[s][x])
+            for s in series_names
+            for x in x_values
+        )
+        * 1.1
+        or 1.0
+    )
+    plot_w = _W - _MARGIN_L - _MARGIN_R
+    plot_h = _H - _MARGIN_T - _MARGIN_B
+    x_min, x_span = min(xs), max(max(xs) - min(xs), 1e-12)
+
+    def px(x: float) -> float:
+        return _MARGIN_L + plot_w * (x - x_min) / x_span
+
+    def py(y: float) -> float:
+        return _MARGIN_T + plot_h * (1 - y / y_max)
+
+    body: list[str] = []
+    _y_axis(body, y_max, plot_h)
+    _legend(body, series_names)
+    for si, s in enumerate(series_names):
+        colour = _COLOURS[si % len(_COLOURS)]
+        pts = [(px(float(x)), py(float(data[s][x]))) for x in x_values]
+        path = " ".join(
+            f"{'M' if k == 0 else 'L'}{x:.1f},{y:.1f}"
+            for k, (x, y) in enumerate(pts)
+        )
+        body.append(
+            f'<path d="{path}" fill="none" stroke="{colour}" stroke-width="2"/>'
+        )
+        for (x, y), xv in zip(pts, x_values):
+            body.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3.5" fill="{colour}">'
+                f"<title>{_esc(s)} @ {_esc(xv)}: "
+                f"{float(data[s][xv]):.3g}</title></circle>"
+            )
+    for x in x_values:
+        body.append(
+            f'<text x="{px(float(x)):.1f}" y="{_MARGIN_T + plot_h + 16}" '
+            f'font-size="11" text-anchor="middle">{_esc(x)}</text>'
+        )
+    if x_label:
+        body.append(
+            f'<text x="{_MARGIN_L + plot_w / 2:.1f}" '
+            f'y="{_MARGIN_T + plot_h + 36}" font-size="12" '
+            f'text-anchor="middle">{_esc(x_label)}</text>'
+        )
+    body.append(
+        f'<line x1="{_MARGIN_L}" y1="{_MARGIN_T}" x2="{_MARGIN_L}" '
+        f'y2="{_MARGIN_T + plot_h}" stroke="black"/>'
+    )
+    body.append(
+        f'<line x1="{_MARGIN_L}" y1="{_MARGIN_T + plot_h}" '
+        f'x2="{_W - _MARGIN_R}" y2="{_MARGIN_T + plot_h}" stroke="black"/>'
+    )
+    return _frame(body, title)

@@ -1,0 +1,22 @@
+"""Discrete-event simulation core: simulator, commands, resources, traces."""
+
+from repro.engine.chrometrace import trace_to_chrome, write_chrome_trace
+from repro.engine.des import Process, Simulator
+from repro.engine.events import Acquire, Release, Signal, Timeout, Wait
+from repro.engine.resources import Resource
+from repro.engine.trace import Trace, TraceRecord
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Timeout",
+    "Acquire",
+    "Release",
+    "Wait",
+    "Signal",
+    "Resource",
+    "Trace",
+    "TraceRecord",
+    "trace_to_chrome",
+    "write_chrome_trace",
+]

@@ -1,0 +1,144 @@
+"""The discrete-event simulator core.
+
+Processes are plain Python generators that yield commands from
+:mod:`repro.engine.events`.  The simulator owns the clock and an event
+heap; it resumes each process at its scheduled time, interprets the next
+command, and re-schedules.  Determinism: ties at equal time resolve in
+scheduling order (a monotone sequence number), so a given workload always
+produces the identical trace.
+
+Example
+-------
+>>> from repro.engine.des import Simulator
+>>> from repro.engine.events import Timeout
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(name, delay):
+...     yield Timeout(delay)
+...     log.append((sim.now, name))
+>>> _ = sim.spawn(worker("b", 2.0)); _ = sim.spawn(worker("a", 1.0))
+>>> sim.run()
+4
+>>> log
+[(1.0, 'a'), (2.0, 'b')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+from typing import Any, Generator, Hashable, Iterable
+
+from repro.engine.events import (
+    Acquire,
+    Release,
+    ScheduledEvent,
+    Signal,
+    Timeout,
+    Wait,
+)
+from repro.engine.resources import Resource
+from repro.errors import SimulationError
+
+__all__ = ["Simulator", "Process"]
+
+Process = Generator[Any, None, None]
+
+
+class Simulator:
+    """Event-driven scheduler over generator processes."""
+
+    def __init__(self, max_events: int = 50_000_000):
+        self.now: float = 0.0
+        self._heap: list[ScheduledEvent] = []
+        self._seq: int = 0
+        self._waiting: dict[Hashable, list[Process]] = defaultdict(list)
+        self._alive: int = 0
+        self._events_processed: int = 0
+        self._max_events = max_events
+
+    # ------------------------------------------------------------------
+    def spawn(self, process: Process, delay: float = 0.0) -> Process:
+        """Register a new process, starting after ``delay``."""
+        self._alive += 1
+        self._schedule(process, self.now + delay)
+        return process
+
+    def _schedule(self, process: Process, time: float) -> None:
+        heapq.heappush(self._heap, ScheduledEvent(time, self._seq, process))
+        self._seq += 1
+
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None) -> int:
+        """Run until no events remain (or past ``until``).
+
+        Returns the number of events processed.  Raises
+        :class:`SimulationError` if processes remain alive but no event is
+        schedulable (deadlock), or if the event budget is exhausted
+        (livelock guard).
+        """
+        start_count = self._events_processed
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                break
+            ev = heapq.heappop(self._heap)
+            self.now = ev.time
+            self._step(ev.process)
+            self._events_processed += 1
+            if self._events_processed > self._max_events:
+                raise SimulationError(
+                    f"event budget {self._max_events} exhausted (livelock?)"
+                )
+        if until is None and self._alive > 0:
+            stuck = {ch: len(ps) for ch, ps in self._waiting.items() if ps}
+            raise SimulationError(
+                f"deadlock: {self._alive} processes alive with empty event "
+                f"heap; waiters per channel: {stuck}"
+            )
+        return self._events_processed - start_count
+
+    # ------------------------------------------------------------------
+    def _step(self, process: Process) -> None:
+        """Resume ``process`` and interpret commands until it suspends."""
+        while True:
+            try:
+                cmd = next(process)
+            except StopIteration:
+                self._alive -= 1
+                return
+            if isinstance(cmd, Timeout):
+                self._schedule(process, self.now + cmd.delay)
+                return
+            if isinstance(cmd, Acquire):
+                res: Resource = cmd.resource
+                if res.try_acquire(process):
+                    continue  # granted synchronously
+                return  # parked in the resource queue
+            if isinstance(cmd, Release):
+                waiter = cmd.resource.release()
+                if waiter is not None:
+                    self._schedule(waiter, self.now)
+                continue
+            if isinstance(cmd, Wait):
+                self._waiting[cmd.channel].append(process)
+                return
+            if isinstance(cmd, Signal):
+                woken = self._waiting.pop(cmd.channel, [])
+                for w in woken:
+                    self._schedule(w, self.now)
+                continue
+            raise SimulationError(f"unknown command {cmd!r} from process")
+
+    # ------------------------------------------------------------------
+    def resume_from_resource(self, process: Process) -> None:
+        """Resume a process that a Resource handed a unit to (internal)."""
+        self._schedule(process, self.now)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def alive(self) -> int:
+        """Processes spawned but not yet finished."""
+        return self._alive

@@ -1,0 +1,72 @@
+"""Execution trace recording for simulated solves.
+
+A :class:`Trace` collects timestamped records (component solved, page
+fault, remote get, ...) during a simulation.  Tests use it to assert
+ordering invariants (no component solved before its dependencies); benches
+use the aggregated counters.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["Trace", "TraceRecord"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry.
+
+    Attributes
+    ----------
+    time:
+        Simulated timestamp.
+    kind:
+        Record category, e.g. ``"solve"``, ``"fault"``, ``"get"``,
+        ``"task_launch"``.
+    gpu:
+        GPU/PE that generated the record (-1 if not applicable).
+    detail:
+        Category-specific payload (component id, page id, ...).
+    """
+
+    time: float
+    kind: str
+    gpu: int
+    detail: Any = None
+
+
+@dataclass
+class Trace:
+    """Append-only trace with cheap aggregate queries."""
+
+    enabled: bool = True
+    records: list[TraceRecord] = field(default_factory=list)
+    _counts: Counter = field(default_factory=Counter)
+
+    def emit(self, time: float, kind: str, gpu: int = -1, detail: Any = None) -> None:
+        """Record one event (no-op when disabled, but counters still run)."""
+        self._counts[kind] += 1
+        if self.enabled:
+            self.records.append(TraceRecord(time, kind, gpu, detail))
+
+    def count(self, kind: str) -> int:
+        """Total records of a category (cheap; works even when disabled)."""
+        return self._counts.get(kind, 0)
+
+    def of_kind(self, kind: str) -> Iterator[TraceRecord]:
+        """Iterate records of one category in emission order."""
+        return (r for r in self.records if r.kind == kind)
+
+    def solve_order(self) -> list[Any]:
+        """Component ids in the order they were solved."""
+        return [r.detail for r in self.of_kind("solve")]
+
+    def last_time(self) -> float:
+        """Timestamp of the latest record (0.0 when empty)."""
+        return max((r.time for r in self.records), default=0.0)
+
+    def __len__(self) -> int:
+        return len(self.records)

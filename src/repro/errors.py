@@ -1,0 +1,77 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the failure domain (matrix format, simulation,
+solver, ...) via the concrete subclasses.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SparseFormatError",
+    "ShapeError",
+    "SingularMatrixError",
+    "NotTriangularError",
+    "MatrixMarketError",
+    "SimulationError",
+    "TopologyError",
+    "MemoryModelError",
+    "ShmemError",
+    "SolverError",
+    "TaskModelError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class SparseFormatError(ReproError, ValueError):
+    """A sparse matrix's structural arrays are inconsistent or malformed."""
+
+
+class ShapeError(ReproError, ValueError):
+    """Operands have incompatible shapes."""
+
+
+class SingularMatrixError(ReproError, ArithmeticError):
+    """A (numerically) singular matrix was passed to a solver/factoriser."""
+
+
+class NotTriangularError(ReproError, ValueError):
+    """A matrix expected to be triangular has entries on the wrong side."""
+
+
+class MatrixMarketError(ReproError, ValueError):
+    """Malformed MatrixMarket file content."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class TopologyError(ReproError, ValueError):
+    """Invalid interconnect topology description or unreachable peers."""
+
+
+class MemoryModelError(ReproError, RuntimeError):
+    """Invalid operation on the simulated (unified/device) memory system."""
+
+
+class ShmemError(ReproError, RuntimeError):
+    """Invalid use of the simulated NVSHMEM API (symmetric heap, get/put)."""
+
+
+class SolverError(ReproError, RuntimeError):
+    """A solver failed to produce a solution (deadlock, divergence, ...)."""
+
+
+class TaskModelError(ReproError, ValueError):
+    """Invalid task partitioning or scheduling parameters."""
+
+
+class WorkloadError(ReproError, ValueError):
+    """Invalid synthetic-workload parameters."""

@@ -1,0 +1,38 @@
+"""Fast vectorised execution model: design costing + list-scheduled timeline."""
+
+from repro.exec_model.costmodel import CommCosts, Design, build_comm_costs
+from repro.exec_model.efficiency import EfficiencyReport, analyse_efficiency
+from repro.exec_model.memory_plan import (
+    MemoryPlan,
+    matrix_footprint,
+    memory_plan,
+    min_gpus_required,
+)
+from repro.exec_model.preprocessing import (
+    amortization_solves,
+    csc_direct_cost,
+    tile_conversion_cost,
+)
+from repro.exec_model.timeline import (
+    ExecutionReport,
+    analysis_phase_time,
+    simulate_execution,
+)
+
+__all__ = [
+    "Design",
+    "CommCosts",
+    "build_comm_costs",
+    "ExecutionReport",
+    "simulate_execution",
+    "analysis_phase_time",
+    "MemoryPlan",
+    "matrix_footprint",
+    "memory_plan",
+    "min_gpus_required",
+    "csc_direct_cost",
+    "tile_conversion_cost",
+    "amortization_solves",
+    "EfficiencyReport",
+    "analyse_efficiency",
+]

@@ -1,0 +1,181 @@
+"""Per-design communication cost models.
+
+Each multi-GPU SpTRSV design differs only in how a producer's update
+reaches a consumer on another GPU and what each side pays for it:
+
+====================  =========================  ===========================
+design                producer pays (per edge)   consumer pays / notify lag
+====================  =========================  ===========================
+``unified``           system atomic + page       spin poll + page fault to
+                      fault under contention     re-fetch the line
+``shmem_naive``       get + fence + update +     spin poll + get
+                      put + quiet (serialised)
+``shmem_readonly``    device atomic on LOCAL     spin poll + parallel get
+                      symmetric heap             round + warp reduction
+====================  =========================  ===========================
+
+The read-only model (Section IV-B) moves *all* remote traffic to the
+consumer side as overlappable reads — that asymmetry is the entire
+performance story of the paper, and it is encoded here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.machine.node import MachineConfig
+from repro.machine.shmem import serial_reduction_time, warp_reduction_time
+
+__all__ = ["Design", "CommCosts", "build_comm_costs"]
+
+
+class Design(str, Enum):
+    """The communication designs evaluated in the paper."""
+
+    UNIFIED = "unified"
+    SHMEM_NAIVE = "shmem_naive"
+    SHMEM_READONLY = "shmem_readonly"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class CommCosts:
+    """Resolved scalar costs for one (design, machine) pair.
+
+    Attributes
+    ----------
+    notify:
+        ``(n_gpus, n_gpus)`` latency from a producer on GPU ``a``
+        finishing to a consumer on GPU ``b`` being able to proceed
+        (0 on the diagonal).
+    update_remote:
+        ``(n_gpus, n_gpus)`` producer-side cost of updating one remote
+        dependant.
+    update_local:
+        Producer-side cost of one local (same-GPU) dependant update.
+    gather:
+        Consumer-side fixed cost paid once per component that has remote
+        predecessors (the read-only model's get round + reduction; zero
+        for unified, which pays inside ``notify``).
+    use_shortcircuit:
+        Whether the ``r.in.degree == 0`` remote-read short-circuit is
+        enabled (halves redundant gets; ablation knob).
+    """
+
+    notify: np.ndarray
+    update_remote: np.ndarray
+    update_local: float
+    gather: float
+    use_shortcircuit: bool = True
+
+
+def build_comm_costs(
+    machine: MachineConfig,
+    design: Design | str,
+    *,
+    warp_reduce: bool = True,
+    shortcircuit: bool = True,
+) -> CommCosts:
+    """Price one design on one machine.
+
+    Parameters
+    ----------
+    machine:
+        The node configuration (active GPUs, specs).
+    design:
+        One of :class:`Design`.
+    warp_reduce:
+        Use the O(log P) warp reduction (True, the paper's design) or the
+        O(P) serial loop (ablation).
+    shortcircuit:
+        Enable the satisfied-PE remote-read short-circuit (ablation).
+    """
+    design = Design(design)
+    n = machine.n_gpus
+    gpu = machine.gpu
+    lat = np.zeros((n, n))
+    for a in range(n):
+        for b in range(n):
+            if a != b:
+                lat[a, b] = machine.pe_latency(a, b)
+
+    off_diag = ~np.eye(n, dtype=bool)
+
+    if design is Design.UNIFIED:
+        um = machine.um
+        # A remote update must pull the managed page: system atomic plus
+        # the contended fault service (all active GPUs hammer the shared
+        # intermediate arrays - Section III-B's thrashing feedback).
+        fault = um.fault_cost * (1.0 + um.thrash_coupling * (n - 1))
+        update_remote = np.zeros((n, n))
+        update_remote[off_diag] = um.atomic_system + fault
+        # The consumer observes the new value only after its next poll
+        # faults the page back in.
+        notify = np.zeros((n, n))
+        notify[off_diag] = um.poll_interval / 2.0 + fault + lat[off_diag]
+        # The final successful poll also faults the page back in; that
+        # per-component cost depends on the page's actual contention mix
+        # and is therefore computed inside the timeline model
+        # (consumer_fault_prob), not as a flat constant here.
+        return CommCosts(
+            notify=notify,
+            update_remote=update_remote,
+            update_local=gpu.t_atomic_device,
+            gather=0.0,
+            use_shortcircuit=False,
+        )
+
+    sh = machine.shmem
+    get_cost = sh.get_overhead + lat  # per-pair one-sided read
+    if design is Design.SHMEM_NAIVE:
+        # Get-Update-Put with fence per get and quiet to publish: the
+        # producer serialises the full round trip per remote dependant.
+        update_remote = np.zeros((n, n))
+        update_remote[off_diag] = (
+            get_cost[off_diag]  # read current value
+            + sh.fence_cost  # order the get
+            + gpu.t_atomic_device  # update
+            + sh.put_overhead
+            + lat[off_diag]  # write back
+            + sh.quiet_cost  # publish
+        )
+        notify = np.zeros((n, n))
+        notify[off_diag] = sh.poll_interval / 2.0 + get_cost[off_diag]
+        return CommCosts(
+            notify=notify,
+            update_remote=update_remote,
+            update_local=gpu.t_atomic_device,
+            gather=0.0,
+            use_shortcircuit=False,
+        )
+
+    if design is Design.SHMEM_READONLY:
+        # Producer: accumulate into the LOCAL symmetric heap - a plain
+        # device atomic, no fabric traffic at all.
+        update_remote = np.full((n, n), gpu.t_atomic_device)
+        np.fill_diagonal(update_remote, gpu.t_atomic_device)
+        # Consumer: one parallel get round across PEs (threads of the
+        # same warp issue concurrently, Fig. 5) + reduction.
+        max_get = float(get_cost[off_diag].max()) if n > 1 else 0.0
+        if warp_reduce:
+            reduce_cost = warp_reduction_time(n, sh.shfl_cost)
+        else:
+            reduce_cost = serial_reduction_time(n, sh.shfl_cost)
+        gather = (max_get + reduce_cost) * (2.0 if not shortcircuit else 1.0)
+        notify = np.zeros((n, n))
+        notify[off_diag] = sh.poll_interval / 2.0 + get_cost[off_diag]
+        return CommCosts(
+            notify=notify,
+            update_remote=update_remote,
+            update_local=gpu.t_atomic_device,
+            gather=gather if n > 1 else 0.0,
+            use_shortcircuit=shortcircuit,
+        )
+
+    raise SolverError(f"unknown design {design!r}")  # pragma: no cover

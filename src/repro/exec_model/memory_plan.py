@@ -1,0 +1,136 @@
+"""Out-of-core memory planning (the twitter7 / uk-2005 path).
+
+Two of the paper's inputs are *out-of-memory*: their CSC data (21.6 GB
+and 16.8 GB on disk) exceeds a single V100's 16 GB, so the solve is only
+possible once the columns are partitioned across enough GPUs — plus the
+intermediate arrays, which the paper measures at ~10% of the total
+footprint.  This module reproduces that accounting:
+
+* :func:`matrix_footprint` — bytes of the CSC arrays plus the per-GPU
+  intermediate arrays (d/s ``left_sum``/``in_degree``);
+* :func:`memory_plan` — given a distribution, the per-GPU footprint,
+  whether it fits, and the host-staging time for any overflow (streamed
+  over PCIe at kernel launch, the out-of-core regime);
+* :func:`min_gpus_required` — the smallest GPU count that avoids
+  staging, i.e. the paper's reason these matrices *need* the multi-GPU
+  path at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.node import MachineConfig
+from repro.machine.specs import PCIE3
+from repro.sparse.csc import CscMatrix
+from repro.tasks.schedule import Distribution
+
+__all__ = [
+    "MemoryPlan",
+    "matrix_footprint",
+    "memory_plan",
+    "min_gpus_required",
+]
+
+_IDX_BYTES = 8  # int64 row indices
+_VAL_BYTES = 8  # float64 values
+_PTR_BYTES = 8  # int64 column pointers
+
+
+def matrix_footprint(
+    lower: CscMatrix, n_gpus: int = 1, scale: float = 1.0
+) -> int:
+    """Total bytes of the solver's working set.
+
+    CSC arrays (values + row indices + column pointers) plus the four
+    intermediate arrays each PE keeps (device + symmetric
+    ``left_sum``/``in_degree``, each of length n).  ``scale`` lets benches
+    model the paper's full-size inputs through the stand-ins (e.g.
+    twitter7 is ~1736x the stand-in's footprint).
+    """
+    n = lower.shape[0]
+    csc = lower.nnz * (_IDX_BYTES + _VAL_BYTES) + (n + 1) * _PTR_BYTES
+    intermediates = 4 * n * 8 * n_gpus
+    return int(scale * (csc + n * 8 + intermediates))  # + rhs/x
+
+
+@dataclass(frozen=True)
+class MemoryPlan:
+    """Placement footprint and staging assessment."""
+
+    per_gpu_bytes: np.ndarray
+    capacity_bytes: int
+    fits: bool
+    overflow_bytes: float
+    staging_time: float
+    #: Intermediates' (left_sum/in_degree) share of the footprint; the
+    #: paper reports ~10% across its suite.
+    intermediate_fraction: float
+
+    @property
+    def utilisation(self) -> float:
+        """Peak per-GPU footprint as a fraction of capacity."""
+        return float(self.per_gpu_bytes.max()) / self.capacity_bytes
+
+
+def memory_plan(
+    lower: CscMatrix,
+    machine: MachineConfig,
+    dist: Distribution,
+    scale: float = 1.0,
+) -> MemoryPlan:
+    """Assess a placement against per-GPU memory capacity.
+
+    Each GPU stores its tasks' columns (values + indices) plus the full
+    intermediate arrays (size n each — Algorithm 3 allocates them
+    symmetric and *unpartitioned*).  Overflow is staged from host over
+    PCIe once per solve, the cost the out-of-core inputs pay.
+    """
+    n = lower.shape[0]
+    col_bytes = lower.col_nnz().astype(np.float64) * (_IDX_BYTES + _VAL_BYTES)
+    per_gpu = np.zeros(machine.n_gpus)
+    np.add.at(per_gpu, dist.gpu_of, col_bytes)
+    per_gpu += (n + 1) * _PTR_BYTES  # every GPU keeps the pointer array
+    per_gpu += 4 * n * 8  # d/s left_sum + in_degree
+    per_gpu += n * 8  # rhs slice + x (upper bound)
+    per_gpu *= scale
+
+    cap = machine.gpu.memory_bytes
+    overflow = np.maximum(per_gpu - cap, 0.0)
+    total_overflow = float(overflow.sum())
+    staging = total_overflow / PCIE3.bandwidth if total_overflow else 0.0
+    intermediates = scale * 4 * n * 8 * machine.n_gpus
+    return MemoryPlan(
+        per_gpu_bytes=per_gpu,
+        capacity_bytes=cap,
+        fits=total_overflow == 0.0,
+        overflow_bytes=total_overflow,
+        staging_time=staging,
+        intermediate_fraction=float(
+            intermediates / max(per_gpu.sum(), 1.0)
+        ),
+    )
+
+
+def min_gpus_required(
+    lower: CscMatrix,
+    machine: MachineConfig,
+    scale: float = 1.0,
+    max_gpus: int = 16,
+) -> int:
+    """Smallest GPU count whose even split avoids host staging.
+
+    Returns ``max_gpus + 1`` if even that does not fit (truly out of
+    reach for the node).  Uses an even nnz split as the bound — the task
+    distributor achieves within one task of it.
+    """
+    n = lower.shape[0]
+    csc_bytes = lower.nnz * (_IDX_BYTES + _VAL_BYTES)
+    fixed = (n + 1) * _PTR_BYTES + 5 * n * 8
+    for g in range(1, max_gpus + 1):
+        per_gpu = scale * (csc_bytes / g + fixed)
+        if per_gpu <= machine.gpu.memory_bytes:
+            return g
+    return max_gpus + 1

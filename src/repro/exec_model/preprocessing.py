@@ -1,0 +1,107 @@
+"""Preprocessing cost models: raw-CSC loading vs format conversion.
+
+Section VII (related work) contrasts this paper's design — "our
+framework load[s] from the raw CSC data directly, avoiding unnecessary
+data-format conversion" — against approaches that first restructure the
+matrix (Sunway's sparse level tiles, the 3D replicated structure, block
+layouts).  Whether conversion pays depends on how often the solver phase
+runs against one analysis (the classic preconditioner-reuse question the
+paper raises in Section II-B).
+
+This module prices the alternatives so the trade-off can be *computed*:
+
+* :func:`csc_direct_cost` — the paper's pre-pass: one atomic-increment
+  sweep over the nonzeros (in-degree counting), nothing else;
+* :func:`tile_conversion_cost` — building a tiled/blocked layout:
+  several full passes (count, sort, permute, pack) over the nonzeros
+  plus a device-to-device copy of the packed arrays;
+* :func:`amortization_solves` — number of solver invocations after
+  which a conversion that accelerates each solve by ``solve_gain``
+  breaks even.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.exec_model.costmodel import Design
+from repro.exec_model.timeline import analysis_phase_time
+from repro.machine.node import MachineConfig
+from repro.sparse.csc import CscMatrix
+
+__all__ = [
+    "csc_direct_cost",
+    "tile_conversion_cost",
+    "amortization_solves",
+]
+
+#: Full data passes a tile/block conversion performs: histogram, prefix
+#: sums, stable sort scatter, value pack, index pack, validation.
+_CONVERSION_PASSES = 6
+
+
+def csc_direct_cost(lower: CscMatrix, machine: MachineConfig) -> float:
+    """The zero-copy design's only preprocessing: the in-degree pass.
+
+    Evenly distributed over the GPUs (Algorithm 3 lines 13-15 run
+    PE-locally with device atomics).
+    """
+    nnz_per_gpu = np.full(
+        machine.n_gpus, lower.nnz / machine.n_gpus, dtype=np.float64
+    )
+    return analysis_phase_time(machine, Design.SHMEM_READONLY, nnz_per_gpu)
+
+
+def tile_conversion_cost(
+    lower: CscMatrix,
+    machine: MachineConfig,
+    passes: int = _CONVERSION_PASSES,
+) -> float:
+    """Cost of converting CSC into a tiled/blocked solver layout.
+
+    ``passes`` full sweeps over the nonzeros at the GPU's streaming rate
+    (each pass touches index + value = 16 bytes/nnz, modelled through
+    ``t_per_nnz``), then one packed copy.  Runs after distribution, so
+    it parallelises over GPUs like the direct pass.
+    """
+    if passes < 1:
+        raise SolverError(f"conversion needs at least one pass, got {passes}")
+    per_gpu_nnz = lower.nnz / machine.n_gpus
+    sweep = passes * per_gpu_nnz * machine.gpu.t_per_nnz
+    copy = per_gpu_nnz * machine.gpu.t_per_nnz
+    return sweep + copy + csc_direct_cost(lower, machine)
+
+
+def amortization_solves(
+    lower: CscMatrix,
+    machine: MachineConfig,
+    solve_time: float,
+    solve_gain: float,
+) -> float:
+    """Solver invocations needed before a format conversion breaks even.
+
+    Parameters
+    ----------
+    solve_time:
+        Per-solve time of the CSC-direct design.
+    solve_gain:
+        Fractional per-solve improvement the converted layout buys
+        (e.g. 0.2 = each solve 20% faster).  Must be in (0, 1).
+
+    Returns
+    -------
+    float
+        ``(conversion extra cost) / (per-solve saving)``; ``inf`` when
+        the gain is non-positive.  Below 1 means conversion pays even
+        for a single solve.
+    """
+    if not 0.0 < solve_gain < 1.0:
+        raise SolverError(f"solve_gain must be in (0, 1), got {solve_gain}")
+    extra = tile_conversion_cost(lower, machine) - csc_direct_cost(
+        lower, machine
+    )
+    saving = solve_time * solve_gain
+    if saving <= 0.0:
+        return float("inf")
+    return extra / saving

@@ -1,0 +1,452 @@
+"""Fast dependency-driven timing model (the package's workhorse).
+
+Simulates a multi-GPU sync-free SpTRSV execution in a single ascending
+pass over components, combining:
+
+* **warp-slot list scheduling** per GPU (dispatch in index order — the
+  hardware scheduler's issue order, which also guarantees deadlock
+  freedom under finite occupancy);
+* **dependency readiness** with per-edge notify latency from the design's
+  :class:`~repro.exec_model.costmodel.CommCosts`;
+* **producer-side update costs** (local atomics vs. remote
+  faults/round-trips) charged to the producing component;
+* a **concurrency-aware unified-memory fault model**: the probability
+  that a system-scope update faults depends on how mixed the concurrent
+  access stream to its page is.  Accesses are grouped by
+  ``(level of the producer, target page)`` — components of one level run
+  simultaneously — and each group's interleaving factor
+  ``1 - sum_g f_g^2`` gives both the expected fault count (Fig. 3a) and
+  the per-update fault probability.  Wide, high-parallelism matrices mix
+  accesses from all GPUs and thrash maximally; long thin matrices keep
+  pages resident and barely fault — exactly the paper's Fig. 7 spread;
+* a **page-serialisation bound**: a page is a serial resource, so the
+  makespan can never beat the busiest page's total fault-service time;
+* **analysis-phase cost** of the in-degree pre-pass, which for the
+  unified design also pays page contention (Algorithm 2 lines 6-9 use
+  system-wide atomics on managed memory).
+
+Complexity O(n log W + nnz); it runs the full Table I suite in seconds,
+which is what lets the benches regenerate every figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.dag import DependencyDag, build_dag
+from repro.analysis.levels import LevelSets, compute_levels
+from repro.errors import SolverError
+from repro.exec_model.costmodel import CommCosts, Design, build_comm_costs
+from repro.machine.gpu import WarpScheduler
+from repro.machine.node import MachineConfig
+from repro.sparse.csc import CscMatrix
+from repro.tasks.schedule import Distribution
+
+__all__ = ["ExecutionReport", "simulate_execution", "analysis_phase_time"]
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """Outcome of one simulated SpTRSV execution.
+
+    All times are simulated seconds.  ``total_time`` is what the paper's
+    figures report (analysis + solve); the per-GPU breakdowns feed the
+    balance studies, and the fault/traffic counters feed Fig. 3.
+    """
+
+    design: str
+    machine: str
+    n_gpus: int
+    n_tasks: int
+    analysis_time: float
+    solve_time: float
+    gpu_busy: np.ndarray
+    gpu_spin: np.ndarray
+    gpu_comm: np.ndarray
+    gpu_finish: np.ndarray
+    local_updates: int
+    remote_updates: int
+    page_faults: float
+    migrated_bytes: float
+    fabric_bytes: float
+
+    @property
+    def total_time(self) -> float:
+        return self.analysis_time + self.solve_time
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean of per-GPU busy time (1.0 = perfectly balanced)."""
+        m = self.gpu_busy.mean()
+        return float(self.gpu_busy.max() / m) if m > 0 else 1.0
+
+    def speedup_over(self, other: "ExecutionReport") -> float:
+        """``other.total_time / self.total_time`` (how much faster self is)."""
+        if self.total_time <= 0:
+            raise SolverError("non-positive total_time in speedup computation")
+        return other.total_time / self.total_time
+
+
+def analysis_phase_time(
+    machine: MachineConfig,
+    design: Design,
+    nnz_per_gpu: np.ndarray,
+) -> float:
+    """Cost of the in-degree pre-pass (Algorithm 2/3 'Get in.degree').
+
+    Every GPU sweeps its local nonzeros with atomic increments; the GPUs
+    run concurrently so the slowest one bounds the phase.  The unified
+    design increments *shared managed* counters (system atomics + page
+    contention); the NVSHMEM designs increment PE-local symmetric arrays
+    (device atomics, zero fabric traffic — Algorithm 3 lines 13-15).
+    """
+    gpu = machine.gpu
+    ilp = float(max(gpu.analysis_parallelism, 1))
+    worst_nnz = float(np.max(nnz_per_gpu)) if len(nnz_per_gpu) else 0.0
+    if design is Design.UNIFIED:
+        n = machine.n_gpus
+        um = machine.um
+        if n > 1:
+            # Interleaved multi-writer stream, batched as in the solve.
+            fault_prob = (1.0 - 1.0 / n) * um.fault_batching
+            fault_eff = um.fault_cost * (1.0 + um.thrash_coupling * (n - 1))
+            per_op = um.atomic_system + fault_prob * fault_eff / ilp
+        else:
+            per_op = um.atomic_system
+        return worst_nnz * per_op / ilp
+    return worst_nnz * gpu.t_atomic_device / ilp
+
+
+@dataclass(frozen=True)
+class _UnifiedFaultModel:
+    """Per-edge fault probabilities + aggregate counters for UNIFIED."""
+
+    edge_fault_prob: np.ndarray  # over remote edges only
+    consumer_fault_prob: np.ndarray  # over all n components (0 if no remote pred)
+    total_faults: float
+    faults_per_gpu: np.ndarray
+    page_serial_bound: float
+    migrated_bytes: float
+
+
+def _unified_fault_model(
+    machine: MachineConfig,
+    levels: LevelSets,
+    gpu_of: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+    src_g: np.ndarray,
+    remote_edge: np.ndarray,
+    has_remote_pred: np.ndarray,
+) -> _UnifiedFaultModel:
+    """Concurrency-aware page-fault model for the unified design.
+
+    Groups every access to the shared intermediate arrays by
+    ``(producer level, target page)``: accesses within a group are
+    temporally concurrent, so their interleaving factor
+    ``1 - sum_g f_g^2`` estimates the fraction that change page ownership
+    (fault).  Narrow levels whose active components live on one GPU keep
+    pages resident; wide levels mix all GPUs and thrash.
+    """
+    um = machine.um
+    n_gpus = machine.n_gpus
+    epp = um.entries_per_page
+    n = len(gpu_of)
+    n_pages = (n + epp - 1) // epp
+    lvl = levels.level_of
+
+    r_src = src[remote_edge]
+    r_dst = dst[remote_edge]
+    r_gpu = src_g[remote_edge]
+    consumers = np.nonzero(has_remote_pred)[0]
+
+    # Consumer polls run concurrently with their *producers'* level (the
+    # spin loop is live while level l-1 executes), so attribute them one
+    # level down — that is when they contend with the incoming writes.
+    consumer_lvl = np.maximum(lvl[consumers] - 1, 0)
+    acc_group = np.concatenate(
+        [lvl[r_src] * n_pages + r_dst // epp,
+         consumer_lvl * n_pages + consumers // epp]
+    )
+    acc_gpu = np.concatenate([r_gpu, gpu_of[consumers]])
+    # A spinning consumer re-touches its page every poll interval for the
+    # whole wait, so it weighs poll_weight producer updates.
+    acc_weight = np.concatenate(
+        [np.ones(len(r_src)), np.full(len(consumers), um.poll_weight)]
+    )
+    if len(acc_group) == 0:
+        return _UnifiedFaultModel(
+            edge_fault_prob=np.zeros(0),
+            consumer_fault_prob=np.zeros(n),
+            total_faults=0.0,
+            faults_per_gpu=np.zeros(n_gpus),
+            page_serial_bound=0.0,
+            migrated_bytes=0.0,
+        )
+
+    gg = acc_group * n_gpus + acc_gpu
+    uniq_gg, gg_inv = np.unique(gg, return_inverse=True)
+    cnt_gg = np.zeros(len(uniq_gg))
+    np.add.at(cnt_gg, gg_inv, acc_weight)
+    grp_of_gg = uniq_gg // n_gpus
+    uniq_grp, grp_inv = np.unique(grp_of_gg, return_inverse=True)
+    tot = np.zeros(len(uniq_grp))
+    np.add.at(tot, grp_inv, cnt_gg)
+    sumsq = np.zeros(len(uniq_grp))
+    np.add.at(sumsq, grp_inv, cnt_gg**2)
+    mixing_raw = 1.0 - sumsq / (tot * tot)
+    mixing = mixing_raw * um.fault_batching
+    faults_per_grp = tot * mixing
+
+    # Per remote edge: its group's (batched) mixing = fault probability.
+    edge_grp = lvl[r_src] * n_pages + r_dst // epp
+    pos = np.searchsorted(uniq_grp, edge_grp)
+    edge_fault_prob = mixing[pos]
+
+    # Per consumer: the final successful poll faults with probability
+    # ~ the page's raw contention mix (some remote producer wrote last,
+    # stealing the page); batching does not apply to this one-shot read.
+    consumer_fault_prob = np.zeros(n)
+    cons_grp = consumer_lvl * n_pages + consumers // epp
+    cons_pos = np.searchsorted(uniq_grp, cons_grp)
+    consumer_fault_prob[consumers] = mixing_raw[cons_pos]
+
+    # Page-serialisation bound: each page services its faults serially.
+    fault_eff = um.fault_cost * (1.0 + um.thrash_coupling * (n_gpus - 1))
+    page_of_grp = uniq_grp % n_pages
+    page_time = np.zeros(n_pages)
+    np.add.at(page_time, page_of_grp, faults_per_grp * fault_eff)
+
+    total_faults = 2.0 * float(faults_per_grp.sum())  # twin s-arrays
+    # Attribute each group's faults to GPUs proportionally to their share
+    # of the group's accesses (who initiated the steal).
+    fault_share_gg = mixing[grp_inv] * cnt_gg
+    faults_per_gpu = 2.0 * np.bincount(
+        (uniq_gg % n_gpus).astype(np.int64),
+        weights=fault_share_gg,
+        minlength=n_gpus,
+    )
+    return _UnifiedFaultModel(
+        edge_fault_prob=edge_fault_prob,
+        consumer_fault_prob=consumer_fault_prob,
+        total_faults=total_faults,
+        faults_per_gpu=faults_per_gpu,
+        page_serial_bound=float(page_time.max(initial=0.0)),
+        migrated_bytes=total_faults * um.page_bytes,
+    )
+
+
+def simulate_execution(
+    lower: CscMatrix,
+    dist: Distribution,
+    machine: MachineConfig,
+    design: Design | str = Design.SHMEM_READONLY,
+    *,
+    dag: DependencyDag | None = None,
+    levels: LevelSets | None = None,
+    costs: CommCosts | None = None,
+    sm_granularity: bool = False,
+) -> ExecutionReport:
+    """Run the fast timing model for one design on one machine.
+
+    Parameters
+    ----------
+    lower:
+        The lower-triangular system (CSC).
+    dist:
+        Component placement (block or task-model round-robin).
+    machine:
+        Node configuration.
+    design:
+        Communication design to price.
+    dag, levels, costs:
+        Optional precomputed artefacts (benches reuse them across
+        scenarios); ``levels`` is only needed by the unified fault model
+        and computed on demand.
+    sm_granularity:
+        Schedule warps through per-SM slot pools with block placement
+        (:class:`repro.machine.sm.SmWarpScheduler`) instead of the flat
+        work-conserving pool — never faster, and quantifies how much the
+        flat model's optimism is worth (an ablation knob).
+    """
+    design = Design(design)
+    if dist.n != lower.shape[0]:
+        raise SolverError(
+            f"distribution covers {dist.n} components, matrix has "
+            f"{lower.shape[0]} rows"
+        )
+    if dist.n_gpus != machine.n_gpus:
+        raise SolverError(
+            f"distribution targets {dist.n_gpus} GPUs, machine has "
+            f"{machine.n_gpus}"
+        )
+    if dag is None:
+        dag = build_dag(lower)
+    if costs is None:
+        costs = build_comm_costs(machine, design)
+
+    n = dag.n
+    n_gpus = machine.n_gpus
+    gpu_spec = machine.gpu
+    gpu_of = dist.gpu_of
+    col_nnz = lower.col_nnz()
+
+    # ---------------- edge structure --------------------------------------
+    out_counts = np.diff(dag.out_ptr)
+    src = np.repeat(np.arange(n, dtype=np.int64), out_counts)
+    dst = dag.out_idx
+    src_g = gpu_of[src]
+    dst_g = gpu_of[dst]
+    remote_edge = src_g != dst_g
+    n_remote = int(remote_edge.sum())
+    n_local = int(len(src) - n_remote)
+
+    in_counts = np.diff(dag.in_ptr)
+    in_dst = np.repeat(np.arange(n, dtype=np.int64), in_counts)
+    in_src = dag.in_idx
+    has_remote_pred = np.zeros(n, dtype=bool)
+    np.logical_or.at(has_remote_pred, in_dst, gpu_of[in_src] != gpu_of[in_dst])
+
+    # ---------------- producer-side update cost per component ------------
+    faults = 0.0
+    migrated = 0.0
+    fabric = 0.0
+    serial_bound = 0.0
+    if design is Design.UNIFIED and n_gpus > 1:
+        if levels is None:
+            levels = compute_levels(dag)
+        fm = _unified_fault_model(
+            machine, levels, gpu_of, src, dst, src_g, remote_edge,
+            has_remote_pred,
+        )
+        um = machine.um
+        fault_eff = um.fault_cost * (1.0 + um.thrash_coupling * (n_gpus - 1))
+        page_dma = um.page_bytes / machine.topology.link.bandwidth
+        edge_cost = np.full(len(src), costs.update_local)
+        edge_cost[remote_edge] = um.atomic_system + fm.edge_fault_prob * (
+            fault_eff + page_dma
+        )
+        faults = fm.total_faults
+        migrated = fm.migrated_bytes
+        fabric = migrated
+        # A page is a serial resource, and so is each GPU's fault engine.
+        serial_bound = max(
+            fm.page_serial_bound,
+            float(fm.faults_per_gpu.max(initial=0.0)) * um.fault_serial
+            if n_gpus > 1
+            else 0.0,
+        )
+    else:
+        edge_cost = np.where(
+            remote_edge, costs.update_remote[src_g, dst_g], costs.update_local
+        )
+        if n_gpus > 1:
+            if design is Design.SHMEM_NAIVE:
+                fabric = 16.0 * n_remote  # get + put per remote update
+            elif design is Design.SHMEM_READONLY:
+                # Consumer get round: in_degree + left_sum from every
+                # remote PE per component with remote predecessors.
+                fabric = 16.0 * (n_gpus - 1) * float(np.sum(has_remote_pred))
+    update_cost = np.zeros(n)
+    np.add.at(update_cost, src, edge_cost)
+
+    # ---------------- consumer-side notify latency per in-edge -----------
+    in_notify = costs.notify[gpu_of[in_src], gpu_of[in_dst]]
+    if design is Design.UNIFIED and n_gpus > 1:
+        # Final-poll page fault, weighted by the page's contention mix.
+        um = machine.um
+        fault_eff = um.fault_cost * (1.0 + um.thrash_coupling * (n_gpus - 1))
+        gather_cost = (
+            um.consumer_fault_weight * fm.consumer_fault_prob * fault_eff
+        )
+    else:
+        gather_cost = np.where(has_remote_pred, costs.gather, 0.0)
+
+    # ---------------- productive solve cost per component ----------------
+    solve = gpu_spec.t_per_nnz * (
+        np.maximum(col_nnz, 1).astype(np.float64) + in_counts.astype(np.float64)
+    )
+
+    # ---------------- kernel launch times ---------------------------------
+    # The host process issues every task's kernel serially in task order
+    # ("higher scheduling overhead to issue tasks to different GPUs",
+    # Section V) — the cost side of the Fig. 9 granularity trade-off.
+    task_of = dist.task_of()
+    host_launch = (
+        np.arange(dist.n_tasks, dtype=np.float64) * gpu_spec.t_kernel_launch
+    )
+    if design is Design.UNIFIED and n_gpus > 1:
+        # Managed-memory kernels additionally pay a cold-start on their
+        # pages (evicted between launches); warmups chain per GPU.
+        um = machine.um
+        sizes = dist.partition.sizes().astype(np.float64)
+        pages_per_task = np.ceil(sizes / um.entries_per_page)
+        warmup = 2.0 * pages_per_task * um.fault_cost * um.task_warmup_weight
+        launch_time = np.zeros(dist.n_tasks)
+        next_free = np.zeros(n_gpus)
+        for t in range(dist.n_tasks):
+            g = int(dist.task_gpu[t])
+            launch_time[t] = max(host_launch[t], next_free[g])
+            next_free[g] = launch_time[t] + warmup[t]
+    else:
+        launch_time = host_launch
+    comp_not_before = launch_time[task_of]
+
+    # ---------------- the ascending list-scheduling pass ------------------
+    if sm_granularity:
+        from repro.machine.sm import SmWarpScheduler
+
+        schedulers = [SmWarpScheduler(gpu_spec) for _ in range(n_gpus)]
+    else:
+        schedulers = [WarpScheduler(gpu_spec) for _ in range(n_gpus)]
+    finish = np.zeros(n)
+    gpu_busy = np.zeros(n_gpus)
+    gpu_spin = np.zeros(n_gpus)
+    gpu_comm = np.zeros(n_gpus)
+
+    in_ptr, in_idx = dag.in_ptr, dag.in_idx
+    for i in range(n):
+        g = int(gpu_of[i])
+        sched = schedulers[g]
+        dispatch = sched.dispatch(float(comp_not_before[i]))
+        lo, hi = in_ptr[i], in_ptr[i + 1]
+        if hi > lo:
+            ready = float(np.max(finish[in_idx[lo:hi]] + in_notify[lo:hi]))
+        else:
+            ready = 0.0
+        start = dispatch if ready <= dispatch else ready
+        comm = gather_cost[i] + update_cost[i]
+        fin = start + comm + solve[i]
+        finish[i] = fin
+        sched.retire(fin)
+        gpu_busy[g] += solve[i]
+        gpu_spin[g] += max(0.0, ready - dispatch)
+        gpu_comm[g] += comm
+
+    gpu_finish = np.array([s.counters.last_finish for s in schedulers])
+    solve_time = max(float(gpu_finish.max(initial=0.0)), serial_bound)
+
+    # ---------------- analysis phase ---------------------------------------
+    nnz_per_gpu = np.zeros(n_gpus)
+    np.add.at(nnz_per_gpu, gpu_of, col_nnz.astype(np.float64))
+    analysis = analysis_phase_time(machine, design, nnz_per_gpu)
+
+    return ExecutionReport(
+        design=design.value,
+        machine=machine.topology.name,
+        n_gpus=n_gpus,
+        n_tasks=dist.n_tasks,
+        analysis_time=analysis,
+        solve_time=solve_time,
+        gpu_busy=gpu_busy,
+        gpu_spin=gpu_spin,
+        gpu_comm=gpu_comm,
+        gpu_finish=gpu_finish,
+        local_updates=n_local,
+        remote_updates=n_remote,
+        page_faults=faults,
+        migrated_bytes=migrated,
+        fabric_bytes=fabric,
+    )

@@ -1,0 +1,74 @@
+"""Atomic-operation emulation with scope-dependent cost.
+
+The paper's algorithms rely on three atomic scopes:
+
+* **device** — ``d.atomic.add/incr`` on GPU-private arrays (cheap HBM
+  atomics);
+* **system** — ``s.atomic.add/decr`` on unified memory (requires page
+  residence, priced through :class:`~repro.machine.unified.UnifiedMemory`);
+* **symmetric-local** — atomics on the PE's own symmetric heap (device
+  cost; this is what makes the read-only model fast: remote information
+  is *accumulated locally* and only ever *read* remotely).
+
+Functionally each helper just performs the add/increment on the NumPy
+array; the returned float is the simulated time the operation charges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.specs import GpuSpec
+from repro.machine.unified import ManagedArray, UnifiedMemory
+
+__all__ = [
+    "device_atomic_add",
+    "device_atomic_incr",
+    "system_atomic_add",
+    "system_atomic_decr",
+]
+
+
+def device_atomic_add(
+    arr: np.ndarray, index: int, value: float, spec: GpuSpec
+) -> float:
+    """Device-scope ``atomicAdd`` on a GPU-private array."""
+    arr[index] += value
+    return spec.t_atomic_device
+
+
+def device_atomic_incr(arr: np.ndarray, index: int, spec: GpuSpec) -> float:
+    """Device-scope ``atomicAdd(..., 1)`` on an integer array."""
+    arr[index] += 1
+    return spec.t_atomic_device
+
+
+def system_atomic_add(
+    um: UnifiedMemory,
+    array: ManagedArray,
+    index: int,
+    value: float,
+    gpu: int,
+    sharers: int | None = None,
+) -> tuple[float, bool]:
+    """System-scope ``atomicAdd`` on managed memory.
+
+    Pulls the page to ``gpu`` (potential fault) then updates.  Returns
+    ``(time_cost, faulted)``.
+    """
+    cost, faulted = um.access(gpu, array, index, sharers=sharers)
+    array.data[index] += value
+    return cost, faulted
+
+
+def system_atomic_decr(
+    um: UnifiedMemory,
+    array: ManagedArray,
+    index: int,
+    gpu: int,
+    sharers: int | None = None,
+) -> tuple[float, bool]:
+    """System-scope decrement on managed memory (``s.atomic.decr``)."""
+    cost, faulted = um.access(gpu, array, index, sharers=sharers)
+    array.data[index] -= 1
+    return cost, faulted

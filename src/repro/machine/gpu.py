@@ -1,0 +1,82 @@
+"""GPU execution model: warp-slot occupancy and per-component costing.
+
+One warp solves one component (Liu et al.'s mapping, kept by the paper).
+A GPU sustains :attr:`~repro.machine.specs.GpuSpec.warp_slots` resident
+warps; a component's warp occupies its slot from dispatch until the
+solve-update finishes — *including* the lock-wait spin, which is how
+waiting time eats hardware and why workload imbalance hurts (Section V).
+
+:class:`WarpScheduler` implements dispatch-in-order list scheduling over
+the slot pool; it is shared by the fast timing model and the DES tier.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.machine.specs import GpuSpec
+
+__all__ = ["WarpScheduler", "GpuCounters", "solve_cost"]
+
+
+@dataclass
+class GpuCounters:
+    """Per-GPU accounting accumulated during a simulated solve."""
+
+    busy_time: float = 0.0  # productive solve-update time
+    spin_time: float = 0.0  # lock-wait time while holding a slot
+    comm_time: float = 0.0  # time in remote gets / faults
+    components: int = 0
+    last_finish: float = 0.0
+
+    @property
+    def occupied_time(self) -> float:
+        return self.busy_time + self.spin_time + self.comm_time
+
+
+class WarpScheduler:
+    """Slot-pool scheduler for one GPU.
+
+    Components must be dispatched in ascending global index order (the
+    hardware scheduler's block-issue order); this is what guarantees the
+    sync-free algorithm cannot deadlock under finite occupancy.
+    """
+
+    def __init__(self, spec: GpuSpec):
+        self.spec = spec
+        self._busy: list[float] = []  # min-heap of slot free times
+        self.counters = GpuCounters()
+
+    def dispatch(self, not_before: float) -> float:
+        """Acquire a slot; returns the dispatch time.
+
+        ``not_before`` is the earliest legal dispatch (e.g. the owning
+        task's kernel-launch completion).
+        """
+        if len(self._busy) < self.spec.warp_slots:
+            t = not_before
+        else:
+            t = max(heapq.heappop(self._busy), not_before)
+        return t + self.spec.t_warp_dispatch
+
+    def retire(self, finish_time: float) -> None:
+        """Release the slot at ``finish_time``."""
+        heapq.heappush(self._busy, finish_time)
+        self.counters.components += 1
+        self.counters.last_finish = max(self.counters.last_finish, finish_time)
+
+    @property
+    def resident(self) -> int:
+        """Number of slots currently charged (dispatched, not retired)."""
+        return len(self._busy)
+
+
+def solve_cost(spec: GpuSpec, col_nnz: int, in_degree: int) -> float:
+    """Productive time of one component's solve-update phase.
+
+    ``in_degree`` left-sum accumulations feed the solve; ``col_nnz - 1``
+    strictly-lower entries are produced as updates (the update *targets*
+    are charged separately per memory model).
+    """
+    return spec.t_per_nnz * (max(col_nnz, 1) + max(in_degree, 0))

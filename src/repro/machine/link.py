@@ -1,0 +1,89 @@
+"""Runtime link-traffic tracking and contention accounting.
+
+The static :class:`~repro.machine.topology.Topology` answers "what would a
+lone transfer cost"; this module tracks what a *workload* actually pushed
+over each pair and derates bandwidth when multiple GPUs share fabric
+capacity (DGX-1 cube-mesh) versus when they do not (DGX-2 NVSwitch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.machine.topology import Topology
+
+__all__ = ["LinkTracker"]
+
+
+@dataclass
+class LinkTracker:
+    """Accumulates per-pair traffic and computes contended transfer times.
+
+    Attributes
+    ----------
+    topology:
+        The fabric being tracked.
+    bytes_sent:
+        ``(n, n)`` matrix of payload bytes moved from row-GPU to col-GPU.
+    transfers:
+        ``(n, n)`` matrix of transfer counts (messages).
+    busy_time:
+        ``(n, n)`` matrix of accumulated serialisation time per pair.
+    """
+
+    topology: Topology
+    bytes_sent: np.ndarray = field(init=False)
+    transfers: np.ndarray = field(init=False)
+    busy_time: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        n = self.topology.n_gpus
+        self.bytes_sent = np.zeros((n, n))
+        self.transfers = np.zeros((n, n), dtype=np.int64)
+        self.busy_time = np.zeros((n, n))
+
+    # ------------------------------------------------------------------
+    def contention_factor(self, active_gpus: int) -> float:
+        """Bandwidth derating when ``active_gpus`` GPUs communicate at once.
+
+        NVSwitch fabrics keep per-GPU bandwidth constant (factor 1.0,
+        Section VI-D); point-to-point meshes share each GPU's link budget
+        across its concurrent peers.
+        """
+        if self.topology.switched or active_gpus <= 2:
+            return 1.0
+        return 1.0 + 0.18 * (active_gpus - 2)
+
+    def record(self, src: int, dst: int, nbytes: int, active_gpus: int = 2) -> float:
+        """Record a transfer and return its contended duration."""
+        if src == dst:
+            return 0.0
+        base = self.topology.latency(src, dst)
+        serial = nbytes / self.topology.peer_bandwidth(src, dst)
+        t = base + serial * self.contention_factor(active_gpus)
+        self.bytes_sent[src, dst] += nbytes
+        self.transfers[src, dst] += 1
+        self.busy_time[src, dst] += t
+        return t
+
+    # ------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> float:
+        return float(self.bytes_sent.sum())
+
+    @property
+    def total_transfers(self) -> int:
+        return int(self.transfers.sum())
+
+    def per_gpu_bytes(self) -> np.ndarray:
+        """Bytes each GPU injected into the fabric (row sums)."""
+        return self.bytes_sent.sum(axis=1)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "total_bytes": self.total_bytes,
+            "total_transfers": float(self.total_transfers),
+            "busy_time": float(self.busy_time.sum()),
+        }

@@ -1,0 +1,90 @@
+"""Per-device memory model: allocation accounting + functional arrays.
+
+The simulated ``cudaMalloc`` hands out real NumPy arrays (so solver
+emulations compute real numbers) while book-keeping capacity against the
+GPU's :attr:`~repro.machine.specs.GpuSpec.memory_bytes`.  The task
+distributor consults :meth:`DeviceMemory.available` for its
+"round-robin by available memory" placement rule (Section V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import MemoryModelError
+from repro.machine.specs import GpuSpec
+
+__all__ = ["DeviceMemory"]
+
+
+@dataclass
+class DeviceMemory:
+    """Memory of a single simulated GPU.
+
+    Parameters
+    ----------
+    gpu_id:
+        Owning GPU index.
+    spec:
+        The GPU's hardware sheet (capacity).
+    """
+
+    gpu_id: int
+    spec: GpuSpec
+    _used: int = field(default=0, init=False)
+    _allocations: dict[str, np.ndarray] = field(default_factory=dict, init=False)
+
+    def malloc(self, name: str, n_entries: int, dtype=np.float64) -> np.ndarray:
+        """Allocate a named, zero-initialised device array.
+
+        Raises :class:`MemoryModelError` on out-of-memory or duplicate
+        name — mirroring how a real `cudaMalloc` failure would surface.
+        """
+        if name in self._allocations:
+            raise MemoryModelError(
+                f"GPU {self.gpu_id}: allocation {name!r} already exists"
+            )
+        nbytes = int(n_entries) * np.dtype(dtype).itemsize
+        if self._used + nbytes > self.spec.memory_bytes:
+            raise MemoryModelError(
+                f"GPU {self.gpu_id}: out of memory allocating {name!r} "
+                f"({nbytes} bytes, {self.available()} free)"
+            )
+        arr = np.zeros(int(n_entries), dtype=dtype)
+        self._allocations[name] = arr
+        self._used += nbytes
+        return arr
+
+    def free(self, name: str) -> None:
+        """Release a named allocation."""
+        try:
+            arr = self._allocations.pop(name)
+        except KeyError:
+            raise MemoryModelError(
+                f"GPU {self.gpu_id}: no allocation named {name!r}"
+            ) from None
+        self._used -= arr.nbytes
+
+    def get(self, name: str) -> np.ndarray:
+        """Look up an allocation by name."""
+        try:
+            return self._allocations[name]
+        except KeyError:
+            raise MemoryModelError(
+                f"GPU {self.gpu_id}: no allocation named {name!r}"
+            ) from None
+
+    def used(self) -> int:
+        """Bytes currently allocated."""
+        return self._used
+
+    def available(self) -> int:
+        """Bytes still free on this device."""
+        return self.spec.memory_bytes - self._used
+
+    def reset(self) -> None:
+        """Free everything (end of a solver run)."""
+        self._allocations.clear()
+        self._used = 0

@@ -1,0 +1,150 @@
+"""Node-level machine configuration: which GPUs, which fabric, which specs.
+
+A :class:`MachineConfig` bundles everything a solver run needs to price
+its execution: the active GPU set (a P2P clique for NVSHMEM runs), the
+fabric, and the per-subsystem parameter sheets.  Factory helpers build
+the two platforms of the evaluation (Section VI-A):
+
+* :func:`dgx1` — 8x V100, hybrid cube-mesh NVLink; NVSHMEM jobs are
+  limited to the fully connected 4-GPU clique, exactly as in the paper.
+* :func:`dgx2` — 16x V100, all-to-all NVSwitch; scales to 16 GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.machine.memory import DeviceMemory
+from repro.machine.specs import (
+    SHMEM_DEFAULT,
+    UM_DEFAULT,
+    V100,
+    GpuSpec,
+    ShmemSpec,
+    UnifiedMemorySpec,
+)
+from repro.machine.topology import Topology, dgx1_topology, dgx2_topology
+
+__all__ = ["MachineConfig", "dgx1", "dgx2"]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Everything the execution models need to know about the machine.
+
+    Attributes
+    ----------
+    topology:
+        The full node fabric.
+    active_gpus:
+        Physical GPU ids participating in this run (PE rank ``r`` maps to
+        ``active_gpus[r]``).
+    gpu:
+        Per-GPU hardware sheet (homogeneous node).
+    um:
+        Unified-memory parameters.
+    shmem:
+        NVSHMEM parameters.
+    require_p2p:
+        If True (NVSHMEM runs), constructing a config whose active set is
+        not a P2P clique raises :class:`TopologyError`.
+    """
+
+    topology: Topology
+    active_gpus: tuple[int, ...]
+    gpu: GpuSpec = V100
+    um: UnifiedMemorySpec = UM_DEFAULT
+    shmem: ShmemSpec = SHMEM_DEFAULT
+    require_p2p: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.active_gpus:
+            raise TopologyError("need at least one active GPU")
+        for g in self.active_gpus:
+            if not 0 <= g < self.topology.n_gpus:
+                raise TopologyError(
+                    f"GPU {g} out of range for {self.topology.name}"
+                )
+        if len(set(self.active_gpus)) != len(self.active_gpus):
+            raise TopologyError("duplicate GPU ids in active set")
+        if self.require_p2p:
+            from itertools import combinations
+
+            for a, b in combinations(self.active_gpus, 2):
+                if not self.topology.connected(a, b):
+                    raise TopologyError(
+                        f"NVSHMEM requires P2P: GPUs {a} and {b} are not "
+                        f"directly connected in {self.topology.name}"
+                    )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_gpus(self) -> int:
+        """Number of participating GPUs (PEs)."""
+        return len(self.active_gpus)
+
+    def gpu_of_pe(self, pe: int) -> int:
+        """Physical GPU id of PE rank ``pe``."""
+        return self.active_gpus[pe]
+
+    def device_memories(self) -> list[DeviceMemory]:
+        """Fresh per-GPU memory trackers for one run."""
+        return [DeviceMemory(g, self.gpu) for g in self.active_gpus]
+
+    def pe_latency(self, pe_a: int, pe_b: int) -> float:
+        """Small-message latency between two PE ranks."""
+        return self.topology.latency(self.gpu_of_pe(pe_a), self.gpu_of_pe(pe_b))
+
+    def with_gpu(self, **kw) -> "MachineConfig":
+        """Copy with GPU spec fields overridden (sensitivity studies)."""
+        return replace(self, gpu=self.gpu.with_(**kw))
+
+    def with_um(self, **kw) -> "MachineConfig":
+        return replace(self, um=replace(self.um, **kw))
+
+    def with_shmem(self, **kw) -> "MachineConfig":
+        return replace(self, shmem=replace(self.shmem, **kw))
+
+
+def dgx1(
+    n_gpus: int = 4,
+    gpu: GpuSpec = V100,
+    require_p2p: bool = True,
+) -> MachineConfig:
+    """A DGX-1 run on ``n_gpus`` GPUs.
+
+    For NVSHMEM designs (``require_p2p=True``) the active set is chosen
+    as a fully connected NVLink clique, which caps ``n_gpus`` at 4 — the
+    same restriction the paper reports.  Unified-memory runs may use up
+    to all 8 GPUs (``require_p2p=False``).
+    """
+    topo = dgx1_topology()
+    if require_p2p:
+        active = tuple(topo.p2p_clique(n_gpus))
+    else:
+        if not 1 <= n_gpus <= topo.n_gpus:
+            raise TopologyError(f"DGX-1 has 8 GPUs, requested {n_gpus}")
+        active = tuple(range(n_gpus))
+    return MachineConfig(
+        topology=topo, active_gpus=active, gpu=gpu, require_p2p=require_p2p
+    )
+
+
+def dgx2(
+    n_gpus: int = 4,
+    gpu: GpuSpec = V100,
+    require_p2p: bool = True,
+) -> MachineConfig:
+    """A DGX-2 run on ``n_gpus`` GPUs (all-to-all, up to 16)."""
+    topo = dgx2_topology()
+    if not 1 <= n_gpus <= topo.n_gpus:
+        raise TopologyError(f"DGX-2 has 16 GPUs, requested {n_gpus}")
+    return MachineConfig(
+        topology=topo,
+        active_gpus=tuple(range(n_gpus)),
+        gpu=gpu,
+        require_p2p=require_p2p,
+    )

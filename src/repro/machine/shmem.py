@@ -1,0 +1,183 @@
+"""NVSHMEM model: symmetric heap, one-sided get/put, fence/quiet.
+
+Follows the semantics described in Section IV-A:
+
+* Allocation is **collective and symmetric**: every PE participates in
+  :meth:`SymmetricHeap.malloc` with the same size, and each PE gets its
+  own instance of the array on its local heap.
+* :meth:`SymmetricHeap.get` / :meth:`SymmetricHeap.put` are one-sided:
+  they read/write the *remote PE's* instance, priced by the fabric, and
+  require P2P connectivity (the reason the paper caps DGX-1 runs at the
+  4-GPU clique).
+* ``fence`` orders, ``quiet`` completes — their costs are what make the
+  naive Get-Update-Put design slow (modelled in
+  :class:`repro.solvers.nvshmem.NaiveGetUpdatePutModel`'s cost terms).
+
+The heap stores real NumPy arrays so solver emulations running on top of
+it compute real numerics through exactly the data paths the paper's
+kernels use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ShmemError
+from repro.machine.link import LinkTracker
+from repro.machine.specs import ShmemSpec
+from repro.machine.topology import Topology
+
+__all__ = ["SymmetricHeap", "warp_reduction_time", "serial_reduction_time"]
+
+
+@dataclass
+class SymmetricHeap:
+    """The PGAS global address space over ``n_pes`` symmetric heaps.
+
+    Parameters
+    ----------
+    n_pes:
+        Number of processing elements (GPUs) in the NVSHMEM job.
+    topology:
+        Fabric pricing remote get/put.
+    spec:
+        NVSHMEM software-overhead parameters.
+    pe_to_gpu:
+        Optional mapping of PE rank to physical GPU id (identity by
+        default).  All PE pairs must be P2P connected.
+    """
+
+    n_pes: int
+    topology: Topology
+    spec: ShmemSpec
+    pe_to_gpu: np.ndarray | None = None
+    tracker: LinkTracker = field(init=False)
+    _heaps: dict[str, list[np.ndarray]] = field(default_factory=dict, init=False)
+    get_count: int = field(default=0, init=False)
+    put_count: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.pe_to_gpu is None:
+            self.pe_to_gpu = np.arange(self.n_pes, dtype=np.int64)
+        else:
+            self.pe_to_gpu = np.asarray(self.pe_to_gpu, dtype=np.int64)
+        if len(self.pe_to_gpu) != self.n_pes:
+            raise ShmemError("pe_to_gpu must have one entry per PE")
+        # Single-node NVSHMEM requires direct P2P links; only topologies
+        # whose fallback is a declared RDMA transport (multi-node IB) may
+        # route one-sided ops through it.
+        if not self.topology.shmem_over_fallback:
+            for a in range(self.n_pes):
+                for b in range(a + 1, self.n_pes):
+                    ga, gb = int(self.pe_to_gpu[a]), int(self.pe_to_gpu[b])
+                    if not self.topology.connected(ga, gb):
+                        raise ShmemError(
+                            f"NVSHMEM requires P2P connectivity: GPU {ga} and "
+                            f"GPU {gb} are not directly linked in "
+                            f"{self.topology.name}"
+                        )
+        self.tracker = LinkTracker(self.topology)
+
+    # ------------------------------------------------------------------
+    def malloc(self, name: str, n_entries: int, dtype=np.float64) -> list[np.ndarray]:
+        """Collective symmetric allocation: one zeroed array per PE."""
+        if name in self._heaps:
+            raise ShmemError(f"symmetric allocation {name!r} already exists")
+        arrays = [np.zeros(int(n_entries), dtype=dtype) for _ in range(self.n_pes)]
+        self._heaps[name] = arrays
+        return arrays
+
+    def local(self, name: str, pe: int) -> np.ndarray:
+        """PE-local instance of a symmetric allocation."""
+        self._check_pe(pe)
+        try:
+            return self._heaps[name][pe]
+        except KeyError:
+            raise ShmemError(f"no symmetric allocation named {name!r}") from None
+
+    def free(self, name: str) -> None:
+        if name not in self._heaps:
+            raise ShmemError(f"no symmetric allocation named {name!r}")
+        del self._heaps[name]
+
+    # ------------------------------------------------------------------
+    def get(
+        self, name: str, index: int, target_pe: int, caller_pe: int
+    ) -> tuple[float, float]:
+        """One-sided 8-byte get of ``name[index]`` from ``target_pe``.
+
+        Returns ``(value, time_cost)``.  A local get is a plain load.
+        """
+        self._check_pe(caller_pe)
+        arr = self.local(name, target_pe)
+        value = float(arr[index])
+        if target_pe == caller_pe:
+            return value, 0.0
+        cost = self.spec.get_overhead + self.tracker.record(
+            int(self.pe_to_gpu[caller_pe]), int(self.pe_to_gpu[target_pe]), 8
+        )
+        self.get_count += 1
+        return value, cost
+
+    def put(
+        self, name: str, index: int, value: float, target_pe: int, caller_pe: int
+    ) -> float:
+        """One-sided 8-byte put into ``name[index]`` on ``target_pe``."""
+        self._check_pe(caller_pe)
+        arr = self.local(name, target_pe)
+        arr[index] = value
+        if target_pe == caller_pe:
+            return 0.0
+        self.put_count += 1
+        return self.spec.put_overhead + self.tracker.record(
+            int(self.pe_to_gpu[caller_pe]), int(self.pe_to_gpu[target_pe]), 8
+        )
+
+    def get_row(
+        self, name: str, index: int, caller_pe: int
+    ) -> tuple[np.ndarray, float]:
+        """Fetch ``name[index]`` from *every* PE (the read-only model's
+        per-component gather).
+
+        The warp issues one get per PE in parallel threads (Fig. 5), so the
+        time cost is the max of the individual gets, not the sum.
+        """
+        values = np.empty(self.n_pes)
+        worst = 0.0
+        for pe in range(self.n_pes):
+            values[pe], c = self.get(name, index, pe, caller_pe)
+            worst = max(worst, c)
+        return values, worst
+
+    # ------------------------------------------------------------------
+    def fence(self) -> float:
+        """Order preceding puts/gets (returns the time cost)."""
+        return self.spec.fence_cost
+
+    def quiet(self) -> float:
+        """Complete all outstanding one-sided ops (returns the time cost)."""
+        return self.spec.quiet_cost
+
+    def _check_pe(self, pe: int) -> None:
+        if not 0 <= pe < self.n_pes:
+            raise ShmemError(f"PE {pe} out of range (n_pes={self.n_pes})")
+
+
+def warp_reduction_time(n_values: int, shfl_cost: float) -> float:
+    """Time of the warp-level parallel reduction over ``n_values`` lanes.
+
+    ``O(log2 P)`` ``__shfl_down_sync`` steps (Section IV-B), versus the
+    ``O(P)`` serial loop it replaces — :func:`serial_reduction_time`.
+    """
+    if n_values <= 1:
+        return 0.0
+    return float(np.ceil(np.log2(n_values))) * shfl_cost
+
+
+def serial_reduction_time(n_values: int, shfl_cost: float) -> float:
+    """Time of the naive serial sum loop (ablation baseline)."""
+    if n_values <= 1:
+        return 0.0
+    return (n_values - 1) * shfl_cost * 2.0

@@ -1,0 +1,79 @@
+"""SM-granular occupancy: per-SM warp pools with block-level placement.
+
+The flat :class:`~repro.machine.gpu.WarpScheduler` treats a GPU as one
+pool of warp slots — work-conserving, but real hardware is not: warps
+belong to *thread blocks*, blocks are pinned to a streaming
+multiprocessor at launch, and a stalled SM's slots cannot serve warps
+queued behind a busy one.  That fragmentation is the classic reason
+sync-free SpTRSV kernels size their blocks carefully.
+
+:class:`SmWarpScheduler` models it with the same dispatch/retire
+interface as the flat scheduler, so
+:func:`repro.exec_model.timeline.simulate_execution` can swap it in via
+``sm_granularity=True`` and measure how much the flat model's optimism
+costs — the `bench_ablation_sm_model` study.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.errors import SimulationError
+from repro.machine.gpu import GpuCounters
+from repro.machine.specs import GpuSpec
+
+__all__ = ["SmWarpScheduler"]
+
+
+class SmWarpScheduler:
+    """Per-SM slot pools with round-robin block placement.
+
+    Parameters
+    ----------
+    spec:
+        GPU sheet; ``spec.warp_slots`` is divided evenly across
+        ``spec.n_sms`` multiprocessors.
+    """
+
+    def __init__(self, spec: GpuSpec):
+        self.spec = spec
+        if spec.n_sms < 1 or spec.block_warps < 1:
+            raise SimulationError("need n_sms >= 1 and block_warps >= 1")
+        self.per_sm = max(spec.warp_slots // spec.n_sms, 1)
+        self._heaps: list[list[float]] = [[] for _ in range(spec.n_sms)]
+        self._block_sm = 0  # SM of the block currently being filled
+        self._in_block = 0  # warps already placed in that block
+        self._last_sm = 0  # SM of the most recent dispatch (for retire)
+        self.counters = GpuCounters()
+
+    def dispatch(self, not_before: float) -> float:
+        """Acquire a slot on the current block's SM.
+
+        Warps arrive in block groups of ``spec.block_warps``; every full
+        block advances to the next SM round-robin — the hardware's
+        block-to-SM placement.  A full SM delays the dispatch until one
+        of *its own* warps retires, even if other SMs sit idle
+        (fragmentation).
+        """
+        sm = self._block_sm
+        heap = self._heaps[sm]
+        if len(heap) < self.per_sm:
+            t = not_before
+        else:
+            t = max(heapq.heappop(heap), not_before)
+        self._last_sm = sm
+        self._in_block += 1
+        if self._in_block >= self.spec.block_warps:
+            self._in_block = 0
+            self._block_sm = (self._block_sm + 1) % self.spec.n_sms
+        return t + self.spec.t_warp_dispatch
+
+    def retire(self, finish_time: float) -> None:
+        """Release the most recently dispatched warp's slot."""
+        heapq.heappush(self._heaps[self._last_sm], finish_time)
+        self.counters.components += 1
+        self.counters.last_finish = max(self.counters.last_finish, finish_time)
+
+    @property
+    def resident(self) -> int:
+        return sum(len(h) for h in self._heaps)

@@ -1,0 +1,224 @@
+"""Hardware parameter sheets for the simulated multi-GPU systems.
+
+All timing constants live here, in seconds, so that every model in the
+package draws from a single calibrated source.  The defaults describe a
+**model-scale V100 node**: because the suite's stand-in matrices are
+~50-400x smaller than the paper's SuiteSparse inputs (DESIGN.md), every
+capacity and latency is shrunk by a comparable factor — warp slots,
+page granularity, link latency, fault service — so that the *ratios*
+between compute, communication, and fault costs match what a real
+DGX-1/DGX-2 sees at full scale.  Those ratios (e.g. page-fault service
+vs. one-sided get ≈ 8:1, device atomic vs. system atomic ≈ 1:4) are what
+drive every normalized figure in the paper; the absolute microsecond
+values are not meaningful and are never reported un-normalized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "GpuSpec",
+    "LinkSpec",
+    "UnifiedMemorySpec",
+    "ShmemSpec",
+    "V100",
+    "NVLINK2",
+    "NVSWITCH",
+    "PCIE3",
+    "UM_DEFAULT",
+    "SHMEM_DEFAULT",
+]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Performance model of one GPU.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name.
+    warp_slots:
+        Number of component-solving warps that can be resident at once.
+        A V100 sustains 80 SMs x 64 warps = 5120; the default is lower so
+        occupancy effects surface at the scaled-down matrix sizes used in
+        the reproduction (the paper's out-of-core inputs oversubscribe a
+        real V100 the same way).
+    t_warp_dispatch:
+        Fixed cost to issue one component's warp (scheduling + prologue).
+    t_per_nnz:
+        Per-nonzero cost of the solve-update arithmetic (multiply-add,
+        gather of x and val).
+    t_atomic_device:
+        Device-scope atomic add/incr on local HBM.
+    t_kernel_launch:
+        Host-side launch latency of one kernel (one task in the task
+        model).
+    analysis_parallelism:
+        Effective number of concurrently retiring atomic lanes during the
+        in-degree pre-pass (atomics to distinct addresses pipeline).
+    n_sms:
+        Streaming multiprocessors; ``warp_slots`` splits evenly across
+        them when the SM-granular occupancy model is enabled
+        (:class:`repro.machine.sm.SmWarpScheduler`).
+    block_warps:
+        Warps per thread block under the SM-granular model (blocks pin
+        to one SM at launch).
+    memory_bytes:
+        Device memory capacity, used by the task distributor's
+        "available memory" round-robin rule.
+    """
+
+    name: str = "V100-model-scale"
+    warp_slots: int = 64
+    t_warp_dispatch: float = 0.5e-6
+    t_per_nnz: float = 60e-9
+    t_atomic_device: float = 25e-9
+    t_kernel_launch: float = 3.0e-6
+    analysis_parallelism: int = 64
+    n_sms: int = 8
+    block_warps: int = 4
+    memory_bytes: int = 16 * 2**30
+
+    def with_(self, **kw) -> "GpuSpec":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kw)
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One interconnect link class.
+
+    Attributes
+    ----------
+    name:
+        Link technology name.
+    latency:
+        One-way small-message latency (seconds).
+    bandwidth:
+        Per-direction bandwidth in bytes/second for one link.
+    """
+
+    name: str = "NVLink2"
+    latency: float = 0.35e-6
+    bandwidth: float = 25e9
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Latency + serialisation time of an ``nbytes`` transfer."""
+        return self.latency + nbytes / self.bandwidth
+
+
+@dataclass(frozen=True)
+class UnifiedMemorySpec:
+    """CUDA Unified Memory model parameters.
+
+    Attributes
+    ----------
+    page_bytes:
+        Migration granularity (model-scale: shrunk with the matrices so
+        pages-per-array matches a V100's 64 KiB pages on the full-size
+        inputs).
+    fault_cost:
+        GPU-side service time of one page fault (fault handling + unmap on
+        the previous owner + DMA of the page).  Measured values on
+        Volta-class parts are 20-50 us; the DMA part is added separately
+        from the link model.
+    atomic_system:
+        System-scope atomic on a managed page already resident locally.
+    poll_interval:
+        Re-check period of the lock-wait spin loop on a managed location.
+    thrash_coupling:
+        Dimensionless gain of the contention feedback: how strongly
+        concurrent spin-polling from other GPUs inflates the effective
+        fault service time.  Drives the super-linear degradation of
+        Fig. 3b.
+    fault_batching:
+        Fraction of interleaved accesses that actually trigger a
+        migration: when a GPU steals a page, *all* of its queued accesses
+        to that page are served before the next steal, so the raw
+        interleaving estimate (``1 - sum f_g^2``) over-counts ownership
+        changes by roughly the burst length.
+    poll_weight:
+        How many page accesses one spinning consumer contributes to its
+        page's contention mix, relative to a single producer update.  A
+        consumer in the lock-wait loop re-touches the page every
+        ``poll_interval`` for its whole wait, so it weighs several times
+        a one-shot update — this is the feedback loop of Section III-A
+        (the busy-wait "needs to access the value on unified memory
+        continuously").
+    consumer_fault_weight:
+        Expected fraction of a full fault service the consumer's *final
+        successful* poll pays (the producer's write just stole the page,
+        so the read must pull it back; weight < 1 because the page is
+        sometimes still resident).
+    fault_serial:
+        Serial occupancy of the GPU-side fault engine per fault (unmap +
+        TLB shootdown).  Faults initiated by one GPU queue on its single
+        fault path, bounding that GPU's makespan below by
+        ``faults_initiated * fault_serial``.  Default 0 (folded into
+        ``fault_cost``); exposed for sensitivity studies.
+    task_warmup_weight:
+        Fraction of a fault service each managed page of a task pays when
+        the task's kernel launches (pages were evicted by other GPUs'
+        activity between launches).  This cold-start term is what makes
+        finer task interleaving counterproductive on unified memory
+        (Fig. 7's Unified+8task scenario) while the same task model helps
+        the zero-copy design.
+    """
+
+    page_bytes: int = 2048
+    fault_cost: float = 3.0e-6
+    atomic_system: float = 100e-9
+    poll_interval: float = 0.3e-6
+    thrash_coupling: float = 0.5
+    fault_batching: float = 0.08
+    poll_weight: float = 4.0
+    consumer_fault_weight: float = 1.6
+    fault_serial: float = 0.0
+    task_warmup_weight: float = 0.5
+
+    @property
+    def entries_per_page(self) -> int:
+        """8-byte entries (float64 left_sum / int64 in_degree) per page."""
+        return self.page_bytes // 8
+
+
+@dataclass(frozen=True)
+class ShmemSpec:
+    """NVSHMEM model parameters.
+
+    Attributes
+    ----------
+    get_overhead:
+        GPU-side software overhead of issuing one fine-grained get on top
+        of the raw link latency.
+    put_overhead:
+        Same for put.
+    fence_cost, quiet_cost:
+        Ordering primitives.  ``quiet`` waits for completion of all
+        outstanding puts/gets of the calling PE — expensive, and exactly
+        what the naive Get-Update-Put design must pay per update.
+    shfl_cost:
+        One ``__shfl_down_sync`` step of the warp-level reduction.
+    poll_interval:
+        Re-poll period of the read-only lock-wait loop.
+    """
+
+    get_overhead: float = 0.08e-6
+    put_overhead: float = 0.08e-6
+    fence_cost: float = 0.2e-6
+    quiet_cost: float = 0.6e-6
+    shfl_cost: float = 10e-9
+    poll_interval: float = 0.3e-6
+
+
+# ----------------------------------------------------------------------
+# Presets
+# ----------------------------------------------------------------------
+V100 = GpuSpec()
+NVLINK2 = LinkSpec(name="NVLink2", latency=0.35e-6, bandwidth=25e9)
+NVSWITCH = LinkSpec(name="NVSwitch", latency=0.45e-6, bandwidth=50e9)
+PCIE3 = LinkSpec(name="PCIe3x16", latency=1.0e-6, bandwidth=12e9)
+UM_DEFAULT = UnifiedMemorySpec()
+SHMEM_DEFAULT = ShmemSpec()

@@ -1,0 +1,219 @@
+"""Interconnect topologies: DGX-1 hybrid cube-mesh, DGX-2 NVSwitch, PCIe.
+
+A :class:`Topology` is a multigraph over GPUs whose edges are
+:class:`~repro.machine.specs.LinkSpec` instances.  It answers the two
+questions every communication model asks: *can PE a reach PE b directly*
+(NVSHMEM requires P2P connectivity — the reason the paper stops at 4 GPUs
+on DGX-1), and *what does a transfer between them cost*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.machine.specs import NVLINK2, NVSWITCH, PCIE3, LinkSpec
+
+__all__ = [
+    "Topology",
+    "dgx1_topology",
+    "dgx2_topology",
+    "pcie_topology",
+    "DGX1_NVLINK_EDGES",
+]
+
+
+# The twelve cube edges plus the diagonals of two opposite faces
+# (Section III-B / Tartan): GPUs 0-3 and GPUs 4-7 each form a fully
+# connected quad.  Pairs appearing twice are double links.
+DGX1_NVLINK_EDGES: tuple[tuple[int, int], ...] = (
+    # front face quad (fully connected)
+    (0, 1), (0, 2), (1, 3), (2, 3), (0, 3), (1, 2),
+    # back face quad (fully connected)
+    (4, 5), (4, 6), (5, 7), (6, 7), (4, 7), (5, 6),
+    # cube edges between faces
+    (0, 4), (1, 5), (2, 6), (3, 7),
+    # double links on the high-traffic pairs
+    (0, 3), (1, 2), (4, 7), (5, 6),
+)
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Static interconnect description.
+
+    Attributes
+    ----------
+    name:
+        Topology name (reported by benches).
+    n_gpus:
+        Number of GPUs in the node.
+    link_count:
+        ``(n_gpus, n_gpus)`` symmetric integer matrix: number of direct
+        links between each pair (0 = not P2P connected).
+    link:
+        The link class used for direct connections.
+    fallback:
+        Link class used when two GPUs are *not* directly connected
+        (staging through PCIe/host).  ``None`` means such transfers are
+        an error, matching NVSHMEM's P2P-only restriction.
+    switched:
+        True for NVSwitch-style fabrics where per-GPU bandwidth stays
+        constant as more GPUs join (Section VI-D's observation about
+        DGX-2 scaling).
+    shmem_over_fallback:
+        Whether NVSHMEM one-sided operations may route through the
+        fallback path.  False for single-node fabrics (the paper's
+        CUDA-10-era NVSHMEM is P2P-only — the 4-GPU DGX-1 limit); True
+        for multi-node clusters whose fallback is an RDMA transport.
+    """
+
+    name: str
+    n_gpus: int
+    link_count: np.ndarray
+    link: LinkSpec
+    fallback: LinkSpec | None = None
+    switched: bool = False
+    shmem_over_fallback: bool = False
+
+    def __post_init__(self) -> None:
+        lc = np.asarray(self.link_count, dtype=np.int64)
+        if lc.shape != (self.n_gpus, self.n_gpus):
+            raise TopologyError(
+                f"link_count shape {lc.shape} != ({self.n_gpus}, {self.n_gpus})"
+            )
+        if not np.array_equal(lc, lc.T):
+            raise TopologyError("link_count must be symmetric")
+        if np.any(np.diag(lc) != 0):
+            raise TopologyError("link_count diagonal must be zero")
+        object.__setattr__(self, "link_count", lc)
+
+    # ------------------------------------------------------------------
+    def connected(self, a: int, b: int) -> bool:
+        """True if GPUs ``a`` and ``b`` are directly P2P connected."""
+        self._check(a)
+        self._check(b)
+        return a == b or self.link_count[a, b] > 0
+
+    def peer_bandwidth(self, a: int, b: int) -> float:
+        """Aggregate one-direction bandwidth between ``a`` and ``b``."""
+        if a == b:
+            return float("inf")
+        k = int(self.link_count[a, b])
+        if k > 0:
+            return k * self.link.bandwidth
+        if self.fallback is None:
+            raise TopologyError(
+                f"GPU {a} and GPU {b} are not P2P connected in {self.name}"
+            )
+        return self.fallback.bandwidth
+
+    def latency(self, a: int, b: int) -> float:
+        """Small-message one-way latency between ``a`` and ``b``."""
+        if a == b:
+            return 0.0
+        if self.link_count[a, b] > 0:
+            return self.link.latency
+        if self.fallback is None:
+            raise TopologyError(
+                f"GPU {a} and GPU {b} are not P2P connected in {self.name}"
+            )
+        return self.fallback.latency
+
+    def transfer_time(self, a: int, b: int, nbytes: int) -> float:
+        """Uncontended transfer time of ``nbytes`` from ``a`` to ``b``."""
+        if a == b:
+            return 0.0
+        return self.latency(a, b) + nbytes / self.peer_bandwidth(a, b)
+
+    def p2p_clique(self, size: int) -> list[int]:
+        """A set of ``size`` mutually P2P-connected GPUs.
+
+        Raises :class:`TopologyError` if none exists — e.g. requesting a
+        5-GPU NVSHMEM job on DGX-1, mirroring the paper's 4-GPU limit.
+        """
+        if size <= 0 or size > self.n_gpus:
+            raise TopologyError(f"invalid clique size {size} for {self.name}")
+        # Greedy search is sufficient for the small, highly structured
+        # fabrics modelled here; fall back to exhaustive search on failure.
+        from itertools import combinations
+
+        for combo in combinations(range(self.n_gpus), size):
+            if all(self.connected(a, b) for a, b in combinations(combo, 2)):
+                return list(combo)
+        raise TopologyError(
+            f"{self.name} has no fully P2P-connected set of {size} GPUs"
+        )
+
+    def bisection_links(self) -> int:
+        """Number of links crossing a best-case even bisection (reporting)."""
+        half = self.n_gpus // 2
+        left = set(range(half))
+        return int(
+            sum(
+                self.link_count[a, b]
+                for a in left
+                for b in range(self.n_gpus)
+                if b not in left
+            )
+        )
+
+    def _check(self, g: int) -> None:
+        if not 0 <= g < self.n_gpus:
+            raise TopologyError(f"GPU id {g} out of range for {self.name}")
+
+
+def dgx1_topology(link: LinkSpec = NVLINK2) -> Topology:
+    """The 8-GPU DGX-1V hybrid cube-mesh.
+
+    GPUs 0-3 form a fully connected quad (the subset the paper runs
+    NVSHMEM on); pairs without a direct NVLink stage through PCIe.
+    """
+    lc = np.zeros((8, 8), dtype=np.int64)
+    for a, b in DGX1_NVLINK_EDGES:
+        lc[a, b] += 1
+        lc[b, a] += 1
+    return Topology(
+        name="DGX-1",
+        n_gpus=8,
+        link_count=lc,
+        link=link,
+        fallback=PCIE3,
+        switched=False,
+    )
+
+
+def dgx2_topology(n_gpus: int = 16, link: LinkSpec = NVSWITCH) -> Topology:
+    """The 16-GPU DGX-2: all-to-all through six NVSwitch planes.
+
+    Every pair is P2P connected at full per-GPU bandwidth, and bandwidth
+    per GPU does not degrade as more GPUs participate (``switched=True``).
+    """
+    if not 1 <= n_gpus <= 16:
+        raise TopologyError(f"DGX-2 has 16 GPUs, requested {n_gpus}")
+    lc = np.ones((n_gpus, n_gpus), dtype=np.int64) - np.eye(n_gpus, dtype=np.int64)
+    return Topology(
+        name="DGX-2",
+        n_gpus=n_gpus,
+        link_count=lc,
+        link=link,
+        fallback=None,
+        switched=True,
+    )
+
+
+def pcie_topology(n_gpus: int, link: LinkSpec = PCIE3) -> Topology:
+    """A plain PCIe box: all pairs reachable, shared low bandwidth."""
+    if n_gpus < 1:
+        raise TopologyError("need at least one GPU")
+    lc = np.ones((n_gpus, n_gpus), dtype=np.int64) - np.eye(n_gpus, dtype=np.int64)
+    return Topology(
+        name=f"PCIe-{n_gpus}",
+        n_gpus=n_gpus,
+        link_count=lc,
+        link=link,
+        fallback=None,
+        switched=False,
+    )

@@ -1,0 +1,177 @@
+"""CUDA Unified Memory model: managed arrays, page ownership, thrashing.
+
+Two complementary interfaces, both backed by the same parameters
+(:class:`~repro.machine.specs.UnifiedMemorySpec`):
+
+* **Event-exact** — :class:`UnifiedMemory` hands out managed NumPy arrays
+  and charges every access through :meth:`UnifiedMemory.access`, which
+  migrates the containing page when the accessor differs from the current
+  owner.  Page-fault counts are exact for the simulated access stream.
+  Used by the DES tier and by tests.
+* **Analytic** — :func:`expected_faults` estimates fault counts from
+  per-GPU access totals per page, via the interleaving model: with
+  access fractions ``f_g`` the probability that consecutive accesses come
+  from different GPUs is ``1 - sum f_g^2``, so
+  ``faults ≈ accesses * (1 - sum f_g^2)``.  Used by the fast timing model
+  to reproduce Fig. 3a at scale.
+
+The *thrashing feedback* of Section III (spinning consumers bounce the
+page away from producers, inflating every fault) is modelled by
+:meth:`UnifiedMemory.fault_service_time`, which scales the base fault
+cost by the number of GPUs actively sharing the page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import MemoryModelError
+from repro.machine.specs import UnifiedMemorySpec
+from repro.machine.topology import Topology
+
+__all__ = ["UnifiedMemory", "ManagedArray", "expected_faults"]
+
+
+@dataclass
+class ManagedArray:
+    """A managed allocation: real data + per-page ownership."""
+
+    name: str
+    data: np.ndarray
+    page_owner: np.ndarray  # int per page, -1 = CPU/unpopulated
+    entries_per_page: int
+
+    def page_of(self, index: int) -> int:
+        return int(index) // self.entries_per_page
+
+    @property
+    def n_pages(self) -> int:
+        return len(self.page_owner)
+
+
+@dataclass
+class UnifiedMemory:
+    """The node-wide managed-memory pool.
+
+    Parameters
+    ----------
+    spec:
+        Unified-memory parameter sheet.
+    topology:
+        Fabric used to price page DMA between owners.
+    """
+
+    spec: UnifiedMemorySpec
+    topology: Topology
+    _arrays: dict[str, ManagedArray] = field(default_factory=dict, init=False)
+    fault_count: int = field(default=0, init=False)
+    faults_per_gpu: np.ndarray = field(init=False)
+    migrated_bytes: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        self.faults_per_gpu = np.zeros(self.topology.n_gpus, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def malloc_managed(self, name: str, n_entries: int, dtype=np.float64) -> ManagedArray:
+        """``cudaMallocManaged``: allocate a managed, zeroed array."""
+        if name in self._arrays:
+            raise MemoryModelError(f"managed allocation {name!r} already exists")
+        epp = self.spec.entries_per_page
+        n_pages = (int(n_entries) + epp - 1) // epp
+        arr = ManagedArray(
+            name=name,
+            data=np.zeros(int(n_entries), dtype=dtype),
+            page_owner=np.full(max(n_pages, 1), -1, dtype=np.int64),
+            entries_per_page=epp,
+        )
+        self._arrays[name] = arr
+        return arr
+
+    def get(self, name: str) -> ManagedArray:
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise MemoryModelError(f"no managed allocation named {name!r}") from None
+
+    def free(self, name: str) -> None:
+        if name not in self._arrays:
+            raise MemoryModelError(f"no managed allocation named {name!r}")
+        del self._arrays[name]
+
+    # ------------------------------------------------------------------
+    def fault_service_time(self, sharers: int) -> float:
+        """Service time of one fault when ``sharers`` GPUs contend.
+
+        ``fault_cost * (1 + thrash_coupling * (sharers - 1))``: each
+        additional GPU spinning on the page re-steals it mid-service,
+        which is the feedback loop behind Fig. 3b's degradation.
+        """
+        sharers = max(int(sharers), 1)
+        return self.spec.fault_cost * (
+            1.0 + self.spec.thrash_coupling * (sharers - 1)
+        )
+
+    def access(
+        self,
+        gpu: int,
+        array: ManagedArray,
+        index: int,
+        sharers: int | None = None,
+    ) -> tuple[float, bool]:
+        """Touch ``array[index]`` from ``gpu``; migrate the page if needed.
+
+        Returns ``(time_cost, faulted)``.  The caller performs the actual
+        data read/write on ``array.data`` (the model does not distinguish
+        load from store — both pull the page for atomic access, since
+        system-scope atomics require local residence on Volta).
+        """
+        page = array.page_of(index)
+        owner = int(array.page_owner[page])
+        if owner == gpu:
+            return (self.spec.atomic_system, False)
+        # Page fault: migrate page to the accessor.
+        array.page_owner[page] = gpu
+        self.fault_count += 1
+        self.faults_per_gpu[gpu] += 1
+        cost = self.spec.atomic_system
+        if owner >= 0:
+            n_share = sharers if sharers is not None else 2
+            cost += self.fault_service_time(n_share)
+            cost += self.spec.page_bytes / self.topology.peer_bandwidth(owner, gpu)
+            self.migrated_bytes += self.spec.page_bytes
+        else:
+            # First touch: populate from host, cheaper than a steal.
+            cost += self.spec.fault_cost * 0.5
+        return (cost, True)
+
+    def reset_counters(self) -> None:
+        self.fault_count = 0
+        self.faults_per_gpu[:] = 0
+        self.migrated_bytes = 0.0
+
+
+def expected_faults(access_counts: np.ndarray) -> float:
+    """Analytic fault estimate for one page.
+
+    Parameters
+    ----------
+    access_counts:
+        ``(n_gpus,)`` number of accesses each GPU makes to the page over
+        the run.
+
+    Returns
+    -------
+    float
+        Expected number of ownership changes if the accesses interleave
+        uniformly at random: ``total * (1 - sum(f_g^2))`` where ``f_g``
+        are the per-GPU access fractions.  Grows with the number of
+        sharing GPUs — the Fig. 3a trend.
+    """
+    counts = np.asarray(access_counts, dtype=np.float64)
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    f = counts / total
+    return float(total * (1.0 - np.sum(f * f)))

@@ -1,0 +1,76 @@
+"""Solver interfaces and shared result types.
+
+Every solver in the package — serial reference, level-set, sync-free,
+and the three multi-GPU designs — implements :class:`TriangularSolver`:
+it consumes a lower-triangular CSC system and returns a
+:class:`SolveResult` carrying both the numeric solution (computed by
+*executing the algorithm's actual memory semantics* on the simulated
+machine) and the :class:`~repro.exec_model.timeline.ExecutionReport`
+priced by the timing model.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.exec_model.timeline import ExecutionReport
+from repro.sparse.csc import CscMatrix
+from repro.sparse.triangular import check_nonzero_diagonal, require_lower_triangular
+
+__all__ = ["SolveResult", "TriangularSolver", "validate_system"]
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """Solution plus simulated execution telemetry.
+
+    Attributes
+    ----------
+    x:
+        The solution vector.
+    report:
+        Simulated-execution report (None for host-side reference solvers
+        that model no machine).
+    solver:
+        Name of the producing solver.
+    """
+
+    x: np.ndarray
+    report: ExecutionReport | None
+    solver: str
+
+    @property
+    def simulated_time(self) -> float:
+        """Total simulated time (analysis + solve), 0.0 for reference."""
+        return self.report.total_time if self.report is not None else 0.0
+
+
+def validate_system(lower: CscMatrix, b: np.ndarray) -> np.ndarray:
+    """Common input checking: square lower-triangular, nonzero diagonal,
+    matching RHS.  Returns ``b`` as a float64 array."""
+    require_lower_triangular(lower)
+    check_nonzero_diagonal(lower)
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (lower.shape[0],):
+        raise ShapeError(
+            f"rhs has shape {b.shape}, expected ({lower.shape[0]},)"
+        )
+    return b
+
+
+class TriangularSolver(abc.ABC):
+    """Abstract solver for ``Lx = b``."""
+
+    #: Human-readable solver name (used in reports and figures).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def solve(self, lower: CscMatrix, b: np.ndarray) -> SolveResult:
+        """Solve the lower-triangular system."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,287 @@
+"""Block (supernodal) SpTRSV — the paper's reference [34] as a baseline.
+
+Lu, Niu and Liu ("Efficient block algorithms for parallel sparse
+triangular solve", ICPP 2020) exploit *supernodes*: runs of consecutive
+columns whose sub-diagonal pattern is (nearly) identical, as produced by
+fill-in during factorisation.  Grouping them turns many scalar
+column-updates into one dense triangular solve + one dense
+matrix-vector update per block, trading scheduling overhead for
+arithmetic intensity.
+
+This module implements the whole pipeline from scratch:
+
+* :func:`detect_supernodes` — greedy supernode partition of a
+  lower-triangular CSC matrix (consecutive columns merge while their
+  strictly-lower row patterns match within a relaxation tolerance);
+* :class:`BlockedLower` — the blocked storage: per-block dense diagonal
+  triangle + packed sub-diagonal rows;
+* :func:`blocked_forward` — the numeric block solve (dense-kernel
+  inner loops via NumPy);
+* :class:`BlockedSolver` — solver front-end with a timing model that
+  charges per-block kernel costs instead of per-component ones, so the
+  block-vs-scalar trade-off is measurable against the paper's designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.dag import build_dag
+from repro.analysis.levels import compute_levels
+from repro.errors import SolverError
+from repro.exec_model.timeline import ExecutionReport
+from repro.machine.node import MachineConfig, dgx1
+from repro.solvers.base import SolveResult, TriangularSolver, validate_system
+from repro.sparse.csc import CscMatrix
+
+__all__ = [
+    "detect_supernodes",
+    "BlockedLower",
+    "blocked_forward",
+    "BlockedSolver",
+]
+
+
+def detect_supernodes(
+    lower: CscMatrix,
+    max_block: int = 32,
+    relax: float = 0.0,
+) -> np.ndarray:
+    """Greedy supernode partition of a lower-triangular matrix.
+
+    Columns ``j`` and ``j+1`` merge when (a) the block stays within
+    ``max_block`` columns, (b) column ``j+1``'s strictly-lower pattern
+    *outside the block* is a subset match of column ``j``'s with at most
+    ``relax`` fraction of mismatches (relaxed supernodes), and (c) the
+    diagonal block region is fully coupled (column ``j`` has an entry in
+    row ``j+1`` — without it a dense triangle would fabricate coupling).
+
+    Returns ``block_ptr`` with blocks ``block_ptr[b]:block_ptr[b+1]``.
+    """
+    n = lower.shape[0]
+    if n == 0:
+        return np.zeros(1, dtype=np.int64)
+    if max_block < 1:
+        raise SolverError(f"max_block must be >= 1, got {max_block}")
+    indptr, indices = lower.indptr, lower.indices
+
+    def pattern_below(j: int, first: int) -> np.ndarray:
+        """Strictly-lower row indices of column j at/after row `first`."""
+        sl = indices[indptr[j] : indptr[j + 1]]
+        return sl[sl >= first]
+
+    boundaries = [0]
+    start = 0
+    for j in range(1, n):
+        width = j - start
+        merge = width < max_block
+        if merge:
+            # Coupling: previous column reaches row j.
+            prev = indices[indptr[j - 1] : indptr[j]]
+            merge = bool(np.any(prev == j))
+        if merge:
+            # Pattern match below the candidate block.
+            below_prev = pattern_below(start, j + 1)
+            below_this = pattern_below(j, j + 1)
+            union = np.union1d(below_prev, below_this)
+            if len(union):
+                inter = np.intersect1d(
+                    below_prev, below_this, assume_unique=True
+                )
+                mismatch = 1.0 - len(inter) / len(union)
+                merge = mismatch <= relax
+        if not merge:
+            boundaries.append(j)
+            start = j
+    boundaries.append(n)
+    return np.asarray(boundaries, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class BlockedLower:
+    """Blocked storage of a lower-triangular matrix.
+
+    Attributes
+    ----------
+    block_ptr:
+        Supernode boundaries over columns.
+    diag_blocks:
+        Per-block dense lower-triangular diagonal block (list of
+        ``(w, w)`` arrays).
+    sub_rows, sub_vals:
+        Per-block packed sub-diagonal part: ``sub_rows[b]`` are the
+        distinct row indices below the block, ``sub_vals[b]`` is the
+        dense ``(len(sub_rows[b]), w)`` coefficient panel.
+    """
+
+    n: int
+    block_ptr: np.ndarray
+    diag_blocks: list
+    sub_rows: list
+    sub_vals: list
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.block_ptr) - 1
+
+    @property
+    def dense_values(self) -> int:
+        """Values the blocked layout stores (incl. explicit zeros).
+
+        Lower triangles of the diagonal blocks plus the packed panels;
+        comparing against the scalar nnz quantifies the fill overhead
+        that relaxed supernodes trade for fewer, denser kernels.
+        """
+        tri = sum(b.shape[0] * (b.shape[0] + 1) // 2 for b in self.diag_blocks)
+        return tri + sum(v.size for v in self.sub_vals)
+
+    @classmethod
+    def from_csc(
+        cls, lower: CscMatrix, block_ptr: np.ndarray
+    ) -> "BlockedLower":
+        n = lower.shape[0]
+        indptr, indices, data = lower.indptr, lower.indices, lower.data
+        diag_blocks, sub_rows, sub_vals = [], [], []
+        for b in range(len(block_ptr) - 1):
+            lo, hi = int(block_ptr[b]), int(block_ptr[b + 1])
+            w = hi - lo
+            tri = np.zeros((w, w))
+            below: dict[int, int] = {}
+            cols_below: list[list[tuple[int, float]]] = [[] for _ in range(w)]
+            for jj in range(lo, hi):
+                for e in range(int(indptr[jj]), int(indptr[jj + 1])):
+                    r = int(indices[e])
+                    if r < hi:
+                        tri[r - lo, jj - lo] = data[e]
+                    else:
+                        below.setdefault(r, len(below))
+                        cols_below[jj - lo].append((r, float(data[e])))
+            rows_arr = np.fromiter(below.keys(), dtype=np.int64, count=len(below))
+            panel = np.zeros((len(below), w))
+            for cj, entries in enumerate(cols_below):
+                for r, v in entries:
+                    panel[below[r], cj] = v
+            diag_blocks.append(tri)
+            sub_rows.append(rows_arr)
+            sub_vals.append(panel)
+        return cls(
+            n=n,
+            block_ptr=np.asarray(block_ptr, dtype=np.int64),
+            diag_blocks=diag_blocks,
+            sub_rows=sub_rows,
+            sub_vals=sub_vals,
+        )
+
+
+def blocked_forward(blocked: BlockedLower, b: np.ndarray) -> np.ndarray:
+    """Solve ``Lx = b`` block by block (dense kernels per block)."""
+    x = np.zeros(blocked.n)
+    left = np.zeros(blocked.n)
+    bp = blocked.block_ptr
+    for k in range(blocked.n_blocks):
+        lo, hi = int(bp[k]), int(bp[k + 1])
+        rhs = b[lo:hi] - left[lo:hi]
+        tri = blocked.diag_blocks[k]
+        # Dense forward substitution on the (small) diagonal triangle.
+        xb = np.empty(hi - lo)
+        for i in range(hi - lo):
+            xb[i] = (rhs[i] - tri[i, :i] @ xb[:i]) / tri[i, i]
+        x[lo:hi] = xb
+        rows = blocked.sub_rows[k]
+        if len(rows):
+            left[rows] += blocked.sub_vals[k] @ xb
+    return x
+
+
+class BlockedSolver(TriangularSolver):
+    """Supernodal block SpTRSV baseline (single GPU).
+
+    The timing model charges, per block: one kernel-ish dispatch, a
+    dense triangular solve of width ``w`` (``w^2/2`` MACs at the dense
+    rate, 4x faster per value than the scattered gather), and one dense
+    panel GEMV — then schedules *blocks* through the same level-ordered
+    pipeline as components, with per-level barriers as in [34]'s
+    level-blocked variant.
+    """
+
+    name = "blocked-supernodal"
+
+    #: Dense-kernel advantage over scattered per-nnz access.
+    DENSE_SPEEDUP = 4.0
+
+    def __init__(
+        self,
+        machine: MachineConfig | None = None,
+        max_block: int = 32,
+        relax: float = 0.0,
+    ):
+        self.machine = machine if machine is not None else dgx1(1)
+        self.max_block = max_block
+        self.relax = relax
+
+    def solve(self, lower: CscMatrix, b: np.ndarray) -> SolveResult:
+        b = validate_system(lower, b)
+        block_ptr = detect_supernodes(lower, self.max_block, self.relax)
+        blocked = BlockedLower.from_csc(lower, block_ptr)
+        x = blocked_forward(blocked, b)
+        report = self._price(lower, blocked)
+        return SolveResult(x=x, report=report, solver=self.name)
+
+    # ------------------------------------------------------------------
+    def _price(self, lower: CscMatrix, blocked: BlockedLower) -> ExecutionReport:
+        gpu = self.machine.gpu
+        bp = blocked.block_ptr
+        widths = np.diff(bp)
+        # Block-level dependency levels: a block's level is the max level
+        # of its columns.
+        levels = compute_levels(lower)
+        block_level = np.array(
+            [
+                int(levels.level_of[bp[k] : bp[k + 1]].max())
+                for k in range(blocked.n_blocks)
+            ]
+        )
+        dense_rate = gpu.t_per_nnz / self.DENSE_SPEEDUP
+        block_cost = np.array(
+            [
+                gpu.t_warp_dispatch
+                + dense_rate * (widths[k] ** 2 / 2.0)
+                + dense_rate * blocked.sub_vals[k].size
+                for k in range(blocked.n_blocks)
+            ]
+        )
+        solve_time = 0.0
+        busy = float(block_cost.sum())
+        for l in range(int(block_level.max(initial=0)) + 1):
+            members = np.nonzero(block_level == l)[0]
+            if len(members) == 0:
+                continue
+            waves = int(np.ceil(len(members) / gpu.warp_slots))
+            solve_time += (
+                gpu.t_kernel_launch
+                + waves * float(block_cost[members].max())
+                + gpu.t_kernel_launch  # inter-level barrier
+            )
+        analysis = (
+            lower.nnz * gpu.t_atomic_device / max(gpu.analysis_parallelism, 1)
+            + blocked.n_blocks * gpu.t_warp_dispatch  # supernode detection
+        )
+        return ExecutionReport(
+            design="blocked",
+            machine=self.machine.topology.name,
+            n_gpus=1,
+            n_tasks=blocked.n_blocks,
+            analysis_time=analysis,
+            solve_time=solve_time,
+            gpu_busy=np.array([busy]),
+            gpu_spin=np.array([max(solve_time - busy, 0.0)]),
+            gpu_comm=np.array([0.0]),
+            gpu_finish=np.array([solve_time]),
+            local_updates=lower.nnz - lower.shape[0],
+            remote_updates=0,
+            page_faults=0.0,
+            migrated_bytes=0.0,
+            fabric_bytes=0.0,
+        )

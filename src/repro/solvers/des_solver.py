@@ -1,0 +1,244 @@
+"""Event-granular SpTRSV simulation on the DES core.
+
+Where the fast model (:mod:`repro.exec_model.timeline`) prices an
+execution analytically, this tier *plays it out*: every component is a
+simulation process that acquires a warp slot, sleeps on its dependency
+channel, gathers, solves, and notifies its dependants — with the unified
+design routing every shared-array touch through the exact
+:class:`~repro.machine.unified.UnifiedMemory` page table (exact fault
+counts, exact ownership churn).
+
+It is O(events) in Python and therefore meant for small systems: tests
+use it to validate the fast model's orderings, and the Fig. 3 bench can
+cross-check its analytic fault estimates against DES-exact counts on
+down-scaled inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.dag import DependencyDag, build_dag
+from repro.engine.des import Simulator
+from repro.engine.events import Acquire, Release, Signal, Timeout, Wait
+from repro.engine.resources import Resource
+from repro.engine.trace import Trace
+from repro.errors import SolverError
+from repro.exec_model.costmodel import CommCosts, Design, build_comm_costs
+from repro.machine.node import MachineConfig, dgx1
+from repro.machine.unified import UnifiedMemory
+from repro.solvers.base import SolveResult, TriangularSolver, validate_system
+from repro.sparse.csc import CscMatrix
+from repro.tasks.schedule import Distribution, block_distribution
+
+__all__ = ["DesExecution", "des_execute", "DesSolver"]
+
+#: Fine-grained 8-byte messages a single physical link keeps in flight;
+#: beyond this, notifications queue on the link channel (DES resource).
+MESSAGES_IN_FLIGHT_PER_LINK = 16
+
+
+@dataclass(frozen=True)
+class DesExecution:
+    """Result of one event-granular run."""
+
+    x: np.ndarray
+    total_time: float
+    trace: Trace
+    page_faults: int
+    events: int
+
+    def solve_order(self) -> list[int]:
+        return self.trace.solve_order()
+
+
+def des_execute(
+    lower: CscMatrix,
+    b: np.ndarray,
+    dist: Distribution,
+    machine: MachineConfig,
+    design: Design | str = Design.SHMEM_READONLY,
+    *,
+    dag: DependencyDag | None = None,
+    costs: CommCosts | None = None,
+    trace_enabled: bool = True,
+) -> DesExecution:
+    """Play out a multi-GPU SpTRSV at event granularity.
+
+    Components are spawned in ascending index order per GPU at their
+    task's launch time (the hardware dispatch order), acquire one of the
+    GPU's warp slots, block on a readiness channel until the last
+    dependency's notification lands, then gather-solve-update.
+
+    For ``Design.UNIFIED`` every remote update is charged through an
+    exact :class:`UnifiedMemory` page table, so ``page_faults`` counts
+    real simulated ownership changes rather than a model estimate.
+    """
+    design = Design(design)
+    n = lower.shape[0]
+    if dist.n != n:
+        raise SolverError("distribution does not match the matrix")
+    if dag is None:
+        dag = build_dag(lower)
+    if costs is None:
+        costs = build_comm_costs(machine, design)
+    n_gpus = machine.n_gpus
+    gpu_spec = machine.gpu
+
+    sim = Simulator()
+    trace = Trace(enabled=trace_enabled)
+    slots = [
+        Resource(f"gpu{g}.warps", capacity=gpu_spec.warp_slots)
+        for g in range(n_gpus)
+    ]
+    # Per-pair link channels: each physical link sustains a bounded number
+    # of in-flight fine-grained messages; excess notifications queue.
+    links: dict[tuple[int, int], Resource] = {}
+
+    def link_of(src_pe: int, dst_pe: int) -> Resource:
+        key = (src_pe, dst_pe)
+        if key not in links:
+            ga = machine.active_gpus[src_pe]
+            gb = machine.active_gpus[dst_pe]
+            n_links = int(machine.topology.link_count[ga, gb])
+            capacity = max(n_links, 1) * MESSAGES_IN_FLIGHT_PER_LINK
+            links[key] = Resource(f"link{src_pe}->{dst_pe}", capacity)
+        return links[key]
+    um: UnifiedMemory | None = None
+    s_left = s_indeg = None
+    if design is Design.UNIFIED:
+        um = UnifiedMemory(machine.um, machine.topology)
+        s_left = um.malloc_managed("s.left_sum", n)
+        s_indeg = um.malloc_managed("s.in_degree", n, dtype=np.int64)
+
+    indptr, indices, data = lower.indptr, lower.indices, lower.data
+    gpu_of = dist.gpu_of
+    phys = machine.active_gpus
+
+    x = np.zeros(n)
+    left_sum = np.zeros(n)
+    remaining = dag.in_degree.copy()
+    in_counts = np.diff(dag.in_ptr)
+
+    def notifier(src: int, dst: int, contribution: float, delay: float):
+        """Deliver one update to a dependant after its notify latency.
+
+        Cross-GPU deliveries occupy one of the pair's link channels for
+        the message's wire time, so a burst of fine-grained updates
+        between the same pair queues instead of teleporting.
+        """
+        src_pe, dst_pe = int(gpu_of[src]), int(gpu_of[dst])
+        if src_pe != dst_pe:
+            link = link_of(src_pe, dst_pe)
+            ga = machine.active_gpus[src_pe]
+            gb = machine.active_gpus[dst_pe]
+            wire = 8.0 / machine.topology.peer_bandwidth(ga, gb)
+            yield Acquire(link)
+            yield Timeout(wire)
+            yield Release(link)
+        yield Timeout(delay)
+        left_sum[dst] += contribution
+        remaining[dst] -= 1
+        if remaining[dst] == 0:
+            yield Signal(("ready", dst))
+
+    def component(i: int):
+        g = int(gpu_of[i])
+        yield Acquire(slots[g])
+        yield Timeout(gpu_spec.t_warp_dispatch)
+        if remaining[i] > 0:
+            yield Wait(("ready", i))
+        # Gather phase (remote reads / final poll fault).
+        gather = costs.gather if in_counts[i] else 0.0
+        if design is Design.UNIFIED and um is not None and in_counts[i]:
+            cost, _ = um.access(phys[g], s_indeg, i, sharers=n_gpus)
+            gather += cost
+        if gather > 0.0:
+            yield Timeout(gather)
+        lo, hi = int(indptr[i]), int(indptr[i + 1])
+        if indices[lo] != i:
+            raise SolverError(f"missing diagonal at column {i}")
+        solve_cost = gpu_spec.t_per_nnz * (max(hi - lo, 1) + int(in_counts[i]))
+        yield Timeout(solve_cost)
+        x[i] = (b[i] - left_sum[i]) / data[lo]
+        trace.emit(sim.now, "solve", gpu=g, detail=i)
+        # Update dependants.
+        update_cost = 0.0
+        for e in range(lo + 1, hi):
+            rid = int(indices[e])
+            contrib = data[e] * x[i]
+            dst_g = int(gpu_of[rid])
+            if dst_g == g:
+                update_cost += costs.update_local
+                delay = 0.0
+            elif design is Design.UNIFIED and um is not None:
+                cost, faulted = um.access(phys[g], s_left, rid, sharers=n_gpus)
+                update_cost += cost
+                if faulted:
+                    trace.emit(sim.now, "fault", gpu=g, detail=rid)
+                delay = costs.notify[g, dst_g]
+            else:
+                update_cost += costs.update_remote[g, dst_g]
+                delay = costs.notify[g, dst_g]
+            sim.spawn(notifier(i, rid, contrib, update_cost + delay))
+        if update_cost > 0.0:
+            yield Timeout(update_cost)
+        yield Release(slots[g])
+
+    # Spawn in ascending index order at each task's launch time: FIFO slot
+    # queues then preserve the deadlock-free dispatch order.  The host
+    # issues kernels serially in task order (same model as the fast
+    # tier), so task k launches at k * t_kernel_launch.
+    task_of = dist.task_of()
+    launch = (
+        np.arange(dist.n_tasks, dtype=np.float64) * gpu_spec.t_kernel_launch
+    )
+    for i in range(n):
+        sim.spawn(component(i), delay=float(launch[task_of[i]]))
+
+    events = sim.run()
+    if np.any(remaining != 0):
+        raise SolverError("DES run finished with unsatisfied dependencies")
+    return DesExecution(
+        x=x,
+        total_time=sim.now,
+        trace=trace,
+        page_faults=um.fault_count if um is not None else 0,
+        events=events,
+    )
+
+
+class DesSolver(TriangularSolver):
+    """Solver front-end for the event-granular tier (small systems)."""
+
+    name = "des-event-granular"
+
+    def __init__(
+        self,
+        machine: MachineConfig | None = None,
+        design: Design | str = Design.SHMEM_READONLY,
+        max_components: int = 20_000,
+    ):
+        self.machine = machine if machine is not None else dgx1(4)
+        self.design = Design(design)
+        self.max_components = max_components
+
+    def solve(self, lower: CscMatrix, b: np.ndarray) -> SolveResult:
+        b = validate_system(lower, b)
+        n = lower.shape[0]
+        if n > self.max_components:
+            raise SolverError(
+                f"DES tier is for small systems (n <= {self.max_components}); "
+                "use the fast-model solvers for large inputs"
+            )
+        dist = block_distribution(n, self.machine.n_gpus)
+        ex = des_execute(lower, b, dist, self.machine, self.design)
+        # Re-price through the fast model for a comparable report, but keep
+        # the DES-exact wall clock by exposing it through the trace.
+        from repro.exec_model.timeline import simulate_execution
+
+        report = simulate_execution(lower, dist, self.machine, self.design)
+        result = SolveResult(x=ex.x, report=report, solver=self.name)
+        return result

@@ -1,0 +1,168 @@
+"""Mixed-precision SpTRSV with iterative refinement (extension).
+
+A standard acceleration in the SpTRSV literature the paper's future work
+points toward: run the solve in float32 — halving both the arithmetic
+word size and, more importantly for this paper's bottleneck, the *bytes
+every remote get and left-sum update moves* — then recover float64
+accuracy with residual-based iterative refinement:
+
+    x_0 = solve_32(L, b);   r_k = b - L x_k;   x_{k+1} = x_k + solve_32(L, r_k)
+
+Refinement on a triangular system converges extremely fast (the solve is
+exact up to rounding), so 1-2 sweeps typically reach ~1e-12 relative
+error while every simulated solve enjoys fp32 traffic.
+
+Numerics here are *real*: the low-precision sweeps actually compute in
+``np.float32`` (you can watch the rounding error appear and then get
+refined away), and the report prices fp32 data movement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.analysis.levels import compute_levels
+from repro.errors import SolverError
+from repro.exec_model.costmodel import Design, build_comm_costs
+from repro.exec_model.timeline import ExecutionReport, simulate_execution
+from repro.machine.node import MachineConfig, dgx1
+from repro.solvers.base import SolveResult, TriangularSolver, validate_system
+from repro.sparse.csc import CscMatrix
+from repro.tasks.schedule import round_robin_distribution
+
+__all__ = ["float32_forward", "MixedPrecisionSolver"]
+
+
+def float32_forward(lower: CscMatrix, b: np.ndarray) -> np.ndarray:
+    """Level-sweep forward solve computed entirely in float32.
+
+    Returns a float64 array holding the float32-accurate solution (the
+    rounding error is the point — refinement removes it).
+    """
+    levels = compute_levels(lower)
+    n = lower.shape[0]
+    indptr = lower.indptr
+    indices = lower.indices
+    data32 = lower.data.astype(np.float32)
+    b32 = np.asarray(b, dtype=np.float32)
+    diag_ptr = indptr[:-1]
+    diag = data32[diag_ptr]
+    x = np.zeros(n, dtype=np.float32)
+    left = np.zeros(n, dtype=np.float32)
+    for l in range(levels.n_levels):
+        comps = levels.level(l)
+        x[comps] = (b32[comps] - left[comps]) / diag[comps]
+        starts = diag_ptr[comps] + 1
+        stops = indptr[comps + 1]
+        counts = stops - starts
+        total = int(counts.sum())
+        if total == 0:
+            continue
+        rep_starts = np.repeat(starts, counts)
+        within = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        eidx = rep_starts + within
+        rows = indices[eidx]
+        src = np.repeat(comps, counts)
+        np.add.at(left, rows, data32[eidx] * x[src])
+    return x.astype(np.float64)
+
+
+@dataclass(frozen=True)
+class _RefinementStats:
+    sweeps: int
+    final_residual: float
+    residual_history: tuple
+
+
+class MixedPrecisionSolver(TriangularSolver):
+    """fp32 multi-GPU solve + fp64 iterative refinement.
+
+    Parameters
+    ----------
+    machine, tasks_per_gpu:
+        The zero-copy configuration each fp32 sweep is priced on.
+    tol:
+        Componentwise relative residual target (float64).
+    max_sweeps:
+        Refinement bound; exceeding it raises :class:`SolverError`
+        (triangular refinement diverging means the system is pathological).
+    """
+
+    name = "mixed-precision-zerocopy"
+
+    def __init__(
+        self,
+        machine: MachineConfig | None = None,
+        tasks_per_gpu: int = 8,
+        tol: float = 1e-12,
+        max_sweeps: int = 4,
+    ):
+        self.machine = machine if machine is not None else dgx1(4)
+        self.tasks_per_gpu = tasks_per_gpu
+        self.tol = tol
+        self.max_sweeps = max_sweeps
+        self.last_refinement: _RefinementStats | None = None
+
+    def solve(self, lower: CscMatrix, b: np.ndarray) -> SolveResult:
+        b = validate_system(lower, b)
+        scale = np.maximum(np.abs(b), 1.0)
+
+        x = float32_forward(lower, b)
+        history = []
+        sweeps = 1
+        while True:
+            r = b - lower.matvec(x)
+            res = float(np.max(np.abs(r) / scale))
+            history.append(res)
+            if res <= self.tol:
+                break
+            if sweeps >= self.max_sweeps:
+                raise SolverError(
+                    f"iterative refinement did not reach {self.tol:g} in "
+                    f"{self.max_sweeps} sweeps (residual {res:g})"
+                )
+            x = x + float32_forward(lower, r)
+            sweeps += 1
+        self.last_refinement = _RefinementStats(
+            sweeps=sweeps,
+            final_residual=history[-1],
+            residual_history=tuple(history),
+        )
+
+        report = self._price(lower, sweeps)
+        return SolveResult(x=x, report=report, solver=self.name)
+
+    # ------------------------------------------------------------------
+    def _price(self, lower: CscMatrix, sweeps: int) -> ExecutionReport:
+        """fp32 sweeps: half-width values halve the arithmetic streaming
+        term and the fabric payloads; counters/indices stay 8/4 bytes."""
+        m32 = self.machine.with_gpu(
+            t_per_nnz=self.machine.gpu.t_per_nnz * 0.5
+        )
+        dist = round_robin_distribution(
+            lower.shape[0], m32.n_gpus, self.tasks_per_gpu
+        )
+        costs = build_comm_costs(m32, Design.SHMEM_READONLY)
+        one = simulate_execution(
+            lower, dist, m32, Design.SHMEM_READONLY, costs=costs
+        )
+        # Residual computation between sweeps: one SpMV-like pass, fully
+        # parallel — charge a streaming term per sweep beyond the first.
+        residual_pass = (
+            lower.nnz
+            * self.machine.gpu.t_per_nnz
+            / max(self.machine.gpu.analysis_parallelism, 1)
+        )
+        return replace(
+            one,
+            design="mixed_precision",
+            solve_time=one.solve_time * sweeps
+            + residual_pass * max(sweeps - 1, 0),
+            fabric_bytes=one.fabric_bytes * 0.75 * sweeps,  # fp32 payloads
+            local_updates=one.local_updates * sweeps,
+            remote_updates=one.remote_updates * sweeps,
+        )

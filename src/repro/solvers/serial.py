@@ -1,0 +1,75 @@
+"""Serial reference solver (Algorithm 1 of the paper).
+
+Forward substitution over CSC columns in ascending order, maintaining the
+``left_sum`` partial-sum array exactly as the paper's pseudocode does.
+This is the numerical oracle every parallel solver is validated against,
+and its column-sweep structure is the template the parallel designs
+distribute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SingularMatrixError
+from repro.sparse.csc import CscMatrix
+from repro.solvers.base import SolveResult, TriangularSolver, validate_system
+
+__all__ = ["serial_forward", "serial_backward", "SerialSolver"]
+
+
+def serial_forward(lower: CscMatrix, b: np.ndarray) -> np.ndarray:
+    """Solve ``Lx = b`` by forward substitution (Algorithm 1).
+
+    The inner update ``left_sum[j] += l_ij * x_i`` over column ``i``'s
+    strictly-lower entries is vectorised per column; the outer loop is the
+    inherently serial component order.
+    """
+    n = lower.shape[0]
+    x = np.zeros(n)
+    left_sum = np.zeros(n)
+    indptr, indices, data = lower.indptr, lower.indices, lower.data
+    for i in range(n):
+        lo, hi = int(indptr[i]), int(indptr[i + 1])
+        if lo >= hi or indices[lo] != i:
+            raise SingularMatrixError(f"missing diagonal at column {i}")
+        diag = data[lo]
+        xi = (b[i] - left_sum[i]) / diag
+        x[i] = xi
+        if hi > lo + 1:
+            rows = indices[lo + 1 : hi]
+            left_sum[rows] += data[lo + 1 : hi] * xi
+    return x
+
+
+def serial_backward(upper: CscMatrix, b: np.ndarray) -> np.ndarray:
+    """Solve ``Ux = b`` by backward substitution (descending order).
+
+    ``upper`` is CSC with row indices ascending per column, so the
+    diagonal is each column's *last* stored entry.
+    """
+    n = upper.shape[0]
+    x = np.zeros(n)
+    left_sum = np.zeros(n)
+    indptr, indices, data = upper.indptr, upper.indices, upper.data
+    for i in range(n - 1, -1, -1):
+        lo, hi = int(indptr[i]), int(indptr[i + 1])
+        if hi <= lo or indices[hi - 1] != i:
+            raise SingularMatrixError(f"missing diagonal at column {i}")
+        diag = data[hi - 1]
+        xi = (b[i] - left_sum[i]) / diag
+        x[i] = xi
+        if hi - 1 > lo:
+            rows = indices[lo : hi - 1]
+            left_sum[rows] += data[lo : hi - 1] * xi
+    return x
+
+
+class SerialSolver(TriangularSolver):
+    """Host-side reference solver; produces no machine report."""
+
+    name = "serial-reference"
+
+    def solve(self, lower: CscMatrix, b: np.ndarray) -> SolveResult:
+        b = validate_system(lower, b)
+        return SolveResult(x=serial_forward(lower, b), report=None, solver=self.name)

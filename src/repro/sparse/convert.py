@@ -1,0 +1,114 @@
+"""Format conversions between COO, CSR and CSC.
+
+All conversions are vectorised (counting sort over the major index) and
+produce canonical outputs: duplicates summed, minor indices strictly
+increasing within each major slice.  A small SciPy bridge is provided for
+interoperability with the wider ecosystem (and for test oracles).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import CooMatrix
+from repro.sparse.csc import CscMatrix
+from repro.sparse.csr import CsrMatrix
+
+__all__ = [
+    "coo_to_csr",
+    "coo_to_csc",
+    "csr_to_csc",
+    "csc_to_csr",
+    "to_scipy",
+    "from_scipy",
+]
+
+
+def _compress(
+    major: np.ndarray,
+    minor: np.ndarray,
+    data: np.ndarray,
+    n_major: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compress sorted-by-(major, minor) triplets into (indptr, indices, data).
+
+    Assumes the caller already canonicalised (no duplicates, sorted).
+    """
+    counts = np.bincount(major, minlength=n_major)
+    indptr = np.zeros(n_major + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, minor, data
+
+
+def coo_to_csr(coo: CooMatrix) -> CsrMatrix:
+    """Convert COO to canonical CSR (duplicates summed, columns sorted)."""
+    canon = coo.sum_duplicates()
+    indptr, indices, data = _compress(
+        canon.row, canon.col, canon.data, canon.shape[0]
+    )
+    return CsrMatrix(indptr, indices.copy(), data.copy(), canon.shape)
+
+
+def coo_to_csc(coo: CooMatrix) -> CscMatrix:
+    """Convert COO to canonical CSC (duplicates summed, rows sorted)."""
+    canon = coo.transpose().sum_duplicates()
+    # canon is the transpose in canonical row-major order == column-major
+    # order of the original matrix.
+    indptr, indices, data = _compress(
+        canon.row, canon.col, canon.data, canon.shape[0]
+    )
+    return CscMatrix(
+        indptr, indices.copy(), data.copy(), (coo.shape[0], coo.shape[1])
+    )
+
+
+def csr_to_csc(csr: CsrMatrix) -> CscMatrix:
+    """Convert CSR to CSC with a stable counting sort over columns."""
+    rows = np.repeat(np.arange(csr.n_rows, dtype=np.int64), csr.row_nnz())
+    order = np.argsort(csr.indices, kind="stable")
+    counts = np.bincount(csr.indices, minlength=csr.n_cols)
+    indptr = np.zeros(csr.n_cols + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return CscMatrix(indptr, rows[order], csr.data[order], csr.shape)
+
+
+def csc_to_csr(csc: CscMatrix) -> CsrMatrix:
+    """Convert CSC to CSR with a stable counting sort over rows."""
+    cols = np.repeat(np.arange(csc.n_cols, dtype=np.int64), csc.col_nnz())
+    order = np.argsort(csc.indices, kind="stable")
+    counts = np.bincount(csc.indices, minlength=csc.n_rows)
+    indptr = np.zeros(csc.n_rows + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return CsrMatrix(indptr, cols[order], csc.data[order], csc.shape)
+
+
+def to_scipy(mat: CooMatrix | CsrMatrix | CscMatrix):
+    """Convert any repro sparse matrix to the matching SciPy sparse class."""
+    import scipy.sparse as sp
+
+    if isinstance(mat, CooMatrix):
+        return sp.coo_matrix((mat.data, (mat.row, mat.col)), shape=mat.shape)
+    if isinstance(mat, CsrMatrix):
+        return sp.csr_matrix((mat.data, mat.indices, mat.indptr), shape=mat.shape)
+    if isinstance(mat, CscMatrix):
+        return sp.csc_matrix((mat.data, mat.indices, mat.indptr), shape=mat.shape)
+    raise TypeError(f"unsupported matrix type {type(mat).__name__}")
+
+
+def from_scipy(mat) -> CooMatrix | CsrMatrix | CscMatrix:
+    """Convert a SciPy sparse matrix to the matching repro class."""
+    import scipy.sparse as sp
+
+    if sp.isspmatrix_coo(mat):
+        return CooMatrix(mat.row, mat.col, mat.data, mat.shape)
+    if sp.isspmatrix_csr(mat):
+        m = mat.sorted_indices()
+        m.sum_duplicates()
+        return CsrMatrix(m.indptr, m.indices, m.data, m.shape)
+    if sp.isspmatrix_csc(mat):
+        m = mat.sorted_indices()
+        m.sum_duplicates()
+        return CscMatrix(m.indptr, m.indices, m.data, m.shape)
+    # Fall back through COO for anything else (LIL, DOK, DIA, arrays...)
+    c = sp.coo_matrix(mat)
+    return CooMatrix(c.row, c.col, c.data, c.shape)

@@ -1,0 +1,192 @@
+"""Compressed Sparse Row (CSR) matrix format.
+
+CSR stores, for each row, a contiguous slice of column indices and values.
+It is the natural format for row-oriented kernels (SpMV, the cuSPARSE
+``csrsv2`` baseline) and for computing *row dependencies* of SpTRSV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from repro.errors import ShapeError, SparseFormatError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sparse.coo import CooMatrix
+    from repro.sparse.csc import CscMatrix
+
+__all__ = ["CsrMatrix"]
+
+
+@dataclass
+class CsrMatrix:
+    """Sparse matrix in compressed sparse row format.
+
+    Parameters
+    ----------
+    indptr:
+        ``(n_rows + 1,)`` row-pointer array; row ``i`` occupies the slice
+        ``indptr[i]:indptr[i+1]`` of ``indices``/``data``.
+    indices:
+        Column index of each stored entry.
+    data:
+        Value of each stored entry.
+    shape:
+        ``(n_rows, n_cols)``.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+    shape: tuple[int, int]
+
+    def __post_init__(self) -> None:
+        self.indptr = np.asarray(self.indptr, dtype=np.int64)
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        self.data = np.asarray(self.data, dtype=np.float64)
+        self.shape = (int(self.shape[0]), int(self.shape[1]))
+        if self.indptr.ndim != 1 or len(self.indptr) != self.shape[0] + 1:
+            raise SparseFormatError(
+                f"indptr length {len(self.indptr)} != n_rows+1 = {self.shape[0] + 1}"
+            )
+        if len(self.indices) != len(self.data):
+            raise SparseFormatError("indices and data must have equal length")
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(len(self.data))
+
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self.shape[1]
+
+    def row_slice(self, i: int) -> slice:
+        """The slice of ``indices``/``data`` belonging to row ``i``."""
+        return slice(int(self.indptr[i]), int(self.indptr[i + 1]))
+
+    def row_nnz(self) -> np.ndarray:
+        """Number of stored entries per row, shape ``(n_rows,)``."""
+        return np.diff(self.indptr)
+
+    def iter_rows(self) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
+        """Yield ``(i, cols, vals)`` for each row (views, do not mutate)."""
+        for i in range(self.n_rows):
+            sl = self.row_slice(i)
+            yield i, self.indices[sl], self.data[sl]
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`SparseFormatError`.
+
+        Invariants: ``indptr`` monotone non-decreasing starting at 0 and
+        ending at ``nnz``; all column indices within range; column indices
+        strictly increasing within each row (canonical form).
+        """
+        if self.indptr[0] != 0:
+            raise SparseFormatError("indptr must start at 0")
+        if self.indptr[-1] != self.nnz:
+            raise SparseFormatError(
+                f"indptr must end at nnz={self.nnz}, got {int(self.indptr[-1])}"
+            )
+        if np.any(np.diff(self.indptr) < 0):
+            raise SparseFormatError("indptr must be non-decreasing")
+        if self.nnz:
+            if self.indices.min() < 0 or self.indices.max() >= self.shape[1]:
+                raise SparseFormatError("column index out of range")
+            # strictly increasing within each row <=> diff > 0 except at row
+            # boundaries.
+            d = np.diff(self.indices)
+            boundary = np.zeros(len(d), dtype=bool)
+            inner_ptr = self.indptr[1:-1]
+            boundary[inner_ptr[(inner_ptr > 0) & (inner_ptr < self.nnz)] - 1] = True
+            if np.any((d <= 0) & ~boundary):
+                raise SparseFormatError(
+                    "column indices must be strictly increasing within each row"
+                )
+        if not np.all(np.isfinite(self.data)):
+            raise SparseFormatError("non-finite values in CSR matrix")
+
+    def validated(self) -> "CsrMatrix":
+        self.validate()
+        return self
+
+    # ------------------------------------------------------------------
+    def to_coo(self) -> "CooMatrix":
+        from repro.sparse.coo import CooMatrix
+
+        rows = np.repeat(np.arange(self.n_rows, dtype=np.int64), self.row_nnz())
+        out = CooMatrix(rows, self.indices.copy(), self.data.copy(), self.shape)
+        out._canonical = True
+        return out
+
+    def to_csc(self) -> "CscMatrix":
+        from repro.sparse.convert import csr_to_csc
+
+        return csr_to_csc(self)
+
+    def to_dense(self) -> np.ndarray:
+        return self.to_coo().to_dense()
+
+    def transpose(self) -> "CscMatrix":
+        """Zero-cost transpose: a CSR matrix reinterpreted as CSC.
+
+        The returned :class:`CscMatrix` shares the underlying arrays.
+        """
+        from repro.sparse.csc import CscMatrix
+
+        return CscMatrix(
+            self.indptr, self.indices, self.data, (self.shape[1], self.shape[0])
+        )
+
+    def copy(self) -> "CsrMatrix":
+        return CsrMatrix(
+            self.indptr.copy(), self.indices.copy(), self.data.copy(), self.shape
+        )
+
+    # ------------------------------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``A @ x`` via per-entry gather + segmented reduction."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.shape[1],):
+            raise ShapeError(
+                f"matvec operand has shape {x.shape}, expected ({self.shape[1]},)"
+            )
+        products = self.data * x[self.indices]
+        out = np.zeros(self.shape[0])
+        np.add.at(
+            out,
+            np.repeat(np.arange(self.n_rows, dtype=np.int64), self.row_nnz()),
+            products,
+        )
+        return out
+
+    def diagonal(self) -> np.ndarray:
+        """The main diagonal as a dense vector (missing entries are 0)."""
+        n = min(self.shape)
+        out = np.zeros(n)
+        for i in range(n):
+            sl = self.row_slice(i)
+            hit = np.searchsorted(self.indices[sl], i)
+            if hit < sl.stop - sl.start and self.indices[sl.start + hit] == i:
+                out[i] = self.data[sl.start + hit]
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CsrMatrix):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and np.array_equal(self.data, other.data)
+        )
+
+    __hash__ = None  # type: ignore[assignment]

@@ -1,0 +1,144 @@
+"""Triangular-structure helpers.
+
+Extraction of lower/upper triangles, triangularity checks, and permutation
+utilities.  The paper factorises general SuiteSparse matrices and runs
+SpTRSV on the resulting L factor; :func:`lower_triangle` with
+``ensure_nonzero_diag=True`` is the shortcut used throughout benchmarking
+literature (including the sync-free SpTRSV baseline of Liu et al.) when a
+full factorisation is not required.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotTriangularError, ShapeError, SingularMatrixError
+from repro.sparse.coo import CooMatrix
+from repro.sparse.csc import CscMatrix
+from repro.sparse.csr import CsrMatrix
+
+__all__ = [
+    "is_lower_triangular",
+    "is_upper_triangular",
+    "lower_triangle",
+    "upper_triangle",
+    "require_lower_triangular",
+    "check_nonzero_diagonal",
+    "permute_symmetric",
+]
+
+
+def is_lower_triangular(mat: CscMatrix | CsrMatrix | CooMatrix) -> bool:
+    """True if every stored entry satisfies ``row >= col``."""
+    coo = mat if isinstance(mat, CooMatrix) else mat.to_coo()
+    return bool(np.all(coo.row >= coo.col))
+
+
+def is_upper_triangular(mat: CscMatrix | CsrMatrix | CooMatrix) -> bool:
+    """True if every stored entry satisfies ``row <= col``."""
+    coo = mat if isinstance(mat, CooMatrix) else mat.to_coo()
+    return bool(np.all(coo.row <= coo.col))
+
+
+def lower_triangle(
+    mat: CooMatrix | CscMatrix | CsrMatrix,
+    ensure_nonzero_diag: bool = True,
+    diag_shift: float = 0.0,
+) -> CscMatrix:
+    """Extract the lower triangle (including the diagonal) as CSC.
+
+    Parameters
+    ----------
+    mat:
+        A square sparse matrix in any format.
+    ensure_nonzero_diag:
+        If True (default), missing or zero diagonal entries are replaced by
+        ``1 + |row_sum|`` so the triangle is non-singular and comfortably
+        diagonally dominant — the standard trick for building SpTRSV
+        benchmark inputs from arbitrary sparsity patterns.
+    diag_shift:
+        Constant added to every diagonal entry (after the fix-up).
+    """
+    coo = (mat if isinstance(mat, CooMatrix) else mat.to_coo()).sum_duplicates()
+    if coo.shape[0] != coo.shape[1]:
+        raise ShapeError(f"lower_triangle needs a square matrix, got {coo.shape}")
+    n = coo.shape[0]
+    keep = coo.row >= coo.col
+    rows, cols, data = coo.row[keep], coo.col[keep], coo.data[keep]
+
+    if ensure_nonzero_diag or diag_shift:
+        on_diag = rows == cols
+        diag = np.zeros(n)
+        diag[rows[on_diag]] = data[on_diag]
+        if ensure_nonzero_diag:
+            row_sum = np.zeros(n)
+            np.add.at(row_sum, rows[~on_diag], np.abs(data[~on_diag]))
+            weak = np.abs(diag) < 1e-12
+            diag[weak] = 1.0 + row_sum[weak]
+        diag += diag_shift
+        rows = np.concatenate([rows[~on_diag], np.arange(n, dtype=np.int64)])
+        cols = np.concatenate([cols[~on_diag], np.arange(n, dtype=np.int64)])
+        data = np.concatenate([data[~on_diag], diag])
+
+    return CooMatrix(rows, cols, data, (n, n)).to_csc()
+
+
+def upper_triangle(
+    mat: CooMatrix | CscMatrix | CsrMatrix,
+    ensure_nonzero_diag: bool = True,
+    diag_shift: float = 0.0,
+) -> CscMatrix:
+    """Extract the upper triangle (including the diagonal) as CSC.
+
+    Mirrors :func:`lower_triangle`; used for backward substitution
+    (``Ux = b``) tests.
+    """
+    coo = (mat if isinstance(mat, CooMatrix) else mat.to_coo()).sum_duplicates()
+    flipped = lower_triangle(
+        coo.transpose(),
+        ensure_nonzero_diag=ensure_nonzero_diag,
+        diag_shift=diag_shift,
+    )
+    # flipped is the lower triangle of A^T in CSC == upper triangle of A in
+    # CSR; convert back to CSC of the upper triangle.
+    return flipped.transpose().to_csc()
+
+
+def require_lower_triangular(mat: CscMatrix) -> None:
+    """Raise :class:`NotTriangularError` unless ``mat`` is square lower."""
+    if mat.shape[0] != mat.shape[1]:
+        raise NotTriangularError(f"matrix is not square: {mat.shape}")
+    if not is_lower_triangular(mat):
+        raise NotTriangularError("matrix has entries above the diagonal")
+
+
+def check_nonzero_diagonal(mat: CscMatrix, tol: float = 0.0) -> None:
+    """Raise :class:`SingularMatrixError` if any diagonal entry is <= tol.
+
+    SpTRSV divides by the diagonal; a (near-)zero pivot makes the system
+    singular.
+    """
+    diag = mat.diagonal()
+    bad = np.nonzero(np.abs(diag) <= tol)[0]
+    if len(bad):
+        raise SingularMatrixError(
+            f"zero/small diagonal at indices {bad[:8].tolist()}"
+            + ("..." if len(bad) > 8 else "")
+        )
+
+
+def permute_symmetric(mat: CscMatrix | CsrMatrix, perm: np.ndarray) -> CscMatrix:
+    """Symmetric permutation ``P A P^T`` returned as CSC.
+
+    ``perm[i]`` gives the new index of old row/column ``i``.  Used by
+    reordering experiments (a permutation changes #levels/parallelism
+    without changing the numerics of the solve).
+    """
+    perm = np.asarray(perm, dtype=np.int64)
+    n = mat.shape[0]
+    if mat.shape[0] != mat.shape[1]:
+        raise ShapeError("symmetric permutation needs a square matrix")
+    if perm.shape != (n,) or not np.array_equal(np.sort(perm), np.arange(n)):
+        raise ShapeError("perm must be a permutation of range(n)")
+    coo = mat.to_coo()
+    return CooMatrix(perm[coo.row], perm[coo.col], coo.data, coo.shape).to_csc()

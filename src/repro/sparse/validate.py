@@ -1,0 +1,74 @@
+"""Numerical validation helpers shared by tests, examples and benches.
+
+SpTRSV implementations in this package are checked two ways:
+
+* against the dense solve of the same system (:func:`residual_norm`), and
+* against each other (:func:`assert_solutions_close`), since every solver
+  variant must produce the same ``x`` regardless of its communication
+  model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csc import CscMatrix
+
+__all__ = [
+    "residual_norm",
+    "relative_error",
+    "assert_solutions_close",
+    "random_rhs_for_solution",
+]
+
+
+def residual_norm(lower: CscMatrix, x: np.ndarray, b: np.ndarray) -> float:
+    """Infinity-norm of ``L x - b`` scaled by ``|L| |x| + |b|`` (componentwise
+    backward-error style), robust to wildly varying magnitudes."""
+    x = np.asarray(x, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    r = lower.matvec(x) - b
+    scale_mat = CscMatrix(
+        lower.indptr, lower.indices, np.abs(lower.data), lower.shape
+    )
+    scale = scale_mat.matvec(np.abs(x)) + np.abs(b)
+    scale[scale == 0.0] = 1.0
+    return float(np.max(np.abs(r) / scale))
+
+
+def relative_error(x: np.ndarray, x_ref: np.ndarray) -> float:
+    """Relative infinity-norm error of ``x`` versus a reference solution."""
+    x = np.asarray(x, dtype=np.float64)
+    x_ref = np.asarray(x_ref, dtype=np.float64)
+    denom = max(float(np.max(np.abs(x_ref))), 1e-300)
+    return float(np.max(np.abs(x - x_ref))) / denom
+
+
+def assert_solutions_close(
+    x: np.ndarray,
+    x_ref: np.ndarray,
+    rtol: float = 1e-9,
+    context: str = "",
+) -> None:
+    """Assert two solver outputs agree; raise AssertionError with detail."""
+    err = relative_error(x, x_ref)
+    if err > rtol:
+        worst = int(np.argmax(np.abs(np.asarray(x) - np.asarray(x_ref))))
+        raise AssertionError(
+            f"solutions differ{' (' + context + ')' if context else ''}: "
+            f"rel err {err:.3e} > {rtol:.1e}; worst component {worst}: "
+            f"{x[worst]!r} vs {x_ref[worst]!r}"
+        )
+
+
+def random_rhs_for_solution(
+    lower: CscMatrix, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Manufacture ``(b, x_true)`` with known solution ``x_true``.
+
+    Draws ``x_true`` from U(0.5, 1.5) (away from zero so relative error is
+    well defined) and returns ``b = L x_true``.
+    """
+    rng = np.random.default_rng(seed)
+    x_true = rng.uniform(0.5, 1.5, size=lower.shape[1])
+    return lower.matvec(x_true), x_true

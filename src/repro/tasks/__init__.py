@@ -1,0 +1,22 @@
+"""Task model: component grouping, placement policies, balance metrics."""
+
+from repro.tasks.balance import imbalance_ratio, static_work_per_gpu, waiting_bias
+from repro.tasks.hierarchical import hierarchical_distribution
+from repro.tasks.partition import TaskPartition, partition_components
+from repro.tasks.schedule import (
+    Distribution,
+    block_distribution,
+    round_robin_distribution,
+)
+
+__all__ = [
+    "TaskPartition",
+    "partition_components",
+    "Distribution",
+    "block_distribution",
+    "round_robin_distribution",
+    "hierarchical_distribution",
+    "static_work_per_gpu",
+    "imbalance_ratio",
+    "waiting_bias",
+]

@@ -1,0 +1,78 @@
+"""Component-task partitioning (Section V, Fig. 6).
+
+Components are grouped into contiguous *component-tasks* of (near-)equal
+size; a task is the smallest scheduling unit, carrying its components'
+columns of L and slice of b.  Grouping is contiguous by construction so
+the spatial locality of dependent components (neighbouring indices) stays
+inside one task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TaskModelError
+
+__all__ = ["TaskPartition", "partition_components"]
+
+
+@dataclass(frozen=True)
+class TaskPartition:
+    """A contiguous partition of ``n`` components into tasks.
+
+    Attributes
+    ----------
+    n:
+        Number of components.
+    task_ptr:
+        ``(n_tasks + 1,)`` boundaries: task ``t`` owns components
+        ``task_ptr[t]:task_ptr[t+1]``.
+    """
+
+    n: int
+    task_ptr: np.ndarray
+
+    @property
+    def n_tasks(self) -> int:
+        return int(len(self.task_ptr) - 1)
+
+    def components_of(self, t: int) -> np.ndarray:
+        """Component indices of task ``t``."""
+        return np.arange(self.task_ptr[t], self.task_ptr[t + 1], dtype=np.int64)
+
+    def task_of_components(self) -> np.ndarray:
+        """``(n,)`` map from component to owning task."""
+        sizes = np.diff(self.task_ptr)
+        return np.repeat(np.arange(self.n_tasks, dtype=np.int64), sizes)
+
+    def sizes(self) -> np.ndarray:
+        return np.diff(self.task_ptr)
+
+
+def partition_components(n: int, n_tasks: int) -> TaskPartition:
+    """Split ``n`` components into ``n_tasks`` near-equal contiguous tasks.
+
+    Sizes differ by at most one (the first ``n % n_tasks`` tasks get the
+    extra component).  ``n_tasks`` may not exceed ``n`` — empty tasks
+    would launch kernels with no work, which the paper's model never
+    creates — unless ``n`` is zero.
+    """
+    if n_tasks < 1:
+        raise TaskModelError(f"n_tasks must be >= 1, got {n_tasks}")
+    if n < 0:
+        raise TaskModelError(f"negative component count {n}")
+    if n == 0:
+        return TaskPartition(0, np.zeros(1, dtype=np.int64))
+    if n_tasks > n:
+        raise TaskModelError(
+            f"cannot split {n} components into {n_tasks} non-empty tasks"
+        )
+    base = n // n_tasks
+    extra = n % n_tasks
+    sizes = np.full(n_tasks, base, dtype=np.int64)
+    sizes[:extra] += 1
+    ptr = np.zeros(n_tasks + 1, dtype=np.int64)
+    np.cumsum(sizes, out=ptr[1:])
+    return TaskPartition(n, ptr)

@@ -1,0 +1,183 @@
+"""Task-to-GPU distribution and the malleable task pool (Section V).
+
+Two placement policies:
+
+* :func:`block_distribution` — the baseline: components split into one
+  contiguous block per GPU in ascending order.  Produces the
+  unidirectional waiting problem (GPU ``k`` waits on all GPUs ``< k``).
+* :func:`round_robin_distribution` — the paper's task model: contiguous
+  tasks dealt round-robin over GPUs *in order of available memory* so
+  every GPU receives both early (small-index) and late components.
+
+Both return a :class:`Distribution` that the execution models and the
+functional solver emulations consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TaskModelError
+from repro.machine.memory import DeviceMemory
+from repro.tasks.partition import TaskPartition, partition_components
+
+__all__ = [
+    "Distribution",
+    "block_distribution",
+    "round_robin_distribution",
+]
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """A complete workload placement.
+
+    Attributes
+    ----------
+    n:
+        Number of components.
+    n_gpus:
+        Number of participating GPUs (PE ranks ``0..n_gpus-1``).
+    partition:
+        The underlying component-task partition.
+    task_gpu:
+        ``(n_tasks,)`` owning GPU rank per task.
+    task_launch_slot:
+        ``(n_tasks,)`` kernel-launch position of each task *within its
+        GPU's launch queue* (0 = launched first).  Tasks on one GPU launch
+        in ascending component order, keeping per-GPU dispatch monotone in
+        component index (the deadlock-freedom requirement of the
+        sync-free execution model).
+    gpu_of:
+        ``(n,)`` owning GPU rank per component.
+    """
+
+    n: int
+    n_gpus: int
+    partition: TaskPartition
+    task_gpu: np.ndarray
+    task_launch_slot: np.ndarray
+    gpu_of: np.ndarray
+
+    @property
+    def n_tasks(self) -> int:
+        return self.partition.n_tasks
+
+    @property
+    def tasks_per_gpu(self) -> np.ndarray:
+        """Number of tasks placed on each GPU."""
+        return np.bincount(self.task_gpu, minlength=self.n_gpus)
+
+    def task_of(self) -> np.ndarray:
+        """``(n,)`` owning task per component."""
+        return self.partition.task_of_components()
+
+    def components_on_gpu(self, g: int) -> np.ndarray:
+        """All component indices owned by GPU ``g`` (ascending)."""
+        return np.nonzero(self.gpu_of == g)[0]
+
+    def local_fraction(self, dag) -> float:
+        """Fraction of dependency edges that stay on one GPU.
+
+        Higher is better: cross-GPU edges are the ones that pay
+        communication.  ``dag`` is a
+        :class:`repro.analysis.dag.DependencyDag`.
+        """
+        if dag.n_edges == 0:
+            return 1.0
+        src = np.repeat(
+            np.arange(dag.n, dtype=np.int64), np.diff(dag.out_ptr)
+        )
+        same = self.gpu_of[src] == self.gpu_of[dag.out_idx]
+        return float(np.mean(same))
+
+
+def _build(
+    n: int, n_gpus: int, partition: TaskPartition, task_gpu: np.ndarray
+) -> Distribution:
+    sizes = partition.sizes()
+    gpu_of = np.repeat(task_gpu, sizes)
+    # Launch slots: ascending task id per GPU.
+    launch = np.zeros(partition.n_tasks, dtype=np.int64)
+    next_slot = np.zeros(n_gpus, dtype=np.int64)
+    for t in range(partition.n_tasks):
+        g = int(task_gpu[t])
+        launch[t] = next_slot[g]
+        next_slot[g] += 1
+    return Distribution(
+        n=n,
+        n_gpus=n_gpus,
+        partition=partition,
+        task_gpu=task_gpu,
+        task_launch_slot=launch,
+        gpu_of=gpu_of,
+    )
+
+
+def block_distribution(n: int, n_gpus: int) -> Distribution:
+    """Baseline: one contiguous ascending block per GPU.
+
+    Equivalent to a round-robin distribution with one task per GPU; this
+    is the "continued component distribution" of the 4GPU-Shmem scenario.
+    """
+    if n_gpus < 1:
+        raise TaskModelError(f"n_gpus must be >= 1, got {n_gpus}")
+    part = partition_components(n, min(n_gpus, max(n, 1)))
+    task_gpu = np.arange(part.n_tasks, dtype=np.int64)
+    return _build(n, n_gpus, part, task_gpu)
+
+
+def round_robin_distribution(
+    n: int,
+    n_gpus: int,
+    tasks_per_gpu: int,
+    memories: list[DeviceMemory] | None = None,
+) -> Distribution:
+    """The paper's task model: tasks dealt round-robin over GPUs.
+
+    Parameters
+    ----------
+    n, n_gpus:
+        Problem and machine size.
+    tasks_per_gpu:
+        Tasks per GPU (the Fig. 9 sensitivity knob); total tasks =
+        ``tasks_per_gpu * n_gpus`` (capped at ``n``).
+    memories:
+        Optional per-GPU :class:`~repro.machine.memory.DeviceMemory`.
+        When given, each round deals to GPUs in descending free-memory
+        order ("round-robin order based on the available memory",
+        Section V); with homogeneous empty devices this degenerates to
+        plain round-robin.
+    """
+    if n_gpus < 1:
+        raise TaskModelError(f"n_gpus must be >= 1, got {n_gpus}")
+    if tasks_per_gpu < 1:
+        raise TaskModelError(f"tasks_per_gpu must be >= 1, got {tasks_per_gpu}")
+    n_tasks = min(tasks_per_gpu * n_gpus, max(n, 1))
+    part = partition_components(n, n_tasks)
+    task_gpu = np.zeros(part.n_tasks, dtype=np.int64)
+
+    if memories is not None and len(memories) != n_gpus:
+        raise TaskModelError(
+            f"got {len(memories)} device memories for {n_gpus} GPUs"
+        )
+    # Track placed bytes to honour the available-memory rule.
+    sizes = part.sizes()
+    placed_bytes = np.array(
+        [0 if memories is None else memories[g].used() for g in range(n_gpus)],
+        dtype=np.float64,
+    )
+    t = 0
+    while t < part.n_tasks:
+        # One dealing round: GPUs ordered by most-available memory first,
+        # stable on rank for determinism.
+        order = np.argsort(placed_bytes, kind="stable")
+        for g in order:
+            if t >= part.n_tasks:
+                break
+            task_gpu[t] = g
+            placed_bytes[g] += float(sizes[t]) * 8 * 3  # x, b, intermediates
+            t += 1
+    return _build(n, n_gpus, part, task_gpu)

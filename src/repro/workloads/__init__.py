@@ -1,0 +1,54 @@
+"""Workloads: synthetic generators, the Table I stand-in suite, RHS builders."""
+
+from repro.workloads.generators import (
+    banded_lower,
+    dag_profile_matrix,
+    grid_graph_lower,
+    level_widths,
+    random_lower,
+    tridiagonal_lower,
+)
+from repro.workloads.cache import cache_path, cached_load, export_suite, fingerprint
+from repro.workloads.factors import (
+    anisotropic_factor,
+    circuit_factor,
+    poisson2d_factor,
+    poisson2d_matrix,
+)
+from repro.workloads.rhs import manufactured_rhs, ones_rhs, random_rhs
+from repro.workloads.suite import (
+    IN_MEMORY_NAMES,
+    PAPER_STATS,
+    SUITE,
+    SuiteEntry,
+    entry,
+    load,
+    suite_names,
+)
+
+__all__ = [
+    "dag_profile_matrix",
+    "tridiagonal_lower",
+    "banded_lower",
+    "random_lower",
+    "grid_graph_lower",
+    "level_widths",
+    "ones_rhs",
+    "random_rhs",
+    "manufactured_rhs",
+    "poisson2d_factor",
+    "anisotropic_factor",
+    "circuit_factor",
+    "poisson2d_matrix",
+    "cached_load",
+    "cache_path",
+    "export_suite",
+    "fingerprint",
+    "SuiteEntry",
+    "SUITE",
+    "PAPER_STATS",
+    "IN_MEMORY_NAMES",
+    "suite_names",
+    "entry",
+    "load",
+]

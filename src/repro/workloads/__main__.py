@@ -1,0 +1,68 @@
+"""Workload CLI: inspect or export the Table-I stand-in suite.
+
+    python -m repro.workloads list
+    python -m repro.workloads profile powersim dc2
+    python -m repro.workloads export --dir ./mtx [names...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.metrics import MatrixProfile, profile_matrix, scaling_class
+from repro.workloads.cache import export_suite
+from repro.workloads.suite import SUITE, load, suite_names
+
+
+def cmd_list() -> int:
+    print(
+        f"{'name':<18s} {'rows':>8s} {'levels':>7s} {'dep.':>6s} "
+        f"{'profile':<10s} {'kind':<22s} {'oom':>4s}"
+    )
+    for name, e in SUITE.items():
+        print(
+            f"{name:<18s} {e.n:>8,d} {e.n_levels:>7d} {e.dependency:>6.2f} "
+            f"{e.profile:<10s} {e.kind:<22s} {'yes' if e.out_of_memory else '':>4s}"
+        )
+    return 0
+
+
+def cmd_profile(names: list[str]) -> int:
+    print(MatrixProfile.table_header() + "  class")
+    for name in names or suite_names():
+        prof = profile_matrix(load(name), name)
+        print(prof.table_row() + f"  {scaling_class(prof)}")
+    return 0
+
+
+def cmd_export(directory: str, names: list[str]) -> int:
+    paths = export_suite(directory, names=names or None)
+    for p in paths:
+        print(p)
+    print(f"exported {len(paths)} matrices to {directory}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads",
+        description="Inspect or export the Table-I stand-in matrix suite.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="show every suite recipe")
+    p_prof = sub.add_parser("profile", help="build matrices and print stats")
+    p_prof.add_argument("names", nargs="*", help="suite names (default: all)")
+    p_exp = sub.add_parser("export", help="write .mtx files for the suite")
+    p_exp.add_argument("--dir", required=True, help="output directory")
+    p_exp.add_argument("names", nargs="*", help="suite names (default: all)")
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "profile":
+        return cmd_profile(args.names)
+    return cmd_export(args.dir, args.names)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

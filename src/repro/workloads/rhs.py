@@ -1,0 +1,28 @@
+"""Right-hand-side builders for SpTRSV runs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csc import CscMatrix
+
+__all__ = ["ones_rhs", "random_rhs", "manufactured_rhs"]
+
+
+def ones_rhs(n: int) -> np.ndarray:
+    """The all-ones RHS (the conventional SpTRSV benchmark input)."""
+    return np.ones(n)
+
+
+def random_rhs(n: int, seed: int = 0) -> np.ndarray:
+    """Uniform RHS in [-1, 1]."""
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-1.0, 1.0, size=n)
+
+
+def manufactured_rhs(lower: CscMatrix, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """``(b, x_true)`` with a known solution (see
+    :func:`repro.sparse.validate.random_rhs_for_solution`)."""
+    from repro.sparse.validate import random_rhs_for_solution
+
+    return random_rhs_for_solution(lower, seed=seed)

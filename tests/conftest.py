@@ -1,0 +1,108 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine.node import dgx1, dgx2
+from repro.sparse.csc import CscMatrix
+from repro.workloads.generators import (
+    banded_lower,
+    dag_profile_matrix,
+    grid_graph_lower,
+    random_lower,
+    tridiagonal_lower,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_lower() -> CscMatrix:
+    """A 300-row profiled matrix: 12 levels, moderate dependency."""
+    return dag_profile_matrix(n=300, n_levels=12, dependency=3.0, seed=42)
+
+
+@pytest.fixture
+def scattered_lower() -> CscMatrix:
+    """A 400-row matrix with scattered level/index correlation."""
+    return dag_profile_matrix(
+        n=400, n_levels=10, dependency=2.5, scatter=0.7, seed=43
+    )
+
+
+@pytest.fixture
+def chain_lower() -> CscMatrix:
+    """Fully serial bidiagonal chain (worst case for parallelism)."""
+    return tridiagonal_lower(64, seed=1)
+
+
+@pytest.fixture
+def grid_lower() -> CscMatrix:
+    """Structured-grid dependency pattern."""
+    return grid_graph_lower(12, 15, seed=2)
+
+
+@pytest.fixture
+def band_lower() -> CscMatrix:
+    return banded_lower(200, bandwidth=5, fill=0.6, seed=3)
+
+
+@pytest.fixture
+def rand_lower() -> CscMatrix:
+    return random_lower(250, avg_nnz_per_row=4.0, seed=4)
+
+
+@pytest.fixture
+def diag_only() -> CscMatrix:
+    """Diagonal matrix: the no-dependency edge case."""
+    import numpy as np
+
+    from repro.sparse.coo import CooMatrix
+
+    n = 20
+    idx = np.arange(n)
+    return CooMatrix(idx, idx, np.full(n, 2.0), (n, n)).to_csc()
+
+
+@pytest.fixture
+def machine4():
+    """4-GPU DGX-1 clique (NVSHMEM-capable)."""
+    return dgx1(4)
+
+
+@pytest.fixture
+def machine4_um():
+    """4-GPU DGX-1 without the P2P requirement (unified memory runs)."""
+    return dgx1(4, require_p2p=False)
+
+
+@pytest.fixture
+def machine1():
+    return dgx1(1)
+
+
+@pytest.fixture
+def machine8_dgx2():
+    return dgx2(8)
+
+
+ALL_FIXTURE_MATRICES = [
+    "small_lower",
+    "scattered_lower",
+    "chain_lower",
+    "grid_lower",
+    "band_lower",
+    "rand_lower",
+    "diag_only",
+]
+
+
+@pytest.fixture(params=ALL_FIXTURE_MATRICES)
+def any_lower(request) -> CscMatrix:
+    """Parametrised fixture running a test over every matrix family."""
+    return request.getfixturevalue(request.param)

@@ -1,0 +1,106 @@
+"""Conversion and SciPy-bridge tests."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse.convert import from_scipy, to_scipy
+from repro.sparse.coo import CooMatrix
+from repro.sparse.csc import CscMatrix
+from repro.sparse.csr import CsrMatrix
+
+
+@pytest.fixture
+def messy_coo(rng):
+    """Unsorted COO with duplicates — the worst-case conversion input."""
+    rows = rng.integers(0, 8, size=40)
+    cols = rng.integers(0, 6, size=40)
+    vals = rng.normal(size=40)
+    return CooMatrix(rows, cols, vals, (8, 6))
+
+
+def test_coo_to_csr_canonical(messy_coo):
+    csr = messy_coo.to_csr()
+    csr.validate()  # sorted + deduplicated
+    np.testing.assert_allclose(csr.to_dense(), messy_coo.to_dense())
+
+
+def test_coo_to_csc_canonical(messy_coo):
+    csc = messy_coo.to_csc()
+    csc.validate()
+    np.testing.assert_allclose(csc.to_dense(), messy_coo.to_dense())
+
+
+def test_csr_to_csc_preserves_values(messy_coo):
+    csr = messy_coo.to_csr()
+    csc = csr.to_csc()
+    csc.validate()
+    np.testing.assert_allclose(csc.to_dense(), csr.to_dense())
+
+
+def test_empty_conversions():
+    empty = CooMatrix.empty((4, 3))
+    assert empty.to_csr().nnz == 0
+    assert empty.to_csc().nnz == 0
+    assert empty.to_csr().to_csc().nnz == 0
+
+
+def test_rectangular_conversion(rng):
+    d = rng.random((3, 9))
+    d[d < 0.5] = 0
+    coo = CooMatrix.from_dense(d)
+    np.testing.assert_allclose(coo.to_csr().to_dense(), d)
+    np.testing.assert_allclose(coo.to_csc().to_dense(), d)
+
+
+class TestScipyBridge:
+    def test_to_scipy_coo(self, messy_coo):
+        s = to_scipy(messy_coo)
+        assert sp.isspmatrix_coo(s)
+        np.testing.assert_allclose(s.toarray(), messy_coo.to_dense())
+
+    def test_to_scipy_csr(self, messy_coo):
+        s = to_scipy(messy_coo.to_csr())
+        assert sp.isspmatrix_csr(s)
+        np.testing.assert_allclose(s.toarray(), messy_coo.to_dense())
+
+    def test_to_scipy_csc(self, messy_coo):
+        s = to_scipy(messy_coo.to_csc())
+        assert sp.isspmatrix_csc(s)
+        np.testing.assert_allclose(s.toarray(), messy_coo.to_dense())
+
+    def test_to_scipy_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            to_scipy(np.zeros((2, 2)))
+
+    def test_from_scipy_roundtrip_csr(self, messy_coo):
+        ours = messy_coo.to_csr()
+        back = from_scipy(to_scipy(ours))
+        assert isinstance(back, CsrMatrix)
+        assert back == ours
+
+    def test_from_scipy_roundtrip_csc(self, messy_coo):
+        ours = messy_coo.to_csc()
+        back = from_scipy(to_scipy(ours))
+        assert isinstance(back, CscMatrix)
+        assert back == ours
+
+    def test_from_scipy_other_formats_via_coo(self, rng):
+        d = rng.random((4, 4))
+        d[d < 0.5] = 0
+        lil = sp.lil_matrix(d)
+        ours = from_scipy(lil)
+        assert isinstance(ours, CooMatrix)
+        np.testing.assert_allclose(ours.to_dense(), d)
+
+    def test_spsolve_oracle(self, rng):
+        """Our CSC + scipy's triangular solver agree with our serial one."""
+        from repro.solvers.serial import serial_forward
+        from repro.workloads.generators import random_lower
+
+        lower = random_lower(60, avg_nnz_per_row=3.0, seed=9)
+        b = rng.random(60)
+        x_scipy = sp.linalg.spsolve_triangular(
+            to_scipy(lower).tocsr(), b, lower=True
+        )
+        np.testing.assert_allclose(serial_forward(lower, b), x_scipy, rtol=1e-10)

@@ -1,0 +1,160 @@
+"""Unit tests for the COO sparse format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, SparseFormatError
+from repro.sparse.coo import CooMatrix
+
+
+def make(rows, cols, vals, shape):
+    return CooMatrix(
+        np.asarray(rows, dtype=np.int64),
+        np.asarray(cols, dtype=np.int64),
+        np.asarray(vals, dtype=np.float64),
+        shape,
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = make([0, 1], [0, 1], [1.0, 2.0], (2, 2))
+        assert m.nnz == 2
+        assert m.shape == (2, 2)
+        assert m.n_rows == 2 and m.n_cols == 2
+
+    def test_empty(self):
+        m = CooMatrix.empty((3, 4))
+        assert m.nnz == 0
+        assert m.shape == (3, 4)
+        np.testing.assert_array_equal(m.to_dense(), np.zeros((3, 4)))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SparseFormatError, match="equal length"):
+            make([0, 1], [0], [1.0, 2.0], (2, 2))
+
+    def test_two_dimensional_arrays_rejected(self):
+        with pytest.raises(SparseFormatError, match="one-dimensional"):
+            CooMatrix(
+                np.zeros((2, 2), dtype=np.int64),
+                np.zeros((2, 2), dtype=np.int64),
+                np.zeros((2, 2)),
+                (2, 2),
+            )
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(ShapeError):
+            make([], [], [], (-1, 2))
+
+    def test_from_dense_drops_zeros(self):
+        d = np.array([[1.0, 0.0], [0.0, 2.0]])
+        m = CooMatrix.from_dense(d)
+        assert m.nnz == 2
+        np.testing.assert_array_equal(m.to_dense(), d)
+
+    def test_from_dense_tolerance(self):
+        d = np.array([[1.0, 1e-15], [0.0, 2.0]])
+        assert CooMatrix.from_dense(d, tol=1e-12).nnz == 2
+        assert CooMatrix.from_dense(d).nnz == 3
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            CooMatrix.from_dense(np.ones(3))
+
+
+class TestValidation:
+    def test_out_of_range_row(self):
+        m = make([5], [0], [1.0], (2, 2))
+        with pytest.raises(SparseFormatError, match="row index"):
+            m.validate()
+
+    def test_out_of_range_col(self):
+        m = make([0], [7], [1.0], (2, 2))
+        with pytest.raises(SparseFormatError, match="col index"):
+            m.validate()
+
+    def test_negative_index(self):
+        m = make([-1], [0], [1.0], (2, 2))
+        with pytest.raises(SparseFormatError, match="negative"):
+            m.validate()
+
+    def test_nan_rejected(self):
+        m = make([0], [0], [np.nan], (2, 2))
+        with pytest.raises(SparseFormatError, match="non-finite"):
+            m.validate()
+
+    def test_validated_returns_self(self):
+        m = make([0], [0], [1.0], (2, 2))
+        assert m.validated() is m
+
+
+class TestCanonicalisation:
+    def test_sum_duplicates(self):
+        m = make([0, 0, 1], [0, 0, 1], [1.0, 2.0, 3.0], (2, 2))
+        c = m.sum_duplicates()
+        assert c.nnz == 2
+        assert c.to_dense()[0, 0] == 3.0
+
+    def test_sorted_by_row_then_col(self):
+        m = make([1, 0, 1], [0, 1, 1], [1.0, 2.0, 3.0], (2, 2))
+        c = m.sum_duplicates()
+        keys = c.row * 2 + c.col
+        assert np.all(np.diff(keys) > 0)
+
+    def test_idempotent(self):
+        m = make([0, 0], [0, 0], [1.0, 1.0], (2, 2)).sum_duplicates()
+        assert m.sum_duplicates() is m
+
+    def test_cancellation_keeps_structural_zero(self):
+        m = make([0, 0], [0, 0], [1.0, -1.0], (1, 1))
+        c = m.sum_duplicates()
+        assert c.nnz == 1
+        assert c.data[0] == 0.0
+
+    def test_empty_canonical(self):
+        c = CooMatrix.empty((2, 2)).sum_duplicates()
+        assert c.nnz == 0
+
+
+class TestOps:
+    def test_matvec_matches_dense(self, rng):
+        d = rng.random((6, 4))
+        d[d < 0.5] = 0.0
+        m = CooMatrix.from_dense(d)
+        x = rng.random(4)
+        np.testing.assert_allclose(m.matvec(x), d @ x)
+
+    def test_matvec_counts_duplicates(self):
+        m = make([0, 0], [0, 0], [1.0, 2.0], (1, 1))
+        assert m.matvec(np.array([1.0]))[0] == 3.0
+
+    def test_matvec_shape_check(self):
+        m = make([0], [0], [1.0], (2, 3))
+        with pytest.raises(ShapeError):
+            m.matvec(np.ones(2))
+
+    def test_transpose_shares_data(self):
+        m = make([0, 1], [1, 0], [1.0, 2.0], (2, 3))
+        t = m.transpose()
+        assert t.shape == (3, 2)
+        assert t.row is m.col and t.col is m.row
+
+    def test_double_transpose_equal(self):
+        m = make([0, 1], [1, 0], [1.0, 2.0], (2, 2))
+        assert m.transpose().transpose() == m
+
+    def test_copy_is_deep(self):
+        m = make([0], [0], [1.0], (1, 1))
+        c = m.copy()
+        c.data[0] = 9.0
+        assert m.data[0] == 1.0
+
+    def test_equality_ignores_duplicate_layout(self):
+        a = make([0, 0], [0, 0], [1.0, 2.0], (1, 1))
+        b = make([0], [0], [3.0], (1, 1))
+        assert a == b
+
+    def test_inequality_different_shape(self):
+        a = make([0], [0], [1.0], (1, 1))
+        b = make([0], [0], [1.0], (2, 2))
+        assert a != b

@@ -1,0 +1,105 @@
+"""Design cost-model tests: the relationships the paper's argument rests on."""
+
+import numpy as np
+import pytest
+
+from repro.exec_model.costmodel import Design, build_comm_costs
+from repro.machine.node import dgx1, dgx2
+
+
+@pytest.fixture
+def m4():
+    return dgx1(4)
+
+
+@pytest.fixture
+def m4u():
+    return dgx1(4, require_p2p=False)
+
+
+class TestDesignEnum:
+    def test_from_string(self):
+        assert Design("unified") is Design.UNIFIED
+        assert Design("shmem_readonly") is Design.SHMEM_READONLY
+
+    def test_str(self):
+        assert str(Design.SHMEM_NAIVE) == "shmem_naive"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            Design("bogus")
+
+
+class TestReadonlyModel:
+    def test_remote_update_is_local_atomic(self, m4):
+        """The heart of the zero-copy design: remote updates cost a device
+        atomic on the producer's own symmetric heap — no fabric traffic."""
+        c = build_comm_costs(m4, Design.SHMEM_READONLY)
+        assert np.all(c.update_remote == m4.gpu.t_atomic_device)
+
+    def test_notify_diagonal_zero(self, m4):
+        c = build_comm_costs(m4, Design.SHMEM_READONLY)
+        assert np.all(np.diag(c.notify) == 0.0)
+
+    def test_gather_positive_multi_gpu(self, m4):
+        assert build_comm_costs(m4, Design.SHMEM_READONLY).gather > 0
+
+    def test_gather_zero_single_gpu(self):
+        c = build_comm_costs(dgx1(1), Design.SHMEM_READONLY)
+        assert c.gather == 0.0
+
+    def test_warp_reduce_cheaper_than_serial(self, m4):
+        fast = build_comm_costs(m4, Design.SHMEM_READONLY, warp_reduce=True)
+        slow = build_comm_costs(m4, Design.SHMEM_READONLY, warp_reduce=False)
+        assert fast.gather <= slow.gather
+
+    def test_shortcircuit_halves_gather(self, m4):
+        on = build_comm_costs(m4, Design.SHMEM_READONLY, shortcircuit=True)
+        off = build_comm_costs(m4, Design.SHMEM_READONLY, shortcircuit=False)
+        assert off.gather == pytest.approx(2 * on.gather)
+        assert on.use_shortcircuit and not off.use_shortcircuit
+
+
+class TestNaiveModel:
+    def test_naive_remote_update_expensive(self, m4):
+        naive = build_comm_costs(m4, Design.SHMEM_NAIVE)
+        ro = build_comm_costs(m4, Design.SHMEM_READONLY)
+        off = ~np.eye(4, dtype=bool)
+        assert np.all(naive.update_remote[off] > 10 * ro.update_remote[off])
+
+    def test_naive_includes_quiet(self, m4):
+        c = build_comm_costs(m4, Design.SHMEM_NAIVE)
+        off = ~np.eye(4, dtype=bool)
+        assert np.all(c.update_remote[off] >= m4.shmem.quiet_cost)
+
+
+class TestUnifiedModel:
+    def test_unified_notify_dwarfs_shmem(self, m4, m4u):
+        """Page-fault service vs one-sided get: the Fig. 7 gap."""
+        um = build_comm_costs(m4u, Design.UNIFIED)
+        sh = build_comm_costs(m4, Design.SHMEM_READONLY)
+        off = ~np.eye(4, dtype=bool)
+        assert np.all(um.notify[off] > 3 * sh.notify[off])
+
+    def test_unified_remote_update_includes_fault(self, m4u):
+        c = build_comm_costs(m4u, Design.UNIFIED)
+        off = ~np.eye(4, dtype=bool)
+        assert np.all(c.update_remote[off] > m4u.um.fault_cost)
+
+    def test_fault_cost_scales_with_gpus(self):
+        c2 = build_comm_costs(dgx1(2, require_p2p=False), Design.UNIFIED)
+        c4 = build_comm_costs(dgx1(4, require_p2p=False), Design.UNIFIED)
+        assert c4.update_remote[0, 1] > c2.update_remote[0, 1]
+
+
+class TestTopologyPricing:
+    def test_dgx2_latency_uniform(self):
+        c = build_comm_costs(dgx2(8), Design.SHMEM_READONLY)
+        off = ~np.eye(8, dtype=bool)
+        assert len(np.unique(np.round(c.notify[off], 12))) == 1
+
+    def test_local_update_is_device_atomic(self, m4):
+        for d in Design:
+            machine = m4 if d is not Design.UNIFIED else dgx1(4, require_p2p=False)
+            c = build_comm_costs(machine, d)
+            assert c.update_local == machine.gpu.t_atomic_device

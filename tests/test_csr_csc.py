@@ -1,0 +1,182 @@
+"""Unit tests for the CSR and CSC compressed formats."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, SparseFormatError
+from repro.sparse.coo import CooMatrix
+from repro.sparse.csc import CscMatrix
+from repro.sparse.csr import CsrMatrix
+
+
+@pytest.fixture
+def dense(rng):
+    d = rng.random((7, 5))
+    d[d < 0.6] = 0.0
+    return d
+
+
+@pytest.fixture
+def csr(dense):
+    return CooMatrix.from_dense(dense).to_csr()
+
+
+@pytest.fixture
+def csc(dense):
+    return CooMatrix.from_dense(dense).to_csc()
+
+
+class TestCsr:
+    def test_roundtrip_dense(self, csr, dense):
+        np.testing.assert_allclose(csr.to_dense(), dense)
+
+    def test_validate_ok(self, csr):
+        assert csr.validated() is csr
+
+    def test_row_nnz_sums_to_nnz(self, csr):
+        assert csr.row_nnz().sum() == csr.nnz
+
+    def test_iter_rows(self, csr, dense):
+        for i, cols, vals in csr.iter_rows():
+            np.testing.assert_allclose(dense[i, cols], vals)
+
+    def test_matvec(self, csr, dense, rng):
+        x = rng.random(5)
+        np.testing.assert_allclose(csr.matvec(x), dense @ x)
+
+    def test_matvec_shape_check(self, csr):
+        with pytest.raises(ShapeError):
+            csr.matvec(np.ones(99))
+
+    def test_diagonal(self, csr, dense):
+        np.testing.assert_allclose(csr.diagonal(), np.diag(dense[:5, :5]))
+
+    def test_transpose_is_csc_view(self, csr):
+        t = csr.transpose()
+        assert isinstance(t, CscMatrix)
+        assert t.shape == (csr.shape[1], csr.shape[0])
+        assert t.indptr is csr.indptr
+
+    def test_bad_indptr_length(self):
+        with pytest.raises(SparseFormatError, match="indptr length"):
+            CsrMatrix(np.array([0, 1]), np.array([0]), np.array([1.0]), (2, 2))
+
+    def test_indptr_must_start_at_zero(self):
+        m = CsrMatrix(np.array([1, 1, 1]), np.zeros(1, np.int64), np.ones(1), (2, 2))
+        with pytest.raises(SparseFormatError, match="start at 0"):
+            m.validate()
+
+    def test_indptr_must_end_at_nnz(self):
+        m = CsrMatrix(np.array([0, 1, 5]), np.zeros(1, np.int64), np.ones(1), (2, 2))
+        with pytest.raises(SparseFormatError, match="end at nnz"):
+            m.validate()
+
+    def test_decreasing_indptr_rejected(self):
+        m = CsrMatrix(
+            np.array([0, 2, 1, 3]),
+            np.array([0, 1, 0], dtype=np.int64),
+            np.ones(3),
+            (3, 2),
+        )
+        with pytest.raises(SparseFormatError, match="non-decreasing"):
+            m.validate()
+
+    def test_unsorted_columns_rejected(self):
+        m = CsrMatrix(
+            np.array([0, 2]),
+            np.array([1, 0], dtype=np.int64),
+            np.ones(2),
+            (1, 2),
+        )
+        with pytest.raises(SparseFormatError, match="strictly increasing"):
+            m.validate()
+
+    def test_duplicate_columns_rejected(self):
+        m = CsrMatrix(
+            np.array([0, 2]),
+            np.array([0, 0], dtype=np.int64),
+            np.ones(2),
+            (1, 2),
+        )
+        with pytest.raises(SparseFormatError, match="strictly increasing"):
+            m.validate()
+
+    def test_column_out_of_range(self):
+        m = CsrMatrix(np.array([0, 1]), np.array([5], np.int64), np.ones(1), (1, 2))
+        with pytest.raises(SparseFormatError, match="out of range"):
+            m.validate()
+
+    def test_copy_is_deep(self, csr):
+        c = csr.copy()
+        c.data[0] = 123.0
+        assert csr.data[0] != 123.0
+
+
+class TestCsc:
+    def test_roundtrip_dense(self, csc, dense):
+        np.testing.assert_allclose(csc.to_dense(), dense)
+
+    def test_validate_ok(self, csc):
+        assert csc.validated() is csc
+
+    def test_col_nnz_sums_to_nnz(self, csc):
+        assert csc.col_nnz().sum() == csc.nnz
+
+    def test_iter_cols(self, csc, dense):
+        for j, rows, vals in csc.iter_cols():
+            np.testing.assert_allclose(dense[rows, j], vals)
+
+    def test_matvec(self, csc, dense, rng):
+        x = rng.random(5)
+        np.testing.assert_allclose(csc.matvec(x), dense @ x)
+
+    def test_diagonal(self, csc, dense):
+        np.testing.assert_allclose(csc.diagonal(), np.diag(dense[:5, :5]))
+
+    def test_transpose_is_csr_view(self, csc):
+        t = csc.transpose()
+        assert isinstance(t, CsrMatrix)
+        assert t.indptr is csc.indptr
+
+    def test_unsorted_rows_rejected(self):
+        m = CscMatrix(
+            np.array([0, 2]),
+            np.array([1, 0], dtype=np.int64),
+            np.ones(2),
+            (2, 1),
+        )
+        with pytest.raises(SparseFormatError, match="strictly increasing"):
+            m.validate()
+
+    def test_row_out_of_range(self):
+        m = CscMatrix(np.array([0, 1]), np.array([9], np.int64), np.ones(1), (2, 1))
+        with pytest.raises(SparseFormatError, match="out of range"):
+            m.validate()
+
+    def test_nonfinite_rejected(self):
+        m = CscMatrix(
+            np.array([0, 1]), np.array([0], np.int64), np.array([np.inf]), (1, 1)
+        )
+        with pytest.raises(SparseFormatError, match="non-finite"):
+            m.validate()
+
+    def test_col_slice(self, csc):
+        for j in range(csc.n_cols):
+            sl = csc.col_slice(j)
+            assert sl.stop - sl.start == csc.col_nnz()[j]
+
+
+class TestCrossFormat:
+    def test_csr_csc_same_dense(self, csr, csc):
+        np.testing.assert_allclose(csr.to_dense(), csc.to_dense())
+
+    def test_csr_to_csc_roundtrip(self, csr):
+        back = csr.to_csc().to_csr()
+        assert back == csr
+
+    def test_csc_to_csr_roundtrip(self, csc):
+        back = csc.to_csr().to_csc()
+        assert back == csc
+
+    def test_coo_roundtrip(self, csr):
+        assert csr.to_coo().to_csr() == csr

@@ -1,0 +1,81 @@
+"""Dependency-DAG extraction tests (with a networkx oracle)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.analysis.dag import build_dag
+from repro.errors import NotTriangularError
+from repro.sparse.coo import CooMatrix
+
+
+def nx_oracle(lower):
+    g = nx.DiGraph()
+    g.add_nodes_from(range(lower.shape[0]))
+    coo = lower.to_coo()
+    for r, c in zip(coo.row, coo.col):
+        if r > c:
+            g.add_edge(int(c), int(r))
+    return g
+
+
+def test_edges_match_networkx(any_lower):
+    dag = build_dag(any_lower)
+    g = nx_oracle(any_lower)
+    assert dag.n_edges == g.number_of_edges()
+    for j in range(dag.n):
+        assert set(dag.successors(j)) == set(g.successors(j))
+        assert set(dag.predecessors(j)) == set(g.predecessors(j))
+
+
+def test_in_degree_matches(any_lower):
+    dag = build_dag(any_lower)
+    g = nx_oracle(any_lower)
+    for i in range(dag.n):
+        assert dag.in_degree[i] == g.in_degree(i)
+
+
+def test_roots_have_no_predecessors(any_lower):
+    dag = build_dag(any_lower)
+    for r in dag.roots():
+        assert len(dag.predecessors(int(r))) == 0
+
+
+def test_at_least_one_root(any_lower):
+    assert len(build_dag(any_lower).roots()) >= 1
+
+
+def test_validate_acyclic(any_lower):
+    build_dag(any_lower).validate_acyclic()
+
+
+def test_diagonal_only_has_no_edges(diag_only):
+    dag = build_dag(diag_only)
+    assert dag.n_edges == 0
+    assert np.all(dag.in_degree == 0)
+    assert len(dag.roots()) == diag_only.shape[0]
+
+
+def test_accepts_csr_input(small_lower):
+    from_csc = build_dag(small_lower)
+    from_csr = build_dag(small_lower.to_csr())
+    np.testing.assert_array_equal(from_csc.out_ptr, from_csr.out_ptr)
+    np.testing.assert_array_equal(from_csc.out_idx, from_csr.out_idx)
+
+
+def test_rejects_upper_entries():
+    m = CooMatrix(
+        np.array([0, 0]), np.array([0, 1]), np.array([1.0, 2.0]), (2, 2)
+    ).to_csc()
+    with pytest.raises(NotTriangularError):
+        build_dag(m)
+
+
+def test_rejects_rectangular():
+    with pytest.raises(NotTriangularError):
+        build_dag(CooMatrix.empty((2, 3)).to_csc())
+
+
+def test_edge_count_excludes_diagonal(small_lower):
+    dag = build_dag(small_lower)
+    assert dag.n_edges == small_lower.nnz - small_lower.shape[0]

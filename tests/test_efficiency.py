@@ -1,0 +1,64 @@
+"""Efficiency-analysis tests (measured vs lower bounds)."""
+
+import numpy as np
+import pytest
+
+from repro.exec_model.costmodel import Design
+from repro.exec_model.efficiency import analyse_efficiency
+from repro.exec_model.timeline import simulate_execution
+from repro.machine.node import dgx1
+from repro.tasks.schedule import block_distribution, round_robin_distribution
+from repro.workloads.generators import dag_profile_matrix, tridiagonal_lower
+
+
+def run(lower, machine, tasks=None):
+    n = lower.shape[0]
+    dist = (
+        block_distribution(n, machine.n_gpus)
+        if tasks is None
+        else round_robin_distribution(n, machine.n_gpus, tasks)
+    )
+    rep = simulate_execution(lower, dist, machine, Design.SHMEM_READONLY)
+    return analyse_efficiency(lower, machine, rep)
+
+
+def test_measured_never_beats_bound(any_lower):
+    eff = run(any_lower, dgx1(2))
+    assert eff.solve_time >= eff.bound * 0.999
+    assert 0.0 < eff.efficiency <= 1.0
+
+
+def test_chain_regime_on_sequential_matrix():
+    eff = run(tridiagonal_lower(400), dgx1(4))
+    assert eff.regime == "chain-bound"
+    assert eff.chain_bound > eff.throughput_bound * 10
+
+
+def test_throughput_regime_on_wide_matrix():
+    wide = dag_profile_matrix(n=6000, n_levels=2, dependency=2.0, seed=7)
+    eff = run(wide, dgx1(1).with_gpu(warp_slots=4))
+    assert eff.regime == "throughput-bound"
+
+
+def test_more_gpus_raise_efficiency_bound_usage():
+    """On a wide matrix, throughput-bound time drops with more GPUs."""
+    wide = dag_profile_matrix(
+        n=6000, n_levels=4, dependency=2.5, scatter=0.5, seed=8
+    )
+    one = run(wide, dgx1(1))
+    four = run(wide, dgx1(4))
+    assert four.throughput_bound == pytest.approx(one.throughput_bound / 4)
+
+
+def test_overhead_factor_at_least_one(scattered_lower):
+    eff = run(scattered_lower, dgx1(4), tasks=8)
+    assert eff.overhead_factor >= 0.999
+
+
+def test_task_model_cuts_overhead_on_wide_scattered():
+    wide = dag_profile_matrix(
+        n=8000, n_levels=6, dependency=2.5, scatter=0.6, seed=9
+    )
+    block = run(wide, dgx1(4))
+    tasks = run(wide, dgx1(4), tasks=8)
+    assert tasks.overhead_factor <= block.overhead_factor * 1.05

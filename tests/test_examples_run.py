@@ -1,0 +1,70 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are the public face of the API; these tests execute them as
+subprocesses (the way users run them) and check the key output markers.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 600, cwd=None) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=cwd,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "Correctness" in out
+    assert "speedup" in out
+
+
+def test_scaling_study_default():
+    out = run_example("scaling_study.py")
+    assert "predicted scaling class" in out
+    assert "no fully P2P-connected set of 5 GPUs" in out  # the DGX-1 wall
+
+
+def test_scaling_study_named_matrix():
+    out = run_example("scaling_study.py", "powersim")
+    assert "matrix powersim" in out
+
+
+@pytest.mark.slow
+def test_power_grid_simulation():
+    out = run_example("power_grid_simulation.py")
+    assert "worst residual" in out
+
+
+@pytest.mark.slow
+def test_preconditioned_solver():
+    out = run_example("preconditioned_solver.py")
+    assert "iteration reduction vs Jacobi" in out
+
+
+@pytest.mark.slow
+def test_execution_diagnostics(tmp_path):
+    # Runs in a scratch cwd: the example writes sptrsv_trace.json there.
+    out = run_example("execution_diagnostics.py", cwd=tmp_path)
+    assert "first solve per GPU" in out
+    assert "DES makespan" in out
+    assert (tmp_path / "sptrsv_trace.json").exists()
+
+
+@pytest.mark.slow
+def test_ordering_study():
+    out = run_example("ordering_study.py")
+    assert "red-black" in out
+    assert "faster than" in out

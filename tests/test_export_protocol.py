@@ -1,0 +1,112 @@
+"""Export helpers and counter-protocol failure-injection tests."""
+
+import numpy as np
+import pytest
+
+from repro.bench.export import series_to_rows, to_csv, to_json
+from repro.errors import SolverError
+from repro.machine.node import dgx1
+from repro.solvers.numerics import emulate_shmem_solve, emulate_unified_solve
+from repro.tasks.schedule import block_distribution
+
+
+class TestExport:
+    def test_series_to_rows_flat(self):
+        rows = series_to_rows({"m1": {"a": 1.0, "b": 2.0}})
+        assert {"matrix": "m1", "series": "a", "value": 1.0} in rows
+        assert len(rows) == 2
+
+    def test_series_to_rows_nested(self):
+        rows = series_to_rows({"m1": {2: {"faults": 3.0}}})
+        assert rows == [
+            {"matrix": "m1", "series": "2", "metric": "faults", "value": 3.0}
+        ]
+
+    def test_csv_roundtrip(self):
+        rows = series_to_rows({"m": {"s": 1.5}})
+        text = to_csv(rows)
+        lines = text.strip().splitlines()
+        assert lines[0] == "matrix,series,value"
+        assert lines[1] == "m,s,1.5"
+
+    def test_csv_empty(self):
+        assert to_csv([]) == ""
+
+    def test_csv_union_of_keys(self):
+        text = to_csv([{"a": 1}, {"a": 2, "b": 3}])
+        assert "a,b" in text.splitlines()[0]
+
+    def test_json(self):
+        import json
+
+        rows = series_to_rows({"m": {"s": 2.0}})
+        assert json.loads(to_json(rows)) == rows
+
+    def test_cli_csv_flag(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        out = tmp_path / "x.csv"
+        assert main(["fig9", "--tasks", "4", "8", "--csv", str(out)]) == 0
+        content = out.read_text()
+        assert content.startswith("matrix,")
+        assert "experiment" in content.splitlines()[0]
+
+
+class TestProtocolFailureInjection:
+    """The emulations check the paper's readiness conditions; a corrupted
+    counter or a premature schedule must be *detected*, not silently
+    produce wrong numerics."""
+
+    def _system(self, small_lower):
+        rng = np.random.default_rng(3)
+        b = small_lower.matvec(rng.uniform(0.5, 1.5, small_lower.shape[0]))
+        return b
+
+    def test_shmem_detects_corrupted_counter(self, small_lower, machine4):
+        """A lost producer decrement leaves the gathered counter above
+        the ready threshold -> SolverError, not a wrong solve."""
+        from repro.analysis.levels import compute_levels
+
+        b = self._system(small_lower)
+        dist = block_distribution(small_lower.shape[0], 4)
+        levels = compute_levels(small_lower)
+
+        # Build a premature order: swap a dependent component in front of
+        # one of its predecessors by forging the level table.
+        lv = np.array(levels.level_of)
+        # Pick a deep component (its predecessors solve late) and pretend
+        # it is level 0.
+        victim = int(np.nonzero(lv == lv.max())[0][-1])
+        lv[victim] = 0
+        order = np.lexsort((np.arange(len(lv)), lv))
+        sizes = np.bincount(lv)
+        ptr = np.zeros(len(sizes) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=ptr[1:])
+        forged_levels = type(levels)(
+            level_of=lv, level_ptr=ptr, level_idx=order
+        )
+
+        with pytest.raises(SolverError, match="before its dependencies"):
+            emulate_shmem_solve(
+                small_lower, b, dist, machine4, levels=forged_levels
+            )
+
+    def test_unified_detects_premature_schedule(self, small_lower, machine4_um):
+        from repro.analysis.levels import compute_levels
+
+        b = self._system(small_lower)
+        dist = block_distribution(small_lower.shape[0], 4)
+        levels = compute_levels(small_lower)
+        lv = np.array(levels.level_of)
+        victim = int(np.nonzero(lv > 0)[0][-1])
+        lv[victim] = 0
+        order = np.lexsort((np.arange(len(lv)), lv))
+        sizes = np.bincount(lv)
+        ptr = np.zeros(len(sizes) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=ptr[1:])
+        forged = type(levels)(level_of=lv, level_ptr=ptr, level_idx=order)
+
+        with pytest.raises(SolverError, match="before its dependencies"):
+            emulate_unified_solve(
+                small_lower, b, dist, machine4_um, levels=forged
+            )

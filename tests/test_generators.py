@@ -1,0 +1,197 @@
+"""Synthetic workload generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.levels import compute_levels
+from repro.analysis.metrics import profile_matrix
+from repro.errors import WorkloadError
+from repro.sparse.triangular import is_lower_triangular
+from repro.workloads.generators import (
+    banded_lower,
+    dag_profile_matrix,
+    grid_graph_lower,
+    level_widths,
+    random_lower,
+    tridiagonal_lower,
+)
+
+
+class TestLevelWidths:
+    @pytest.mark.parametrize("profile", ["uniform", "geometric", "bulge", "front"])
+    def test_sums_to_n(self, profile, rng):
+        w = level_widths(1000, 37, profile, rng)
+        assert w.sum() == 1000
+        assert w.min() >= 1
+
+    def test_front_profile_first_level_dominates(self, rng):
+        w = level_widths(1000, 10, "front", rng)
+        assert w[0] > 5 * w[1:].mean()
+
+    def test_geometric_decays(self, rng):
+        w = level_widths(2000, 40, "geometric", rng)
+        assert w[:10].mean() > w[-10:].mean()
+
+    def test_single_level(self, rng):
+        w = level_widths(50, 1, "uniform", rng)
+        assert w.tolist() == [50]
+
+    def test_n_levels_equals_n(self, rng):
+        w = level_widths(20, 20, "uniform", rng)
+        assert np.all(w == 1)
+
+    def test_invalid_n_levels(self, rng):
+        with pytest.raises(WorkloadError):
+            level_widths(5, 9, "uniform", rng)
+        with pytest.raises(WorkloadError):
+            level_widths(5, 0, "uniform", rng)
+
+
+class TestDagProfileMatrix:
+    @pytest.mark.parametrize(
+        "n,n_levels,dep",
+        [(500, 20, 2.0), (1000, 3, 4.0), (800, 100, 3.0), (300, 1, 1.0)],
+    )
+    def test_exact_level_count(self, n, n_levels, dep):
+        m = dag_profile_matrix(n=n, n_levels=n_levels, dependency=dep, seed=1)
+        assert compute_levels(m).n_levels == n_levels
+
+    def test_exact_level_count_with_scatter(self):
+        m = dag_profile_matrix(
+            n=600, n_levels=15, dependency=2.5, scatter=0.8, seed=2
+        )
+        assert compute_levels(m).n_levels == 15
+
+    def test_dependency_approximate(self):
+        m = dag_profile_matrix(n=2000, n_levels=25, dependency=4.0, seed=3)
+        assert profile_matrix(m).dependency == pytest.approx(4.0, rel=0.15)
+
+    def test_lower_triangular_and_valid(self):
+        m = dag_profile_matrix(n=500, n_levels=10, dependency=3.0, seed=4)
+        m.validate()
+        assert is_lower_triangular(m)
+
+    def test_full_diagonal(self):
+        m = dag_profile_matrix(n=200, n_levels=5, dependency=2.0, seed=5)
+        assert np.all(m.diagonal() != 0.0)
+
+    def test_row_diagonal_dominance(self):
+        m = dag_profile_matrix(n=300, n_levels=8, dependency=3.0, seed=6)
+        d = m.to_dense()
+        offsum = np.abs(d).sum(axis=1) - np.abs(np.diag(d))
+        assert np.all(np.abs(np.diag(d)) > offsum - 1e-9)
+
+    def test_deterministic(self):
+        a = dag_profile_matrix(n=300, n_levels=8, dependency=3.0, seed=7)
+        b = dag_profile_matrix(n=300, n_levels=8, dependency=3.0, seed=7)
+        assert a == b
+
+    def test_seeds_differ(self):
+        a = dag_profile_matrix(n=300, n_levels=8, dependency=3.0, seed=7)
+        b = dag_profile_matrix(n=300, n_levels=8, dependency=3.0, seed=8)
+        assert a != b
+
+    def test_scatter_decorrelates_levels(self):
+        tight = dag_profile_matrix(
+            n=2000, n_levels=20, dependency=2.5, scatter=0.0, seed=9
+        )
+        loose = dag_profile_matrix(
+            n=2000, n_levels=20, dependency=2.5, scatter=0.9, seed=9
+        )
+
+        def level_index_corr(m):
+            lv = compute_levels(m).level_of
+            return np.corrcoef(lv, np.arange(len(lv)))[0, 1]
+
+        assert level_index_corr(tight) > 0.95
+        assert level_index_corr(loose) < level_index_corr(tight) - 0.1
+
+    def test_locality_shortens_edges(self):
+        def mean_edge_span(m):
+            coo = m.to_coo()
+            off = coo.row > coo.col
+            return float(np.mean(coo.row[off] - coo.col[off]))
+
+        near = dag_profile_matrix(
+            n=2000, n_levels=40, dependency=4.0, locality=0.95, seed=10
+        )
+        far = dag_profile_matrix(
+            n=2000, n_levels=40, dependency=4.0, locality=0.0, seed=10
+        )
+        assert mean_edge_span(near) < mean_edge_span(far)
+
+    def test_invalid_args(self):
+        with pytest.raises(WorkloadError):
+            dag_profile_matrix(n=0, n_levels=1, dependency=2.0)
+        with pytest.raises(WorkloadError):
+            dag_profile_matrix(n=10, n_levels=2, dependency=0.5)
+        with pytest.raises(WorkloadError):
+            dag_profile_matrix(n=10, n_levels=2, dependency=2.0, locality=1.5)
+        with pytest.raises(WorkloadError):
+            dag_profile_matrix(n=10, n_levels=2, dependency=2.0, scatter=-0.1)
+
+
+class TestSimpleGenerators:
+    def test_tridiagonal_levels(self):
+        m = tridiagonal_lower(30)
+        assert compute_levels(m).n_levels == 30
+        assert m.nnz == 59
+
+    def test_tridiagonal_single_row(self):
+        m = tridiagonal_lower(1)
+        assert m.nnz == 1
+
+    def test_banded_structure(self):
+        m = banded_lower(100, bandwidth=4, fill=1.0, seed=0)
+        coo = m.to_coo()
+        assert np.all(coo.row - coo.col <= 4)
+        assert m.nnz == 100 + 99 + 98 + 97 + 96
+
+    def test_banded_fill_probability(self):
+        full = banded_lower(200, bandwidth=3, fill=1.0, seed=1)
+        half = banded_lower(200, bandwidth=3, fill=0.5, seed=1)
+        assert half.nnz < full.nnz
+
+    def test_banded_invalid(self):
+        with pytest.raises(WorkloadError):
+            banded_lower(0, 1)
+        with pytest.raises(WorkloadError):
+            banded_lower(10, 1, fill=2.0)
+
+    def test_random_lower_triangular(self):
+        m = random_lower(150, avg_nnz_per_row=4.0, seed=2)
+        assert is_lower_triangular(m)
+        m.validate()
+
+    def test_random_lower_density(self):
+        m = random_lower(1000, avg_nnz_per_row=5.0, seed=3)
+        assert m.nnz / 1000 == pytest.approx(5.0, rel=0.2)
+
+    def test_grid_graph_shape(self):
+        m = grid_graph_lower(5, 7)
+        assert m.shape == (35, 35)
+        assert is_lower_triangular(m)
+
+    def test_grid_graph_degree(self):
+        """Interior vertices depend on west + north neighbours."""
+        m = grid_graph_lower(4, 4)
+        dense = m.to_dense()
+        # vertex (1,1) = id 5: depends on 4 (west) and 1 (north).
+        assert dense[5, 4] != 0 and dense[5, 1] != 0
+
+    def test_grid_invalid(self):
+        with pytest.raises(WorkloadError):
+            grid_graph_lower(0, 5)
+
+    def test_solvable(self, rng):
+        from repro.solvers.serial import serial_forward
+        from repro.sparse.validate import random_rhs_for_solution
+
+        for m in (
+            tridiagonal_lower(40),
+            banded_lower(40, 3, 0.7, seed=1),
+            random_lower(40, 3.0, seed=2),
+            grid_graph_lower(6, 6),
+        ):
+            b, x_true = random_rhs_for_solution(m, seed=1)
+            np.testing.assert_allclose(serial_forward(m, b), x_true, rtol=1e-9)

@@ -1,0 +1,159 @@
+"""Integration tests: full pipelines across subsystem boundaries.
+
+These exercise the same end-to-end paths the examples and benches use:
+factorise -> distribute -> solve -> validate, file I/O round trips into
+the solver, reordering into re-profiling, and the suite into the
+experiment harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Design,
+    SerialSolver,
+    ZeroCopySolver,
+    dgx1,
+    dgx2,
+    ilu0,
+    sparse_lu,
+)
+from repro.analysis.metrics import profile_matrix
+from repro.solvers.backward import BackwardSolver
+from repro.solvers.serial import serial_backward
+from repro.sparse.coo import CooMatrix
+from repro.sparse.io import loads, dumps, read_matrix_market, write_matrix_market
+from repro.sparse.validate import assert_solutions_close
+from repro.workloads.generators import grid_graph_lower, random_lower
+
+
+class TestFactoriseThenSolve:
+    """The direct-solver workflow: A x = b via P A = L U."""
+
+    def test_lu_plus_multi_gpu_sptrsv(self, rng):
+        n = 120
+        d = rng.normal(size=(n, n))
+        d[np.abs(d) < 1.2] = 0.0
+        d[np.arange(n), np.arange(n)] = np.abs(d).sum(axis=1) + 1.0
+        a = CooMatrix.from_dense(d)
+        x_true = rng.uniform(0.5, 1.5, size=n)
+        b = d @ x_true
+
+        f = sparse_lu(a)
+        fwd = ZeroCopySolver(machine=dgx1(4), tasks_per_gpu=4)
+        y = fwd.solve(f.lower, b[f.row_perm]).x
+        x = serial_backward(f.upper, y)
+        np.testing.assert_allclose(x, x_true, rtol=1e-8)
+
+    def test_lu_forward_backward_both_multi_gpu(self, rng):
+        n = 100
+        d = rng.normal(size=(n, n))
+        d[np.abs(d) < 1.2] = 0.0
+        d[np.arange(n), np.arange(n)] = np.abs(d).sum(axis=1) + 1.0
+        a = CooMatrix.from_dense(d)
+        x_true = rng.uniform(0.5, 1.5, size=n)
+        b = d @ x_true
+
+        f = sparse_lu(a)
+        fwd = ZeroCopySolver(machine=dgx1(4), tasks_per_gpu=4)
+        bwd = BackwardSolver(ZeroCopySolver(machine=dgx1(4), tasks_per_gpu=4))
+        y = fwd.solve(f.lower, b[f.row_perm]).x
+        x = bwd.solve(f.upper, y).x
+        np.testing.assert_allclose(x, x_true, rtol=1e-8)
+
+    def test_ilu0_preconditioner_loop(self, rng):
+        """A few Richardson sweeps with the ILU(0) preconditioner must
+        reduce the residual monotonically on a dominant system."""
+        m = grid_graph_lower(10, 10)  # use as SPD-ish operator pattern
+        n = m.shape[0]
+        dense = m.to_dense() + m.to_dense().T + 2 * np.eye(n)
+        a = CooMatrix.from_dense(dense)
+        f = ilu0(a)
+        x_true = rng.uniform(0.5, 1.5, size=n)
+        b = dense @ x_true
+        x = np.zeros(n)
+        norms = []
+        for _ in range(6):
+            r = b - dense @ x
+            norms.append(np.linalg.norm(r))
+            x = x + f.solve(r)
+        assert norms[-1] < norms[0] * 1e-3
+
+
+class TestFileToSolver:
+    def test_mtx_roundtrip_into_multi_gpu_solve(self, tmp_path, rng):
+        lower = random_lower(200, 3.0, seed=17)
+        path = tmp_path / "system.mtx"
+        write_matrix_market(path, lower.to_coo(), comment="integration")
+        loaded = read_matrix_market(path).to_csc()
+        assert loaded == lower
+
+        x_true = rng.uniform(0.5, 1.5, size=200)
+        b = loaded.matvec(x_true)
+        res = ZeroCopySolver(machine=dgx2(8), tasks_per_gpu=4).solve(loaded, b)
+        assert_solutions_close(res.x, x_true)
+
+    def test_string_roundtrip_preserves_solution(self, small_lower, rng):
+        b, x_true = rng.uniform(-1, 1, small_lower.shape[0]), None
+        text = dumps(small_lower.to_coo())
+        back = loads(text).to_csc()
+        xa = SerialSolver().solve(small_lower, b).x
+        xb = SerialSolver().solve(back, b).x
+        np.testing.assert_array_equal(xa, xb)
+
+
+class TestReorderIntoSolver:
+    def test_reordered_system_solves_and_reprofiles(self, rng):
+        from repro.analysis.reorder import rcm_ordering, reorder_lower
+
+        base = random_lower(300, 3.0, seed=23)
+        reordered = reorder_lower(base, rcm_ordering(base))
+        prof = profile_matrix(reordered, "rcm")
+        assert prof.n_rows == 300
+        b = rng.uniform(-1, 1, size=300)
+        res = ZeroCopySolver(machine=dgx1(2), tasks_per_gpu=4).solve(reordered, b)
+        ref = SerialSolver().solve(reordered, b)
+        assert_solutions_close(res.x, ref.x)
+
+
+class TestSuiteIntoHarness:
+    def test_full_pipeline_one_suite_matrix(self):
+        """suite -> context -> design pricing -> report invariants."""
+        from repro.bench.harness import context, run_design
+
+        ctx = context("powersim")
+        for design in (Design.UNIFIED, Design.SHMEM_NAIVE, Design.SHMEM_READONLY):
+            machine = (
+                dgx1(4, require_p2p=False)
+                if design is Design.UNIFIED
+                else dgx1(4)
+            )
+            rep = run_design(ctx, machine, design, tasks_per_gpu=8)
+            assert rep.total_time > 0
+            assert rep.n_tasks == 32
+            assert (
+                rep.local_updates + rep.remote_updates
+                == ctx.lower.nnz - ctx.lower.shape[0]
+            )
+
+    def test_consistent_numerics_across_tiers(self):
+        """Fast-model solvers, emulations, and DES agree on x."""
+        from repro.bench.harness import context
+        from repro.solvers.des_solver import des_execute
+        from repro.solvers.numerics import emulate_shmem_solve
+        from repro.tasks.schedule import block_distribution
+        from repro.workloads.generators import dag_profile_matrix
+
+        lower = dag_profile_matrix(
+            n=400, n_levels=12, dependency=2.5, scatter=0.5, seed=77
+        )
+        rng = np.random.default_rng(0)
+        x_true = rng.uniform(0.5, 1.5, size=400)
+        b = lower.matvec(x_true)
+        machine = dgx1(4)
+        dist = block_distribution(400, 4)
+        x_emul, _ = emulate_shmem_solve(lower, b, dist, machine)
+        x_des = des_execute(lower, b, dist, machine).x
+        assert_solutions_close(x_emul, x_true)
+        assert_solutions_close(x_des, x_true)
+        assert_solutions_close(x_des, x_emul)

@@ -1,0 +1,108 @@
+"""MatrixMarket reader/writer tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MatrixMarketError
+from repro.sparse.coo import CooMatrix
+from repro.sparse.io import dumps, loads, read_matrix_market, write_matrix_market
+
+
+def test_roundtrip_file(tmp_path, rng):
+    d = rng.random((6, 6))
+    d[d < 0.5] = 0.0
+    m = CooMatrix.from_dense(d)
+    path = tmp_path / "m.mtx"
+    write_matrix_market(path, m, comment="roundtrip test")
+    back = read_matrix_market(path)
+    np.testing.assert_allclose(back.to_dense(), d)
+
+
+def test_roundtrip_string(rng):
+    d = rng.random((3, 5))
+    d[d < 0.4] = 0.0
+    m = CooMatrix.from_dense(d)
+    np.testing.assert_allclose(loads(dumps(m)).to_dense(), d)
+
+
+def test_values_roundtrip_exactly():
+    m = CooMatrix(
+        np.array([0]), np.array([0]), np.array([1.0 / 3.0]), (1, 1)
+    )
+    assert loads(dumps(m)).data[0] == 1.0 / 3.0
+
+
+def test_pattern_field():
+    text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n"
+    m = loads(text)
+    np.testing.assert_array_equal(m.to_dense(), np.eye(2))
+
+
+def test_integer_field():
+    text = "%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 7\n"
+    assert loads(text).data[0] == 7.0
+
+
+def test_symmetric_mirrors_off_diagonal():
+    text = (
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "2 2 2\n1 1 1.0\n2 1 5.0\n"
+    )
+    d = loads(text).to_dense()
+    assert d[0, 1] == 5.0 and d[1, 0] == 5.0 and d[0, 0] == 1.0
+
+
+def test_skew_symmetric_negates():
+    text = "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 3.0\n"
+    d = loads(text).to_dense()
+    assert d[1, 0] == 3.0 and d[0, 1] == -3.0
+
+
+def test_skew_symmetric_diagonal_rejected():
+    text = "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n1 1 3.0\n"
+    with pytest.raises(MatrixMarketError, match="diagonal"):
+        loads(text)
+
+
+def test_comments_and_blank_lines_skipped():
+    text = (
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment\n% another\n"
+        "2 2 1\n"
+        "\n1 1 4.0\n\n"
+    )
+    assert loads(text).data[0] == 4.0
+
+
+@pytest.mark.parametrize(
+    "text,msg",
+    [
+        ("%%WrongHeader matrix coordinate real general\n1 1 0\n", "header"),
+        ("%%MatrixMarket matrix array real general\n1 1 0\n", "coordinate"),
+        ("%%MatrixMarket matrix coordinate complex general\n1 1 0\n", "field"),
+        ("%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n", "symmetry"),
+        ("%%MatrixMarket matrix coordinate real general\nbogus\n", "size"),
+        ("%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1\n", "entry"),
+        (
+            "%%MatrixMarket matrix coordinate real general\n1 1 1\n5 5 1.0\n",
+            "out of range",
+        ),
+        (
+            "%%MatrixMarket matrix coordinate real general\n1 1 2\n1 1 1.0\n",
+            "declared",
+        ),
+        (
+            "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1.0\n1 1 2.0\n",
+            "more than",
+        ),
+    ],
+)
+def test_malformed_inputs(text, msg):
+    with pytest.raises(MatrixMarketError, match=msg):
+        loads(text)
+
+
+def test_write_sums_duplicates(tmp_path):
+    m = CooMatrix(np.array([0, 0]), np.array([0, 0]), np.array([1.0, 2.0]), (1, 1))
+    s = dumps(m)
+    assert "3.0" in s and s.count("\n") >= 3

@@ -1,0 +1,102 @@
+"""Level-set analysis tests (with a networkx longest-path oracle)."""
+
+import networkx as nx
+import numpy as np
+
+from repro.analysis.dag import build_dag
+from repro.analysis.levels import compute_levels
+
+
+def nx_levels(lower):
+    g = nx.DiGraph()
+    g.add_nodes_from(range(lower.shape[0]))
+    coo = lower.to_coo()
+    for r, c in zip(coo.row, coo.col):
+        if r > c:
+            g.add_edge(int(c), int(r))
+    depth = {}
+    for v in nx.topological_sort(g):
+        preds = list(g.predecessors(v))
+        depth[v] = 1 + max((depth[p] for p in preds), default=-1)
+    return depth
+
+
+def test_levels_match_longest_path(any_lower):
+    levels = compute_levels(any_lower)
+    oracle = nx_levels(any_lower)
+    for i in range(levels.n):
+        assert levels.level_of[i] == oracle[i], f"component {i}"
+
+
+def test_every_component_assigned(any_lower):
+    levels = compute_levels(any_lower)
+    assert np.all(levels.level_of >= 0)
+    assert levels.level_sizes().sum() == any_lower.shape[0]
+
+
+def test_level_groups_consistent_with_level_of(any_lower):
+    levels = compute_levels(any_lower)
+    for l in range(levels.n_levels):
+        assert np.all(levels.level_of[levels.level(l)] == l)
+
+
+def test_levels_ascending_within_group(any_lower):
+    levels = compute_levels(any_lower)
+    for l in range(levels.n_levels):
+        comps = levels.level(l)
+        assert np.all(np.diff(comps) > 0)
+
+
+def test_dependencies_strictly_increase_level(any_lower):
+    dag = build_dag(any_lower)
+    levels = compute_levels(dag)
+    for i in range(dag.n):
+        for p in dag.predecessors(i):
+            assert levels.level_of[p] < levels.level_of[i]
+
+
+def test_each_nonroot_has_parent_in_previous_level(any_lower):
+    """Longest-path levels: some predecessor sits exactly one level below."""
+    dag = build_dag(any_lower)
+    levels = compute_levels(dag)
+    for i in range(dag.n):
+        if levels.level_of[i] == 0:
+            continue
+        preds = dag.predecessors(i)
+        assert np.any(levels.level_of[preds] == levels.level_of[i] - 1)
+
+
+def test_chain_has_n_levels(chain_lower):
+    levels = compute_levels(chain_lower)
+    assert levels.n_levels == chain_lower.shape[0]
+    assert levels.max_width == 1
+    assert levels.parallelism == 1.0
+
+
+def test_diag_only_single_level(diag_only):
+    levels = compute_levels(diag_only)
+    assert levels.n_levels == 1
+    assert levels.max_width == diag_only.shape[0]
+
+
+def test_grid_levels(grid_lower):
+    """A rows x cols grid has rows + cols - 1 levels (anti-diagonals)."""
+    levels = compute_levels(grid_lower)
+    assert levels.n_levels == 12 + 15 - 1
+
+
+def test_parallelism_definition(small_lower):
+    levels = compute_levels(small_lower)
+    assert levels.parallelism == small_lower.shape[0] / levels.n_levels
+
+
+def test_accepts_prebuilt_dag(small_lower):
+    dag = build_dag(small_lower)
+    a = compute_levels(dag)
+    b = compute_levels(small_lower)
+    np.testing.assert_array_equal(a.level_of, b.level_of)
+
+
+def test_critical_path_length_equals_n_levels(small_lower):
+    levels = compute_levels(small_lower)
+    assert levels.critical_path_length == levels.n_levels

@@ -1,0 +1,161 @@
+"""Sparse LU / ILU(0) factorisation tests (the MA48 substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, SingularMatrixError
+from repro.sparse.coo import CooMatrix
+from repro.sparse.lu import ilu0, sparse_lu
+from repro.sparse.triangular import is_lower_triangular, is_upper_triangular
+from repro.workloads.generators import banded_lower, tridiagonal_lower
+
+
+def random_square(n, density, rng, dominant=True):
+    d = rng.normal(size=(n, n))
+    mask = rng.random((n, n)) < density
+    d = d * mask
+    if dominant:
+        d[np.arange(n), np.arange(n)] = np.abs(d).sum(axis=1) + 1.0
+    return d
+
+
+@pytest.mark.parametrize("n,density", [(10, 0.3), (25, 0.2), (50, 0.1)])
+def test_lu_reconstructs_pa(rng, n, density):
+    d = random_square(n, density, rng)
+    f = sparse_lu(CooMatrix.from_dense(d))
+    lu = f.lower.to_dense() @ f.upper.to_dense()
+    np.testing.assert_allclose(lu, d[f.row_perm], atol=1e-9)
+
+
+def test_lu_factors_are_triangular(rng):
+    d = random_square(20, 0.3, rng)
+    f = sparse_lu(CooMatrix.from_dense(d))
+    assert is_lower_triangular(f.lower)
+    assert is_upper_triangular(f.upper)
+
+
+def test_lu_unit_diagonal_lower(rng):
+    d = random_square(15, 0.3, rng)
+    f = sparse_lu(CooMatrix.from_dense(d))
+    np.testing.assert_allclose(f.lower.diagonal(), np.ones(15))
+
+
+def test_lu_solve(rng):
+    d = random_square(30, 0.2, rng)
+    x_true = rng.random(30)
+    b = d @ x_true
+    f = sparse_lu(CooMatrix.from_dense(d))
+    np.testing.assert_allclose(f.solve(b), x_true, rtol=1e-8)
+
+
+def test_lu_needs_pivoting(rng):
+    """Zero diagonal but structurally fine — partial pivoting must engage."""
+    d = np.array([[0.0, 2.0], [3.0, 1.0]])
+    f = sparse_lu(CooMatrix.from_dense(d))
+    lu = f.lower.to_dense() @ f.upper.to_dense()
+    np.testing.assert_allclose(lu, d[f.row_perm])
+    assert not np.array_equal(f.row_perm, np.arange(2))
+
+
+def test_lu_threshold_pivoting_keeps_natural_order(rng):
+    """With a loose threshold, a dominant natural diagonal is kept."""
+    d = random_square(12, 0.3, rng, dominant=True)
+    f = sparse_lu(CooMatrix.from_dense(d), pivot_threshold=0.1)
+    np.testing.assert_array_equal(f.row_perm, np.arange(12))
+
+
+def test_lu_rejects_rectangular():
+    with pytest.raises(ShapeError):
+        sparse_lu(CooMatrix.empty((2, 3)))
+
+
+def test_lu_rejects_bad_threshold(rng):
+    d = random_square(4, 0.5, rng)
+    with pytest.raises(ValueError):
+        sparse_lu(CooMatrix.from_dense(d), pivot_threshold=0.0)
+
+
+def test_lu_structurally_singular():
+    d = np.zeros((3, 3))
+    d[0, 0] = d[1, 1] = 1.0  # column 2 empty
+    with pytest.raises(SingularMatrixError):
+        sparse_lu(CooMatrix.from_dense(d))
+
+
+def test_lu_numerically_singular():
+    d = np.array([[1.0, 1.0], [1.0, 1.0]])
+    with pytest.raises(SingularMatrixError):
+        sparse_lu(CooMatrix.from_dense(d))
+
+
+def test_lu_drop_tolerance_sparsifies(rng):
+    d = random_square(30, 0.3, rng)
+    exact = sparse_lu(CooMatrix.from_dense(d))
+    dropped = sparse_lu(CooMatrix.from_dense(d), drop_tol=0.05)
+    assert (
+        dropped.lower.nnz + dropped.upper.nnz
+        <= exact.lower.nnz + exact.upper.nnz
+    )
+
+
+def test_lu_on_triangular_input_is_trivial():
+    lower = tridiagonal_lower(12, seed=5)
+    f = sparse_lu(lower)
+    # U should be diagonal (the input was already lower triangular).
+    u = f.upper.to_dense()
+    assert np.count_nonzero(u - np.diag(np.diag(u))) == 0
+
+
+class TestIlu0:
+    def test_ilu0_exact_when_no_fill(self):
+        """On a bidiagonal matrix ILU(0) has no dropped fill => exact LU."""
+        a = tridiagonal_lower(10, seed=2)
+        f = ilu0(a)
+        lu = f.lower.to_dense() @ f.upper.to_dense()
+        np.testing.assert_allclose(lu, a.to_dense(), atol=1e-12)
+
+    def test_ilu0_preserves_pattern(self, rng):
+        d = random_square(20, 0.25, rng)
+        a = CooMatrix.from_dense(d).to_csr()
+        f = ilu0(a)
+        combined = (np.abs(f.lower.to_dense()) > 0) | (
+            np.abs(f.upper.to_dense()) > 0
+        )
+        original = np.abs(d) > 0
+        original[np.arange(20), np.arange(20)] = True
+        # No fill outside the original pattern (plus unit diagonal of L).
+        assert not np.any(combined & ~original)
+
+    def test_ilu0_identity_perm(self, rng):
+        d = random_square(8, 0.4, rng)
+        f = ilu0(CooMatrix.from_dense(d))
+        np.testing.assert_array_equal(f.row_perm, np.arange(8))
+
+    def test_ilu0_preconditioner_quality(self, rng):
+        """ILU(0) should approximately invert a dominant matrix."""
+        d = random_square(40, 0.1, rng)
+        x_true = rng.random(40)
+        b = d @ x_true
+        f = ilu0(CooMatrix.from_dense(d))
+        x = f.solve(b)
+        # Not exact, but much closer than b itself.
+        assert np.linalg.norm(x - x_true) < 0.5 * np.linalg.norm(x_true)
+
+    def test_ilu0_missing_diagonal_rejected(self):
+        d = np.array([[0.0, 1.0], [1.0, 1.0]])
+        with pytest.raises(SingularMatrixError, match="diagonal"):
+            ilu0(CooMatrix.from_dense(d))
+
+    def test_ilu0_rejects_rectangular(self):
+        with pytest.raises(ShapeError):
+            ilu0(CooMatrix.empty((2, 3)))
+
+    def test_ilu0_banded_factors_feed_sptrsv(self, rng):
+        """End-to-end: ILU(0) factors are valid SpTRSV inputs."""
+        from repro.solvers.serial import serial_forward
+
+        a = banded_lower(50, bandwidth=3, fill=0.7, seed=11)
+        f = ilu0(a)
+        b = rng.random(50)
+        x = serial_forward(f.lower, b)
+        assert np.all(np.isfinite(x))

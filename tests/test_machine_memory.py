@@ -1,0 +1,181 @@
+"""Device memory, unified memory and link-tracker tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryModelError
+from repro.machine.link import LinkTracker
+from repro.machine.memory import DeviceMemory
+from repro.machine.specs import UM_DEFAULT, V100, UnifiedMemorySpec
+from repro.machine.topology import dgx1_topology, dgx2_topology
+from repro.machine.unified import UnifiedMemory, expected_faults
+
+
+class TestDeviceMemory:
+    def setup_method(self):
+        self.mem = DeviceMemory(0, V100)
+
+    def test_malloc_zeroed(self):
+        arr = self.mem.malloc("x", 100)
+        assert arr.shape == (100,)
+        assert np.all(arr == 0)
+
+    def test_accounting(self):
+        self.mem.malloc("x", 100)
+        assert self.mem.used() == 800
+        self.mem.free("x")
+        assert self.mem.used() == 0
+
+    def test_available(self):
+        before = self.mem.available()
+        self.mem.malloc("x", 10, dtype=np.int64)
+        assert self.mem.available() == before - 80
+
+    def test_duplicate_name_rejected(self):
+        self.mem.malloc("x", 1)
+        with pytest.raises(MemoryModelError, match="already exists"):
+            self.mem.malloc("x", 1)
+
+    def test_oom(self):
+        small = DeviceMemory(0, V100.with_(memory_bytes=1024))
+        with pytest.raises(MemoryModelError, match="out of memory"):
+            small.malloc("big", 1000)
+
+    def test_free_unknown(self):
+        with pytest.raises(MemoryModelError, match="no allocation"):
+            self.mem.free("ghost")
+
+    def test_get(self):
+        arr = self.mem.malloc("x", 5)
+        assert self.mem.get("x") is arr
+        with pytest.raises(MemoryModelError):
+            self.mem.get("y")
+
+    def test_reset(self):
+        self.mem.malloc("x", 5)
+        self.mem.reset()
+        assert self.mem.used() == 0
+        with pytest.raises(MemoryModelError):
+            self.mem.get("x")
+
+
+class TestUnifiedMemory:
+    def setup_method(self):
+        self.um = UnifiedMemory(UM_DEFAULT, dgx1_topology())
+
+    def test_managed_alloc(self):
+        arr = self.um.malloc_managed("s", 1000)
+        assert arr.data.shape == (1000,)
+        assert arr.n_pages == int(np.ceil(1000 / UM_DEFAULT.entries_per_page))
+        assert np.all(arr.page_owner == -1)
+
+    def test_duplicate_rejected(self):
+        self.um.malloc_managed("s", 10)
+        with pytest.raises(MemoryModelError):
+            self.um.malloc_managed("s", 10)
+
+    def test_first_touch_faults(self):
+        arr = self.um.malloc_managed("s", 10)
+        cost, faulted = self.um.access(0, arr, 0)
+        assert faulted
+        assert cost > 0
+        assert arr.page_owner[0] == 0
+
+    def test_local_access_cheap_after_fault(self):
+        arr = self.um.malloc_managed("s", 10)
+        self.um.access(0, arr, 0)
+        cost, faulted = self.um.access(0, arr, 1)  # same page
+        assert not faulted
+        assert cost == UM_DEFAULT.atomic_system
+
+    def test_remote_steal_costs_more_than_first_touch(self):
+        arr = self.um.malloc_managed("s", 10)
+        c_first, _ = self.um.access(0, arr, 0)
+        c_steal, faulted = self.um.access(1, arr, 0)
+        assert faulted and c_steal > c_first
+        assert arr.page_owner[0] == 1
+
+    def test_pingpong_counts_every_bounce(self):
+        arr = self.um.malloc_managed("s", 10)
+        for k in range(10):
+            self.um.access(k % 2, arr, 0)
+        assert self.um.fault_count == 10
+
+    def test_faults_per_gpu_tracked(self):
+        arr = self.um.malloc_managed("s", 10)
+        self.um.access(0, arr, 0)
+        self.um.access(1, arr, 0)
+        assert self.um.faults_per_gpu[0] == 1
+        assert self.um.faults_per_gpu[1] == 1
+
+    def test_fault_service_scales_with_sharers(self):
+        assert self.um.fault_service_time(4) > self.um.fault_service_time(2)
+
+    def test_reset_counters(self):
+        arr = self.um.malloc_managed("s", 10)
+        self.um.access(0, arr, 0)
+        self.um.reset_counters()
+        assert self.um.fault_count == 0
+        assert self.um.migrated_bytes == 0.0
+
+    def test_free(self):
+        self.um.malloc_managed("s", 10)
+        self.um.free("s")
+        with pytest.raises(MemoryModelError):
+            self.um.get("s")
+
+    def test_page_of(self):
+        arr = self.um.malloc_managed("s", UM_DEFAULT.entries_per_page * 2)
+        assert arr.page_of(0) == 0
+        assert arr.page_of(UM_DEFAULT.entries_per_page) == 1
+
+
+class TestExpectedFaults:
+    def test_single_writer_no_faults(self):
+        assert expected_faults(np.array([100.0, 0.0, 0.0])) == 0.0
+
+    def test_even_split_grows_with_gpus(self):
+        two = expected_faults(np.array([50.0, 50.0]))
+        four = expected_faults(np.array([25.0, 25.0, 25.0, 25.0]))
+        assert four > two
+
+    def test_even_split_formula(self):
+        # total * (1 - G * (1/G)^2) = total * (1 - 1/G)
+        assert expected_faults(np.array([50.0, 50.0])) == pytest.approx(50.0)
+        assert expected_faults(np.full(4, 25.0)) == pytest.approx(75.0)
+
+    def test_empty(self):
+        assert expected_faults(np.zeros(4)) == 0.0
+
+
+class TestLinkTracker:
+    def test_records_traffic(self):
+        lt = LinkTracker(dgx1_topology())
+        t = lt.record(0, 1, 1024)
+        assert t > 0
+        assert lt.total_bytes == 1024
+        assert lt.total_transfers == 1
+        assert lt.busy_time[0, 1] == pytest.approx(t)
+
+    def test_self_transfer_free(self):
+        lt = LinkTracker(dgx1_topology())
+        assert lt.record(2, 2, 999) == 0.0
+        assert lt.total_bytes == 0
+
+    def test_contention_on_mesh_not_switch(self):
+        mesh = LinkTracker(dgx1_topology())
+        switch = LinkTracker(dgx2_topology())
+        assert mesh.contention_factor(4) > 1.0
+        assert switch.contention_factor(16) == 1.0
+
+    def test_per_gpu_bytes(self):
+        lt = LinkTracker(dgx2_topology(4))
+        lt.record(0, 1, 100)
+        lt.record(0, 2, 50)
+        np.testing.assert_allclose(lt.per_gpu_bytes(), [150, 0, 0, 0])
+
+    def test_summary_keys(self):
+        lt = LinkTracker(dgx2_topology(2))
+        lt.record(0, 1, 8)
+        s = lt.summary()
+        assert set(s) == {"total_bytes", "total_transfers", "busy_time"}

@@ -1,0 +1,110 @@
+"""Matrix-profile metrics and weighted critical-path tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.criticalpath import critical_path
+from repro.analysis.dag import build_dag
+from repro.analysis.levels import compute_levels
+from repro.analysis.metrics import MatrixProfile, profile_matrix, scaling_class
+
+
+class TestProfile:
+    def test_basic_fields(self, small_lower):
+        p = profile_matrix(small_lower, "small")
+        assert p.name == "small"
+        assert p.n_rows == small_lower.shape[0]
+        assert p.nnz == small_lower.nnz
+        assert p.dependency == pytest.approx(small_lower.nnz / p.n_rows)
+        assert p.parallelism == pytest.approx(p.n_rows / p.n_levels)
+
+    def test_reuses_precomputed_levels(self, small_lower):
+        levels = compute_levels(small_lower)
+        p = profile_matrix(small_lower, levels=levels)
+        assert p.n_levels == levels.n_levels
+
+    def test_chain_profile(self, chain_lower):
+        p = profile_matrix(chain_lower)
+        assert p.n_levels == p.n_rows
+        assert p.max_level_width == 1
+
+    def test_table_row_formatting(self, small_lower):
+        p = profile_matrix(small_lower, "x")
+        header, row = MatrixProfile.table_header(), p.table_row()
+        assert "Parallelism" in header
+        assert "x" in row
+
+    def test_in_degree_stats(self, diag_only):
+        p = profile_matrix(diag_only)
+        assert p.max_in_degree == 0
+        assert p.mean_in_degree == 0.0
+
+
+class TestScalingClass:
+    def _profile(self, parallelism, dependency):
+        return MatrixProfile(
+            name="t",
+            n_rows=1000,
+            nnz=int(1000 * dependency),
+            n_levels=max(int(1000 / parallelism), 1),
+            parallelism=parallelism,
+            dependency=dependency,
+            max_level_width=0,
+            mean_level_width=0.0,
+            max_in_degree=0,
+            mean_in_degree=0.0,
+        )
+
+    def test_scales(self):
+        assert scaling_class(self._profile(5000, 2.0)) == "scales"
+
+    def test_serial_bound(self):
+        assert scaling_class(self._profile(50, 30.0)) == "serial-bound"
+
+    def test_neutral(self):
+        assert scaling_class(self._profile(800, 12.0)) == "neutral"
+
+
+class TestCriticalPath:
+    def test_chain_length_is_total_work(self, chain_lower):
+        cp = critical_path(chain_lower, cost=np.ones(chain_lower.shape[0]))
+        assert cp.length == pytest.approx(chain_lower.shape[0])
+        assert cp.ideal_speedup == pytest.approx(1.0)
+
+    def test_diag_only_length_is_max_cost(self, diag_only, rng):
+        cost = rng.random(diag_only.shape[0]) + 0.5
+        cp = critical_path(diag_only, cost=cost)
+        assert cp.length == pytest.approx(cost.max())
+        assert cp.total_work == pytest.approx(cost.sum())
+
+    def test_path_is_a_dependency_chain(self, small_lower):
+        dag = build_dag(small_lower)
+        cp = critical_path(small_lower)
+        for a, b in zip(cp.path[:-1], cp.path[1:]):
+            assert int(a) in dag.predecessors(int(b))
+
+    def test_path_cost_equals_length(self, small_lower):
+        cost = 1.0 + build_dag(small_lower).in_degree.astype(float)
+        cp = critical_path(small_lower, cost=cost)
+        assert cp.length == pytest.approx(cost[cp.path].sum())
+
+    def test_finish_respects_dependencies(self, small_lower):
+        dag = build_dag(small_lower)
+        cp = critical_path(small_lower)
+        for i in range(dag.n):
+            for p in dag.predecessors(i):
+                assert cp.finish[i] > cp.finish[p]
+
+    def test_unit_costs_match_levels(self, small_lower):
+        levels = compute_levels(small_lower)
+        cp = critical_path(small_lower, cost=np.ones(small_lower.shape[0]))
+        assert cp.length == pytest.approx(levels.n_levels)
+
+    def test_bad_cost_shape_rejected(self, small_lower):
+        with pytest.raises(ValueError):
+            critical_path(small_lower, cost=np.ones(3))
+
+    def test_ideal_speedup_bounded_by_width(self, small_lower):
+        levels = compute_levels(small_lower)
+        cp = critical_path(small_lower, cost=np.ones(small_lower.shape[0]))
+        assert cp.ideal_speedup <= levels.max_width + 1e-9

@@ -1,0 +1,130 @@
+"""Model laws: monotonicity and invariance properties of the simulator.
+
+A performance model earns trust by obeying the obvious physical laws
+under arbitrary inputs: more hardware never slows a fixed workload, more
+expensive communication never speeds it up, and renaming/permuting
+bookkeeping never changes results.  Hypothesis drives these across the
+workload generator's whole parameter space.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec_model.costmodel import Design
+from repro.exec_model.timeline import simulate_execution
+from repro.machine.node import dgx1, dgx2
+from repro.tasks.schedule import block_distribution, round_robin_distribution
+from repro.workloads.generators import dag_profile_matrix
+
+
+@st.composite
+def workloads(draw):
+    n = draw(st.integers(min_value=50, max_value=800))
+    n_levels = draw(st.integers(min_value=1, max_value=min(n, 40)))
+    dep = draw(st.floats(min_value=1.0, max_value=5.0))
+    scatter = draw(st.sampled_from([0.0, 0.4, 0.8]))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return dag_profile_matrix(
+        n=n, n_levels=n_levels, dependency=dep, scatter=scatter, seed=seed
+    )
+
+
+def run(lower, machine, design=Design.SHMEM_READONLY, tasks=None, **kw):
+    n = lower.shape[0]
+    dist = (
+        block_distribution(n, machine.n_gpus)
+        if tasks is None
+        else round_robin_distribution(n, machine.n_gpus, tasks)
+    )
+    return simulate_execution(lower, dist, machine, design, **kw)
+
+
+@settings(max_examples=20, deadline=None)
+@given(workloads())
+def test_more_warp_slots_never_slow_solve(lower):
+    fast = run(lower, dgx1(2).with_gpu(warp_slots=256))
+    slow = run(lower, dgx1(2).with_gpu(warp_slots=8))
+    assert fast.solve_time <= slow.solve_time * 1.0001
+
+
+@settings(max_examples=20, deadline=None)
+@given(workloads())
+def test_cheaper_links_never_slow_solve(lower):
+    base = dgx1(4)
+    cheap = run(
+        lower,
+        base.with_shmem(get_overhead=0.0, poll_interval=1e-9),
+    )
+    dear = run(
+        lower,
+        base.with_shmem(
+            get_overhead=base.shmem.get_overhead * 10,
+            poll_interval=base.shmem.poll_interval * 10,
+        ),
+    )
+    assert cheap.solve_time <= dear.solve_time * 1.0001
+
+
+@settings(max_examples=20, deadline=None)
+@given(workloads())
+def test_higher_fault_cost_never_speeds_unified(lower):
+    base = dgx1(4, require_p2p=False)
+    lo = run(lower, base.with_um(fault_cost=1e-7), design=Design.UNIFIED)
+    hi = run(lower, base.with_um(fault_cost=1e-5), design=Design.UNIFIED)
+    assert lo.total_time <= hi.total_time * 1.0001
+
+
+@settings(max_examples=20, deadline=None)
+@given(workloads())
+def test_update_accounting_conserved(lower):
+    """Across any design/distribution, every DAG edge is exactly one
+    update, local or remote."""
+    edges = lower.nnz - lower.shape[0]
+    for design, machine in (
+        (Design.SHMEM_READONLY, dgx1(3)),
+        (Design.UNIFIED, dgx1(3, require_p2p=False)),
+        (Design.SHMEM_NAIVE, dgx2(5)),
+    ):
+        rep = run(lower, machine, design=design, tasks=4)
+        assert rep.local_updates + rep.remote_updates == edges
+
+
+@settings(max_examples=15, deadline=None)
+@given(workloads(), st.integers(min_value=1, max_value=6))
+def test_single_gpu_designs_coincide(lower, tasks):
+    """With one GPU there is no communication: every design prices the
+    same solve phase."""
+    m_p2p = dgx1(1)
+    m_any = dgx1(1, require_p2p=False)
+    ro = run(lower, m_p2p, design=Design.SHMEM_READONLY, tasks=tasks)
+    nv = run(lower, m_p2p, design=Design.SHMEM_NAIVE, tasks=tasks)
+    um = run(lower, m_any, design=Design.UNIFIED, tasks=tasks)
+    assert ro.solve_time == pytest.approx(nv.solve_time)
+    assert ro.solve_time == pytest.approx(um.solve_time)
+    assert ro.remote_updates == nv.remote_updates == um.remote_updates == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(workloads())
+def test_report_times_finite_positive(lower):
+    for design, machine in (
+        (Design.SHMEM_READONLY, dgx1(4)),
+        (Design.UNIFIED, dgx1(4, require_p2p=False)),
+    ):
+        rep = run(lower, machine, design=design)
+        assert np.isfinite(rep.total_time) and rep.total_time > 0
+        assert np.all(np.isfinite(rep.gpu_finish))
+        assert rep.page_faults >= 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(workloads())
+def test_solve_time_at_least_critical_work_bound(lower):
+    """Makespan can never beat the busy-work throughput lower bound:
+    total productive work spread over every warp slot in the node."""
+    machine = dgx1(2)
+    rep = run(lower, machine)
+    total_slots = rep.n_gpus * machine.gpu.warp_slots
+    assert rep.solve_time * total_slots >= float(rep.gpu_busy.sum()) * 0.99

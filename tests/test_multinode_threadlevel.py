@@ -1,0 +1,195 @@
+"""Multi-node extension and thread-level baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TaskModelError, TopologyError
+from repro.exec_model.costmodel import Design
+from repro.exec_model.timeline import simulate_execution
+from repro.machine.multinode import (
+    INFINIBAND,
+    cluster,
+    multinode_topology,
+    node_of,
+)
+from repro.machine.node import dgx1
+from repro.solvers.threadlevel import ThreadLevelSolver, thread_level_schedule
+from repro.sparse.validate import assert_solutions_close, random_rhs_for_solution
+from repro.tasks.hierarchical import hierarchical_distribution
+from repro.tasks.schedule import round_robin_distribution
+
+
+class TestMultinodeTopology:
+    def test_shape(self):
+        t = multinode_topology(3, 4)
+        assert t.n_gpus == 12
+        assert t.name == "cluster-3x4"
+
+    def test_intra_node_direct(self):
+        t = multinode_topology(2, 4)
+        assert t.connected(0, 3)
+        assert t.connected(4, 7)
+
+    def test_inter_node_via_fallback(self):
+        t = multinode_topology(2, 4)
+        assert not t.connected(0, 4)
+        # But still reachable (IB fallback) with worse latency.
+        assert t.latency(0, 4) == INFINIBAND.latency
+        assert t.latency(0, 1) < t.latency(0, 4)
+
+    def test_bandwidth_tiers(self):
+        t = multinode_topology(2, 4)
+        assert t.peer_bandwidth(0, 1) > t.peer_bandwidth(0, 4)
+
+    def test_invalid_params(self):
+        with pytest.raises(TopologyError):
+            multinode_topology(0, 4)
+        with pytest.raises(TopologyError):
+            multinode_topology(2, 0)
+
+    def test_node_of(self):
+        np.testing.assert_array_equal(
+            node_of(np.array([0, 3, 4, 11]), 4), [0, 0, 1, 2]
+        )
+
+    def test_cluster_config(self):
+        m = cluster(2, 4)
+        assert m.n_gpus == 8
+        assert not m.require_p2p
+
+
+class TestHierarchicalDistribution:
+    def test_covers_all_components(self):
+        d = hierarchical_distribution(1000, n_nodes=2, gpus_per_node=4, tasks_per_gpu=4)
+        assert len(d.gpu_of) == 1000
+        assert set(np.unique(d.gpu_of)) == set(range(8))
+
+    def test_dispatch_order_monotone_per_gpu(self):
+        d = hierarchical_distribution(500, 2, 4, 4)
+        for g in range(8):
+            comps = d.components_on_gpu(g)
+            assert np.all(np.diff(comps) > 0)
+
+    def test_neighbouring_tasks_share_a_node(self):
+        d = hierarchical_distribution(800, 2, 4, 4, node_run=8)
+        nodes = node_of(d.task_gpu, 4)
+        # Within each run of node_run consecutive tasks: one node.
+        for start in range(0, d.n_tasks - 8, 8):
+            assert len(set(nodes[start : start + 8].tolist())) == 1
+
+    def test_longer_runs_keep_more_edges_intra_node(self, scattered_lower):
+        from repro.analysis.dag import build_dag
+
+        dag = build_dag(scattered_lower)
+        n = scattered_lower.shape[0]
+
+        def node_local_fraction(dist):
+            src = np.repeat(
+                np.arange(dag.n, dtype=np.int64), np.diff(dag.out_ptr)
+            )
+            same = node_of(dist.gpu_of[src], 4) == node_of(
+                dist.gpu_of[dag.out_idx], 4
+            )
+            return float(np.mean(same))
+
+        short = hierarchical_distribution(n, 2, 4, 4, node_run=4)
+        long = hierarchical_distribution(n, 2, 4, 4, node_run=16)
+        assert node_local_fraction(long) >= node_local_fraction(short)
+
+    def test_invalid_params(self):
+        with pytest.raises(TaskModelError):
+            hierarchical_distribution(100, 0, 4, 4)
+        with pytest.raises(TaskModelError):
+            hierarchical_distribution(100, 2, 4, 0)
+
+
+class TestMultinodeExecution:
+    def test_numerics_on_cluster(self, scattered_lower):
+        from repro.solvers.numerics import emulate_shmem_solve
+
+        b, x_true = random_rhs_for_solution(scattered_lower, seed=9)
+        machine = cluster(2, 4)
+        dist = hierarchical_distribution(
+            scattered_lower.shape[0], 2, 4, tasks_per_gpu=2
+        )
+        x, _ = emulate_shmem_solve(scattered_lower, b, dist, machine)
+        assert_solutions_close(x, x_true)
+
+    def test_hierarchical_beats_flat_on_cluster(self, scattered_lower):
+        """Node-aware placement keeps short-range edges intra-node."""
+        machine = cluster(2, 4)
+        n = scattered_lower.shape[0]
+        flat = round_robin_distribution(n, 8, tasks_per_gpu=4)
+        hier = hierarchical_distribution(n, 2, 4, tasks_per_gpu=4)
+        t_flat = simulate_execution(
+            scattered_lower, flat, machine, Design.SHMEM_READONLY
+        ).total_time
+        t_hier = simulate_execution(
+            scattered_lower, hier, machine, Design.SHMEM_READONLY
+        ).total_time
+        assert t_hier < t_flat * 1.05
+
+    def test_cluster_slower_than_single_node_at_equal_gpus(self, scattered_lower):
+        """Splitting 4 GPUs across 2 nodes costs inter-node latency."""
+        from repro.machine.node import dgx2
+
+        n = scattered_lower.shape[0]
+        single = simulate_execution(
+            scattered_lower,
+            round_robin_distribution(n, 4, tasks_per_gpu=8),
+            dgx2(4),
+            Design.SHMEM_READONLY,
+        ).total_time
+        split = simulate_execution(
+            scattered_lower,
+            hierarchical_distribution(n, 2, 2, tasks_per_gpu=8),
+            cluster(2, 2),
+            Design.SHMEM_READONLY,
+        ).total_time
+        assert split > single
+
+
+class TestThreadLevelSolver:
+    def test_numerics(self, small_lower):
+        b, x_true = random_rhs_for_solution(small_lower, seed=2)
+        res = ThreadLevelSolver().solve(small_lower, b)
+        assert_solutions_close(res.x, x_true)
+        assert res.report.design == "threadlevel"
+
+    def test_rejects_multi_gpu(self):
+        with pytest.raises(ValueError):
+            ThreadLevelSolver(machine=dgx1(4))
+
+    def test_schedule_invariants(self, small_lower):
+        rep = thread_level_schedule(small_lower, dgx1(1))
+        assert rep.total_time > 0
+        assert rep.remote_updates == 0
+        assert rep.n_gpus == 1
+
+    def test_crossover_wide_vs_deep(self):
+        """Thread-level wins on skinny-row massive-width inputs; the
+        warp-level mapping wins on dependency-heavy rows (the
+        CapelliniSpTRSV crossover)."""
+        from repro.exec_model.timeline import simulate_execution
+        from repro.machine.node import dgx1
+        from repro.tasks.schedule import block_distribution
+        from repro.workloads.generators import dag_profile_matrix
+
+        machine = dgx1(1)
+
+        def warp_time(m):
+            dist = block_distribution(m.shape[0], 1)
+            return simulate_execution(
+                m, dist, machine, Design.SHMEM_READONLY
+            ).total_time
+
+        wide = dag_profile_matrix(
+            n=6000, n_levels=3, dependency=1.6, seed=4
+        )
+        deep = dag_profile_matrix(
+            n=1500, n_levels=60, dependency=12.0, seed=5
+        )
+        ratio_wide = thread_level_schedule(wide, machine).total_time / warp_time(wide)
+        ratio_deep = thread_level_schedule(deep, machine).total_time / warp_time(deep)
+        # Relative advantage flips between the two regimes.
+        assert ratio_wide < ratio_deep

@@ -1,0 +1,121 @@
+"""Plan/execute API tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.exec_model.costmodel import Design
+from repro.machine.node import dgx1, dgx2
+from repro.solvers.plan import SpTrsvPlan
+from repro.solvers.serial import serial_forward
+from repro.sparse.validate import assert_solutions_close, random_rhs_for_solution
+
+
+@pytest.fixture
+def plan(scattered_lower):
+    return SpTrsvPlan(scattered_lower, machine=dgx1(4), tasks_per_gpu=8)
+
+
+class TestSolve:
+    def test_correct_solution(self, plan, scattered_lower):
+        b, x_true = random_rhs_for_solution(scattered_lower, seed=1)
+        res = plan.solve(b)
+        assert_solutions_close(res.x, x_true)
+
+    def test_many_rhs_stream(self, plan, scattered_lower, rng):
+        for seed in range(5):
+            b, x_true = random_rhs_for_solution(scattered_lower, seed=seed)
+            assert_solutions_close(plan.solve(b).x, x_true)
+        assert plan.stats.solves == 5
+
+    def test_solve_many_block(self, plan, scattered_lower, rng):
+        n = scattered_lower.shape[0]
+        b_block = rng.uniform(-1, 1, size=(n, 6))
+        x = plan.solve_many(b_block)
+        for j in range(6):
+            np.testing.assert_allclose(
+                x[:, j], serial_forward(scattered_lower, b_block[:, j]),
+                rtol=1e-9,
+            )
+        assert plan.stats.rhs_columns == 6
+
+    def test_rhs_shape_checked(self, plan):
+        with pytest.raises(ShapeError):
+            plan.solve(np.ones(3))
+
+
+class TestAmortisation:
+    def test_analysis_counted_once(self, plan, scattered_lower):
+        b, _ = random_rhs_for_solution(scattered_lower, seed=2)
+        for _ in range(10):
+            plan.solve(b)
+        s = plan.stats
+        assert s.analysis_time == plan.report.analysis_time  # not 10x
+        assert s.simulated_solve_time == pytest.approx(
+            10 * plan.report.solve_time
+        )
+
+    def test_amortised_fraction_shrinks(self, plan, scattered_lower):
+        b, _ = random_rhs_for_solution(scattered_lower, seed=3)
+        plan.solve(b)
+        f1 = plan.stats.amortised_analysis_fraction
+        for _ in range(9):
+            plan.solve(b)
+        f10 = plan.stats.amortised_analysis_fraction
+        assert f10 < f1
+
+    def test_block_cheaper_than_loop(self, scattered_lower, rng):
+        """k columns through solve_many cost less simulated time than k
+        separate solve() calls."""
+        n = scattered_lower.shape[0]
+        b_block = rng.uniform(-1, 1, size=(n, 8))
+        loop = SpTrsvPlan(scattered_lower, machine=dgx1(4))
+        for j in range(8):
+            loop.solve(b_block[:, j])
+        block = SpTrsvPlan(scattered_lower, machine=dgx1(4))
+        block.solve_many(b_block)
+        assert (
+            block.stats.simulated_solve_time
+            < loop.stats.simulated_solve_time
+        )
+
+
+class TestConfiguration:
+    def test_block_distribution_option(self, scattered_lower):
+        p = SpTrsvPlan(scattered_lower, machine=dgx1(4), tasks_per_gpu=None)
+        assert p.distribution.n_tasks == 4
+
+    def test_design_option(self, scattered_lower):
+        p = SpTrsvPlan(
+            scattered_lower,
+            machine=dgx1(4, require_p2p=False),
+            design=Design.UNIFIED,
+        )
+        assert p.report.design == "unified"
+
+    def test_dgx2_plan(self, scattered_lower):
+        b, x_true = random_rhs_for_solution(scattered_lower, seed=4)
+        p = SpTrsvPlan(scattered_lower, machine=dgx2(8), tasks_per_gpu=4)
+        assert_solutions_close(p.solve(b).x, x_true)
+
+    def test_validates_at_construction(self):
+        from repro.errors import ReproError
+        from repro.sparse.coo import CooMatrix
+
+        bad = CooMatrix(
+            np.array([0, 1]),
+            np.array([0, 1]),
+            np.array([1.0, 0.0]),  # zero pivot
+            (2, 2),
+        ).to_csc()
+        with pytest.raises(ReproError):
+            SpTrsvPlan(bad)
+
+    def test_doctest_example(self):
+        import doctest
+
+        import repro.solvers.plan as mod
+
+        results = doctest.testmod(mod)
+        assert results.failed == 0
+        assert results.attempted > 0

@@ -1,0 +1,69 @@
+"""Golden-number calibration guard.
+
+Fails when the simulated aggregates drift from the blessed values in
+``src/repro/bench/golden.json``.  If a change *intentionally* moves the
+model, re-bless with::
+
+    python -m repro.bench.regression
+
+and update EXPERIMENTS.md to match.
+"""
+
+import math
+
+import pytest
+
+from repro.bench.regression import (
+    GOLDEN_PATH,
+    Violation,
+    capture,
+    compare,
+    load_golden,
+)
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return capture()
+
+
+def test_golden_file_exists():
+    assert GOLDEN_PATH.exists()
+    golden = load_golden()
+    assert len(golden) >= 6
+
+
+def test_no_drift(measured):
+    violations = compare(measured, load_golden())
+    assert not violations, "model drift detected:\n" + "\n".join(
+        str(v) for v in violations
+    )
+
+
+def test_golden_values_match_paper_band(measured):
+    """The blessed values themselves must stay inside the paper band —
+    re-blessing cannot silently accept a broken calibration."""
+    golden = load_golden()
+    assert 0.7 <= golden["fig7.unified_task.geomean"] <= 1.1  # paper 0.89
+    assert 1.6 <= golden["fig7.shmem.geomean"] <= 3.2  # paper 2.33
+    assert 2.5 <= golden["fig7.zerocopy.geomean"] <= 5.0  # paper 3.53
+    assert 6.0 <= golden["fig7.zerocopy.max"] <= 16.0  # paper 9.86
+    assert 1.1 <= golden["fig10a.scaling_4_over_2"] <= 1.8  # paper +34%
+    assert golden["fig9.gain_at_16_tasks"] > 1.05  # paper +22%
+
+
+class TestCompareMechanics:
+    def test_within_tolerance_passes(self):
+        assert compare({"k": 1.04}, {"k": 1.0}, tolerance=0.05) == []
+
+    def test_beyond_tolerance_flagged(self):
+        (v,) = compare({"k": 1.2}, {"k": 1.0}, tolerance=0.05)
+        assert v.drift == pytest.approx(0.2)
+
+    def test_missing_key_flagged(self):
+        (v,) = compare({}, {"k": 1.0})
+        assert math.isnan(v.measured)
+
+    def test_violation_str(self):
+        v = Violation(key="k", golden=1.0, measured=1.5)
+        assert "k" in str(v) and "+50" in str(v)

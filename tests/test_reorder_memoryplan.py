@@ -1,0 +1,193 @@
+"""Reordering-strategy and out-of-core memory-plan tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.levels import compute_levels
+from repro.analysis.reorder import (
+    level_packing_ordering,
+    rcm_ordering,
+    reorder_lower,
+)
+from repro.errors import ShapeError
+from repro.exec_model.memory_plan import (
+    matrix_footprint,
+    memory_plan,
+    min_gpus_required,
+)
+from repro.machine.node import dgx1
+from repro.tasks.schedule import block_distribution, round_robin_distribution
+from repro.workloads.generators import banded_lower, grid_graph_lower, random_lower
+
+
+class TestRcm:
+    def test_is_permutation(self, rand_lower):
+        perm = rcm_ordering(rand_lower)
+        np.testing.assert_array_equal(
+            np.sort(perm), np.arange(rand_lower.shape[0])
+        )
+
+    def test_reduces_bandwidth_on_shuffled_band(self, rng):
+        """RCM must recover (most of) a banded structure after shuffling."""
+        from repro.sparse.triangular import permute_symmetric
+
+        band = banded_lower(150, bandwidth=3, fill=1.0, seed=0)
+        shuffle = rng.permutation(150)
+        scrambled = permute_symmetric(band, shuffle)
+
+        def bandwidth(m):
+            coo = m.to_coo()
+            off = coo.row != coo.col
+            return int(np.max(np.abs(coo.row[off] - coo.col[off])))
+
+        perm = rcm_ordering(scrambled)
+        recovered = permute_symmetric(scrambled, perm)
+        assert bandwidth(recovered) < bandwidth(scrambled) / 2
+
+    def test_handles_disconnected_graph(self, diag_only):
+        perm = rcm_ordering(diag_only)
+        np.testing.assert_array_equal(np.sort(perm), np.arange(20))
+
+    def test_rejects_rectangular(self):
+        from repro.sparse.coo import CooMatrix
+
+        with pytest.raises(ShapeError):
+            rcm_ordering(CooMatrix.empty((2, 3)).to_csc())
+
+
+class TestLevelPacking:
+    def test_is_permutation(self, scattered_lower):
+        perm = level_packing_ordering(scattered_lower)
+        np.testing.assert_array_equal(
+            np.sort(perm), np.arange(scattered_lower.shape[0])
+        )
+
+    def test_packs_levels_contiguously(self, scattered_lower):
+        perm = level_packing_ordering(scattered_lower)
+        levels = compute_levels(scattered_lower)
+        # New index order sorted by level.
+        new_levels = np.empty(levels.n, dtype=np.int64)
+        new_levels[perm] = levels.level_of
+        assert np.all(np.diff(new_levels) >= 0)
+
+    def test_reorder_lower_stays_solvable(self, scattered_lower, rng):
+        from repro.solvers.serial import serial_forward
+        from repro.sparse.triangular import is_lower_triangular
+
+        perm = level_packing_ordering(scattered_lower)
+        reordered = reorder_lower(scattered_lower, perm)
+        assert is_lower_triangular(reordered)
+        reordered.validate()
+        b = rng.uniform(-1, 1, size=reordered.shape[0])
+        x = serial_forward(reordered, b)
+        assert np.all(np.isfinite(x))
+
+    def test_ordering_changes_levels(self, rng):
+        """Reordering moves a matrix through the (#levels, par) plane —
+        the motivation for studying orderings at all."""
+        m = random_lower(400, avg_nnz_per_row=3.0, seed=5)
+        base_levels = compute_levels(m).n_levels
+        rcm = reorder_lower(m, rcm_ordering(m))
+        rcm_levels = compute_levels(rcm).n_levels
+        assert rcm_levels != base_levels  # ordering matters
+
+
+class TestMemoryPlan:
+    def test_in_memory_suite_fits(self):
+        m = grid_graph_lower(40, 40)
+        machine = dgx1(4)
+        dist = round_robin_distribution(m.shape[0], 4, tasks_per_gpu=8)
+        plan = memory_plan(m, machine, dist)
+        assert plan.fits
+        assert plan.staging_time == 0.0
+        assert 0.0 < plan.utilisation < 1.0
+
+    def test_footprint_scales(self):
+        m = grid_graph_lower(20, 20)
+        assert matrix_footprint(m, scale=2.0) == pytest.approx(
+            2 * matrix_footprint(m, scale=1.0)
+        )
+
+    def test_out_of_core_detected(self):
+        """Scaled to paper size, twitter7-class footprints overflow one
+        GPU and need staging."""
+        m = grid_graph_lower(40, 40)
+        machine = dgx1(1, require_p2p=False)
+        dist = block_distribution(m.shape[0], 1)
+        # Scale the stand-in to a ~21.6 GB working set.
+        scale = 22e9 / matrix_footprint(m)
+        plan = memory_plan(m, machine, dist, scale=scale)
+        assert not plan.fits
+        assert plan.overflow_bytes > 0
+        assert plan.staging_time > 0
+
+    def test_more_gpus_reduce_overflow(self):
+        m = grid_graph_lower(40, 40)
+        scale = 30e9 / matrix_footprint(m)
+        plans = []
+        for g in (1, 2, 4):
+            machine = dgx1(g, require_p2p=False)
+            dist = block_distribution(m.shape[0], g)
+            plans.append(memory_plan(m, machine, dist, scale=scale))
+        assert plans[0].overflow_bytes > plans[1].overflow_bytes
+        assert plans[1].overflow_bytes > plans[2].overflow_bytes
+
+    def test_min_gpus_required(self):
+        m = grid_graph_lower(40, 40)
+        machine = dgx1(4)
+        assert min_gpus_required(m, machine) == 1
+        scale = 40e9 / matrix_footprint(m)
+        g = min_gpus_required(m, machine, scale=scale)
+        assert g > 1
+
+    def test_intermediate_fraction_reasonable(self):
+        """Paper: intermediates ~10% of the footprint."""
+        m = grid_graph_lower(50, 50)
+        machine = dgx1(4)
+        dist = round_robin_distribution(m.shape[0], 4, tasks_per_gpu=8)
+        plan = memory_plan(m, machine, dist)
+        assert 0.02 < plan.intermediate_fraction < 0.9
+
+
+class TestRedBlack:
+    def test_is_permutation(self):
+        from repro.analysis.reorder import red_black_ordering
+
+        perm = red_black_ordering(6, 5)
+        np.testing.assert_array_equal(np.sort(perm), np.arange(30))
+
+    def test_reds_numbered_first(self):
+        from repro.analysis.reorder import red_black_ordering
+
+        perm = red_black_ordering(4, 4)
+        rr, cc = np.divmod(np.arange(16), 4)
+        red = (rr + cc) % 2 == 0
+        assert perm[red].max() < perm[~red].min()
+
+    def test_two_level_ilu_factor(self):
+        """The textbook result: red-black ILU(0) on the 5-point stencil
+        collapses to two dependency levels."""
+        from repro.analysis.metrics import profile_matrix
+        from repro.analysis.reorder import red_black_ordering
+        from repro.sparse.lu import ilu0
+        from repro.sparse.triangular import permute_symmetric
+        from repro.workloads.factors import poisson2d_matrix
+
+        a = poisson2d_matrix(10, 10).to_csc()
+        perm = red_black_ordering(10, 10)
+        f = ilu0(permute_symmetric(a, perm))
+        assert profile_matrix(f.lower).n_levels == 2
+
+    def test_natural_order_many_levels(self):
+        from repro.analysis.metrics import profile_matrix
+        from repro.sparse.lu import ilu0
+        from repro.workloads.factors import poisson2d_matrix
+
+        f = ilu0(poisson2d_matrix(10, 10).to_csc())
+        assert profile_matrix(f.lower).n_levels > 10
+
+    def test_invalid_grid(self):
+        from repro.analysis.reorder import red_black_ordering
+
+        with pytest.raises(ShapeError):
+            red_black_ordering(0, 4)

@@ -1,0 +1,152 @@
+"""NVSHMEM symmetric-heap model tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShmemError
+from repro.machine.shmem import (
+    SymmetricHeap,
+    serial_reduction_time,
+    warp_reduction_time,
+)
+from repro.machine.specs import SHMEM_DEFAULT
+from repro.machine.topology import dgx1_topology, dgx2_topology
+
+
+@pytest.fixture
+def heap():
+    return SymmetricHeap(
+        n_pes=4, topology=dgx2_topology(4), spec=SHMEM_DEFAULT
+    )
+
+
+class TestAllocation:
+    def test_symmetric_instances(self, heap):
+        arrays = heap.malloc("x", 16)
+        assert len(arrays) == 4
+        for a in arrays:
+            assert a.shape == (16,)
+            assert np.all(a == 0)
+
+    def test_instances_are_independent(self, heap):
+        heap.malloc("x", 4)
+        heap.local("x", 0)[1] = 7.0
+        assert heap.local("x", 1)[1] == 0.0
+
+    def test_duplicate_rejected(self, heap):
+        heap.malloc("x", 4)
+        with pytest.raises(ShmemError):
+            heap.malloc("x", 4)
+
+    def test_free(self, heap):
+        heap.malloc("x", 4)
+        heap.free("x")
+        with pytest.raises(ShmemError):
+            heap.local("x", 0)
+
+    def test_unknown_name(self, heap):
+        with pytest.raises(ShmemError):
+            heap.local("ghost", 0)
+
+
+class TestP2pRequirement:
+    def test_dgx1_quad_ok(self):
+        SymmetricHeap(
+            n_pes=4,
+            topology=dgx1_topology(),
+            spec=SHMEM_DEFAULT,
+            pe_to_gpu=np.array([0, 1, 2, 3]),
+        )
+
+    def test_dgx1_nonclique_rejected(self):
+        """PEs on GPUs 0 and 5 are not P2P connected on DGX-1."""
+        with pytest.raises(ShmemError, match="P2P"):
+            SymmetricHeap(
+                n_pes=2,
+                topology=dgx1_topology(),
+                spec=SHMEM_DEFAULT,
+                pe_to_gpu=np.array([0, 5]),
+            )
+
+    def test_bad_mapping_length(self):
+        with pytest.raises(ShmemError):
+            SymmetricHeap(
+                n_pes=3,
+                topology=dgx2_topology(4),
+                spec=SHMEM_DEFAULT,
+                pe_to_gpu=np.array([0, 1]),
+            )
+
+
+class TestGetPut:
+    def test_local_get_free(self, heap):
+        heap.malloc("x", 4)
+        heap.local("x", 2)[0] = 5.0
+        val, cost = heap.get("x", 0, target_pe=2, caller_pe=2)
+        assert val == 5.0 and cost == 0.0
+
+    def test_remote_get_reads_target_instance(self, heap):
+        heap.malloc("x", 4)
+        heap.local("x", 3)[1] = 9.0
+        val, cost = heap.get("x", 1, target_pe=3, caller_pe=0)
+        assert val == 9.0
+        assert cost > 0
+        assert heap.get_count == 1
+
+    def test_remote_put_writes_target_instance(self, heap):
+        heap.malloc("x", 4)
+        cost = heap.put("x", 2, 3.5, target_pe=1, caller_pe=0)
+        assert heap.local("x", 1)[2] == 3.5
+        assert heap.local("x", 0)[2] == 0.0
+        assert cost > 0
+        assert heap.put_count == 1
+
+    def test_local_put_free(self, heap):
+        heap.malloc("x", 4)
+        assert heap.put("x", 0, 1.0, target_pe=2, caller_pe=2) == 0.0
+
+    def test_get_row_gathers_all_pes(self, heap):
+        heap.malloc("x", 4)
+        for pe in range(4):
+            heap.local("x", pe)[0] = float(pe)
+        values, cost = heap.get_row("x", 0, caller_pe=1)
+        np.testing.assert_allclose(values, [0.0, 1.0, 2.0, 3.0])
+        # Parallel gets: cost is the max single get, not the sum.
+        single = heap.get("x", 0, target_pe=0, caller_pe=1)[1]
+        assert cost == pytest.approx(single)
+
+    def test_traffic_recorded(self, heap):
+        heap.malloc("x", 4)
+        heap.get("x", 0, target_pe=1, caller_pe=0)
+        assert heap.tracker.total_bytes == 8
+
+    def test_pe_range_checked(self, heap):
+        heap.malloc("x", 4)
+        with pytest.raises(ShmemError):
+            heap.get("x", 0, target_pe=0, caller_pe=9)
+
+
+class TestOrderingPrimitives:
+    def test_fence_quiet_costs(self, heap):
+        assert heap.fence() == SHMEM_DEFAULT.fence_cost
+        assert heap.quiet() == SHMEM_DEFAULT.quiet_cost
+        assert heap.quiet() > heap.fence()
+
+
+class TestReductions:
+    def test_warp_reduction_logarithmic(self):
+        c = 10e-9
+        assert warp_reduction_time(1, c) == 0.0
+        assert warp_reduction_time(2, c) == pytest.approx(c)
+        assert warp_reduction_time(4, c) == pytest.approx(2 * c)
+        assert warp_reduction_time(16, c) == pytest.approx(4 * c)
+
+    def test_serial_reduction_linear(self):
+        c = 10e-9
+        assert serial_reduction_time(1, c) == 0.0
+        assert serial_reduction_time(8, c) == pytest.approx(7 * 2 * c)
+
+    def test_warp_beats_serial_beyond_two(self):
+        c = 10e-9
+        for p in (4, 8, 16):
+            assert warp_reduction_time(p, c) < serial_reduction_time(p, c)

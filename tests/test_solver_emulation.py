@@ -1,0 +1,240 @@
+"""Functional-emulation tests: Algorithm 2/3 semantics on the memory models.
+
+These exercise the counter protocols themselves — the emulations *check*
+readiness before each solve and raise if the paper's conditions would
+admit a premature solve.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.levels import compute_levels
+from repro.machine.node import dgx1, dgx2
+from repro.solvers.numerics import (
+    emulate_shmem_solve,
+    emulate_unified_solve,
+    interleaved_order,
+)
+from repro.solvers.serial import serial_forward
+from repro.sparse.validate import assert_solutions_close, random_rhs_for_solution
+from repro.tasks.schedule import block_distribution, round_robin_distribution
+
+
+@pytest.fixture
+def system(small_lower):
+    b, x_true = random_rhs_for_solution(small_lower, seed=11)
+    return small_lower, b, x_true
+
+
+class TestInterleavedOrder:
+    def test_is_permutation(self, small_lower, machine4):
+        levels = compute_levels(small_lower)
+        dist = block_distribution(small_lower.shape[0], 4)
+        order = interleaved_order(levels, dist)
+        assert sorted(order) == list(range(small_lower.shape[0]))
+
+    def test_respects_levels(self, small_lower, machine4):
+        levels = compute_levels(small_lower)
+        dist = block_distribution(small_lower.shape[0], 4)
+        order = interleaved_order(levels, dist)
+        seen_level = -1
+        for c in order:
+            lvl = levels.level_of[c]
+            assert lvl >= seen_level
+            seen_level = lvl
+
+    def test_alternates_gpus_within_level(self, scattered_lower):
+        levels = compute_levels(scattered_lower)
+        dist = block_distribution(scattered_lower.shape[0], 4)
+        order = interleaved_order(levels, dist)
+        # Inside the first level, consecutive entries should cycle GPUs.
+        first = [c for c in order if levels.level_of[c] == 0]
+        gpus = dist.gpu_of[first[:8]]
+        assert len(set(gpus[:4].tolist())) > 1
+
+
+class TestUnifiedEmulation:
+    def test_solution_correct(self, system, machine4_um):
+        lower, b, x_true = system
+        dist = block_distribution(lower.shape[0], 4)
+        x, um = emulate_unified_solve(lower, b, dist, machine4_um)
+        assert_solutions_close(x, x_true)
+
+    def test_faults_occur_multi_gpu(self, system, machine4_um):
+        lower, b, _ = system
+        dist = block_distribution(lower.shape[0], 4)
+        _, um = emulate_unified_solve(lower, b, dist, machine4_um)
+        assert um.fault_count > 0
+        assert um.migrated_bytes > 0
+
+    def test_single_gpu_few_faults(self, system):
+        """One GPU: only first-touch faults, no steals."""
+        lower, b, _ = system
+        m1 = dgx1(1, require_p2p=False)
+        dist = block_distribution(lower.shape[0], 1)
+        x, um = emulate_unified_solve(lower, b, dist, m1)
+        # Every fault must be a first touch (owner was -1).
+        n_pages_upper = 2 * (lower.shape[0] // m1.um.entries_per_page + 1)
+        assert um.fault_count <= n_pages_upper
+
+    def test_task_distribution_more_faults(self, scattered_lower, machine4_um):
+        b, _ = random_rhs_for_solution(scattered_lower, seed=2)
+        n = scattered_lower.shape[0]
+        _, um_block = emulate_unified_solve(
+            scattered_lower, b, block_distribution(n, 4), machine4_um
+        )
+        _, um_task = emulate_unified_solve(
+            scattered_lower,
+            b,
+            round_robin_distribution(n, 4, tasks_per_gpu=8),
+            machine4_um,
+        )
+        assert um_task.fault_count >= um_block.fault_count
+
+    def test_correct_under_round_robin(self, system, machine4_um):
+        lower, b, x_true = system
+        dist = round_robin_distribution(lower.shape[0], 4, tasks_per_gpu=8)
+        x, _ = emulate_unified_solve(lower, b, dist, machine4_um)
+        assert_solutions_close(x, x_true)
+
+
+class TestShmemEmulation:
+    def test_solution_correct(self, system, machine4):
+        lower, b, x_true = system
+        dist = block_distribution(lower.shape[0], 4)
+        x, heap = emulate_shmem_solve(lower, b, dist, machine4)
+        assert_solutions_close(x, x_true)
+
+    def test_remote_gets_counted(self, system, machine4):
+        lower, b, _ = system
+        dist = block_distribution(lower.shape[0], 4)
+        _, heap = emulate_shmem_solve(lower, b, dist, machine4)
+        assert heap.get_count > 0
+        # Read-only model: producers never put.
+        assert heap.put_count == 0
+
+    def test_no_fabric_writes_ever(self, system, machine4):
+        """The defining property of the read-only model."""
+        lower, b, _ = system
+        dist = block_distribution(lower.shape[0], 4)
+        _, heap = emulate_shmem_solve(lower, b, dist, machine4)
+        # All traffic is gets (reads): transfers == get_count.
+        assert heap.tracker.total_transfers == heap.get_count
+
+    def test_shortcircuit_and_full_agree(self, system, machine4):
+        lower, b, _ = system
+        dist = block_distribution(lower.shape[0], 4)
+        x1, _ = emulate_shmem_solve(
+            lower, b, dist, machine4, use_shortcircuit=True
+        )
+        x2, _ = emulate_shmem_solve(
+            lower, b, dist, machine4, use_shortcircuit=False
+        )
+        np.testing.assert_allclose(x1, x2)
+
+    def test_correct_on_dgx2_many_pes(self, scattered_lower):
+        b, x_true = random_rhs_for_solution(scattered_lower, seed=4)
+        m = dgx2(8)
+        dist = round_robin_distribution(
+            scattered_lower.shape[0], 8, tasks_per_gpu=4
+        )
+        x, _ = emulate_shmem_solve(scattered_lower, b, dist, m)
+        assert_solutions_close(x, x_true)
+
+    def test_matches_serial_exactly_on_chain(self, chain_lower, machine4):
+        b, _ = random_rhs_for_solution(chain_lower, seed=6)
+        dist = block_distribution(chain_lower.shape[0], 4)
+        x, _ = emulate_shmem_solve(chain_lower, b, dist, machine4)
+        np.testing.assert_allclose(
+            x, serial_forward(chain_lower, b), rtol=1e-12
+        )
+
+    def test_partial_sums_stay_on_producer_heap(self, system, machine4):
+        """Algorithm 3 line 35: remote contributions accumulate in the
+        *producer's* symmetric array, never the consumer's."""
+        lower, b, _ = system
+        dist = block_distribution(lower.shape[0], 4)
+        _, heap = emulate_shmem_solve(lower, b, dist, machine4)
+        gpu_of = dist.gpu_of
+        for pe in range(4):
+            s_left = heap.local("s.left_sum", pe)
+            touched = np.nonzero(s_left != 0.0)[0]
+            # Every touched entry belongs to a component on ANOTHER PE.
+            assert np.all(gpu_of[touched] != pe)
+
+
+class TestInterleavingRobustness:
+    """The counter protocols must tolerate ANY level-respecting warp
+    interleaving: shuffle the within-level execution order and both the
+    readiness checks and the numerics must be unaffected."""
+
+    def test_shmem_invariant_under_interleavings(self, system, machine4):
+        from repro.analysis.levels import compute_levels
+        from repro.solvers.numerics import random_level_order
+
+        lower, b, x_true = system
+        dist = block_distribution(lower.shape[0], 4)
+        levels = compute_levels(lower)
+        results = []
+        for seed in range(4):
+            order = random_level_order(levels, seed)
+            x, _ = emulate_shmem_solve(
+                lower, b, dist, machine4, levels=levels, order=order
+            )
+            results.append(x)
+        for x in results:
+            assert_solutions_close(x, x_true)
+        for x in results[1:]:
+            np.testing.assert_allclose(x, results[0], rtol=1e-12)
+
+    def test_unified_invariant_under_interleavings(self, system, machine4_um):
+        from repro.analysis.levels import compute_levels
+        from repro.solvers.numerics import random_level_order
+
+        lower, b, x_true = system
+        dist = block_distribution(lower.shape[0], 4)
+        levels = compute_levels(lower)
+        for seed in range(3):
+            order = random_level_order(levels, seed)
+            x, _ = emulate_unified_solve(
+                lower, b, dist, machine4_um, levels=levels, order=order
+            )
+            assert_solutions_close(x, x_true)
+
+    def test_fault_counts_depend_on_interleaving(self, machine4_um):
+        """Numerics are invariant; *page traffic* is not — different warp
+        interleavings bounce pages differently, which is exactly the
+        unified-memory pathology.  Needs a matrix spanning several pages
+        for the variation to show."""
+        from repro.analysis.levels import compute_levels
+        from repro.solvers.numerics import random_level_order
+        from repro.workloads.generators import dag_profile_matrix
+
+        lower = dag_profile_matrix(
+            n=1500, n_levels=15, dependency=2.5, scatter=0.6, seed=5
+        )
+        b = lower.matvec(np.ones(1500))
+        dist = block_distribution(1500, 4)
+        levels = compute_levels(lower)
+        counts = set()
+        for seed in range(4):
+            order = random_level_order(levels, seed)
+            _, um = emulate_unified_solve(
+                lower, b, dist, machine4_um, levels=levels, order=order
+            )
+            counts.add(um.fault_count)
+        assert len(counts) > 1
+
+    def test_random_level_order_is_valid(self, small_lower):
+        from repro.analysis.dag import build_dag
+        from repro.analysis.levels import compute_levels
+        from repro.solvers.numerics import random_level_order
+
+        dag = build_dag(small_lower)
+        levels = compute_levels(dag)
+        order = random_level_order(levels, seed=9)
+        assert sorted(order) == list(range(small_lower.shape[0]))
+        position = {c: k for k, c in enumerate(order)}
+        for i in range(dag.n):
+            for p in dag.predecessors(i):
+                assert position[int(p)] < position[i]

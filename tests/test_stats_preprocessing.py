@@ -1,0 +1,111 @@
+"""Replication statistics and preprocessing cost-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import profile_matrix
+from repro.bench.stats import SpeedupStats, replicate, replicated_speedups
+from repro.errors import SolverError
+from repro.exec_model.preprocessing import (
+    amortization_solves,
+    csc_direct_cost,
+    tile_conversion_cost,
+)
+from repro.machine.node import dgx1
+from repro.workloads.suite import entry
+
+
+class TestReplicate:
+    def test_count_and_determinism(self):
+        a = replicate("powersim", 3)
+        b = replicate("powersim", 3)
+        assert len(a) == 3
+        for x, y in zip(a, b):
+            assert x == y
+
+    def test_replicas_differ_from_original_and_each_other(self):
+        from repro.workloads.suite import load
+
+        original = load("powersim")
+        reps = replicate("powersim", 2)
+        assert reps[0] != original
+        assert reps[0] != reps[1]
+
+    def test_replicas_share_structure_class(self):
+        e = entry("powersim")
+        for m in replicate("powersim", 3):
+            prof = profile_matrix(m)
+            assert prof.n_rows == e.n
+            assert prof.n_levels == e.n_levels
+            assert prof.dependency == pytest.approx(e.dependency, rel=0.25)
+
+    def test_accepts_entry_object(self):
+        assert len(replicate(entry("dc2"), 1)) == 1
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            replicate("powersim", 0)
+
+
+class TestSpeedupStats:
+    def test_aggregates(self):
+        s = SpeedupStats("t", np.array([1.0, 2.0, 3.0]))
+        assert s.mean == 2.0
+        assert s.min == 1.0 and s.max == 3.0
+        assert s.std == pytest.approx(1.0)
+        assert s.rel_spread == pytest.approx(1.0)
+
+    def test_single_value_no_std(self):
+        s = SpeedupStats("t", np.array([5.0]))
+        assert s.std == 0.0
+
+    def test_replicated_speedups_structure(self):
+        stats = replicated_speedups("powersim", n_replicas=2)
+        assert set(stats) == {"shmem", "zerocopy", "task_gain"}
+        assert len(stats["zerocopy"].values) == 2
+        assert stats["zerocopy"].min > 1.0
+
+
+class TestPreprocessingCosts:
+    def setup_method(self):
+        from repro.workloads.generators import random_lower
+
+        self.machine = dgx1(4)
+        self.lower = random_lower(2000, 4.0, seed=1)
+
+    def test_direct_cost_positive_and_scales(self):
+        from repro.workloads.generators import random_lower
+
+        small = csc_direct_cost(self.lower, self.machine)
+        bigger = csc_direct_cost(random_lower(2000, 8.0, seed=1), self.machine)
+        assert 0 < small < bigger
+
+    def test_conversion_costs_more_than_direct(self):
+        assert tile_conversion_cost(self.lower, self.machine) > 3 * csc_direct_cost(
+            self.lower, self.machine
+        )
+
+    def test_more_passes_cost_more(self):
+        assert tile_conversion_cost(
+            self.lower, self.machine, passes=12
+        ) > tile_conversion_cost(self.lower, self.machine, passes=3)
+
+    def test_invalid_passes(self):
+        with pytest.raises(SolverError):
+            tile_conversion_cost(self.lower, self.machine, passes=0)
+
+    def test_amortization_inverse_in_gain(self):
+        a20 = amortization_solves(self.lower, self.machine, 1e-4, 0.2)
+        a40 = amortization_solves(self.lower, self.machine, 1e-4, 0.4)
+        assert a40 == pytest.approx(a20 / 2)
+
+    def test_amortization_inverse_in_solve_time(self):
+        slow = amortization_solves(self.lower, self.machine, 1e-3, 0.2)
+        fast = amortization_solves(self.lower, self.machine, 1e-5, 0.2)
+        assert fast > slow
+
+    def test_amortization_invalid_gain(self):
+        with pytest.raises(SolverError):
+            amortization_solves(self.lower, self.machine, 1e-4, 0.0)
+        with pytest.raises(SolverError):
+            amortization_solves(self.lower, self.machine, 1e-4, 1.5)

@@ -1,0 +1,102 @@
+"""Table I stand-in suite tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.levels import compute_levels
+from repro.analysis.metrics import profile_matrix, scaling_class
+from repro.errors import WorkloadError
+from repro.sparse.triangular import is_lower_triangular
+from repro.workloads.suite import (
+    IN_MEMORY_NAMES,
+    PAPER_STATS,
+    SUITE,
+    entry,
+    load,
+    suite_names,
+)
+
+
+def test_sixteen_matrices():
+    assert len(SUITE) == 16
+    assert len(PAPER_STATS) == 16
+    assert set(SUITE) == set(PAPER_STATS)
+
+
+def test_fourteen_in_memory():
+    assert len(IN_MEMORY_NAMES) == 14
+    assert "twitter7" not in IN_MEMORY_NAMES
+    assert "uk-2005" not in IN_MEMORY_NAMES
+
+
+def test_suite_names_order_and_filter():
+    assert suite_names() == list(SUITE)
+    assert suite_names(include_out_of_memory=False) == list(IN_MEMORY_NAMES)
+
+
+def test_entry_lookup():
+    assert entry("dc2").name == "dc2"
+    with pytest.raises(WorkloadError, match="unknown suite matrix"):
+        entry("not-a-matrix")
+
+
+def test_load_memoised():
+    assert load("powersim") is load("powersim")
+
+
+@pytest.mark.parametrize("name", list(SUITE))
+def test_standins_build_and_match_recipe(name):
+    e = entry(name)
+    m = load(name)
+    m.validate()
+    assert is_lower_triangular(m)
+    assert m.shape == (e.n, e.n)
+    levels = compute_levels(m)
+    assert levels.n_levels == e.n_levels
+    prof = profile_matrix(m, name, levels)
+    assert prof.dependency == pytest.approx(e.dependency, rel=0.25)
+
+
+def test_dependency_ordering_preserved():
+    """The stand-ins keep the paper's dependency (nnz/row) ordering for
+    the extreme matrices."""
+    deps = {n: profile_matrix(load(n)).dependency for n in ("shipsec1", "pkustk14", "belgium_osm", "Wordnet3")}
+    assert deps["shipsec1"] > deps["pkustk14"] > deps["belgium_osm"]
+    assert deps["belgium_osm"] > 1.5
+    assert deps["Wordnet3"] < 3.0
+
+
+def test_scaling_classes_match_paper_story():
+    """Section VI-D: dc2/nlpkkt160/powersim/Wordnet3 benefit most; the
+    FEM matrices are serial-bound."""
+    assert scaling_class(profile_matrix(load("nlpkkt160"), "nlpkkt160")) == "scales"
+    assert scaling_class(profile_matrix(load("dc2"), "dc2")) == "scales"
+    for name in ("chipcool0", "pkustk14", "shipsec1"):
+        assert scaling_class(profile_matrix(load(name), name)) == "serial-bound"
+
+
+def test_fig3_and_fig10_subsets():
+    fig3 = [n for n, e in SUITE.items() if e.fig3]
+    fig10 = [n for n, e in SUITE.items() if e.fig10]
+    assert sorted(fig3) == sorted(
+        ["belgium_osm", "dc2", "nlpkkt160", "roadNet-CA"]
+    )
+    assert sorted(fig10) == sorted(
+        ["chipcool0", "dc2", "nlpkkt160", "powersim", "Wordnet3"]
+    )
+
+
+def test_paper_stats_sane():
+    for name, s in PAPER_STATS.items():
+        assert s.nnz > s.n_rows or name in ("powersim",), name
+        assert s.n_levels >= 1
+        assert s.parallelism > 0
+
+
+def test_solvable(rng):
+    from repro.solvers.serial import serial_forward
+    from repro.sparse.validate import random_rhs_for_solution
+
+    m = load("powersim")
+    b, x_true = random_rhs_for_solution(m, seed=0)
+    np.testing.assert_allclose(serial_forward(m, b), x_true, rtol=1e-8)

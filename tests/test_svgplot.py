@@ -1,0 +1,106 @@
+"""SVG chart renderer tests."""
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.bench.svgplot import grouped_bar_svg, line_chart_svg
+
+
+@pytest.fixture
+def bar_data():
+    return {
+        "m1": {"a": 1.0, "b": 2.0},
+        "m2": {"a": 3.0, "b": 0.5},
+        "average": {"a": 2.0, "b": 1.25},
+    }
+
+
+@pytest.fixture
+def line_data():
+    return {
+        "s1": {1: 1.0, 2: 2.0, 4: 3.5},
+        "s2": {1: 0.5, 2: 1.0, 4: 1.2},
+    }
+
+
+class TestGroupedBars:
+    def test_well_formed_xml(self, bar_data):
+        svg = grouped_bar_svg(bar_data, "T")
+        xml.dom.minidom.parseString(svg)
+
+    def test_title_and_groups_present(self, bar_data):
+        svg = grouped_bar_svg(bar_data, "My Title")
+        assert "My Title" in svg
+        assert "m1" in svg and "m2" in svg
+
+    def test_bar_count(self, bar_data):
+        svg = grouped_bar_svg(bar_data, "T")
+        # 3 groups x 2 series bars + 2 legend swatches.
+        assert svg.count("<rect") == 3 * 2 + 2 + 1  # +1 background
+
+    def test_average_rendered_last(self, bar_data):
+        svg = grouped_bar_svg(bar_data, "T")
+        assert svg.rindex("average") > svg.rindex("m2")
+
+    def test_drop_filters_groups(self, bar_data):
+        svg = grouped_bar_svg(bar_data, "T", drop=("m1", "average"))
+        assert "m1" not in svg and "average" not in svg
+
+    def test_series_subset(self, bar_data):
+        svg = grouped_bar_svg(bar_data, "T", series=["b"])
+        # One bar per group + 1 legend + background.
+        assert svg.count("<rect") == 3 + 1 + 1
+
+    def test_tooltips_carry_values(self, bar_data):
+        svg = grouped_bar_svg(bar_data, "T")
+        assert "m2 / a: 3" in svg
+
+    def test_escaping(self):
+        svg = grouped_bar_svg({"<evil>": {"s": 1.0}}, 'T & "quotes"')
+        xml.dom.minidom.parseString(svg)
+        assert "<evil>" not in svg  # escaped
+
+
+class TestLineChart:
+    def test_well_formed_xml(self, line_data):
+        svg = line_chart_svg(line_data, "L", x_label="GPUs")
+        xml.dom.minidom.parseString(svg)
+
+    def test_one_path_per_series(self, line_data):
+        svg = line_chart_svg(line_data, "L")
+        assert svg.count("<path") == 2
+
+    def test_markers_per_point(self, line_data):
+        svg = line_chart_svg(line_data, "L")
+        assert svg.count("<circle") == 2 * 3
+
+    def test_x_labels(self, line_data):
+        svg = line_chart_svg(line_data, "L", x_label="GPUs")
+        assert "GPUs" in svg
+        assert ">4<" in svg
+
+    def test_single_point_series(self):
+        svg = line_chart_svg({"s": {1: 2.0}}, "L")
+        xml.dom.minidom.parseString(svg)
+
+
+class TestCliSvg:
+    def test_fig9_svg(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        out = tmp_path / "fig9.svg"
+        assert main(["fig9", "--tasks", "4", "8", "--svg", str(out)]) == 0
+        xml.dom.minidom.parse(str(out))
+
+    def test_table1_svg_rejected(self, tmp_path):
+        from repro.bench.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["table1", "--svg", str(tmp_path / "x.svg")])
+
+    def test_all_with_svg_rejected(self, tmp_path):
+        from repro.bench.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["all", "--svg", str(tmp_path / "x.svg")])

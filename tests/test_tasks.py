@@ -1,0 +1,188 @@
+"""Task partitioning, placement, and balance-metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.dag import build_dag
+from repro.errors import TaskModelError
+from repro.machine.memory import DeviceMemory
+from repro.machine.specs import V100
+from repro.tasks.balance import imbalance_ratio, static_work_per_gpu, waiting_bias
+from repro.tasks.partition import partition_components
+from repro.tasks.schedule import block_distribution, round_robin_distribution
+
+
+class TestPartition:
+    def test_sizes_near_equal(self):
+        p = partition_components(100, 7)
+        sizes = p.sizes()
+        assert sizes.sum() == 100
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_exact_division(self):
+        p = partition_components(100, 4)
+        assert np.all(p.sizes() == 25)
+
+    def test_components_of_contiguous(self):
+        p = partition_components(10, 3)
+        all_comps = np.concatenate([p.components_of(t) for t in range(3)])
+        np.testing.assert_array_equal(all_comps, np.arange(10))
+
+    def test_task_of_components(self):
+        p = partition_components(10, 3)
+        t_of = p.task_of_components()
+        for t in range(3):
+            np.testing.assert_array_equal(
+                np.nonzero(t_of == t)[0], p.components_of(t)
+            )
+
+    def test_single_task(self):
+        p = partition_components(5, 1)
+        assert p.n_tasks == 1
+        assert p.sizes()[0] == 5
+
+    def test_zero_components(self):
+        p = partition_components(0, 1)
+        assert p.n_tasks == 0
+
+    def test_too_many_tasks_rejected(self):
+        with pytest.raises(TaskModelError, match="non-empty"):
+            partition_components(3, 5)
+
+    def test_invalid_counts(self):
+        with pytest.raises(TaskModelError):
+            partition_components(10, 0)
+        with pytest.raises(TaskModelError):
+            partition_components(-1, 1)
+
+
+class TestBlockDistribution:
+    def test_contiguous_ascending_blocks(self):
+        d = block_distribution(100, 4)
+        assert d.n_tasks == 4
+        np.testing.assert_array_equal(d.task_gpu, [0, 1, 2, 3])
+        # gpu_of is non-decreasing.
+        assert np.all(np.diff(d.gpu_of) >= 0)
+
+    def test_fewer_components_than_gpus(self):
+        d = block_distribution(2, 4)
+        assert d.n_tasks == 2
+        assert set(d.gpu_of) == {0, 1}
+
+    def test_single_gpu(self):
+        d = block_distribution(10, 1)
+        assert np.all(d.gpu_of == 0)
+
+    def test_invalid_gpus(self):
+        with pytest.raises(TaskModelError):
+            block_distribution(10, 0)
+
+
+class TestRoundRobin:
+    def test_task_count(self):
+        d = round_robin_distribution(1000, 4, tasks_per_gpu=8)
+        assert d.n_tasks == 32
+        np.testing.assert_array_equal(d.tasks_per_gpu, [8, 8, 8, 8])
+
+    def test_round_robin_cycling(self):
+        d = round_robin_distribution(100, 4, tasks_per_gpu=2)
+        np.testing.assert_array_equal(d.task_gpu, [0, 1, 2, 3, 0, 1, 2, 3])
+
+    def test_every_gpu_gets_early_and_late_work(self):
+        d = round_robin_distribution(1000, 4, tasks_per_gpu=8)
+        for g in range(4):
+            comps = d.components_on_gpu(g)
+            assert comps.min() < 250
+            assert comps.max() >= 750
+
+    def test_launch_slots_ascending_per_gpu(self):
+        d = round_robin_distribution(1000, 4, tasks_per_gpu=8)
+        for g in range(4):
+            slots = d.task_launch_slot[d.task_gpu == g]
+            np.testing.assert_array_equal(slots, np.arange(len(slots)))
+
+    def test_per_gpu_dispatch_order_monotone(self):
+        """Deadlock-freedom invariant: per-GPU component order ascending."""
+        d = round_robin_distribution(500, 3, tasks_per_gpu=5)
+        for g in range(3):
+            comps = d.components_on_gpu(g)
+            assert np.all(np.diff(comps) > 0)
+
+    def test_task_cap_at_n(self):
+        d = round_robin_distribution(10, 4, tasks_per_gpu=8)
+        assert d.n_tasks == 10
+
+    def test_memory_aware_ordering(self):
+        """A pre-loaded GPU receives its tasks later within each round."""
+        mems = [DeviceMemory(g, V100) for g in range(4)]
+        mems[0].malloc("preload", 10_000_000)
+        d = round_robin_distribution(1000, 4, tasks_per_gpu=1, memories=mems)
+        # GPU 0 has the least available memory => dealt last => gets the
+        # final (largest-index) task.
+        assert d.task_gpu[-1] == 0
+
+    def test_memory_list_length_checked(self):
+        with pytest.raises(TaskModelError):
+            round_robin_distribution(
+                100, 4, tasks_per_gpu=1, memories=[DeviceMemory(0, V100)]
+            )
+
+    def test_invalid_params(self):
+        with pytest.raises(TaskModelError):
+            round_robin_distribution(10, 0, tasks_per_gpu=1)
+        with pytest.raises(TaskModelError):
+            round_robin_distribution(10, 2, tasks_per_gpu=0)
+
+
+class TestBalanceMetrics:
+    def test_static_work(self, small_lower):
+        d = block_distribution(small_lower.shape[0], 4)
+        work = static_work_per_gpu(d, small_lower.col_nnz())
+        assert work.sum() == pytest.approx(small_lower.nnz)
+
+    def test_imbalance_ratio_balanced(self):
+        assert imbalance_ratio(np.array([5.0, 5.0, 5.0])) == 1.0
+
+    def test_imbalance_ratio_skewed(self):
+        assert imbalance_ratio(np.array([10.0, 0.0])) == 2.0
+
+    def test_imbalance_zero_work(self):
+        assert imbalance_ratio(np.zeros(4)) == 1.0
+
+    def test_waiting_bias_block_is_unidirectional(self, small_lower):
+        dag = build_dag(small_lower)
+        d = block_distribution(small_lower.shape[0], 4)
+        assert waiting_bias(d, dag) == 1.0
+
+    def test_waiting_bias_round_robin_is_mixed(self, scattered_lower):
+        dag = build_dag(scattered_lower)
+        d = round_robin_distribution(scattered_lower.shape[0], 4, tasks_per_gpu=8)
+        bias = waiting_bias(d, dag)
+        assert 0.3 < bias < 0.9
+
+    def test_round_robin_better_balanced_than_block(self, scattered_lower):
+        nnz = scattered_lower.col_nnz()
+        n = scattered_lower.shape[0]
+        rb = imbalance_ratio(
+            static_work_per_gpu(
+                round_robin_distribution(n, 4, tasks_per_gpu=8), nnz
+            )
+        )
+        bl = imbalance_ratio(
+            static_work_per_gpu(block_distribution(n, 4), nnz)
+        )
+        assert rb <= bl * 1.05  # allow tiny noise
+
+    def test_local_fraction_single_gpu_is_one(self, small_lower):
+        dag = build_dag(small_lower)
+        d = block_distribution(small_lower.shape[0], 1)
+        assert d.local_fraction(dag) == 1.0
+
+    def test_local_fraction_drops_with_finer_tasks(self, small_lower):
+        dag = build_dag(small_lower)
+        n = small_lower.shape[0]
+        coarse = block_distribution(n, 4).local_fraction(dag)
+        fine = round_robin_distribution(n, 4, tasks_per_gpu=16).local_fraction(
+            dag
+        )
+        assert fine <= coarse

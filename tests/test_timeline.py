@@ -1,0 +1,172 @@
+"""Fast execution-model (timeline) tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.dag import build_dag
+from repro.analysis.levels import compute_levels
+from repro.errors import SolverError
+from repro.exec_model.costmodel import Design
+from repro.exec_model.timeline import simulate_execution
+from repro.machine.node import dgx1, dgx2
+from repro.tasks.schedule import block_distribution, round_robin_distribution
+
+
+def run(lower, n_gpus=4, design=Design.SHMEM_READONLY, tasks=None, machine=None):
+    if machine is None:
+        machine = (
+            dgx1(n_gpus)
+            if design is not Design.UNIFIED
+            else dgx1(n_gpus, require_p2p=False)
+        )
+    n = lower.shape[0]
+    if tasks is None:
+        dist = block_distribution(n, machine.n_gpus)
+    else:
+        dist = round_robin_distribution(n, machine.n_gpus, tasks)
+    return simulate_execution(lower, dist, machine, design)
+
+
+class TestReportInvariants:
+    def test_positive_times(self, small_lower):
+        rep = run(small_lower)
+        assert rep.total_time > 0
+        assert rep.analysis_time > 0
+        assert rep.solve_time > 0
+        assert rep.total_time == pytest.approx(
+            rep.analysis_time + rep.solve_time
+        )
+
+    def test_update_counts_cover_all_edges(self, small_lower):
+        rep = run(small_lower)
+        dag = build_dag(small_lower)
+        assert rep.local_updates + rep.remote_updates == dag.n_edges
+
+    def test_single_gpu_all_local(self, small_lower):
+        rep = run(small_lower, n_gpus=1)
+        assert rep.remote_updates == 0
+        assert rep.page_faults == 0.0
+        assert rep.fabric_bytes == 0.0
+
+    def test_per_gpu_arrays_sized(self, small_lower):
+        rep = run(small_lower, n_gpus=3)
+        assert len(rep.gpu_busy) == 3
+        assert len(rep.gpu_finish) == 3
+
+    def test_speedup_over(self, small_lower):
+        a = run(small_lower, design=Design.SHMEM_READONLY)
+        b = run(small_lower, design=Design.UNIFIED)
+        assert a.speedup_over(b) == pytest.approx(b.total_time / a.total_time)
+
+    def test_imbalance_at_least_one(self, small_lower):
+        assert run(small_lower).imbalance >= 1.0
+
+    def test_busy_time_design_independent(self, small_lower):
+        """Productive work is the same under every communication design."""
+        a = run(small_lower, design=Design.SHMEM_READONLY)
+        b = run(small_lower, design=Design.UNIFIED)
+        np.testing.assert_allclose(a.gpu_busy, b.gpu_busy)
+
+
+class TestDesignOrdering:
+    def test_readonly_beats_naive(self, scattered_lower):
+        ro = run(scattered_lower, design=Design.SHMEM_READONLY)
+        naive = run(scattered_lower, design=Design.SHMEM_NAIVE)
+        assert ro.total_time < naive.total_time
+
+    def test_readonly_beats_unified(self, scattered_lower):
+        ro = run(scattered_lower, design=Design.SHMEM_READONLY)
+        um = run(scattered_lower, design=Design.UNIFIED)
+        assert ro.total_time < um.total_time
+
+    def test_unified_faults_grow_with_gpus(self, scattered_lower):
+        f = [
+            run(scattered_lower, n_gpus=g, design=Design.UNIFIED).page_faults
+            for g in (2, 4, 8)
+        ]
+        assert f[0] < f[1] < f[2]
+
+    def test_unified_analysis_slower_than_shmem(self, small_lower):
+        um = run(small_lower, design=Design.UNIFIED)
+        sh = run(small_lower, design=Design.SHMEM_READONLY)
+        assert um.analysis_time > sh.analysis_time
+
+
+class TestTaskModel:
+    def test_task_count_recorded(self, small_lower):
+        rep = run(small_lower, tasks=8)
+        assert rep.n_tasks == 32
+
+    def test_tasks_increase_remote_updates(self, small_lower):
+        block = run(small_lower)
+        tasks = run(small_lower, tasks=8)
+        assert tasks.remote_updates >= block.remote_updates
+
+    def test_tasks_increase_unified_faults(self, scattered_lower):
+        block = run(scattered_lower, design=Design.UNIFIED)
+        tasks = run(scattered_lower, design=Design.UNIFIED, tasks=8)
+        assert tasks.page_faults > block.page_faults
+
+    def test_tasks_balance_busy_time(self):
+        from repro.workloads.generators import dag_profile_matrix
+
+        wide = dag_profile_matrix(
+            n=4000, n_levels=8, dependency=2.5, scatter=0.0, seed=3
+        )
+        block = run(wide)
+        tasks = run(wide, tasks=8)
+        assert tasks.imbalance <= block.imbalance + 0.05
+
+
+class TestDependencies:
+    def test_chain_time_scales_with_n(self):
+        from repro.workloads.generators import tridiagonal_lower
+
+        short = run(tridiagonal_lower(50), n_gpus=2)
+        long = run(tridiagonal_lower(200), n_gpus=2)
+        assert long.solve_time > 2 * short.solve_time
+
+    def test_diag_only_is_fast(self, diag_only, small_lower):
+        free = run(diag_only)
+        chained = run(small_lower)
+        assert free.solve_time < chained.solve_time
+
+
+class TestValidationErrors:
+    def test_distribution_size_mismatch(self, small_lower):
+        dist = block_distribution(small_lower.shape[0] + 5, 4)
+        with pytest.raises(SolverError, match="distribution covers"):
+            simulate_execution(small_lower, dist, dgx1(4))
+
+    def test_gpu_count_mismatch(self, small_lower):
+        dist = block_distribution(small_lower.shape[0], 2)
+        with pytest.raises(SolverError, match="targets"):
+            simulate_execution(small_lower, dist, dgx1(4))
+
+
+class TestDeterminism:
+    def test_identical_reports(self, scattered_lower):
+        a = run(scattered_lower, design=Design.UNIFIED, tasks=8)
+        b = run(scattered_lower, design=Design.UNIFIED, tasks=8)
+        assert a.total_time == b.total_time
+        assert a.page_faults == b.page_faults
+        np.testing.assert_array_equal(a.gpu_finish, b.gpu_finish)
+
+
+class TestTopologyEffects:
+    def test_dgx2_not_slower_than_dgx1_at_4(self, scattered_lower):
+        """NVSwitch has more bandwidth; at 4 GPUs results are close, and
+        DGX-2 must never be drastically worse."""
+        d1 = simulate_execution(
+            scattered_lower,
+            block_distribution(scattered_lower.shape[0], 4),
+            dgx1(4),
+            Design.SHMEM_READONLY,
+        )
+        d2 = simulate_execution(
+            scattered_lower,
+            block_distribution(scattered_lower.shape[0], 4),
+            dgx2(4),
+            Design.SHMEM_READONLY,
+        )
+        assert d2.total_time < 1.5 * d1.total_time

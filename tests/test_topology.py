@@ -1,0 +1,126 @@
+"""Interconnect topology tests (DGX-1 cube-mesh, DGX-2, PCIe)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.machine.specs import NVLINK2, PCIE3
+from repro.machine.topology import (
+    Topology,
+    dgx1_topology,
+    dgx2_topology,
+    pcie_topology,
+)
+
+
+class TestDgx1:
+    def test_eight_gpus(self):
+        assert dgx1_topology().n_gpus == 8
+
+    def test_front_quad_fully_connected(self):
+        t = dgx1_topology()
+        for a in range(4):
+            for b in range(a + 1, 4):
+                assert t.connected(a, b), (a, b)
+
+    def test_back_quad_fully_connected(self):
+        t = dgx1_topology()
+        for a in range(4, 8):
+            for b in range(a + 1, 8):
+                assert t.connected(a, b)
+
+    def test_cross_face_partial(self):
+        t = dgx1_topology()
+        assert t.connected(0, 4)  # cube edge
+        assert not t.connected(0, 5)  # no direct link
+
+    def test_four_clique_exists(self):
+        t = dgx1_topology()
+        clique = t.p2p_clique(4)
+        assert len(clique) == 4
+
+    def test_five_clique_impossible(self):
+        """The paper's NVSHMEM-on-DGX-1 limit: no 5-GPU P2P clique."""
+        with pytest.raises(TopologyError, match="no fully P2P-connected"):
+            dgx1_topology().p2p_clique(5)
+
+    def test_double_links_double_bandwidth(self):
+        t = dgx1_topology()
+        assert t.peer_bandwidth(0, 3) == 2 * t.peer_bandwidth(0, 1)
+
+    def test_unconnected_pair_uses_pcie_fallback(self):
+        t = dgx1_topology()
+        assert t.peer_bandwidth(0, 5) == PCIE3.bandwidth
+        assert t.latency(0, 5) == PCIE3.latency
+
+    def test_not_switched(self):
+        assert not dgx1_topology().switched
+
+
+class TestDgx2:
+    def test_all_to_all(self):
+        t = dgx2_topology()
+        for a in range(16):
+            for b in range(16):
+                if a != b:
+                    assert t.connected(a, b)
+
+    def test_switched(self):
+        assert dgx2_topology().switched
+
+    def test_sixteen_clique(self):
+        assert len(dgx2_topology().p2p_clique(16)) == 16
+
+    def test_subset_size(self):
+        assert dgx2_topology(4).n_gpus == 4
+
+    def test_too_many_gpus(self):
+        with pytest.raises(TopologyError):
+            dgx2_topology(17)
+
+    def test_no_fallback_needed(self):
+        t = dgx2_topology()
+        assert t.fallback is None
+
+
+class TestGeneric:
+    def test_self_transfer_free(self):
+        t = dgx2_topology(4)
+        assert t.transfer_time(1, 1, 10**6) == 0.0
+        assert t.latency(2, 2) == 0.0
+
+    def test_transfer_time_formula(self):
+        t = pcie_topology(2)
+        nbytes = 1 << 20
+        expect = PCIE3.latency + nbytes / PCIE3.bandwidth
+        assert t.transfer_time(0, 1, nbytes) == pytest.approx(expect)
+
+    def test_asymmetric_matrix_rejected(self):
+        lc = np.zeros((2, 2), dtype=np.int64)
+        lc[0, 1] = 1
+        with pytest.raises(TopologyError, match="symmetric"):
+            Topology("bad", 2, lc, NVLINK2)
+
+    def test_nonzero_diagonal_rejected(self):
+        lc = np.eye(2, dtype=np.int64)
+        with pytest.raises(TopologyError, match="diagonal"):
+            Topology("bad", 2, lc, NVLINK2)
+
+    def test_gpu_id_out_of_range(self):
+        with pytest.raises(TopologyError):
+            dgx1_topology().connected(0, 99)
+
+    def test_bisection_links_positive(self):
+        assert dgx1_topology().bisection_links() > 0
+        assert dgx2_topology().bisection_links() == 8 * 8
+
+    def test_pcie_box(self):
+        t = pcie_topology(3)
+        assert t.n_gpus == 3
+        assert t.connected(0, 2)
+        with pytest.raises(TopologyError):
+            pcie_topology(0)
+
+    def test_clique_invalid_size(self):
+        with pytest.raises(TopologyError):
+            dgx1_topology().p2p_clique(0)

@@ -1,0 +1,135 @@
+"""Triangular extraction / permutation helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotTriangularError, ShapeError, SingularMatrixError
+from repro.sparse.coo import CooMatrix
+from repro.sparse.triangular import (
+    check_nonzero_diagonal,
+    is_lower_triangular,
+    is_upper_triangular,
+    lower_triangle,
+    permute_symmetric,
+    require_lower_triangular,
+    upper_triangle,
+)
+
+
+@pytest.fixture
+def full(rng):
+    d = rng.normal(size=(8, 8))
+    d[np.abs(d) < 0.8] = 0.0
+    return CooMatrix.from_dense(d)
+
+
+def test_lower_triangle_keeps_lower(full):
+    lo = lower_triangle(full)
+    assert is_lower_triangular(lo)
+    d = lo.to_dense()
+    assert np.all(np.triu(d, 1) == 0.0)
+
+
+def test_lower_triangle_offdiag_values_match(full):
+    lo = lower_triangle(full, ensure_nonzero_diag=False).to_dense()
+    ref = np.tril(full.to_dense())
+    np.testing.assert_allclose(np.tril(lo, -1), np.tril(ref, -1))
+
+
+def test_lower_triangle_fixes_diagonal(full):
+    lo = lower_triangle(full, ensure_nonzero_diag=True)
+    diag = lo.diagonal()
+    assert np.all(np.abs(diag) > 0)
+    # Rows whose diagonal was missing in the input got a dominant one.
+    orig_diag = np.diag(full.to_dense())
+    fixed = np.abs(orig_diag) < 1e-12
+    d = np.abs(lo.to_dense())
+    offsum = d.sum(axis=1) - np.diag(d)
+    assert np.all(np.diag(d)[fixed] >= offsum[fixed] - 1e-12)
+
+
+def test_lower_triangle_diag_shift(full):
+    base = lower_triangle(full).diagonal()
+    shifted = lower_triangle(full, diag_shift=2.5).diagonal()
+    np.testing.assert_allclose(shifted, base + 2.5)
+
+
+def test_lower_triangle_requires_square():
+    m = CooMatrix.empty((2, 3))
+    with pytest.raises(ShapeError):
+        lower_triangle(m)
+
+
+def test_upper_triangle(full):
+    up = upper_triangle(full)
+    assert is_upper_triangular(up)
+    assert np.all(np.abs(up.diagonal()) > 0)
+
+
+def test_upper_matches_transposed_lower(full):
+    up = upper_triangle(full, ensure_nonzero_diag=False).to_dense()
+    ref = np.triu(full.to_dense())
+    np.testing.assert_allclose(np.triu(up, 1), np.triu(ref, 1))
+
+
+def test_is_lower_upper_on_diag_only(diag_only):
+    assert is_lower_triangular(diag_only)
+    assert is_upper_triangular(diag_only)
+
+
+def test_require_lower_rejects_upper_entries(full):
+    up = upper_triangle(full)
+    with pytest.raises(NotTriangularError):
+        require_lower_triangular(up.to_dense().shape and up)
+
+
+def test_require_lower_rejects_rectangular():
+    from repro.sparse.csc import CscMatrix
+
+    m = CscMatrix(np.array([0, 0, 0]), np.zeros(0, np.int64), np.zeros(0), (1, 2))
+    with pytest.raises(NotTriangularError, match="square"):
+        require_lower_triangular(m)
+
+
+def test_check_nonzero_diagonal_raises():
+    m = CooMatrix(
+        np.array([0, 1]), np.array([0, 1]), np.array([1.0, 0.0]), (2, 2)
+    ).to_csc()
+    with pytest.raises(SingularMatrixError, match="diagonal"):
+        check_nonzero_diagonal(m)
+
+
+def test_check_nonzero_diagonal_tolerance():
+    m = CooMatrix(
+        np.array([0]), np.array([0]), np.array([1e-8]), (1, 1)
+    ).to_csc()
+    check_nonzero_diagonal(m)  # fine with tol=0
+    with pytest.raises(SingularMatrixError):
+        check_nonzero_diagonal(m, tol=1e-6)
+
+
+class TestPermutation:
+    def test_permute_symmetric_matches_dense(self, full, rng):
+        sq = lower_triangle(full)
+        perm = rng.permutation(8)
+        p = permute_symmetric(sq, perm)
+        d = sq.to_dense()
+        expect = np.zeros_like(d)
+        expect[np.ix_(perm, perm)] = d
+        np.testing.assert_allclose(p.to_dense(), expect)
+
+    def test_identity_permutation_is_noop(self, full):
+        sq = lower_triangle(full)
+        p = permute_symmetric(sq, np.arange(8))
+        assert p == sq
+
+    def test_bad_perm_rejected(self, full):
+        sq = lower_triangle(full)
+        with pytest.raises(ShapeError):
+            permute_symmetric(sq, np.zeros(8, dtype=np.int64))
+
+    def test_permutation_changes_levels_not_solution_count(self, small_lower, rng):
+        """A symmetric permutation may change level structure but keeps nnz."""
+        perm = rng.permutation(small_lower.shape[0])
+        p = permute_symmetric(small_lower, perm)
+        assert p.nnz == small_lower.nnz

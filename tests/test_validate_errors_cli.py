@@ -1,0 +1,119 @@
+"""Validation helpers, the exception hierarchy, and the bench CLI."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import errors
+from repro.sparse.validate import (
+    assert_solutions_close,
+    random_rhs_for_solution,
+    relative_error,
+    residual_norm,
+)
+from repro.workloads.generators import random_lower
+
+
+class TestValidateHelpers:
+    def test_residual_norm_zero_for_exact(self, small_lower):
+        b, x_true = random_rhs_for_solution(small_lower, seed=1)
+        assert residual_norm(small_lower, x_true, b) < 1e-12
+
+    def test_residual_norm_positive_for_wrong(self, small_lower):
+        b, x_true = random_rhs_for_solution(small_lower, seed=1)
+        assert residual_norm(small_lower, x_true + 1.0, b) > 1e-3
+
+    def test_relative_error(self):
+        assert relative_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+        assert relative_error([1.1, 2.0], [1.0, 2.0]) == pytest.approx(0.05)
+
+    def test_assert_solutions_close_raises_with_context(self):
+        with pytest.raises(AssertionError, match="my-solver"):
+            assert_solutions_close(
+                np.array([1.0]), np.array([2.0]), context="my-solver"
+            )
+
+    def test_manufactured_solution_roundtrip(self):
+        m = random_lower(50, 3.0, seed=2)
+        b, x_true = random_rhs_for_solution(m, seed=3)
+        np.testing.assert_allclose(m.matvec(x_true), b)
+        assert np.all(x_true >= 0.5) and np.all(x_true <= 1.5)
+
+    def test_deterministic_per_seed(self, small_lower):
+        b1, x1 = random_rhs_for_solution(small_lower, seed=5)
+        b2, x2 = random_rhs_for_solution(small_lower, seed=5)
+        np.testing.assert_array_equal(b1, b2)
+        np.testing.assert_array_equal(x1, x2)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.SparseFormatError,
+            errors.ShapeError,
+            errors.SingularMatrixError,
+            errors.NotTriangularError,
+            errors.MatrixMarketError,
+            errors.SimulationError,
+            errors.TopologyError,
+            errors.MemoryModelError,
+            errors.ShmemError,
+            errors.SolverError,
+            errors.TaskModelError,
+            errors.WorkloadError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_value_errors_catchable_as_such(self):
+        assert issubclass(errors.ShapeError, ValueError)
+        assert issubclass(errors.SparseFormatError, ValueError)
+
+    def test_single_except_clause_covers_library(self, small_lower):
+        from repro.solvers.serial import SerialSolver
+
+        with pytest.raises(errors.ReproError):
+            SerialSolver().solve(small_lower, np.ones(3))
+
+
+class TestPublicApi:
+    def test_dunder_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_docstring_flow(self):
+        """The README/docstring example must keep working verbatim."""
+        from repro import ZeroCopySolver, dgx1, dag_profile_matrix
+
+        L = dag_profile_matrix(n=2000, n_levels=20, dependency=3.0, seed=7)
+        b = np.ones(2000)
+        result = ZeroCopySolver(machine=dgx1(4), tasks_per_gpu=8).solve(L, b)
+        assert result.x.shape == (2000,)
+        assert result.report.n_gpus == 4
+
+
+class TestBenchCli:
+    def test_table1(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "powersim" in out and "paper-par" in out
+
+    def test_fig9_with_custom_tasks(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["fig9", "--tasks", "4", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 9" in out
+
+    def test_unknown_experiment_rejected(self):
+        from repro.bench.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["not-a-figure"])

@@ -1,0 +1,87 @@
+"""On-disk suite cache tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.cache import (
+    cache_path,
+    cached_load,
+    export_suite,
+    fingerprint,
+)
+from repro.workloads.suite import load
+
+
+class TestFingerprint:
+    def test_stable(self):
+        m = load("powersim")
+        assert fingerprint(m) == fingerprint(m)
+
+    def test_sensitive_to_values(self):
+        m = load("powersim")
+        tweaked = m.copy()
+        tweaked.data[0] += 1.0
+        assert fingerprint(m) != fingerprint(tweaked)
+
+    def test_sensitive_to_structure(self):
+        a, b = load("powersim"), load("dc2")
+        assert fingerprint(a) != fingerprint(b)
+
+
+class TestCachedLoad:
+    def test_roundtrip_matches_direct_build(self, tmp_path):
+        direct = load("powersim")
+        cached = cached_load("powersim", tmp_path)
+        assert cached == direct
+
+    def test_file_created_once(self, tmp_path):
+        cached_load("powersim", tmp_path)
+        path = cache_path(tmp_path, "powersim")
+        assert path.exists()
+        mtime = path.stat().st_mtime_ns
+        cached_load("powersim", tmp_path)  # hit: no rewrite
+        assert path.stat().st_mtime_ns == mtime
+
+    def test_corrupted_cache_regenerates(self, tmp_path):
+        cached_load("powersim", tmp_path)
+        path = cache_path(tmp_path, "powersim")
+        path.write_text("garbage that is not matrix market\n")
+        m = cached_load("powersim", tmp_path)
+        assert m == load("powersim")
+        assert "MatrixMarket" in path.read_text()[:40]
+
+    def test_tampered_values_detected(self, tmp_path):
+        """A cache whose values were edited no longer matches its
+        fingerprint and is regenerated."""
+        cached_load("powersim", tmp_path)
+        path = cache_path(tmp_path, "powersim")
+        text = path.read_text().splitlines()
+        # Find the first data line and perturb its value.
+        for i, line in enumerate(text):
+            parts = line.split()
+            if len(parts) == 3 and not line.startswith("%") and "." in parts[2]:
+                parts[2] = repr(float(parts[2]) + 1.0)
+                text[i] = " ".join(parts)
+                break
+        path.write_text("\n".join(text) + "\n")
+        m = cached_load("powersim", tmp_path)
+        assert m == load("powersim")
+
+    def test_unknown_matrix_rejected(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            cached_load("nope", tmp_path)
+
+
+class TestExport:
+    def test_export_subset(self, tmp_path):
+        paths = export_suite(tmp_path, names=["powersim", "dc2"])
+        assert len(paths) == 2
+        assert all(p.exists() for p in paths)
+
+    def test_exported_files_are_valid_matrix_market(self, tmp_path):
+        from repro.sparse.io import read_matrix_market
+
+        (path,) = export_suite(tmp_path, names=["Wordnet3"])
+        coo = read_matrix_market(path)
+        assert coo.to_csc() == load("Wordnet3")

@@ -1,0 +1,75 @@
+"""Workloads CLI and API-doc generator tests."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).parent.parent
+
+
+class TestWorkloadsCli:
+    def test_list(self, capsys):
+        from repro.workloads.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "belgium_osm" in out and "uk-2005" in out
+
+    def test_profile_one(self, capsys):
+        from repro.workloads.__main__ import main
+
+        assert main(["profile", "powersim"]) == 0
+        out = capsys.readouterr().out
+        assert "powersim" in out and "scales" in out
+
+    def test_export(self, tmp_path, capsys):
+        from repro.workloads.__main__ import main
+
+        assert main(["export", "--dir", str(tmp_path), "dc2"]) == 0
+        assert (tmp_path / "dc2.mtx").exists()
+
+    def test_requires_subcommand(self):
+        from repro.workloads.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestApiDocs:
+    def test_generator_runs(self, tmp_path):
+        proc = subprocess.run(
+            [sys.executable, str(ROOT / "tools" / "gen_api_docs.py")],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    def test_docs_up_to_date(self):
+        """docs/api.md must match the current public API."""
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(ROOT / "tools" / "gen_api_docs.py"),
+                "--check",
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_docs_cover_key_symbols(self):
+        text = (ROOT / "docs" / "api.md").read_text()
+        for symbol in (
+            "ZeroCopySolver",
+            "UnifiedMemorySolver",
+            "simulate_execution",
+            "dag_profile_matrix",
+            "SymmetricHeap",
+            "run_fig7",
+        ):
+            assert symbol in text, symbol
+
+    def test_py_typed_marker_present(self):
+        assert (ROOT / "src" / "repro" / "py.typed").exists()

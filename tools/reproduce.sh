@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Reproduce everything: tests, every figure/table, CSV + SVG artefacts.
+#
+#   bash tools/reproduce.sh [output-dir]
+#
+set -euo pipefail
+OUT="${1:-reproduction-artifacts}"
+mkdir -p "$OUT"
+
+echo "== 1/4 test suite =="
+python -m pytest tests/ | tee "$OUT/test_output.txt"
+
+echo "== 2/4 figure benches =="
+python -m pytest benchmarks/ --benchmark-only | tee "$OUT/bench_output.txt"
+cp -r benchmarks/results "$OUT/"
+
+echo "== 3/4 machine-readable exports =="
+python -m repro.bench all --csv "$OUT/all_experiments.csv" > "$OUT/all_tables.txt"
+for fig in fig3 fig7 fig8 fig9 fig10a fig10b; do
+    python -m repro.bench "$fig" --svg "$OUT/$fig.svg" > /dev/null
+done
+
+echo "== 4/4 suite export =="
+python -m repro.workloads export --dir "$OUT/matrices" > /dev/null
+
+echo "done: artefacts in $OUT/"
