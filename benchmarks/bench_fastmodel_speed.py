@@ -1,0 +1,52 @@
+"""Scheduler microbenchmark: per-component loop vs front-batched pass.
+
+Times the fast model's two scheduling passes on the Table I suite plus
+the level-major scaling cases, asserting bit-identical reports on every
+comparison and the headline speedup on the n=100k / nnz~1M acceptance
+case (skipped, not failed, on timer-noisy runners).
+"""
+
+import json
+
+from conftest import RESULTS_DIR, once, publish
+
+from repro.bench.fastmodel import SPEEDUP_FLOOR, run_sweep
+from repro.bench.report import format_table
+
+
+def test_fastmodel_scheduler_speed(benchmark):
+    payload = once(benchmark, run_sweep, repeats=3)
+    rows = [
+        [
+            c["name"],
+            c["n"],
+            c["mean_front_width"],
+            c["auto_scheduler"],
+            c["t_reference"] * 1e3,
+            c["t_batched"] * 1e3,
+            c["speedup"],
+        ]
+        for c in payload["cases"]
+    ]
+    publish(
+        "fastmodel_speed",
+        format_table(
+            "Fast-model scheduling pass - reference loop vs batched "
+            "(times in ms)",
+            ["matrix", "n", "width", "auto", "ref-ms", "bat-ms", "speedup"],
+            rows,
+        ),
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_fastmodel.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+    # Identity is deterministic: every pairing must match bit for bit.
+    assert payload["all_identical"]
+    # The headline perf criterion (scaling cases, n >= 50k, level-major)
+    # is enforced only when the timings were clean.
+    scale = {c["name"]: c for c in payload["cases"]}
+    if not payload["noisy"]:
+        assert scale["scale-50k"]["speedup"] >= SPEEDUP_FLOOR
+        assert scale["scale-100k"]["speedup"] >= 5.0

@@ -2,7 +2,12 @@
 
 from repro.analysis.criticalpath import CriticalPath, critical_path
 from repro.analysis.dag import DependencyDag, build_dag
-from repro.analysis.levels import LevelSets, compute_levels
+from repro.analysis.levels import (
+    DispatchFronts,
+    LevelSets,
+    compute_dispatch_fronts,
+    compute_levels,
+)
 from repro.analysis.metrics import MatrixProfile, profile_matrix, scaling_class
 from repro.analysis.reorder import (
     level_packing_ordering,
@@ -16,6 +21,8 @@ __all__ = [
     "build_dag",
     "LevelSets",
     "compute_levels",
+    "DispatchFronts",
+    "compute_dispatch_fronts",
     "MatrixProfile",
     "profile_matrix",
     "scaling_class",

@@ -11,6 +11,7 @@ from repro.bench.experiments import (
     run_fig10b,
     run_table1,
 )
+from repro.bench.fastmodel import measure_case, run_sweep
 from repro.bench.harness import (
     MatrixContext,
     context,
@@ -45,4 +46,6 @@ __all__ = [
     "SpeedupStats",
     "replicate",
     "replicated_speedups",
+    "measure_case",
+    "run_sweep",
 ]

@@ -1,5 +1,10 @@
 """Fast vectorised execution model: design costing + list-scheduled timeline."""
 
+from repro.exec_model.artefacts import (
+    AnalysisArtefacts,
+    PlacementArtefacts,
+    get_artefacts,
+)
 from repro.exec_model.costmodel import CommCosts, Design, build_comm_costs
 from repro.exec_model.efficiency import EfficiencyReport, analyse_efficiency
 from repro.exec_model.memory_plan import (
@@ -26,6 +31,9 @@ __all__ = [
     "ExecutionReport",
     "simulate_execution",
     "analysis_phase_time",
+    "AnalysisArtefacts",
+    "PlacementArtefacts",
+    "get_artefacts",
     "MemoryPlan",
     "matrix_footprint",
     "memory_plan",

@@ -1,0 +1,247 @@
+"""Shared analysis-artefact cache: pay the structure analysis once.
+
+The paper's central workflow splits SpTRSV into an *analysis* phase paid
+once per matrix structure and a *solve* phase amortised across designs,
+machines, and right-hand sides (Algorithms 2/3's pre-pass; the same
+split as cuSPARSE's ``csrsv2_analysis``/``csrsv2_solve``).  The fast
+timing model, the DES tier, the plan API, and every figure bench used to
+re-derive those analysis products per call.  This module makes the split
+real for the simulators too:
+
+* :class:`AnalysisArtefacts` bundles everything derivable from one
+  matrix structure — dependency DAG, level sets, dispatch fronts, edge
+  arrays — plus small keyed sub-caches for placement-dependent edge
+  classifications and per-``(machine, design)`` communication cost
+  tables;
+* :func:`get_artefacts` is the process-wide lookup, weakly keyed by the
+  matrix object so bundles die with their matrices;
+* ``hits`` / ``build_counts`` expose how much re-derivation the cache
+  absorbed, so benches can assert a sweep builds each structure exactly
+  once.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.dag import DependencyDag, build_dag
+from repro.analysis.levels import (
+    DispatchFronts,
+    LevelSets,
+    compute_dispatch_fronts,
+    compute_levels,
+)
+from repro.exec_model.costmodel import CommCosts, Design, build_comm_costs
+from repro.machine.node import MachineConfig
+from repro.sparse.csc import CscMatrix
+from repro.tasks.schedule import Distribution
+
+__all__ = ["AnalysisArtefacts", "PlacementArtefacts", "get_artefacts"]
+
+#: Keyed sub-cache capacity (placements / cost tables per bundle).
+_SUBCACHE_CAP = 16
+
+#: Process-wide bundle capacity (bundles die with their matrix anyway;
+#: the cap only bounds the pathological many-live-matrices case).
+_CACHE_CAP = 128
+
+
+@dataclass(frozen=True)
+class PlacementArtefacts:
+    """Edge classifications for one component-to-GPU placement.
+
+    Everything here depends only on ``gpu_of`` (and the structure), so it
+    is shared by every design priced on the same distribution.
+    """
+
+    gpu_of: np.ndarray
+    src_g: np.ndarray  # producer GPU per out-edge
+    dst_g: np.ndarray  # consumer GPU per out-edge
+    remote_edge: np.ndarray  # out-edge crosses GPUs
+    n_remote: int
+    has_remote_pred: np.ndarray  # component has >= 1 remote predecessor
+    edge_pair: np.ndarray  # src_g * n_gpus + dst_g (flat cost lookup)
+    in_pair: np.ndarray  # same for in-edges (notify lookup)
+    nnz_per_gpu: np.ndarray
+    pos_by_gpu: tuple[np.ndarray, ...]  # sorted component ids per GPU
+    front_cuts: tuple[np.ndarray, ...]  # per GPU: front_ptr positions
+
+
+class AnalysisArtefacts:
+    """Structure-keyed bundle of reusable SpTRSV analysis products.
+
+    Construction only stores the matrix (weakly) and the DAG; every
+    other product — level sets, dispatch fronts, edge arrays — is built
+    lazily on first use and memoised, with ``build_counts`` recording
+    each build so callers can verify the amortisation.
+    """
+
+    def __init__(self, lower: CscMatrix, dag: DependencyDag | None = None):
+        self._lower_ref = weakref.ref(lower)
+        self.n = lower.shape[0]
+        self.col_nnz = lower.col_nnz()
+        self.hits = 0
+        self.build_counts: dict[str, int] = {"dag": 0}
+        if dag is None:
+            dag = build_dag(lower)
+            self.build_counts["dag"] = 1
+        self.dag = dag
+        self._levels: LevelSets | None = None
+        self._fronts: DispatchFronts | None = None
+        self._edges: dict[str, np.ndarray] | None = None
+        self._placements: dict[tuple, PlacementArtefacts] = {}
+        self._costs: dict[tuple, tuple[MachineConfig, CommCosts]] = {}
+
+    # ----------------------------------------------------------- structure
+    @property
+    def lower(self) -> CscMatrix:
+        m = self._lower_ref()
+        if m is None:  # pragma: no cover - caller always holds the matrix
+            raise ReferenceError("matrix behind this artefact bundle is gone")
+        return m
+
+    @property
+    def levels(self) -> LevelSets:
+        if self._levels is None:
+            self._levels = compute_levels(self.dag)
+            self.build_counts["levels"] = self.build_counts.get("levels", 0) + 1
+        return self._levels
+
+    @property
+    def fronts(self) -> DispatchFronts:
+        if self._fronts is None:
+            self._fronts = compute_dispatch_fronts(self.dag)
+            self.build_counts["fronts"] = self.build_counts.get("fronts", 0) + 1
+        return self._fronts
+
+    @property
+    def edges(self) -> dict[str, np.ndarray]:
+        """Flat edge arrays of the DAG in both orientations.
+
+        Keys: ``src``/``dst`` (out-edges, ascending ``src``),
+        ``in_src``/``in_dst`` (in-edges, ascending ``in_dst``),
+        ``out_counts``/``in_counts``.
+        """
+        if self._edges is None:
+            dag = self.dag
+            out_counts = np.diff(dag.out_ptr)
+            in_counts = np.diff(dag.in_ptr)
+            n = dag.n
+            self._edges = {
+                "src": np.repeat(np.arange(n, dtype=np.int64), out_counts),
+                "dst": dag.out_idx,
+                "in_src": dag.in_idx,
+                "in_dst": np.repeat(np.arange(n, dtype=np.int64), in_counts),
+                "out_counts": out_counts,
+                "in_counts": in_counts,
+            }
+            self.build_counts["edges"] = self.build_counts.get("edges", 0) + 1
+        return self._edges
+
+    # ----------------------------------------------------------- placements
+    def placement(self, dist: Distribution) -> PlacementArtefacts:
+        """Edge classifications for ``dist`` (cached by placement content)."""
+        key = (dist.n_gpus, dist.gpu_of.tobytes())
+        cached = self._placements.get(key)
+        if cached is not None:
+            return cached
+        edges = self.edges
+        gpu_of = dist.gpu_of
+        n_gpus = dist.n_gpus
+        src_g = gpu_of[edges["src"]]
+        dst_g = gpu_of[edges["dst"]]
+        remote_edge = src_g != dst_g
+        in_src_g = gpu_of[edges["in_src"]]
+        in_dst_g = gpu_of[edges["in_dst"]]
+        has_remote_pred = np.zeros(self.n, dtype=bool)
+        has_remote_pred[edges["in_dst"][in_src_g != in_dst_g]] = True
+        front_ptr = self.fronts.front_ptr
+        pos_by_gpu = tuple(
+            np.nonzero(gpu_of == g)[0] for g in range(n_gpus)
+        )
+        front_cuts = tuple(
+            np.searchsorted(pos, front_ptr) for pos in pos_by_gpu
+        )
+        place = PlacementArtefacts(
+            gpu_of=gpu_of,
+            src_g=src_g,
+            dst_g=dst_g,
+            remote_edge=remote_edge,
+            n_remote=int(remote_edge.sum()),
+            has_remote_pred=has_remote_pred,
+            edge_pair=src_g * n_gpus + dst_g,
+            in_pair=in_src_g * n_gpus + in_dst_g,
+            nnz_per_gpu=np.bincount(
+                gpu_of, weights=self.col_nnz.astype(np.float64), minlength=n_gpus
+            ),
+            pos_by_gpu=pos_by_gpu,
+            front_cuts=front_cuts,
+        )
+        if len(self._placements) >= _SUBCACHE_CAP:
+            self._placements.pop(next(iter(self._placements)))
+        self._placements[key] = place
+        self.build_counts["placements"] = (
+            self.build_counts.get("placements", 0) + 1
+        )
+        return place
+
+    # ----------------------------------------------------------- cost tables
+    def comm_costs(
+        self,
+        machine: MachineConfig,
+        design: Design | str,
+        *,
+        warp_reduce: bool = True,
+        shortcircuit: bool = True,
+    ) -> CommCosts:
+        """Per-``(machine, design)`` cost table (cached by machine identity)."""
+        design = Design(design)
+        key = (id(machine), design, warp_reduce, shortcircuit)
+        cached = self._costs.get(key)
+        if cached is not None and cached[0] is machine:
+            return cached[1]
+        costs = build_comm_costs(
+            machine, design, warp_reduce=warp_reduce, shortcircuit=shortcircuit
+        )
+        if len(self._costs) >= _SUBCACHE_CAP:
+            self._costs.pop(next(iter(self._costs)))
+        self._costs[key] = (machine, costs)
+        self.build_counts["costs"] = self.build_counts.get("costs", 0) + 1
+        return costs
+
+
+# ---------------------------------------------------------------------------
+_CACHE: dict[int, tuple[weakref.ref, AnalysisArtefacts]] = {}
+
+
+def get_artefacts(
+    lower: CscMatrix, dag: DependencyDag | None = None
+) -> AnalysisArtefacts:
+    """Fetch (or build) the artefact bundle for one matrix.
+
+    Bundles are keyed by matrix *object* and evicted automatically when
+    the matrix is garbage collected, so repeated pricing of the same
+    matrix — a 4-design x 2-machine bench sweep, a plan serving many
+    solves, a DES cross-check — derives the structure exactly once.
+
+    If ``dag`` is supplied and an existing bundle was built from a
+    *different* DAG object, a transient (uncached) bundle wrapping the
+    supplied DAG is returned instead, so callers experimenting with
+    hand-modified DAGs never poison the shared cache.
+    """
+    key = id(lower)
+    entry = _CACHE.get(key)
+    if entry is not None and entry[0]() is lower:
+        bundle = entry[1]
+        if dag is not None and dag is not bundle.dag:
+            return AnalysisArtefacts(lower, dag=dag)
+        bundle.hits += 1
+        return bundle
+    bundle = AnalysisArtefacts(lower, dag=dag)
+    if len(_CACHE) >= _CACHE_CAP:
+        _CACHE.pop(next(iter(_CACHE)))
+    _CACHE[key] = (weakref.ref(lower, lambda _, k=key: _CACHE.pop(k, None)), bundle)
+    return bundle

@@ -7,7 +7,7 @@ unified-memory page migration, and NVSHMEM one-sided semantics — while
 carrying real NumPy data so solvers produce real numerics.
 """
 
-from repro.machine.gpu import GpuCounters, WarpScheduler, solve_cost
+from repro.machine.gpu import BatchWarpPool, GpuCounters, WarpScheduler, solve_cost
 from repro.machine.link import LinkTracker
 from repro.machine.memory import DeviceMemory
 from repro.machine.multinode import INFINIBAND, cluster, multinode_topology, node_of
@@ -41,6 +41,7 @@ from repro.machine.unified import ManagedArray, UnifiedMemory, expected_faults
 __all__ = [
     "GpuCounters",
     "WarpScheduler",
+    "BatchWarpPool",
     "SmWarpScheduler",
     "solve_cost",
     "LinkTracker",

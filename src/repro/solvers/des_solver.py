@@ -20,13 +20,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.analysis.dag import DependencyDag, build_dag
+from repro.analysis.dag import DependencyDag
 from repro.engine.des import Simulator
 from repro.engine.events import Acquire, Release, Signal, Timeout, Wait
 from repro.engine.resources import Resource
 from repro.engine.trace import Trace
 from repro.errors import SolverError
-from repro.exec_model.costmodel import CommCosts, Design, build_comm_costs
+from repro.exec_model.artefacts import get_artefacts
+from repro.exec_model.costmodel import CommCosts, Design
 from repro.machine.node import MachineConfig, dgx1
 from repro.machine.unified import UnifiedMemory
 from repro.solvers.base import SolveResult, TriangularSolver, validate_system
@@ -80,10 +81,11 @@ def des_execute(
     n = lower.shape[0]
     if dist.n != n:
         raise SolverError("distribution does not match the matrix")
+    art = get_artefacts(lower, dag=dag)
     if dag is None:
-        dag = build_dag(lower)
+        dag = art.dag
     if costs is None:
-        costs = build_comm_costs(machine, design)
+        costs = art.comm_costs(machine, design)
     n_gpus = machine.n_gpus
     gpu_spec = machine.gpu
 
@@ -234,11 +236,20 @@ class DesSolver(TriangularSolver):
                 "use the fast-model solvers for large inputs"
             )
         dist = block_distribution(n, self.machine.n_gpus)
-        ex = des_execute(lower, b, dist, self.machine, self.design)
+        # One artefact bundle feeds both tiers: the DES playout and the
+        # fast-model re-pricing share the DAG and cost tables instead of
+        # deriving the structure twice per solve.
+        art = get_artefacts(lower)
+        costs = art.comm_costs(self.machine, self.design)
+        ex = des_execute(
+            lower, b, dist, self.machine, self.design, dag=art.dag, costs=costs
+        )
         # Re-price through the fast model for a comparable report, but keep
         # the DES-exact wall clock by exposing it through the trace.
         from repro.exec_model.timeline import simulate_execution
 
-        report = simulate_execution(lower, dist, self.machine, self.design)
+        report = simulate_execution(
+            lower, dist, self.machine, self.design, artefacts=art, costs=costs
+        )
         result = SolveResult(x=ex.x, report=report, solver=self.name)
         return result

@@ -33,10 +33,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.analysis.dag import DependencyDag, build_dag
-from repro.analysis.levels import LevelSets, compute_levels
+from repro.analysis.dag import DependencyDag
+from repro.analysis.levels import LevelSets
 from repro.errors import ShapeError
-from repro.exec_model.costmodel import CommCosts, Design, build_comm_costs
+from repro.exec_model.artefacts import get_artefacts
+from repro.exec_model.costmodel import CommCosts, Design
 from repro.exec_model.timeline import ExecutionReport, simulate_execution
 from repro.machine.node import MachineConfig, dgx1
 from repro.solvers.base import SolveResult, validate_system
@@ -98,8 +99,12 @@ class SpTrsvPlan:
         self.lower = lower
         self.machine = machine if machine is not None else dgx1(4)
         self.design = Design(design)
-        self.dag: DependencyDag = build_dag(lower)
-        self.levels: LevelSets = compute_levels(self.dag)
+        # All structure products come from the shared artefact cache, so
+        # plans, the DES tier, and benches sweeping the same matrix pay
+        # the dependency analysis once between them.
+        self._artefacts = get_artefacts(lower)
+        self.dag: DependencyDag = self._artefacts.dag
+        self.levels: LevelSets = self._artefacts.levels
         n = lower.shape[0]
         if tasks_per_gpu is None:
             self.distribution: Distribution = block_distribution(
@@ -109,7 +114,7 @@ class SpTrsvPlan:
             self.distribution = round_robin_distribution(
                 n, self.machine.n_gpus, tasks_per_gpu
             )
-        self.costs: CommCosts = build_comm_costs(
+        self.costs: CommCosts = self._artefacts.comm_costs(
             self.machine,
             self.design,
             warp_reduce=warp_reduce,
@@ -121,7 +126,7 @@ class SpTrsvPlan:
             self.distribution,
             self.machine,
             self.design,
-            dag=self.dag,
+            artefacts=self._artefacts,
             levels=self.levels,
             costs=self.costs,
         )

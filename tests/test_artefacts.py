@@ -1,0 +1,107 @@
+"""The shared analysis-artefact cache: build-once semantics and eviction."""
+
+import gc
+
+import numpy as np
+
+from repro.analysis.dag import build_dag
+from repro.exec_model import Design, simulate_execution
+from repro.exec_model.artefacts import AnalysisArtefacts, get_artefacts
+from repro.machine.node import dgx1, dgx2
+from repro.solvers.des_solver import DesSolver
+from repro.solvers.plan import SpTrsvPlan
+from repro.tasks.schedule import block_distribution, round_robin_distribution
+from repro.workloads.generators import dag_profile_matrix, random_lower
+
+
+def test_sweep_builds_structure_once():
+    """A designs x machines sweep derives each structure product once."""
+    low = dag_profile_matrix(400, 20, 3.0, "uniform", 0.5, 0.3, 0.5, seed=11)
+    art = get_artefacts(low)
+    base_hits = art.hits
+    machines = [dgx1(n_gpus=4), dgx2(n_gpus=4)]
+    reports = []
+    for machine in machines:
+        dist = block_distribution(400, machine.n_gpus)
+        for design in Design:
+            reports.append(simulate_execution(low, dist, machine, design))
+    assert len(reports) == 2 * len(Design)
+    # Every simulate call hit the same bundle...
+    assert get_artefacts(low) is art
+    assert art.hits >= base_hits + 2 * len(Design)
+    # ...and each structure product was built exactly once.
+    assert art.build_counts["dag"] <= 1
+    assert art.build_counts["levels"] == 1  # unified fault model only
+    assert art.build_counts["fronts"] == 1
+    assert art.build_counts["edges"] == 1
+    # One placement (same gpu_of content on both machines), one cost
+    # table per (machine, design) pair.
+    assert art.build_counts["placements"] == 1
+    assert art.build_counts["costs"] == 2 * len(Design)
+
+
+def test_placement_cache_keyed_by_content():
+    low = random_lower(200, 3.0, seed=1)
+    art = get_artefacts(low)
+    d1 = block_distribution(200, 4)
+    d2 = block_distribution(200, 4)
+    d3 = round_robin_distribution(200, 4, 4)
+    p1 = art.placement(d1)
+    assert art.placement(d2) is p1  # equal content, distinct objects
+    assert art.placement(d3) is not p1
+
+
+def test_cost_table_cache_requires_same_machine_object():
+    low = random_lower(100, 3.0, seed=2)
+    art = get_artefacts(low)
+    m1 = dgx1(n_gpus=2)
+    c1 = art.comm_costs(m1, Design.SHMEM_READONLY)
+    assert art.comm_costs(m1, Design.SHMEM_READONLY) is c1
+    assert art.comm_costs(m1, Design.SHMEM_NAIVE) is not c1
+
+
+def test_bundle_evicted_with_matrix():
+    from repro.exec_model import artefacts as mod
+
+    low = random_lower(80, 3.0, seed=3)
+    get_artefacts(low)
+    key = id(low)
+    assert key in mod._CACHE
+    del low
+    gc.collect()
+    assert key not in mod._CACHE
+
+
+def test_foreign_dag_gets_transient_bundle():
+    low = random_lower(120, 3.0, seed=4)
+    art = get_artefacts(low)
+    other_dag = build_dag(low)  # same structure, different object
+    transient = get_artefacts(low, dag=other_dag)
+    assert transient is not art
+    assert transient.dag is other_dag
+    # The shared bundle is untouched.
+    assert get_artefacts(low) is art
+
+
+def test_plan_and_des_share_bundle():
+    low = dag_profile_matrix(200, 10, 2.5, "uniform", 0.5, 0.3, 0.2, seed=5)
+    art = get_artefacts(low)
+    dag_builds = art.build_counts["dag"]
+    plan = SpTrsvPlan(low, machine=dgx1(2), tasks_per_gpu=4)
+    assert plan.dag is art.dag
+    solver = DesSolver(machine=dgx1(2))
+    res = solver.solve(low, low.matvec(np.ones(200)))
+    np.testing.assert_allclose(res.x, 1.0)
+    # Neither tier re-derived the DAG.
+    assert art.build_counts["dag"] == dag_builds
+
+
+def test_manual_bundle_passthrough():
+    low = random_lower(150, 3.0, seed=6)
+    art = AnalysisArtefacts(low)
+    dist = block_distribution(150, 2)
+    machine = dgx1(n_gpus=2)
+    rep = simulate_execution(low, dist, machine, artefacts=art)
+    ref = simulate_execution(low, dist, machine)
+    assert rep.solve_time == ref.solve_time
+    np.testing.assert_array_equal(rep.gpu_finish, ref.gpu_finish)

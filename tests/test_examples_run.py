@@ -4,6 +4,7 @@ The examples are the public face of the API; these tests execute them as
 subprocesses (the way users run them) and check the key output markers.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -11,15 +12,22 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).parent.parent / "examples"
+SRC = Path(__file__).parent.parent / "src"
 
 
 def run_example(name: str, *args: str, timeout: int = 600, cwd=None) -> str:
+    # The examples import `repro` like an installed user would; when the
+    # package is run from a checkout, the subprocess needs src/ on its
+    # path (prepended so an installed copy never shadows the checkout).
+    existing = os.environ.get("PYTHONPATH")
+    pythonpath = str(SRC) if not existing else os.pathsep.join([str(SRC), existing])
     proc = subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
         capture_output=True,
         text=True,
         timeout=timeout,
         cwd=cwd,
+        env={**os.environ, "PYTHONPATH": pythonpath},
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
     return proc.stdout

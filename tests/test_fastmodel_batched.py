@@ -1,0 +1,234 @@
+"""Bit-exact equivalence of the batched scheduler with the reference loop.
+
+The vectorised front-batched pass is only admissible because it replays
+the reference per-component loop's exact IEEE operation sequence; these
+tests pin that property across matrix shapes, designs, machine sizes,
+and distributions, plus the structural invariants of the dispatch-front
+decomposition and the batch slot pool it rests on.
+"""
+
+import dataclasses
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.analysis.dag import build_dag
+from repro.analysis.levels import compute_dispatch_fronts, compute_levels
+from repro.exec_model import Design, simulate_execution
+from repro.machine.gpu import BatchWarpPool, WarpScheduler
+from repro.machine.node import dgx1, dgx2
+from repro.machine.specs import V100
+from repro.tasks.schedule import block_distribution, round_robin_distribution
+from repro.workloads.generators import (
+    banded_lower,
+    dag_profile_matrix,
+    grid_graph_lower,
+    random_lower,
+    tridiagonal_lower,
+)
+
+ARRAY_FIELDS = ("gpu_busy", "gpu_spin", "gpu_comm", "gpu_finish")
+SCALAR_FIELDS = (
+    "analysis_time",
+    "solve_time",
+    "local_updates",
+    "remote_updates",
+    "page_faults",
+    "migrated_bytes",
+    "fabric_bytes",
+)
+
+
+def assert_reports_identical(ref, bat):
+    for f in SCALAR_FIELDS:
+        assert getattr(ref, f) == getattr(bat, f), f
+    for f in ARRAY_FIELDS:
+        np.testing.assert_array_equal(getattr(ref, f), getattr(bat, f), err_msg=f)
+
+
+def matrices():
+    yield "tri", tridiagonal_lower(150)
+    yield "band", banded_lower(200, 4)
+    yield "grid", grid_graph_lower(12, 12)
+    yield "rand", random_lower(250, 4.0, seed=7)
+    for seed, scatter in [(0, 0.0), (1, 0.4), (2, 0.8)]:
+        yield f"profile-s{scatter}", dag_profile_matrix(
+            300, 20, 3.0, "uniform", 0.5, 0.3, scatter, seed=seed
+        )
+
+
+MACHINES = [dgx1(n_gpus=1), dgx1(n_gpus=2), dgx1(n_gpus=4), dgx2(n_gpus=8)]
+
+
+@pytest.mark.parametrize("design", list(Design))
+def test_batched_matches_reference_bitwise(design):
+    """Every report field is bit-identical across schedulers."""
+    for (tag, low), machine in itertools.product(matrices(), MACHINES):
+        n = low.shape[0]
+        dists = [block_distribution(n, machine.n_gpus)]
+        if machine.n_gpus > 1:
+            dists.append(round_robin_distribution(n, machine.n_gpus, 4))
+        for dist in dists:
+            ref = simulate_execution(
+                low, dist, machine, design, scheduler="reference"
+            )
+            bat = simulate_execution(
+                low, dist, machine, design, scheduler="batched"
+            )
+            assert_reports_identical(ref, bat)
+
+
+def test_batched_finish_times_identical():
+    """Per-component finish times match, not just the aggregates."""
+    from repro.exec_model.artefacts import get_artefacts
+    from repro.exec_model.timeline import _schedule_batched, _schedule_reference
+
+    low = dag_profile_matrix(300, 15, 3.0, "uniform", 0.5, 0.3, 0.6, seed=5)
+    n = low.shape[0]
+    machine = dgx1(n_gpus=4)
+    dist = round_robin_distribution(n, 4, 4)
+    art = get_artefacts(low)
+    place = art.placement(dist)
+    dag = art.dag
+    rng = np.random.default_rng(0)
+    nb = np.repeat(rng.uniform(0, 1e-5, 10), n // 10 + 1)[:n]
+    in_notify = rng.uniform(0, 1e-6, len(dag.in_idx))
+    gather = rng.uniform(0, 1e-6, n)
+    update = rng.uniform(0, 1e-6, n)
+    solve = rng.uniform(1e-8, 1e-6, n)
+    ref = _schedule_reference(
+        machine.gpu, 4, dist.gpu_of, nb, dag.in_ptr, dag.in_idx,
+        in_notify, gather, update, solve,
+    )
+    bat = _schedule_batched(
+        machine.gpu, 4, place, art.fronts, nb, dag.in_ptr, dag.in_idx,
+        in_notify, gather, update, solve,
+    )
+    for a, b in zip(ref, bat):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_sm_granularity_ignores_scheduler_choice():
+    low = random_lower(120, 3.0, seed=2)
+    machine = dgx1(n_gpus=2)
+    dist = block_distribution(120, 2)
+    a = simulate_execution(
+        low, dist, machine, sm_granularity=True, scheduler="batched"
+    )
+    b = simulate_execution(
+        low, dist, machine, sm_granularity=True, scheduler="reference"
+    )
+    assert_reports_identical(a, b)
+
+
+def test_auto_matches_forced_choices():
+    """auto is a pure dispatcher: its report equals both forced passes."""
+    wide = dag_profile_matrix(400, 8, 3.0, "uniform", 0.5, 0.3, 0.0, seed=9)
+    narrow = tridiagonal_lower(200)
+    machine = dgx1(n_gpus=2)
+    for low in (wide, narrow):
+        dist = block_distribution(low.shape[0], 2)
+        auto = simulate_execution(low, dist, machine, scheduler="auto")
+        for forced in ("batched", "reference"):
+            rep = simulate_execution(low, dist, machine, scheduler=forced)
+            assert_reports_identical(auto, rep)
+
+
+def test_unknown_scheduler_rejected():
+    from repro.errors import SolverError
+
+    low = tridiagonal_lower(10)
+    with pytest.raises(SolverError):
+        simulate_execution(
+            low, block_distribution(10, 1), dgx1(n_gpus=1), scheduler="fast"
+        )
+
+
+# ---------------------------------------------------------------- fronts
+def test_fronts_cover_and_are_antichains():
+    for tag, low in matrices():
+        dag = build_dag(low)
+        fronts = compute_dispatch_fronts(dag)
+        ptr = fronts.front_ptr
+        assert ptr[0] == 0 and ptr[-1] == dag.n
+        assert np.all(np.diff(ptr) >= 1)
+        # No member of a front may depend on another member of the same
+        # front: every in-edge source must precede the front's start.
+        for f in range(fronts.n_fronts):
+            s, e = int(ptr[f]), int(ptr[f + 1])
+            lo, hi = int(dag.in_ptr[s]), int(dag.in_ptr[e])
+            if hi > lo:
+                assert dag.in_idx[lo:hi].max() < s, tag
+
+
+def test_fronts_equal_levels_for_level_major_numbering():
+    low = dag_profile_matrix(
+        400, 25, 3.0, "uniform", 0.5, 0.0, 0.0, seed=3
+    )
+    dag = build_dag(low)
+    levels = compute_levels(dag)
+    fronts = compute_dispatch_fronts(dag)
+    # With scatter=0 each level occupies one contiguous index range, so
+    # the greedy antichain decomposition recovers the level sets exactly.
+    np.testing.assert_array_equal(fronts.front_ptr, levels.level_ptr)
+    assert fronts.mean_width == levels.parallelism
+
+
+def test_fronts_serial_chain():
+    dag = build_dag(tridiagonal_lower(50))
+    fronts = compute_dispatch_fronts(dag)
+    assert fronts.n_fronts == 50
+    assert np.all(fronts.front_sizes() == 1)
+
+
+# ---------------------------------------------------------------- pool
+def _reference_pool_run(spec, batches):
+    ws = WarpScheduler(spec)
+    out = []
+    for nb, rd, cm, sv in batches:
+        dsp = np.empty(len(nb))
+        fin = np.empty(len(nb))
+        for i in range(len(nb)):
+            d = ws.dispatch(float(nb[i]))
+            start = d if rd[i] <= d else rd[i]
+            f = (start + cm[i]) + sv[i]
+            ws.retire(f)
+            dsp[i] = d
+            fin[i] = f
+        out.append((dsp, fin))
+    return out, ws
+
+
+@pytest.mark.parametrize("warp_slots", [1, 2, 7, 64])
+def test_batch_pool_matches_heap_scheduler(warp_slots):
+    spec = dataclasses.replace(V100, warp_slots=warp_slots)
+    rng = np.random.default_rng(warp_slots)
+    batches = []
+    t = 0.0
+    for _ in range(12):
+        m = int(rng.integers(1, 40))
+        nb = np.full(m, t)
+        rd = rng.uniform(0, 5e-5, m) * (rng.random(m) < 0.5)
+        cm = rng.uniform(0, 1e-6, m)
+        sv = rng.uniform(1e-8, 2e-6, m)
+        batches.append((nb, rd, cm, sv))
+        t += 1e-5
+    ref, ws = _reference_pool_run(spec, batches)
+    pool = BatchWarpPool(spec)
+    for (nb, rd, cm, sv), (rdsp, rfin) in zip(batches, ref):
+        dsp, fin = pool.dispatch_batch(nb, rd, cm, sv)
+        np.testing.assert_array_equal(dsp, rdsp)
+        np.testing.assert_array_equal(fin, rfin)
+    assert pool.resident == ws.resident
+    assert pool.counters.components == ws.counters.components
+    assert pool.counters.last_finish == ws.counters.last_finish
+
+
+def test_batch_pool_empty_batch():
+    pool = BatchWarpPool(V100)
+    dsp, fin = pool.dispatch_batch(
+        np.empty(0), np.empty(0), np.empty(0), np.empty(0)
+    )
+    assert len(dsp) == 0 and len(fin) == 0
+    assert pool.resident == 0
