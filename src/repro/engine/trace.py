@@ -24,8 +24,12 @@ class TraceRecord:
     time:
         Simulated timestamp.
     kind:
-        Record category, e.g. ``"solve"``, ``"fault"``, ``"get"``,
-        ``"task_launch"``.
+        Record category.  The DES tier emits ``"dispatch"`` (warp slot
+        acquired), ``"solve"`` (component value computed), ``"release"``
+        (slot retired), ``"fault"`` (unified-memory page fault), and
+        ``"xfer_begin"``/``"xfer_end"`` (cross-GPU message occupying a
+        link channel, ``detail=(src_pe, dst_pe, component)``) — the
+        record vocabulary :mod:`repro.verify.causality` replays.
     gpu:
         GPU/PE that generated the record (-1 if not applicable).
     detail:

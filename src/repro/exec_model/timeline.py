@@ -284,10 +284,15 @@ def _schedule_reference(
     update_cost: np.ndarray,
     solve: np.ndarray,
     sm_granularity: bool = False,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+) -> tuple[
+    np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray,
+    np.ndarray,
+]:
     """Per-component list-scheduling loop (the reference semantics).
 
-    Returns ``(finish, gpu_busy, gpu_spin, gpu_comm, gpu_finish)``.
+    Returns ``(finish, dispatch, ready, gpu_busy, gpu_spin, gpu_comm,
+    gpu_finish)``; the per-component dispatch/ready times feed the
+    causality checker in :mod:`repro.verify.causality`.
     """
     if sm_granularity:
         from repro.machine.sm import SmWarpScheduler
@@ -297,6 +302,8 @@ def _schedule_reference(
         schedulers = [WarpScheduler(gpu_spec) for _ in range(n_gpus)]
     n = len(gpu_of)
     finish = np.zeros(n)
+    dispatch_t = np.zeros(n)
+    ready_t = np.zeros(n)
     gpu_busy = np.zeros(n_gpus)
     gpu_spin = np.zeros(n_gpus)
     gpu_comm = np.zeros(n_gpus)
@@ -313,12 +320,14 @@ def _schedule_reference(
         comm = gather_cost[i] + update_cost[i]
         fin = start + comm + solve[i]
         finish[i] = fin
+        dispatch_t[i] = dispatch
+        ready_t[i] = ready
         sched.retire(fin)
         gpu_busy[g] += solve[i]
         gpu_spin[g] += max(0.0, ready - dispatch)
         gpu_comm[g] += comm
     gpu_finish = np.array([s.counters.last_finish for s in schedulers])
-    return finish, gpu_busy, gpu_spin, gpu_comm, gpu_finish
+    return finish, dispatch_t, ready_t, gpu_busy, gpu_spin, gpu_comm, gpu_finish
 
 
 def _schedule_batched(
@@ -333,7 +342,10 @@ def _schedule_batched(
     gather_cost: np.ndarray,
     update_cost: np.ndarray,
     solve: np.ndarray,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+) -> tuple[
+    np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray,
+    np.ndarray,
+]:
     """Front-batched vectorised scheduling pass.
 
     Walks the dispatch fronts (maximal index-contiguous antichains) and
@@ -394,7 +406,7 @@ def _schedule_batched(
             gpu_spin[g] = np.add.accumulate(spin[pos])[-1]
             gpu_comm[g] = np.add.accumulate(comm[pos])[-1]
     gpu_finish = np.array([p.counters.last_finish for p in pools])
-    return finish, gpu_busy, gpu_spin, gpu_comm, gpu_finish
+    return finish, dispatch_t, ready_t, gpu_busy, gpu_spin, gpu_comm, gpu_finish
 
 
 def simulate_execution(
@@ -409,6 +421,7 @@ def simulate_execution(
     artefacts: AnalysisArtefacts | None = None,
     scheduler: str = "auto",
     sm_granularity: bool = False,
+    schedule_out: dict | None = None,
 ) -> ExecutionReport:
     """Run the fast timing model for one design on one machine.
 
@@ -445,6 +458,13 @@ def simulate_execution(
         (:class:`repro.machine.sm.SmWarpScheduler`) instead of the flat
         work-conserving pool — never faster, and quantifies how much the
         flat model's optimism is worth (an ablation knob).
+    schedule_out:
+        Optional dict that, when supplied, is filled with the
+        per-component schedule (``finish``, ``dispatch``, ``ready``,
+        ``comm``, ``solve``, ``comp_not_before``, ``in_notify``) so an
+        external validator — :func:`repro.verify.causality.check_timeline_schedule`
+        — can audit the scheduling pass without re-deriving the cost
+        model.  Has no effect on the returned report.
     """
     design = Design(design)
     if dist.n != lower.shape[0]:
@@ -581,15 +601,33 @@ def simulate_execution(
             else "reference"
         )
     if sm_granularity or scheduler == "reference":
-        _, gpu_busy, gpu_spin, gpu_comm, gpu_finish = _schedule_reference(
-            gpu_spec, n_gpus, gpu_of, comp_not_before,
-            in_ptr, in_idx, in_notify, gather_cost, update_cost, solve,
-            sm_granularity=sm_granularity,
+        finish, disp, ready, gpu_busy, gpu_spin, gpu_comm, gpu_finish = (
+            _schedule_reference(
+                gpu_spec, n_gpus, gpu_of, comp_not_before,
+                in_ptr, in_idx, in_notify, gather_cost, update_cost, solve,
+                sm_granularity=sm_granularity,
+            )
         )
     else:
-        _, gpu_busy, gpu_spin, gpu_comm, gpu_finish = _schedule_batched(
-            gpu_spec, n_gpus, place, artefacts.fronts, comp_not_before,
-            in_ptr, in_idx, in_notify, gather_cost, update_cost, solve,
+        finish, disp, ready, gpu_busy, gpu_spin, gpu_comm, gpu_finish = (
+            _schedule_batched(
+                gpu_spec, n_gpus, place, artefacts.fronts, comp_not_before,
+                in_ptr, in_idx, in_notify, gather_cost, update_cost, solve,
+            )
+        )
+    if schedule_out is not None:
+        schedule_out.update(
+            finish=finish,
+            dispatch=disp,
+            ready=ready,
+            comm=gather_cost + update_cost,
+            solve=solve,
+            comp_not_before=comp_not_before,
+            in_notify=in_notify,
+            gpu_of=gpu_of,
+            warp_slots=gpu_spec.warp_slots,
+            in_ptr=in_ptr,
+            in_idx=in_idx,
         )
     solve_time = max(float(gpu_finish.max(initial=0.0)), serial_bound)
 

@@ -138,7 +138,9 @@ def des_execute(
             gb = machine.active_gpus[dst_pe]
             wire = 8.0 / machine.topology.peer_bandwidth(ga, gb)
             yield Acquire(link)
+            trace.emit(sim.now, "xfer_begin", gpu=src_pe, detail=(src_pe, dst_pe, dst))
             yield Timeout(wire)
+            trace.emit(sim.now, "xfer_end", gpu=src_pe, detail=(src_pe, dst_pe, dst))
             yield Release(link)
         yield Timeout(delay)
         left_sum[dst] += contribution
@@ -149,6 +151,7 @@ def des_execute(
     def component(i: int):
         g = int(gpu_of[i])
         yield Acquire(slots[g])
+        trace.emit(sim.now, "dispatch", gpu=g, detail=i)
         yield Timeout(gpu_spec.t_warp_dispatch)
         if remaining[i] > 0:
             yield Wait(("ready", i))
@@ -187,6 +190,7 @@ def des_execute(
             sim.spawn(notifier(i, rid, contrib, update_cost + delay))
         if update_cost > 0.0:
             yield Timeout(update_cost)
+        trace.emit(sim.now, "release", gpu=g, detail=i)
         yield Release(slots[g])
 
     # Spawn in ascending index order at each task's launch time: FIFO slot

@@ -1,4 +1,11 @@
-"""Shared fixtures for the repro test suite."""
+"""Shared fixtures for the repro test suite.
+
+Matrix fixtures are built once per session and handed out as
+*copy-on-use*: the generator runs a single time (session-scoped cache),
+but every test receives a fresh :meth:`CscMatrix.copy` — a solver or
+test mutating the CSC arrays in place cannot poison later tests, and no
+test can observe another's mutations through the shared cache.
+"""
 
 from __future__ import annotations
 
@@ -16,57 +23,86 @@ from repro.workloads.generators import (
 )
 
 
+def _diag_only_matrix() -> CscMatrix:
+    from repro.sparse.coo import CooMatrix
+
+    n = 20
+    idx = np.arange(n)
+    return CooMatrix(idx, idx, np.full(n, 2.0), (n, n)).to_csc()
+
+
+#: One builder per matrix fixture; results are cached for the session
+#: and copied per use.
+_MATRIX_BUILDERS = {
+    # A 300-row profiled matrix: 12 levels, moderate dependency.
+    "small_lower": lambda: dag_profile_matrix(
+        n=300, n_levels=12, dependency=3.0, seed=42
+    ),
+    # A 400-row matrix with scattered level/index correlation.
+    "scattered_lower": lambda: dag_profile_matrix(
+        n=400, n_levels=10, dependency=2.5, scatter=0.7, seed=43
+    ),
+    # Fully serial bidiagonal chain (worst case for parallelism).
+    "chain_lower": lambda: tridiagonal_lower(64, seed=1),
+    # Structured-grid dependency pattern.
+    "grid_lower": lambda: grid_graph_lower(12, 15, seed=2),
+    "band_lower": lambda: banded_lower(200, bandwidth=5, fill=0.6, seed=3),
+    "rand_lower": lambda: random_lower(250, avg_nnz_per_row=4.0, seed=4),
+    # Diagonal matrix: the no-dependency edge case.
+    "diag_only": _diag_only_matrix,
+}
+
+
+@pytest.fixture(scope="session")
+def _matrix_cache() -> dict[str, CscMatrix]:
+    """Lazily built session cache of pristine fixture matrices."""
+    return {}
+
+
+def _fresh(name: str, cache: dict[str, CscMatrix]) -> CscMatrix:
+    if name not in cache:
+        cache[name] = _MATRIX_BUILDERS[name]()
+    return cache[name].copy()
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
 
 
 @pytest.fixture
-def small_lower() -> CscMatrix:
-    """A 300-row profiled matrix: 12 levels, moderate dependency."""
-    return dag_profile_matrix(n=300, n_levels=12, dependency=3.0, seed=42)
+def small_lower(_matrix_cache) -> CscMatrix:
+    return _fresh("small_lower", _matrix_cache)
 
 
 @pytest.fixture
-def scattered_lower() -> CscMatrix:
-    """A 400-row matrix with scattered level/index correlation."""
-    return dag_profile_matrix(
-        n=400, n_levels=10, dependency=2.5, scatter=0.7, seed=43
-    )
+def scattered_lower(_matrix_cache) -> CscMatrix:
+    return _fresh("scattered_lower", _matrix_cache)
 
 
 @pytest.fixture
-def chain_lower() -> CscMatrix:
-    """Fully serial bidiagonal chain (worst case for parallelism)."""
-    return tridiagonal_lower(64, seed=1)
+def chain_lower(_matrix_cache) -> CscMatrix:
+    return _fresh("chain_lower", _matrix_cache)
 
 
 @pytest.fixture
-def grid_lower() -> CscMatrix:
-    """Structured-grid dependency pattern."""
-    return grid_graph_lower(12, 15, seed=2)
+def grid_lower(_matrix_cache) -> CscMatrix:
+    return _fresh("grid_lower", _matrix_cache)
 
 
 @pytest.fixture
-def band_lower() -> CscMatrix:
-    return banded_lower(200, bandwidth=5, fill=0.6, seed=3)
+def band_lower(_matrix_cache) -> CscMatrix:
+    return _fresh("band_lower", _matrix_cache)
 
 
 @pytest.fixture
-def rand_lower() -> CscMatrix:
-    return random_lower(250, avg_nnz_per_row=4.0, seed=4)
+def rand_lower(_matrix_cache) -> CscMatrix:
+    return _fresh("rand_lower", _matrix_cache)
 
 
 @pytest.fixture
-def diag_only() -> CscMatrix:
-    """Diagonal matrix: the no-dependency edge case."""
-    import numpy as np
-
-    from repro.sparse.coo import CooMatrix
-
-    n = 20
-    idx = np.arange(n)
-    return CooMatrix(idx, idx, np.full(n, 2.0), (n, n)).to_csc()
+def diag_only(_matrix_cache) -> CscMatrix:
+    return _fresh("diag_only", _matrix_cache)
 
 
 @pytest.fixture
@@ -91,15 +127,7 @@ def machine8_dgx2():
     return dgx2(8)
 
 
-ALL_FIXTURE_MATRICES = [
-    "small_lower",
-    "scattered_lower",
-    "chain_lower",
-    "grid_lower",
-    "band_lower",
-    "rand_lower",
-    "diag_only",
-]
+ALL_FIXTURE_MATRICES = list(_MATRIX_BUILDERS)
 
 
 @pytest.fixture(params=ALL_FIXTURE_MATRICES)

@@ -9,6 +9,8 @@ decomposition and the batch slot pool it rests on.
 
 import dataclasses
 import itertools
+import json
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -232,3 +234,86 @@ def test_batch_pool_empty_batch():
     )
     assert len(dsp) == 0 and len(fin) == 0
     assert pool.resident == 0
+
+
+# ---------------------------------------------------------------- golden
+GOLDEN_PATH = Path(__file__).parent / "golden" / "fastmodel_reports.json"
+
+
+def golden_cases():
+    """The three scheduling regimes the golden file pins.
+
+    ``chain`` exercises the serial fallback path, ``scattered`` a
+    front-width below :data:`AUTO_WIDTH_THRESHOLD` (auto picks the
+    reference loop), ``level-major`` the wide-front batched fast path.
+    """
+    return {
+        "chain": tridiagonal_lower(120),
+        "scattered": dag_profile_matrix(
+            300, 10, 2.5, "uniform", 0.5, 0.3, 0.8, seed=11
+        ),
+        "level-major": dag_profile_matrix(
+            300, 12, 3.0, "uniform", 0.5, 0.0, 0.0, seed=12
+        ),
+    }
+
+
+def _report_to_golden(rep) -> dict:
+    entry = {f: getattr(rep, f) for f in SCALAR_FIELDS}
+    entry.update({f: list(getattr(rep, f)) for f in ARRAY_FIELDS})
+    return entry
+
+
+def _golden_report(tag, low, scheduler):
+    from repro.exec_model.artefacts import get_artefacts
+    from repro.exec_model.timeline import AUTO_WIDTH_THRESHOLD
+
+    machine = dgx1(n_gpus=4)
+    if tag == "scattered":
+        width = get_artefacts(low).fronts.mean_width
+        assert width < AUTO_WIDTH_THRESHOLD, (
+            f"scattered regime drifted: front width {width}"
+        )
+    dist = block_distribution(low.shape[0], 4)
+    return simulate_execution(
+        low, dist, machine, Design.SHMEM_READONLY, scheduler=scheduler
+    )
+
+
+@pytest.mark.parametrize("scheduler", ["batched", "reference"])
+def test_reports_match_golden(scheduler):
+    """Both schedulers reproduce the checked-in reports bit for bit.
+
+    JSON floats round-trip float64 exactly (shortest-repr), so equality
+    here is bitwise: any change to the scheduling numerics — either
+    pass — shows up as a diff against the pinned fixtures.
+    """
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert set(golden) == set(golden_cases())
+    for tag, low in golden_cases().items():
+        rep = _golden_report(tag, low, scheduler)
+        got = _report_to_golden(rep)
+        want = golden[tag]
+        for f in SCALAR_FIELDS:
+            assert got[f] == want[f], f"{tag}/{scheduler}: {f}"
+        for f in ARRAY_FIELDS:
+            np.testing.assert_array_equal(
+                got[f], want[f], err_msg=f"{tag}/{scheduler}: {f}"
+            )
+
+
+def _regen_golden():  # pragma: no cover - maintenance entry point
+    out = {
+        tag: _report_to_golden(_golden_report(tag, low, "reference"))
+        for tag, low in golden_cases().items()
+    }
+    GOLDEN_PATH.parent.mkdir(exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(out, indent=2) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":  # python tests/test_fastmodel_batched.py regen
+    import sys
+
+    if len(sys.argv) > 1 and sys.argv[1] == "regen":
+        _regen_golden()

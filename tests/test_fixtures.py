@@ -1,0 +1,21 @@
+"""The copy-on-use contract of the session-cached matrix fixtures."""
+
+import numpy as np
+
+
+def test_fixture_mutation_cannot_leak(small_lower, _matrix_cache):
+    """In-place mutation of a fixture leaves the session cache pristine."""
+    pristine = _matrix_cache["small_lower"]
+    assert small_lower is not pristine
+    before = pristine.data.copy()
+    small_lower.data[:] = -1.0
+    small_lower.indices[0] = 0
+    np.testing.assert_array_equal(pristine.data, before)
+
+
+def test_fixture_instances_are_independent(small_lower, _matrix_cache):
+    """Two uses of the same fixture never share buffers."""
+    other = _matrix_cache["small_lower"].copy()
+    assert not np.shares_memory(small_lower.data, other.data)
+    assert not np.shares_memory(small_lower.indices, other.indices)
+    np.testing.assert_array_equal(small_lower.data, other.data)

@@ -152,6 +152,70 @@ def test_expected_faults_bounds(counts):
 
 @settings(max_examples=25, deadline=None)
 @given(lower_matrices())
+def test_backward_solve_matches_serial_reference(lower):
+    """Backward substitution via anti-transpose equals serial backward."""
+    from repro.solvers.backward import BackwardSolver, anti_transpose
+    from repro.solvers.levelset import LevelSetSolver
+    from repro.solvers.serial import serial_backward
+
+    upper = anti_transpose(lower)
+    rng = np.random.default_rng(1)
+    x_true = rng.uniform(0.5, 1.5, size=upper.shape[0])
+    b = upper.matvec(x_true)
+    x_ref = serial_backward(upper, b)
+    np.testing.assert_allclose(x_ref, x_true, rtol=1e-7, atol=1e-10)
+    x = BackwardSolver(LevelSetSolver()).solve(upper, b).x
+    np.testing.assert_allclose(x, x_ref, rtol=1e-9, atol=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(lower_matrices(), st.integers(min_value=1, max_value=5))
+def test_multi_rhs_columns_are_independent(lower, k):
+    """Block solves equal per-column solves — bitwise — and the serial
+    reference per column."""
+    from repro.machine.node import dgx1
+    from repro.solvers.multirhs import solve_multi_rhs
+
+    rng = np.random.default_rng(2)
+    n = lower.shape[0]
+    bb = rng.uniform(-1.0, 1.0, (n, k))
+    res = solve_multi_rhs(lower, bb, machine=dgx1(2))
+    assert res.x.shape == (n, k)
+    assert res.n_rhs == k
+    for j in range(k):
+        solo = solve_multi_rhs(lower, bb[:, j : j + 1], machine=dgx1(2))
+        np.testing.assert_array_equal(res.x[:, j], solo.x[:, 0])
+        np.testing.assert_allclose(
+            res.x[:, j], serial_forward(lower, bb[:, j]), rtol=1e-9,
+            atol=1e-12,
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(lower_matrices())
+def test_mixed_precision_error_bounds(lower):
+    """Refinement must reach its componentwise residual target within the
+    sweep budget, and the result must match the float64 reference."""
+    from repro.solvers.mixedprec import MixedPrecisionSolver
+    from repro.sparse.validate import residual_norm
+
+    rng = np.random.default_rng(3)
+    x_true = rng.uniform(0.5, 1.5, size=lower.shape[0])
+    b = lower.matvec(x_true)
+    solver = MixedPrecisionSolver(tol=1e-12, max_sweeps=6)
+    x = solver.solve(lower, b).x
+    stats = solver.last_refinement
+    assert stats is not None
+    assert 1 <= stats.sweeps <= solver.max_sweeps
+    assert len(stats.residual_history) == stats.sweeps
+    assert stats.final_residual == stats.residual_history[-1]
+    assert stats.final_residual <= solver.tol
+    assert residual_norm(lower, x, b) <= 1e-10
+    np.testing.assert_allclose(x, x_true, rtol=1e-8, atol=1e-11)
+
+
+@settings(max_examples=25, deadline=None)
+@given(lower_matrices())
 def test_simulation_finish_respects_dependencies(lower):
     """List-scheduled finish times must honour the DAG for any input."""
     from repro.exec_model.costmodel import Design
