@@ -1,0 +1,268 @@
+"""DES engine sweep: reference generator engine vs array fast path.
+
+Times :func:`~repro.solvers.des_solver.des_execute` with the reference
+engine (one generator per process, one heap entry per event) against
+the array engine (:mod:`repro.solvers.des_array`) on level-major
+workloads, verifying bit-identical traces, solutions, and counters on
+every case before any timing is trusted.
+
+The sweep fans cases out across cores with a
+:class:`~concurrent.futures.ProcessPoolExecutor`; the parent process
+pays each case's structure analysis once and ships it to the worker via
+:func:`~repro.exec_model.artefacts.spill_artefacts`, so no worker ever
+re-derives a DAG (``analysis_shared`` in the payload asserts this).
+
+Noise handling follows :mod:`repro.bench.fastmodel`: a case whose
+reference timings have a high coefficient of variation reports its
+numbers but is exempt from the speedup floor — bit-identity, which is
+deterministic, is always enforced.  The ``scale-50k`` case additionally
+records the PR acceptance measurement (>= 5x on the n=50k level-major
+workload).
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.exec_model.artefacts import load_artefacts, spill_artefacts
+from repro.exec_model.costmodel import Design
+from repro.machine.node import dgx1
+from repro.solvers.des_solver import des_execute
+from repro.tasks.schedule import block_distribution
+from repro.workloads.generators import dag_profile_matrix
+
+__all__ = [
+    "DES_CASES",
+    "QUICK_CASES",
+    "NOISE_CV",
+    "SPEEDUP_FLOOR",
+    "MEDIUM_N",
+    "ACCEPTANCE_FLOOR",
+    "ACCEPTANCE_CASE",
+    "measure_des_case",
+    "run_des_sweep",
+]
+
+#: Level-major workloads (wide fronts, scatter=0): the regime both DES
+#: engines spend the bulk of their events in.  ``scale-50k`` is the PR
+#: acceptance configuration (same generator settings as the fast-model
+#: bench's case of the same name).
+DES_CASES: dict[str, dict[str, Any]] = {
+    "des-2k": dict(
+        n=2_000, n_levels=25, dependency=6.0, profile="uniform",
+        locality=0.5, order_mix=0.3, scatter=0.0, seed=0,
+    ),
+    "des-medium-8k": dict(
+        n=8_000, n_levels=30, dependency=9.0, profile="uniform",
+        locality=0.5, order_mix=0.3, scatter=0.0, seed=0,
+    ),
+    "scale-50k": dict(
+        n=50_000, n_levels=40, dependency=9.0, profile="uniform",
+        locality=0.5, order_mix=0.3, scatter=0.0, seed=0,
+    ),
+}
+
+#: Subset run by ``tools/sweep.py --quick`` (the CI perf-smoke job):
+#: everything but the expensive acceptance case.
+QUICK_CASES = ("des-2k", "des-medium-8k")
+
+#: Coefficient of variation above which a case's timings are considered
+#: timer-noisy and exempt from the speedup floors.
+NOISE_CV = 0.2
+
+#: Minimum array-over-reference speedup enforced for clean cases of at
+#: least :data:`MEDIUM_N` components (the CI floor).
+SPEEDUP_FLOOR = 3.0
+MEDIUM_N = 8_000
+
+#: The acceptance case must beat this when its timings are clean.
+ACCEPTANCE_FLOOR = 5.0
+ACCEPTANCE_CASE = "scale-50k"
+
+
+def _executions_identical(ref, arr) -> bool:
+    """Bit-equality of two :class:`DesExecution` results.
+
+    Record-by-record trace equality (kind, time, gpu, detail), exact
+    solution bits, and identical counters — the contract the array
+    engine is held to everywhere.
+    """
+    if (
+        ref.total_time != arr.total_time
+        or ref.events != arr.events
+        or ref.page_faults != arr.page_faults
+        or ref.x.tobytes() != arr.x.tobytes()
+    ):
+        return False
+    if len(ref.trace.records) != len(arr.trace.records):
+        return False
+    return all(r == a for r, a in zip(ref.trace.records, arr.trace.records))
+
+
+def measure_des_case(
+    name: str,
+    spill_path: str,
+    *,
+    enforce_floor: bool = False,
+    acceptance: bool = False,
+    n_gpus: int = 4,
+    design: Design = Design.SHMEM_READONLY,
+    repeats: int = 3,
+) -> dict[str, Any]:
+    """Verify and time both engines on one spilled workload.
+
+    Runs in a worker process: the artefact bundle is *loaded* from the
+    parent's spill, never rebuilt — ``analysis_shared`` reports whether
+    that held (the loaded bundle's DAG build count must stay 0).
+
+    The bit-equality check runs once with traces enabled; the timed
+    repeats run with traces disabled so both engines are measured on
+    the playout itself.
+    """
+    lower, art = load_artefacts(spill_path)
+    n = lower.shape[0]
+    machine = dgx1(n_gpus)
+    dist = block_distribution(n, n_gpus)
+    costs = art.comm_costs(machine, design)
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(n)
+    common = dict(dag=art.dag, costs=costs)
+
+    ref = des_execute(
+        lower, b, dist, machine, design,
+        engine="reference", trace_enabled=True, **common,
+    )
+    arr = des_execute(
+        lower, b, dist, machine, design,
+        engine="array", trace_enabled=True, **common,
+    )
+    identical = _executions_identical(ref, arr)
+
+    def timed(engine: str) -> list[float]:
+        times = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            des_execute(
+                lower, b, dist, machine, design,
+                engine=engine, trace_enabled=False, **common,
+            )
+            times.append(time.perf_counter() - t0)
+        return times
+
+    ref_times = timed("reference")
+    arr_times = timed("array")
+    t_ref = min(ref_times)
+    t_arr = min(arr_times)
+    cv = (
+        statistics.stdev(ref_times) / statistics.mean(ref_times)
+        if repeats > 1
+        else 0.0
+    )
+    return {
+        "name": name,
+        "n": int(n),
+        "nnz": int(lower.nnz),
+        "events": int(ref.events),
+        "t_reference": t_ref,
+        "t_array": t_arr,
+        "speedup": t_ref / t_arr if t_arr > 0 else float("inf"),
+        "events_per_sec_array": ref.events / t_arr if t_arr > 0 else 0.0,
+        "identical": identical,
+        "cv_reference": cv,
+        "noisy": cv > NOISE_CV,
+        "enforce_floor": bool(enforce_floor and n >= MEDIUM_N),
+        "acceptance": bool(acceptance),
+        "analysis_shared": art.build_counts.get("dag", 0) == 0,
+    }
+
+
+def run_des_sweep(
+    *,
+    quick: bool = False,
+    repeats: int = 3,
+    jobs: int | None = None,
+    cases: dict[str, dict[str, Any]] | None = None,
+) -> dict[str, Any]:
+    """Run the engine sweep; returns the ``BENCH_des.json`` payload.
+
+    ``pass`` is False only when a deterministic property fails: an
+    engine mismatch anywhere, a worker that re-derived its analysis, or
+    a *clean* (non-noisy) case below its floor — ``SPEEDUP_FLOOR`` for
+    medium-and-up cases, ``ACCEPTANCE_FLOOR`` for the acceptance case.
+    ``cases`` overrides the case table (tests use tiny workloads).
+    """
+    table = DES_CASES if cases is None else cases
+    if cases is not None:
+        names = list(table)
+    else:
+        names = [c for c in table if not quick or c in QUICK_CASES]
+    if jobs is None:
+        jobs = max(1, min(len(names), (os.cpu_count() or 2) - 1))
+    results: list[dict[str, Any]] = []
+    with tempfile.TemporaryDirectory(prefix="des-sweep-") as tmp:
+        spills = {}
+        for cname in names:
+            low = dag_profile_matrix(**table[cname])
+            spills[cname] = str(
+                spill_artefacts(low, Path(tmp) / f"{cname}.pkl")
+            )
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                cname: pool.submit(
+                    measure_des_case,
+                    cname,
+                    spills[cname],
+                    enforce_floor=True,
+                    acceptance=cname == ACCEPTANCE_CASE,
+                    repeats=repeats,
+                )
+                for cname in names
+            }
+            results = [futures[cname].result() for cname in names]
+
+    all_identical = all(c["identical"] for c in results)
+    analysis_shared = all(c["analysis_shared"] for c in results)
+    floor_misses = [
+        c["name"]
+        for c in results
+        if c["enforce_floor"]
+        and not c["noisy"]
+        and c["speedup"]
+        < (ACCEPTANCE_FLOOR if c["acceptance"] else SPEEDUP_FLOOR)
+    ]
+    noisy = any(c["noisy"] for c in results if c["enforce_floor"])
+    accept_cases = [c for c in results if c["acceptance"]]
+    acceptance = None
+    if accept_cases:
+        c = accept_cases[0]
+        acceptance = {
+            "case": c["name"],
+            "floor": ACCEPTANCE_FLOOR,
+            "speedup": c["speedup"],
+            "met": c["speedup"] >= ACCEPTANCE_FLOOR,
+        }
+    return {
+        "bench": "des_engine",
+        "quick": quick,
+        "repeats": repeats,
+        "jobs": jobs,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "medium_n": MEDIUM_N,
+        "acceptance_floor": ACCEPTANCE_FLOOR,
+        "noise_cv": NOISE_CV,
+        "cases": results,
+        "all_identical": all_identical,
+        "analysis_shared": analysis_shared,
+        "noisy": noisy,
+        "floor_misses": floor_misses,
+        "acceptance": acceptance,
+        "pass": all_identical and analysis_shared and not floor_misses,
+    }

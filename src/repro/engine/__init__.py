@@ -1,9 +1,18 @@
 """Discrete-event simulation core: simulator, commands, resources, traces."""
 
+from repro.engine.calendar import CalendarQueue
 from repro.engine.chrometrace import trace_to_chrome, write_chrome_trace
 from repro.engine.des import Process, Simulator
-from repro.engine.events import Acquire, Release, Signal, Timeout, Wait
-from repro.engine.resources import Resource
+from repro.engine.events import (
+    Acquire,
+    Release,
+    ScheduledEvent,
+    Signal,
+    Timeout,
+    Wait,
+)
+from repro.engine.resources import Resource, ResourceBank
+from repro.engine.sequence import MonotonicSequence
 from repro.engine.trace import Trace, TraceRecord
 
 __all__ = [
@@ -14,7 +23,11 @@ __all__ = [
     "Release",
     "Wait",
     "Signal",
+    "ScheduledEvent",
     "Resource",
+    "ResourceBank",
+    "CalendarQueue",
+    "MonotonicSequence",
     "Trace",
     "TraceRecord",
     "trace_to_chrome",

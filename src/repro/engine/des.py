@@ -1,11 +1,21 @@
-"""The discrete-event simulator core.
+"""The discrete-event simulator core (reference engine).
 
 Processes are plain Python generators that yield commands from
 :mod:`repro.engine.events`.  The simulator owns the clock and an event
 heap; it resumes each process at its scheduled time, interprets the next
 command, and re-schedules.  Determinism: ties at equal time resolve in
-scheduling order (a monotone sequence number), so a given workload always
-produces the identical trace.
+scheduling order (a monotone sequence number from the shared
+:class:`~repro.engine.sequence.MonotonicSequence`), so a given workload
+always produces the identical trace.
+
+Heap entries are :class:`~repro.engine.events.ScheduledEvent` records
+ordered by ``(time, seq)``; ``seq`` is unique, so ties never compare
+the process object.  This is the *reference* engine — kept deliberately
+literal (one generator per process, one scheduler entry per event) as
+the correctness oracle; the array-based fast path in
+:mod:`repro.solvers.des_array` replays the same command semantics
+without any of these per-event objects and must stay bit-identical to
+it (``tests/test_des_array.py`` enforces that).
 
 Example
 -------
@@ -27,7 +37,7 @@ from __future__ import annotations
 
 import heapq
 from collections import defaultdict
-from typing import Any, Generator, Hashable, Iterable
+from typing import Any, Generator, Hashable
 
 from repro.engine.events import (
     Acquire,
@@ -38,6 +48,7 @@ from repro.engine.events import (
     Wait,
 )
 from repro.engine.resources import Resource
+from repro.engine.sequence import MonotonicSequence
 from repro.errors import SimulationError
 
 __all__ = ["Simulator", "Process"]
@@ -51,7 +62,7 @@ class Simulator:
     def __init__(self, max_events: int = 50_000_000):
         self.now: float = 0.0
         self._heap: list[ScheduledEvent] = []
-        self._seq: int = 0
+        self._seq = MonotonicSequence()
         self._waiting: dict[Hashable, list[Process]] = defaultdict(list)
         self._alive: int = 0
         self._events_processed: int = 0
@@ -65,8 +76,9 @@ class Simulator:
         return process
 
     def _schedule(self, process: Process, time: float) -> None:
-        heapq.heappush(self._heap, ScheduledEvent(time, self._seq, process))
-        self._seq += 1
+        heapq.heappush(
+            self._heap, ScheduledEvent(time, self._seq.next(), process)
+        )
 
     # ------------------------------------------------------------------
     def run(self, until: float | None = None) -> int:
@@ -76,19 +88,41 @@ class Simulator:
         :class:`SimulationError` if processes remain alive but no event is
         schedulable (deadlock), or if the event budget is exhausted
         (livelock guard).
+
+        Both bounds are **timestamp-atomic**: the simulator never stops
+        in the middle of a batch of equal-time events.
+
+        * ``until`` — every event with ``time <= until`` is processed
+          (ties exactly at ``until`` drain in ``seq`` order); the first
+          event strictly past ``until`` stays pending for a later
+          :meth:`run` call.
+        * ``max_events`` (constructor budget) — once the budget is
+          reached, events already scheduled at the *current* timestamp
+          still drain in ``seq`` order, then the guard raises before the
+          clock advances.  If draining the tie batch empties the heap,
+          the run completes normally — the guard only trips on work that
+          would move time forward, which is what a livelock does.
+
+        When both bounds apply at once, ``until`` wins: reaching the
+        time horizon is a normal return, never a budget error.
         """
         start_count = self._events_processed
-        while self._heap:
-            if until is not None and self._heap[0].time > until:
+        heap = self._heap
+        while heap:
+            head_time = heap[0].time
+            if until is not None and head_time > until:
                 break
-            ev = heapq.heappop(self._heap)
-            self.now = ev.time
-            self._step(ev.process)
-            self._events_processed += 1
-            if self._events_processed > self._max_events:
+            if (
+                self._events_processed >= self._max_events
+                and head_time > self.now
+            ):
                 raise SimulationError(
                     f"event budget {self._max_events} exhausted (livelock?)"
                 )
+            ev = heapq.heappop(heap)
+            self.now = ev.time
+            self._step(ev.process)
+            self._events_processed += 1
         if until is None and self._alive > 0:
             stuck = {ch: len(ps) for ch, ps in self._waiting.items() if ps}
             raise SimulationError(

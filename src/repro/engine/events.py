@@ -63,7 +63,12 @@ class Signal:
 
 @dataclass(order=True)
 class ScheduledEvent:
-    """Internal scheduler entry: resume ``process`` at ``time``."""
+    """A reference-engine scheduler entry: resume ``process`` at ``time``.
+
+    Ordering is ``(time, seq)`` — ``process`` never participates in
+    comparisons.  The array engine does not allocate these; it keeps
+    flat calendar rows instead (see :mod:`repro.engine.calendar`).
+    """
 
     time: float
     seq: int

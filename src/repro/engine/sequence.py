@@ -1,0 +1,62 @@
+"""Shared monotonic event-sequence counter for the DES engines.
+
+Both simulator engines — the generator-based reference
+(:class:`repro.engine.des.Simulator`) and the array-based fast path
+(:mod:`repro.solvers.des_array`) — break heap ties at equal timestamps
+with a monotone sequence number assigned at *schedule* time.  Trace
+bit-equality across engines depends on the two assigning sequence
+numbers identically, so the counter lives here, in one place, instead of
+being re-implemented per engine.
+
+The counter is deliberately minimal: ``next()`` returns the current
+value and increments.  ``value`` exposes the next number to be issued
+(useful for assertions in tests and for the array engine's batch
+pre-assignment of the initial spawn block).
+"""
+
+from __future__ import annotations
+
+__all__ = ["MonotonicSequence"]
+
+
+class MonotonicSequence:
+    """Monotone tie-break counter shared by the DES engines.
+
+    >>> seq = MonotonicSequence()
+    >>> seq.next(), seq.next(), seq.next()
+    (0, 1, 2)
+    >>> seq.value
+    3
+    """
+
+    __slots__ = ("_next",)
+
+    def __init__(self, start: int = 0) -> None:
+        self._next = start
+
+    def next(self) -> int:
+        """Issue the next sequence number (monotone, never reused)."""
+        n = self._next
+        self._next = n + 1
+        return n
+
+    def advance(self, count: int) -> int:
+        """Reserve ``count`` consecutive numbers; return the first.
+
+        The array engine uses this to pre-assign the initial spawn
+        block's tie-breaks in one vectorised step while keeping the
+        numbering identical to ``count`` individual :meth:`next` calls.
+        """
+        if count < 0:
+            raise ValueError(f"cannot reserve {count} sequence numbers")
+        first = self._next
+        self._next = first + count
+        return first
+
+    @property
+    def value(self) -> int:
+        """The next number that :meth:`next` would return."""
+        return self._next
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MonotonicSequence(next={self._next})"

@@ -56,6 +56,17 @@ class Trace:
         if self.enabled:
             self.records.append(TraceRecord(time, kind, gpu, detail))
 
+    def bulk_count(self, kind: str, n: int) -> None:
+        """Fold ``n`` occurrences of ``kind`` into the counters at once.
+
+        The array engine batches its per-kind tallies locally while the
+        trace is disabled and merges them here at the end of a run, so
+        the final counter state matches a record-by-record
+        :meth:`emit` stream exactly.
+        """
+        if n:
+            self._counts[kind] += n
+
     def count(self, kind: str) -> int:
         """Total records of a category (cheap; works even when disabled)."""
         return self._counts.get(kind, 0)

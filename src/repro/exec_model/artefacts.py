@@ -15,6 +15,10 @@ real for the simulators too:
   tables;
 * :func:`get_artefacts` is the process-wide lookup, weakly keyed by the
   matrix object so bundles die with their matrices;
+* :func:`spill_artefacts` / :func:`load_artefacts` move a materialised
+  bundle through a pickle file, so a parent process pays the structure
+  analysis once and worker processes (the ``tools/sweep.py`` fan-out)
+  load it instead of re-deriving the DAG per process;
 * ``hits`` / ``build_counts`` expose how much re-derivation the cache
   absorbed, so benches can assert a sweep builds each structure exactly
   once.
@@ -22,8 +26,10 @@ real for the simulators too:
 
 from __future__ import annotations
 
+import pickle
 import weakref
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -39,7 +45,13 @@ from repro.machine.node import MachineConfig
 from repro.sparse.csc import CscMatrix
 from repro.tasks.schedule import Distribution
 
-__all__ = ["AnalysisArtefacts", "PlacementArtefacts", "get_artefacts"]
+__all__ = [
+    "AnalysisArtefacts",
+    "PlacementArtefacts",
+    "get_artefacts",
+    "spill_artefacts",
+    "load_artefacts",
+]
 
 #: Keyed sub-cache capacity (placements / cost tables per bundle).
 _SUBCACHE_CAP = 16
@@ -241,7 +253,54 @@ def get_artefacts(
         bundle.hits += 1
         return bundle
     bundle = AnalysisArtefacts(lower, dag=dag)
+    _register(lower, bundle)
+    return bundle
+
+
+def _register(lower: CscMatrix, bundle: AnalysisArtefacts) -> None:
+    key = id(lower)
     if len(_CACHE) >= _CACHE_CAP:
         _CACHE.pop(next(iter(_CACHE)))
     _CACHE[key] = (weakref.ref(lower, lambda _, k=key: _CACHE.pop(k, None)), bundle)
-    return bundle
+
+
+def spill_artefacts(lower: CscMatrix, path: str | Path) -> Path:
+    """Materialise and pickle one matrix's artefact bundle to ``path``.
+
+    The DAG, level sets, dispatch fronts, and edge arrays are forced
+    before the dump so the loading side inherits them fully built.  The
+    keyed sub-caches are deliberately *not* spilled: placements are
+    cheap to re-derive and cost tables are keyed by machine object
+    identity, which is meaningless in another process.
+    """
+    path = Path(path)
+    art = get_artefacts(lower)
+    payload = {
+        "lower": lower,
+        "dag": art.dag,
+        "levels": art.levels,
+        "fronts": art.fronts,
+        "edges": art.edges,
+    }
+    with path.open("wb") as fh:
+        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    return path
+
+
+def load_artefacts(path: str | Path) -> tuple[CscMatrix, AnalysisArtefacts]:
+    """Load a spilled bundle; returns ``(matrix, bundle)``.
+
+    The bundle is registered in the process-wide cache under the loaded
+    matrix object, so a subsequent :func:`get_artefacts` on that matrix
+    hits instead of re-deriving — the whole point of the spill.  The
+    caller must keep the returned matrix alive (bundles hold it weakly).
+    """
+    with Path(path).open("rb") as fh:
+        payload = pickle.load(fh)
+    lower = payload["lower"]
+    bundle = AnalysisArtefacts(lower, dag=payload["dag"])
+    bundle._levels = payload["levels"]
+    bundle._fronts = payload["fronts"]
+    bundle._edges = payload["edges"]
+    _register(lower, bundle)
+    return lower, bundle

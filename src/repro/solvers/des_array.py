@@ -1,0 +1,550 @@
+"""Array-based DES fast path: the event-granular playout without generators.
+
+This module re-implements :func:`repro.solvers.des_solver.des_execute`'s
+simulation — the same components, notifiers, warp slots, link channels,
+and unified-memory page table — as a flat state machine instead of one
+Python generator per process:
+
+* **exact-time event calendar** — pending events live in FIFO buckets
+  keyed by timestamp (the inline form of
+  :class:`repro.engine.calendar.CalendarQueue`'s ``"fifo"`` mode): a
+  dict maps each distinct time to a list of integer tokens and a small
+  heap orders the distinct times.  The initial dispatch front (one
+  spawn per component, launch times known upfront) is bucketed with one
+  vectorised stable argsort, and every zero-delay event — waiter
+  hand-overs, readiness wakes, notifier spawns — is a plain
+  ``list.append`` into the bucket being drained;
+* **warp-batch state machines** — events are integer tokens, classed by
+  range so the hottest kinds decode cheapest: ``-1 - e`` is edge ``e``'s
+  *update* delivery, ``(i << 3) | state`` a component step,
+  ``n*8 + e`` a local edge's start hop, and ``n*8 + nnz + (e << 2 |
+  state)`` a cross-GPU transfer step.  All per-warp and per-edge costs
+  (gather, solve, update increments, notify latencies, link rows, wire
+  times) are precomputed in vectorised NumPy passes and indexed straight
+  off the token, so one engine tick is an integer compare plus a handful
+  of float adds;
+* **pooled resources** — every warp-slot pool and link channel is a row
+  in one :class:`~repro.engine.resources.ResourceBank`; the hot loop
+  hoists the bank's parallel lists into locals and runs the
+  grant/hand-over protocol inline.
+
+Bit-equality contract
+---------------------
+The array engine must be *indistinguishable* from the reference engine:
+identical trace streams (``dispatch``/``solve``/``release``/``fault``/
+``xfer_begin``/``xfer_end`` records, bit-equal times, same order),
+identical solution vectors, identical total time, page-fault and event
+counts.  Two invariants carry the proof:
+
+1. *FIFO-bucket order is ``(time, seq)`` order.*  The reference engine
+   breaks timestamp ties with a monotone sequence number assigned at
+   schedule time, and every schedule lands at ``time >= now``.  A token
+   appended to a bucket therefore always carries a larger sequence
+   number than every token already in it — insertion order within an
+   exact timestamp reproduces the reference heap's pop order without
+   materialising sequence numbers.
+2. *Identical IEEE-754 operation chains.*  Every event time and value
+   is produced by the same sequence of binary64 operations the
+   reference generators execute (NumPy float64 and Python floats share
+   binary64 semantics), so times collide exactly where the reference
+   ties and differ exactly where it doesn't.
+
+``tests/test_des_array.py`` enforces the contract over every workload
+generator; the causality checker replays the traces against machine
+physics.
+"""
+
+from __future__ import annotations
+
+import gc
+from heapq import heappop, heappush
+
+import numpy as np
+
+from repro.analysis.dag import DependencyDag
+from repro.engine.resources import ResourceBank
+from repro.engine.trace import Trace
+from repro.errors import SimulationError, SolverError
+from repro.exec_model.costmodel import CommCosts, Design
+from repro.machine.node import MachineConfig
+from repro.machine.unified import UnifiedMemory
+from repro.sparse.csc import CscMatrix
+from repro.tasks.schedule import Distribution
+
+__all__ = ["execute_array", "ARRAY_MIN_COMPONENTS"]
+
+#: Below this size ``engine="auto"`` keeps the reference engine: the
+#: vectorised precompute passes cost more than the generator overhead
+#: they remove.
+ARRAY_MIN_COMPONENTS = 64
+
+# Component resume states (token = (component << 3) | state).
+_S_ACQUIRE = 0  # initial: claim a warp slot
+_S_DISPATCH = 1  # slot granted: emit dispatch, pay warp-dispatch cost
+_S_GATHER = 2  # dependencies satisfied: pay the gather cost
+_S_SOLVE = 3  # gather done: pay the solve cost
+_S_POST = 4  # value ready: update dependants
+_S_RELEASE = 5  # updates issued: retire the slot
+
+# Cross-GPU transfer states (token = n*8 + nnz + ((edge << 2) | state)).
+_R_START = 0  # claim a link channel
+_R_XFER = 1  # channel granted: message on the wire
+_R_XFEREND = 2  # wire time paid: retire the channel, deliver
+
+
+def execute_array(
+    lower: CscMatrix,
+    b: np.ndarray,
+    dist: Distribution,
+    machine: MachineConfig,
+    design: Design,
+    *,
+    dag: DependencyDag,
+    costs: CommCosts,
+    trace_enabled: bool = True,
+    max_events: int = 50_000_000,
+) -> tuple[np.ndarray, float, Trace, int, int]:
+    """Play out one event-granular SpTRSV on the array engine.
+
+    Returns ``(x, total_time, trace, page_faults, events)`` — the exact
+    fields of :class:`~repro.solvers.des_solver.DesExecution`, produced
+    bit-identically to the reference engine.
+    """
+    from repro.solvers.des_solver import MESSAGES_IN_FLIGHT_PER_LINK
+
+    n = lower.shape[0]
+    n_gpus = machine.n_gpus
+    gpu_spec = machine.gpu
+    unified = design is Design.UNIFIED
+    topo = machine.topology
+    phys = machine.active_gpus
+
+    # ----------------------------------------------------------------
+    # Vectorised precompute: per-warp and per-edge cost tables.
+    # ----------------------------------------------------------------
+    indptr = lower.indptr
+    gpu_of = dist.gpu_of
+    in_counts = np.diff(dag.in_ptr)
+    col_nnz = np.diff(indptr)
+    nnz = int(indptr[-1])
+
+    # The reference engine discovers a missing diagonal when the solve
+    # front reaches the column; with the whole structure in hand the
+    # array engine can reject it upfront.
+    if np.any(col_nnz == 0):
+        bad = int(np.nonzero(col_nnz == 0)[0][0])
+        raise SolverError(f"missing diagonal at column {bad}")
+    diag_bad = lower.indices[indptr[:-1]] != np.arange(n)
+    if np.any(diag_bad):
+        raise SolverError(
+            f"missing diagonal at column {int(np.nonzero(diag_bad)[0][0])}"
+        )
+
+    indptr_l = indptr.tolist()
+    idx_l = lower.indices.tolist()
+    data_l = lower.data.tolist()
+    g_l = gpu_of.tolist()
+    b_l = np.asarray(b, dtype=np.float64).tolist()
+    remaining = dag.in_degree.tolist()
+    in_counts_l = in_counts.tolist()
+    gather_l = np.where(in_counts > 0, costs.gather, 0.0).tolist()
+    solve_l = (
+        gpu_spec.t_per_nnz * (np.maximum(col_nnz, 1) + in_counts)
+    ).tolist()
+
+    # Per-entry edge tables, aligned with ``indices``/``data`` (the
+    # diagonal slots carry unused values; the update loop starts past
+    # them).
+    col_of = np.repeat(np.arange(n, dtype=np.int64), col_nnz)
+    src_g_e = gpu_of[col_of]
+    dst_g_e = gpu_of[lower.indices]
+    local_e = src_g_e == dst_g_e
+    srcg_l = src_g_e.tolist()
+    dstg_l = dst_g_e.tolist()
+    if not unified:
+        inc_l = np.where(
+            local_e, costs.update_local, costs.update_remote[src_g_e, dst_g_e]
+        ).tolist()
+        dl_l = np.where(local_e, 0.0, costs.notify[src_g_e, dst_g_e]).tolist()
+    else:
+        inc_l = dl_l = None
+    notify_l = costs.notify.tolist()
+    update_local = costs.update_local
+
+    # One notifier per matrix entry, its runtime fields (contribution
+    # value, post-transfer delay) written at solve time.  The spawn
+    # token already encodes the edge's class — local hop or cross-GPU
+    # transfer — so a component's whole update fan-out is ingested with
+    # a single slice-extend.
+    n8 = n << 3
+    m8 = n8 + nnz
+    eids = np.arange(nnz, dtype=np.int64)
+    spawn_code_l = np.where(local_e, n8 + eids, m8 + (eids << 2)).tolist()
+    e_contrib = [0.0] * nnz
+    e_delay = [0.0] * nnz
+
+    # Pooled resources: warp-slot rows first (rid == PE rank), then one
+    # link row per directed PE pair that carries at least one edge.
+    bank = ResourceBank()
+    for g in range(n_gpus):
+        bank.add(f"gpu{g}.warps", gpu_spec.warp_slots)
+    pair_rid = np.full(n_gpus * n_gpus, -1, dtype=np.int64)
+    pair_wire = np.zeros(n_gpus * n_gpus)
+    cross_pairs = np.unique(src_g_e[~local_e] * n_gpus + dst_g_e[~local_e])
+    for p in cross_pairs.tolist():
+        src_pe, dst_pe = p // n_gpus, p % n_gpus
+        ga, gb = int(phys[src_pe]), int(phys[dst_pe])
+        capacity = max(int(topo.link_count[ga, gb]), 1) * (
+            MESSAGES_IN_FLIGHT_PER_LINK
+        )
+        pair_rid[p] = bank.add(f"link{src_pe}->{dst_pe}", capacity)
+        pair_wire[p] = 8.0 / topo.peer_bandwidth(ga, gb)
+    elink_l = np.where(
+        local_e, -1, pair_rid[src_g_e * n_gpus + dst_g_e]
+    ).tolist()
+    ewire_l = np.where(
+        local_e, 0.0, pair_wire[src_g_e * n_gpus + dst_g_e]
+    ).tolist()
+
+    um: UnifiedMemory | None = None
+    s_left = s_indeg = None
+    um_access = None
+    phys_l = None
+    if unified:
+        um = UnifiedMemory(machine.um, machine.topology)
+        s_left = um.malloc_managed("s.left_sum", n)
+        s_indeg = um.malloc_managed("s.in_degree", n, dtype=np.int64)
+        um_access = um.access
+        phys_l = [int(p) for p in phys]
+
+    # ----------------------------------------------------------------
+    # Inline FIFO calendar: ingest the initial dispatch front.
+    # ----------------------------------------------------------------
+    task_of = dist.task_of()
+    launch = (
+        np.arange(dist.n_tasks, dtype=np.float64) * gpu_spec.t_kernel_launch
+    )
+    spawn_times = launch[task_of]
+    order = np.argsort(spawn_times, kind="stable")
+    codes_sorted = (order.astype(np.int64) << 3).tolist()  # state _S_ACQUIRE
+    uniq, starts = np.unique(spawn_times[order], return_index=True)
+    theap = uniq.tolist()  # ascending ⇒ already a valid heap
+    bounds = starts.tolist()
+    bounds.append(n)
+    buckets = {
+        t: codes_sorted[bounds[j] : bounds[j + 1]]
+        for j, t in enumerate(theap)
+    }
+
+    # ----------------------------------------------------------------
+    # Flat process state.
+    # ----------------------------------------------------------------
+    parked_ready = [False] * n
+    x_l = [0.0] * n
+    left_sum = [0.0] * n
+
+    trace = Trace(enabled=trace_enabled)
+    emit = trace.emit if trace_enabled else None
+    c_dispatch = c_solve = c_release = c_fault = c_xb = c_xe = 0
+
+    nevents = 0
+    now = 0.0
+    t_disp = gpu_spec.t_warp_dispatch
+
+    # Hot-loop locals: the resource bank's parallel lists are hoisted so
+    # grant/hand-over run as plain list ops (stats included, matching
+    # ResourceBank.try_acquire/release).
+    r_cap = bank.capacity
+    r_used = bank.in_use
+    r_tot = bank.total_acquisitions
+    r_peak = bank.peak_in_use
+    r_q = bank._queues
+    bget = buckets.get
+
+    # The playout only appends into long-lived lists; cyclic-GC passes
+    # over the calendar buckets are pure overhead, so the collector is
+    # paused for the drain (restored even when the run raises).
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        while theap:
+            t = heappop(theap)
+            if nevents >= max_events and t > now:
+                raise SimulationError(
+                    f"event budget {max_events} exhausted (livelock?)"
+                )
+            now = t
+            cur = buckets.pop(t)
+            # Appends during iteration are visited: a list iterator
+            # re-checks the length every step, so same-time events
+            # pushed while draining still run within this bucket.
+            for code in cur:
+                if code < 0:
+                    # -------------------- update delivery (hottest)
+                    e = -1 - code
+                    dst = idx_l[e]
+                    left_sum[dst] += e_contrib[e]
+                    rem = remaining[dst] - 1
+                    remaining[dst] = rem
+                    if rem == 0 and parked_ready[dst]:
+                        parked_ready[dst] = False
+                        cur.append((dst << 3) | 2)  # resume at GATHER
+                    continue
+                if code >= n8:
+                    if code < m8:
+                        # ---------------- local edge: one delay hop
+                        e = code - n8
+                        t2 = now + e_delay[e]
+                        ncode = -1 - e
+                        if t2 > now:
+                            b2 = bget(t2)
+                            if b2 is None:
+                                buckets[t2] = [ncode]
+                                heappush(theap, t2)
+                            else:
+                                b2.append(ncode)
+                        else:
+                            cur.append(ncode)
+                        continue
+                    # -------------------- cross-GPU transfer steps
+                    c = code - m8
+                    st = c & 3
+                    e = c >> 2
+                    if st == _R_XFEREND:
+                        if emit is not None:
+                            emit(
+                                now,
+                                "xfer_end",
+                                gpu=srcg_l[e],
+                                detail=(srcg_l[e], dstg_l[e], idx_l[e]),
+                            )
+                        else:
+                            c_xe += 1
+                        link = elink_l[e]
+                        q = r_q[link]
+                        if q:
+                            r_tot[link] += 1
+                            cur.append(q.popleft())
+                        else:
+                            r_used[link] -= 1
+                        t2 = now + e_delay[e]
+                        ncode = -1 - e
+                        if t2 > now:
+                            b2 = bget(t2)
+                            if b2 is None:
+                                buckets[t2] = [ncode]
+                                heappush(theap, t2)
+                            else:
+                                b2.append(ncode)
+                        else:
+                            cur.append(ncode)
+                        continue
+                    if st == _R_START:
+                        link = elink_l[e]
+                        q = r_q[link]
+                        if q or r_used[link] >= r_cap[link]:
+                            q.append(code + 1)  # park; resume at XFER
+                            continue
+                        u = r_used[link] + 1
+                        r_used[link] = u
+                        r_tot[link] += 1
+                        if u > r_peak[link]:
+                            r_peak[link] = u
+                    # _R_XFER (granted inline above, or woken parked)
+                    if emit is not None:
+                        emit(
+                            now,
+                            "xfer_begin",
+                            gpu=srcg_l[e],
+                            detail=(srcg_l[e], dstg_l[e], idx_l[e]),
+                        )
+                    else:
+                        c_xb += 1
+                    t2 = now + ewire_l[e]
+                    ncode = code - st + _R_XFEREND
+                    if t2 > now:
+                        b2 = bget(t2)
+                        if b2 is None:
+                            buckets[t2] = [ncode]
+                            heappush(theap, t2)
+                        else:
+                            b2.append(ncode)
+                    else:
+                        cur.append(ncode)
+                    continue
+
+                # ---------------------------------------- component
+                i = code >> 3
+                st = code & 7
+                if st == _S_GATHER:
+                    if remaining[i] > 0:
+                        # Unsatisfied dependencies at the post-dispatch
+                        # check: park on the readiness flag; the closing
+                        # update delivery re-schedules this same state.
+                        parked_ready[i] = True
+                        continue
+                    gather = gather_l[i]
+                    if unified and in_counts_l[i]:
+                        cost, _ = um_access(
+                            phys_l[g_l[i]], s_indeg, i, sharers=n_gpus
+                        )
+                        gather += cost
+                    if gather > 0.0:
+                        t2 = now + gather
+                        ncode = (code & -8) | _S_SOLVE
+                        if t2 > now:
+                            b2 = bget(t2)
+                            if b2 is None:
+                                buckets[t2] = [ncode]
+                                heappush(theap, t2)
+                            else:
+                                b2.append(ncode)
+                        else:
+                            cur.append(ncode)
+                        continue
+                    st = _S_SOLVE  # zero gather: solve in this event
+                if st == _S_SOLVE:
+                    t2 = now + solve_l[i]
+                    ncode = (code & -8) | _S_POST
+                    if t2 > now:
+                        b2 = bget(t2)
+                        if b2 is None:
+                            buckets[t2] = [ncode]
+                            heappush(theap, t2)
+                        else:
+                            b2.append(ncode)
+                    else:
+                        cur.append(ncode)
+                    continue
+                if st == _S_POST:
+                    lo = indptr_l[i]
+                    hi = indptr_l[i + 1]
+                    xi = (b_l[i] - left_sum[i]) / data_l[lo]
+                    x_l[i] = xi
+                    g = g_l[i]
+                    if emit is not None:
+                        emit(now, "solve", gpu=g, detail=i)
+                    else:
+                        c_solve += 1
+                    uc = 0.0
+                    if not unified:
+                        for e in range(lo + 1, hi):
+                            uc += inc_l[e]
+                            e_contrib[e] = data_l[e] * xi
+                            e_delay[e] = uc + dl_l[e]
+                    else:
+                        for e in range(lo + 1, hi):
+                            dg = dstg_l[e]
+                            if dg == g:
+                                uc += update_local
+                                e_delay[e] = uc
+                            else:
+                                cost, faulted = um_access(
+                                    phys_l[g], s_left, idx_l[e],
+                                    sharers=n_gpus,
+                                )
+                                uc += cost
+                                if faulted:
+                                    if emit is not None:
+                                        emit(
+                                            now, "fault",
+                                            gpu=g, detail=idx_l[e],
+                                        )
+                                    else:
+                                        c_fault += 1
+                                e_delay[e] = uc + notify_l[g][dg]
+                            e_contrib[e] = data_l[e] * xi
+                    if hi > lo + 1:
+                        # Spawn the whole fan-out at once: the start
+                        # hops all land at ``now`` in edge order (the
+                        # reference spawns them in the same order
+                        # within this same event).
+                        cur.extend(spawn_code_l[lo + 1 : hi])
+                    if uc > 0.0:
+                        t2 = now + uc
+                        ncode = (code & -8) | _S_RELEASE
+                        if t2 > now:
+                            b2 = bget(t2)
+                            if b2 is None:
+                                buckets[t2] = [ncode]
+                                heappush(theap, t2)
+                            else:
+                                b2.append(ncode)
+                        else:
+                            cur.append(ncode)
+                        continue
+                    st = _S_RELEASE  # zero update cost: retire now
+                if st == _S_RELEASE:
+                    g = g_l[i]
+                    if emit is not None:
+                        emit(now, "release", gpu=g, detail=i)
+                    else:
+                        c_release += 1
+                    q = r_q[g]
+                    if q:
+                        r_tot[g] += 1
+                        cur.append(q.popleft())
+                    else:
+                        r_used[g] -= 1
+                    continue
+                # _S_ACQUIRE / _S_DISPATCH
+                g = g_l[i]
+                if st == _S_ACQUIRE:
+                    q = r_q[g]
+                    if q or r_used[g] >= r_cap[g]:
+                        q.append(code | _S_DISPATCH)  # park; grant later
+                        continue
+                    u = r_used[g] + 1
+                    r_used[g] = u
+                    r_tot[g] += 1
+                    if u > r_peak[g]:
+                        r_peak[g] = u
+                if emit is not None:
+                    emit(now, "dispatch", gpu=g, detail=i)
+                else:
+                    c_dispatch += 1
+                t2 = now + t_disp
+                ncode = (code & -8) | _S_GATHER
+                if t2 > now:
+                    b2 = bget(t2)
+                    if b2 is None:
+                        buckets[t2] = [ncode]
+                        heappush(theap, t2)
+                    else:
+                        b2.append(ncode)
+                else:
+                    cur.append(ncode)
+            nevents += len(cur)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    if any(remaining):
+        stuck: dict = {
+            ("ready", i): 1 for i in range(n) if parked_ready[i]
+        }
+        for rid, q in enumerate(r_q):
+            if q:
+                stuck[bank.names[rid]] = len(q)
+        if stuck:
+            raise SimulationError(
+                f"deadlock: {sum(stuck.values())} waiters with empty "
+                f"event calendar; waiters per channel: {stuck}"
+            )
+        raise SolverError("DES run finished with unsatisfied dependencies")
+    if emit is None:
+        trace.bulk_count("dispatch", c_dispatch)
+        trace.bulk_count("solve", c_solve)
+        trace.bulk_count("release", c_release)
+        trace.bulk_count("fault", c_fault)
+        trace.bulk_count("xfer_begin", c_xb)
+        trace.bulk_count("xfer_end", c_xe)
+
+    x = np.asarray(x_l, dtype=np.float64)
+    return (
+        x,
+        now,
+        trace,
+        um.fault_count if um is not None else 0,
+        nevents,
+    )

@@ -34,11 +34,33 @@ from repro.solvers.base import SolveResult, TriangularSolver, validate_system
 from repro.sparse.csc import CscMatrix
 from repro.tasks.schedule import Distribution, block_distribution
 
-__all__ = ["DesExecution", "des_execute", "DesSolver"]
+__all__ = ["DesExecution", "des_execute", "resolve_engine", "DesSolver"]
 
 #: Fine-grained 8-byte messages a single physical link keeps in flight;
 #: beyond this, notifications queue on the link channel (DES resource).
 MESSAGES_IN_FLIGHT_PER_LINK = 16
+
+
+def resolve_engine(engine: str, n: int) -> str:
+    """Resolve an ``engine=`` argument to ``"array"`` or ``"reference"``.
+
+    ``"auto"`` picks the array engine once the system is large enough
+    (``n >= ARRAY_MIN_COMPONENTS``) for its vectorised precompute to pay
+    for itself; tiny systems stay on the reference engine, whose
+    per-event overhead is negligible at that scale.  Both engines
+    produce bit-identical traces and results, so the choice is purely a
+    throughput decision.
+    """
+    if engine == "auto":
+        from repro.solvers.des_array import ARRAY_MIN_COMPONENTS
+
+        return "array" if n >= ARRAY_MIN_COMPONENTS else "reference"
+    if engine in ("array", "reference"):
+        return engine
+    raise SolverError(
+        f"unknown DES engine {engine!r}; expected 'auto', 'array' or "
+        "'reference'"
+    )
 
 
 @dataclass(frozen=True)
@@ -65,6 +87,7 @@ def des_execute(
     dag: DependencyDag | None = None,
     costs: CommCosts | None = None,
     trace_enabled: bool = True,
+    engine: str = "auto",
 ) -> DesExecution:
     """Play out a multi-GPU SpTRSV at event granularity.
 
@@ -76,6 +99,13 @@ def des_execute(
     For ``Design.UNIFIED`` every remote update is charged through an
     exact :class:`UnifiedMemory` page table, so ``page_faults`` counts
     real simulated ownership changes rather than a model estimate.
+
+    ``engine`` selects the playout implementation: ``"reference"`` (one
+    generator per process), ``"array"`` (the flat state machine in
+    :mod:`repro.solvers.des_array`), or ``"auto"`` (array from
+    ``ARRAY_MIN_COMPONENTS`` components up — see
+    :func:`resolve_engine`).  The two engines are bit-identical in every
+    observable (trace, solution, times, fault/event counts).
     """
     design = Design(design)
     n = lower.shape[0]
@@ -86,6 +116,26 @@ def des_execute(
         dag = art.dag
     if costs is None:
         costs = art.comm_costs(machine, design)
+    if resolve_engine(engine, n) == "array":
+        from repro.solvers.des_array import execute_array
+
+        x, total_time, trace, page_faults, events = execute_array(
+            lower,
+            b,
+            dist,
+            machine,
+            design,
+            dag=dag,
+            costs=costs,
+            trace_enabled=trace_enabled,
+        )
+        return DesExecution(
+            x=x,
+            total_time=total_time,
+            trace=trace,
+            page_faults=page_faults,
+            events=events,
+        )
     n_gpus = machine.n_gpus
     gpu_spec = machine.gpu
 
@@ -226,10 +276,12 @@ class DesSolver(TriangularSolver):
         machine: MachineConfig | None = None,
         design: Design | str = Design.SHMEM_READONLY,
         max_components: int = 20_000,
+        engine: str = "auto",
     ):
         self.machine = machine if machine is not None else dgx1(4)
         self.design = Design(design)
         self.max_components = max_components
+        self.engine = engine
 
     def solve(self, lower: CscMatrix, b: np.ndarray) -> SolveResult:
         b = validate_system(lower, b)
@@ -246,7 +298,14 @@ class DesSolver(TriangularSolver):
         art = get_artefacts(lower)
         costs = art.comm_costs(self.machine, self.design)
         ex = des_execute(
-            lower, b, dist, self.machine, self.design, dag=art.dag, costs=costs
+            lower,
+            b,
+            dist,
+            self.machine,
+            self.design,
+            dag=art.dag,
+            costs=costs,
+            engine=self.engine,
         )
         # Re-price through the fast model for a comparable report, but keep
         # the DES-exact wall clock by exposing it through the trace.

@@ -248,10 +248,24 @@ def default_registry() -> ConformanceRegistry:
     add(
         ConformanceCase(
             "des-2gpu",
-            lambda: DesSolver(machine=dgx1(2)),
+            # Pin the literal generator engine: this case is the oracle
+            # the array engine is measured against, so it must never
+            # silently switch implementation under the auto threshold.
+            lambda: DesSolver(machine=dgx1(2), engine="reference"),
             DesSolver,
             # The DES tier replays every event in Python; cap workload
             # size and skip the solve-heavy multi-RHS relation.
+            max_n=300,
+            relations=("differential", "permutation", "row_scaling"),
+        )
+    )
+    add(
+        ConformanceCase(
+            "des-2gpu-array",
+            # Force the array engine even below its auto threshold so
+            # the flat state machines face the same oracle battery.
+            lambda: DesSolver(machine=dgx1(2), engine="array"),
+            DesSolver,
             max_n=300,
             relations=("differential", "permutation", "row_scaling"),
         )

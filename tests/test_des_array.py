@@ -1,0 +1,169 @@
+"""Array DES engine: golden bit-equality, causality replay, selection.
+
+The array engine's contract is *bit*-equality with the reference
+engine, not tolerance-equality: every trace record (kind, time, gpu,
+detail), the solution bits, the simulated wall clock, and the
+fault/event counters must match exactly on every workload and design.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.dag import build_dag
+from repro.errors import SimulationError, SolverError
+from repro.exec_model.costmodel import Design
+from repro.machine.node import dgx1
+from repro.solvers.des_array import ARRAY_MIN_COMPONENTS
+from repro.solvers.des_solver import DesSolver, des_execute, resolve_engine
+from repro.sparse.csc import CscMatrix
+from repro.tasks.schedule import block_distribution
+from repro.verify.causality import check_des_trace
+from repro.verify.oracles import default_generators
+from repro.verify.registry import default_registry
+
+GENERATORS = default_generators()
+
+
+def _run_both(lower, design, n_gpus=2, seed=7):
+    n = lower.shape[0]
+    machine = dgx1(n_gpus, require_p2p=design is not Design.UNIFIED)
+    dist = block_distribution(n, n_gpus)
+    b = np.random.default_rng(seed).standard_normal(n)
+    ref = des_execute(
+        lower, b, dist, machine, design, engine="reference"
+    )
+    arr = des_execute(lower, b, dist, machine, design, engine="array")
+    return ref, arr, dist, machine
+
+
+def _assert_bit_identical(ref, arr):
+    assert ref.events == arr.events
+    assert ref.page_faults == arr.page_faults
+    assert ref.total_time == arr.total_time  # exact, not approx
+    assert ref.x.tobytes() == arr.x.tobytes()
+    assert len(ref.trace.records) == len(arr.trace.records)
+    for k, (r, a) in enumerate(zip(ref.trace.records, arr.trace.records)):
+        assert r == a, f"trace diverges at record {k}: {r} != {a}"
+
+
+class TestGoldenBitEquality:
+    @pytest.mark.parametrize("design", list(Design), ids=lambda d: d.value)
+    @pytest.mark.parametrize(
+        "gname,gen", GENERATORS, ids=[g[0] for g in GENERATORS]
+    )
+    def test_every_generator_every_design(self, gname, gen, design):
+        ref, arr, _, _ = _run_both(gen(3), design)
+        _assert_bit_identical(ref, arr)
+
+    def test_four_gpu_placement(self):
+        _, gen = GENERATORS[4]  # level-major: widest fronts
+        ref, arr, _, _ = _run_both(
+            gen(5), Design.SHMEM_READONLY, n_gpus=4
+        )
+        _assert_bit_identical(ref, arr)
+
+    def test_link_contention(self, monkeypatch):
+        """Equality must survive saturated link channels (queued xfers)."""
+        import repro.solvers.des_solver as mod
+
+        monkeypatch.setattr(mod, "MESSAGES_IN_FLIGHT_PER_LINK", 1)
+        _, gen = GENERATORS[5]  # scattered: cross-GPU heavy
+        ref, arr, _, _ = _run_both(gen(2), Design.SHMEM_READONLY)
+        _assert_bit_identical(ref, arr)
+        assert ref.trace.count("xfer_begin") > 0
+
+    def test_trace_disabled_keeps_counters_identical(self):
+        _, gen = GENERATORS[3]
+        lower = gen(1)
+        n = lower.shape[0]
+        machine = dgx1(2)
+        dist = block_distribution(n, 2)
+        b = np.random.default_rng(0).standard_normal(n)
+        ref = des_execute(
+            lower, b, dist, machine, engine="reference", trace_enabled=False
+        )
+        arr = des_execute(
+            lower, b, dist, machine, engine="array", trace_enabled=False
+        )
+        assert len(ref.trace.records) == len(arr.trace.records) == 0
+        assert ref.trace.count("solve") == arr.trace.count("solve") == n
+        assert ref.total_time == arr.total_time
+        assert ref.x.tobytes() == arr.x.tobytes()
+
+
+class TestCausalityReplay:
+    @pytest.mark.parametrize("design", list(Design), ids=lambda d: d.value)
+    def test_array_traces_respect_machine_physics(self, design):
+        """Replay array-engine traces through the causality checker."""
+        for gname, gen in GENERATORS:
+            lower = gen(11)
+            n = lower.shape[0]
+            machine = dgx1(2, require_p2p=design is not Design.UNIFIED)
+            dist = block_distribution(n, 2)
+            b = np.random.default_rng(1).standard_normal(n)
+            arr = des_execute(
+                lower, b, dist, machine, design, engine="array"
+            )
+            report = check_des_trace(
+                arr.trace, build_dag(lower), dist, machine, design
+            )
+            assert report.ok, f"{gname}/{design.value}: {report.violations}"
+
+
+class TestEngineSelection:
+    def test_resolve_engine_auto_threshold(self):
+        assert resolve_engine("auto", ARRAY_MIN_COMPONENTS - 1) == "reference"
+        assert resolve_engine("auto", ARRAY_MIN_COMPONENTS) == "array"
+        assert resolve_engine("reference", 10**6) == "reference"
+        assert resolve_engine("array", 1) == "array"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SolverError, match="unknown DES engine"):
+            resolve_engine("vectorised", 100)
+
+    def test_array_forced_below_threshold_still_identical(self):
+        _, gen = GENERATORS[0]
+        lower = gen(9)
+        assert lower.shape[0] >= ARRAY_MIN_COMPONENTS  # sanity on suite size
+        ref, arr, _, _ = _run_both(lower, Design.SHMEM_NAIVE)
+        _assert_bit_identical(ref, arr)
+
+    def test_solver_front_end_plumbs_engine(self):
+        _, gen = GENERATORS[1]
+        lower = gen(4)
+        b = np.random.default_rng(2).standard_normal(lower.shape[0])
+        x_ref = DesSolver(machine=dgx1(2), engine="reference").solve(lower, b).x
+        x_arr = DesSolver(machine=dgx1(2), engine="array").solve(lower, b).x
+        assert x_ref.tobytes() == x_arr.tobytes()
+
+    def test_both_engines_registered_for_conformance(self):
+        names = {case.name for case in default_registry()}
+        assert {"des-2gpu", "des-2gpu-array"} <= names
+
+
+class TestFailureModes:
+    def test_missing_diagonal_rejected(self):
+        # 2x2 lower-triangular with no entry at (1, 1).
+        bad = CscMatrix(
+            indptr=np.array([0, 2, 2]),
+            indices=np.array([0, 1]),
+            data=np.array([1.0, 0.5]),
+            shape=(2, 2),
+        )
+        dist = block_distribution(2, 1)
+        with pytest.raises(SolverError, match="missing diagonal"):
+            des_execute(
+                bad, np.ones(2), dist, dgx1(1), engine="array"
+            )
+
+    def test_unsatisfiable_dependency_deadlocks(self):
+        _, gen = GENERATORS[0]
+        lower = gen(6)
+        dag = build_dag(lower)
+        dag.in_degree[lower.shape[0] - 1] += 1  # phantom predecessor
+        dist = block_distribution(lower.shape[0], 2)
+        b = np.ones(lower.shape[0])
+        with pytest.raises(SimulationError, match="deadlock"):
+            des_execute(
+                lower, b, dist, dgx1(2), dag=dag, engine="array"
+            )

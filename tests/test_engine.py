@@ -1,10 +1,13 @@
 """Discrete-event simulation core tests."""
 
+import numpy as np
 import pytest
 
+from repro.engine.calendar import CalendarQueue
 from repro.engine.des import Simulator
 from repro.engine.events import Acquire, Release, Signal, Timeout, Wait
-from repro.engine.resources import Resource
+from repro.engine.resources import Resource, ResourceBank
+from repro.engine.sequence import MonotonicSequence
 from repro.engine.trace import Trace
 from repro.errors import SimulationError
 
@@ -215,6 +218,222 @@ class TestWaitSignal:
         sim.spawn(spinner())
         with pytest.raises(SimulationError, match="budget"):
             sim.run()
+
+
+class TestRunBounds:
+    """``run(until=...)`` / ``max_events`` are timestamp-atomic."""
+
+    def test_until_drains_exact_time_ties(self):
+        sim = Simulator()
+        log = []
+
+        def proc(name, delay):
+            yield Timeout(delay)
+            log.append(name)
+
+        for name in "abc":
+            sim.spawn(proc(name, 5.0))
+        sim.spawn(proc("late", 5.0 + 1e-9))
+        sim.run(until=5.0)
+        assert log == ["a", "b", "c"]  # whole tie batch, nothing past it
+        sim.run()
+        assert log == ["a", "b", "c", "late"]
+
+    def test_budget_drains_current_timestamp_before_raising(self):
+        sim = Simulator(max_events=2)
+        log = []
+
+        def proc(name):
+            log.append((sim.now, name))
+            yield Timeout(1.0)  # pending work at t=2.0 trips the guard
+
+        for name in "abc":
+            sim.spawn(proc(name), delay=1.0)
+        with pytest.raises(SimulationError, match="budget"):
+            sim.run()
+        # All three t=1.0 ties ran despite the budget of 2; the guard
+        # only fired on work that would have advanced the clock.
+        assert log == [(1.0, "a"), (1.0, "b"), (1.0, "c")]
+        assert sim.now == 1.0
+
+    def test_budget_reached_but_heap_drained_completes(self):
+        sim = Simulator(max_events=3)
+        log = []
+
+        def proc(name):
+            log.append(name)
+            yield Timeout(0.0)  # one more event, still at t=1.0
+
+        for name in "abcde":
+            sim.spawn(proc(name), delay=1.0)
+        # Ten events, all at t=1.0: the tie batch empties the heap, so
+        # the run completes normally even though 10 > 3.
+        assert sim.run() == 10
+        assert log == list("abcde")
+
+    def test_until_wins_over_budget(self):
+        sim = Simulator(max_events=2)
+        log = []
+
+        def proc(name):
+            log.append(name)
+            yield Timeout(0.0)
+
+        sim.spawn(proc("a"), delay=1.0)
+        sim.spawn(proc("b"), delay=3.0)
+        # The budget is fully consumed by the t=1.0 batch, but the time
+        # horizon is hit first: normal return, no budget error.
+        assert sim.run(until=2.0) == 2
+        assert log == ["a"]
+        # Without the horizon, the same pending work trips the guard.
+        with pytest.raises(SimulationError, match="budget"):
+            sim.run()
+
+
+class TestMonotonicSequence:
+    def test_next_is_monotone(self):
+        seq = MonotonicSequence()
+        assert [seq.next() for _ in range(4)] == [0, 1, 2, 3]
+        assert seq.value == 4
+
+    def test_advance_reserves_block(self):
+        seq = MonotonicSequence(start=5)
+        assert seq.advance(3) == 5
+        assert seq.next() == 8
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MonotonicSequence().advance(-1)
+
+
+class TestCalendarQueue:
+    def test_fifo_tie_order(self):
+        q = CalendarQueue()
+        for payload in ("a", "b", "c"):
+            q.push(1.0, payload)
+        q.push(0.5, "early")
+        assert [q.pop() for _ in range(4)] == [
+            (0.5, "early"), (1.0, "a"), (1.0, "b"), (1.0, "c"),
+        ]
+
+    def test_push_while_draining_same_time(self):
+        q = CalendarQueue()
+        q.push(1.0, "a")
+        assert q.pop() == (1.0, "a")
+        q.push(1.0, "b")  # appended to the bucket being drained
+        q.push(2.0, "later")
+        assert q.pop() == (1.0, "b")
+        assert q.pop() == (2.0, "later")
+
+    def test_pop_empty_raises(self):
+        q = CalendarQueue()
+        with pytest.raises(IndexError):
+            q.pop()
+        q.push(1.0, "x")
+        q.pop()
+        with pytest.raises(IndexError):
+            q.pop()
+
+    def test_bulk_push_matches_sequential(self):
+        times = np.array([3.0, 1.0, 3.0, 2.0, 1.0])
+        payloads = np.arange(5)
+        bulk = CalendarQueue()
+        bulk.bulk_push(times, payloads)
+        seq = CalendarQueue()
+        order = np.argsort(times, kind="stable")
+        for t, p in zip(times[order], payloads[order]):
+            seq.push(float(t), int(p))
+        drained = [bulk.pop() for _ in range(5)]
+        assert drained == [seq.pop() for _ in range(5)]
+        assert drained == [(1.0, 1), (1.0, 4), (2.0, 3), (3.0, 0), (3.0, 2)]
+
+    def test_pop_bucket_transfers_ownership(self):
+        q = CalendarQueue()
+        q.bulk_push(np.array([1.0, 1.0, 2.0]), np.array([10, 11, 20]))
+        t, bucket = q.pop_bucket()
+        assert (t, bucket) == (1.0, [10, 11])
+        bucket.append(12)  # caller-side same-time append, engine style
+        assert len(q) == 1
+        assert q.pop_bucket() == (2.0, [20])
+        assert not q
+
+    def test_heap_mode_accepts_out_of_order_pushes(self):
+        q = CalendarQueue(mode="heap")
+        q.push(5.0, "late")
+        q.push(1.0, "early")
+        q.push(1.0, "early-2")
+        assert q.pop() == (1.0, "early")
+        q.push(0.5, "past")  # before the last popped time: heap mode only
+        assert q.pop() == (0.5, "past")
+        assert q.pop() == (1.0, "early-2")
+        assert q.pop() == (5.0, "late")
+
+    def test_heap_mode_rejects_pop_bucket(self):
+        with pytest.raises(ValueError):
+            CalendarQueue(mode="heap").pop_bucket()
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            CalendarQueue(mode="banana")
+
+    def test_peek_and_len(self):
+        q = CalendarQueue()
+        assert q.peek() is None
+        q.push(2.0, "b")
+        q.push(1.0, "a")
+        assert q.peek() == (1.0, "a")
+        assert len(q) == 2 and bool(q)
+
+
+class TestResourceBank:
+    def test_rows_are_independent(self):
+        bank = ResourceBank()
+        r0 = bank.add("slots", capacity=1)
+        r1 = bank.add("links", capacity=2)
+        assert bank.try_acquire(r0, 100)
+        assert not bank.try_acquire(r0, 101)  # queued
+        assert bank.try_acquire(r1, 200)
+        assert bank.queue_length(r0) == 1 and bank.queue_length(r1) == 0
+
+    def test_release_hands_over_to_head_waiter(self):
+        bank = ResourceBank()
+        rid = bank.add("lock", capacity=1)
+        assert bank.try_acquire(rid, 1)
+        bank.try_acquire(rid, 2)
+        bank.try_acquire(rid, 3)
+        assert bank.release(rid) == 2  # FIFO hand-over
+        assert bank.in_use[rid] == 1  # unchanged: unit moved, not freed
+        assert bank.release(rid) == 3
+        assert bank.release(rid) is None
+        assert bank.in_use[rid] == 0
+        assert bank.total_acquisitions[rid] == 3
+
+    def test_release_without_acquire_raises(self):
+        bank = ResourceBank()
+        rid = bank.add("x", capacity=1)
+        with pytest.raises(SimulationError):
+            bank.release(rid)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            ResourceBank().add("x", capacity=0)
+
+    def test_matches_resource_semantics(self):
+        """Same acquire/release script drives Resource and a bank row."""
+        res = Resource("r", capacity=2)
+        bank = ResourceBank()
+        rid = bank.add("r", capacity=2)
+        script = ["a1", "a2", "a3", "r", "a4", "r", "r", "r"]
+        procs = iter(range(10))
+        for step in script:
+            if step.startswith("a"):
+                p = next(procs)
+                assert res.try_acquire(p) == bank.try_acquire(rid, p)
+            else:
+                assert res.release() == bank.release(rid)
+        assert res.in_use == bank.in_use[rid]
+        assert res.peak_in_use == bank.peak_in_use[rid]
+        assert res.total_acquisitions == bank.total_acquisitions[rid]
 
 
 class TestDeterminism:

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Parallel DES engine sweep: reference engine vs array fast path.
+
+Fans the benchmark cases out across cores with a process pool (analysis
+artefacts are spilled once by the parent and loaded by the workers),
+verifies bit-identical traces/solutions/counters per case, times both
+engines, and writes ``BENCH_des.json``.
+
+    python tools/sweep.py                    # full sweep incl. scale-50k
+    python tools/sweep.py --quick            # CI subset (no 50k case)
+    python tools/sweep.py --repeats 5 --jobs 2 --out results.json
+
+Exit status: 0 when every comparison is bit-identical, no worker
+re-derived its analysis, and every clean (non-noisy) case meets its
+speedup floor; 1 otherwise.  Noisy timings (cv above the threshold)
+downgrade the floor check to a warning — identity is always enforced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.dessweep import run_des_sweep  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_des.json"),
+        help="output JSON path (default: ./BENCH_des.json)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI mode: small/medium cases only (skips scale-50k)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats per engine"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: one per case, capped at cores-1)",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be at least 1")
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+
+    payload = run_des_sweep(
+        quick=args.quick, repeats=args.repeats, jobs=args.jobs
+    )
+    args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    hdr = f"{'case':>15} {'n':>8} {'events':>9} {'ref-s':>8} {'arr-s':>8} " \
+          f"{'speedup':>8}  ok"
+    print(hdr)
+    print("-" * len(hdr))
+    for c in payload["cases"]:
+        print(
+            f"{c['name']:>15} {c['n']:>8} {c['events']:>9} "
+            f"{c['t_reference']:>8.3f} {c['t_array']:>8.3f} "
+            f"{c['speedup']:>7.2f}x  "
+            f"{'yes' if c['identical'] else 'MISMATCH'}"
+        )
+    print(f"\nwrote {args.out}")
+
+    if not payload["all_identical"]:
+        print("FAIL: array engine diverged from the reference engine")
+        return 1
+    if not payload["analysis_shared"]:
+        print("FAIL: a worker re-derived its analysis instead of loading it")
+        return 1
+    if payload["floor_misses"]:
+        print(
+            "FAIL: clean run below its speedup floor: "
+            + ", ".join(payload["floor_misses"])
+        )
+        return 1
+    acc = payload["acceptance"]
+    if acc is not None:
+        print(
+            f"acceptance {acc['case']}: {acc['speedup']:.2f}x "
+            f"(floor {acc['floor']}x) -> {'met' if acc['met'] else 'missed'}"
+        )
+    if payload["noisy"]:
+        print("WARN: timer noise detected; speedup floor not enforced")
+    else:
+        print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
