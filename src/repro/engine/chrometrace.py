@@ -31,6 +31,13 @@ def trace_to_chrome(
     Solve records become duration ("X") events of ``solve_duration_us``
     ending at their timestamp (the DES records completion times); fault
     and get records become instant ("i") events on their GPU row.
+
+    Resilience records get first-class rendering: ``inject`` / ``retry``
+    / ``recovered`` / ``msg_lost`` instants carry their edge and attempt
+    in ``args``, ``gpu_fail`` is a global-scope instant, and flow arrows
+    (``ph`` "s"/"t"/"f") chain each edge's inject → retry → recovered
+    sequence and each ``gpu_fail`` to the ``remap`` events it caused, so
+    a recovery episode reads as one connected arc in Perfetto.
     """
     events: list[dict[str, Any]] = [
         {
@@ -50,35 +57,136 @@ def trace_to_chrome(
                 "args": {"name": f"GPU {g}"},
             }
         )
+    # Flow bookkeeping: per-edge recovery chains ("s" at the first
+    # inject, "t" at intermediate hops, "f" at recovered/msg_lost) and
+    # one arrow per gpu_fail -> remap pair.  Flow ids must be unique per
+    # chain, so edge chains use the edge id directly and failure arrows
+    # allocate above the edge-id space.
+    open_chain: dict[int, bool] = {}
+    fail_point: dict[int, tuple[float, int]] = {}
+    next_fail_flow = 1 << 40
+
+    def _flow(ph: str, flow_id: int, ts: float, tid: int) -> dict[str, Any]:
+        ev = {
+            "name": "recovery",
+            "cat": "resilience",
+            "ph": ph,
+            "id": flow_id,
+            "pid": 0,
+            "tid": tid,
+            "ts": ts,
+        }
+        if ph in ("t", "f"):
+            ev["bp"] = "e"
+        return ev
+
+    def _edge_hop(e: int, last: bool, ts: float, tid: int) -> None:
+        if not open_chain.get(e):
+            open_chain[e] = True
+            events.append(_flow("s", e, ts, tid))
+        elif last:
+            open_chain[e] = False
+            events.append(_flow("f", e, ts, tid))
+        else:
+            events.append(_flow("t", e, ts, tid))
+
+    def _instant(name, cat, ts, tid, args, scope="t"):
+        events.append(
+            {
+                "name": name,
+                "cat": cat,
+                "ph": "i",
+                "s": scope,
+                "pid": 0,
+                "tid": tid,
+                "ts": ts,
+                "args": args,
+            }
+        )
+
     for rec in trace.records:
         ts_us = rec.time * 1e6
         tid = rec.gpu if 0 <= rec.gpu < n_gpus else n_gpus
-        if rec.kind == "solve":
+        kind, detail = rec.kind, rec.detail
+        if kind == "solve":
             events.append(
                 {
-                    "name": f"solve x{rec.detail}",
+                    "name": f"solve x{detail}",
                     "cat": "solve",
                     "ph": "X",
                     "pid": 0,
                     "tid": tid,
                     "ts": max(ts_us - solve_duration_us, 0.0),
                     "dur": solve_duration_us,
-                    "args": {"component": rec.detail},
+                    "args": {"component": detail},
                 }
             )
+        elif kind == "inject":
+            tag, e, attempt = detail
+            _instant(
+                f"inject {tag} e{e}",
+                "resilience",
+                ts_us,
+                tid,
+                {"fault": tag, "edge": e, "attempt": attempt},
+            )
+            _edge_hop(int(e), False, ts_us, tid)
+        elif kind == "retry":
+            e, attempt, backoff = detail
+            _instant(
+                f"retry e{e}",
+                "resilience",
+                ts_us,
+                tid,
+                {"edge": e, "attempt": attempt, "backoff": backoff},
+            )
+            _edge_hop(int(e), False, ts_us, tid)
+        elif kind == "recovered":
+            e, attempts = detail
+            _instant(
+                f"recovered e{e}",
+                "resilience",
+                ts_us,
+                tid,
+                {"edge": e, "attempts": attempts},
+            )
+            _edge_hop(int(e), True, ts_us, tid)
+        elif kind == "msg_lost":
+            e, dst = detail
+            _instant(
+                f"msg_lost e{e}",
+                "resilience",
+                ts_us,
+                tid,
+                {"edge": e, "component": dst},
+            )
+            _edge_hop(int(e), True, ts_us, tid)
+        elif kind == "gpu_fail":
+            fail_point[int(detail)] = (ts_us, tid)
+            _instant(
+                f"gpu_fail {detail}",
+                "resilience",
+                ts_us,
+                tid,
+                {"gpu": detail},
+                scope="g",
+            )
+        elif kind == "remap":
+            comp, old_g = detail
+            _instant(
+                f"remap x{comp}",
+                "resilience",
+                ts_us,
+                tid,
+                {"component": comp, "from_gpu": old_g},
+            )
+            if int(old_g) in fail_point:
+                f_ts, f_tid = fail_point[int(old_g)]
+                events.append(_flow("s", next_fail_flow, f_ts, f_tid))
+                events.append(_flow("f", next_fail_flow, ts_us, tid))
+                next_fail_flow += 1
         else:
-            events.append(
-                {
-                    "name": rec.kind,
-                    "cat": rec.kind,
-                    "ph": "i",
-                    "s": "t",
-                    "pid": 0,
-                    "tid": tid,
-                    "ts": ts_us,
-                    "args": {"detail": rec.detail},
-                }
-            )
+            _instant(kind, kind, ts_us, tid, {"detail": detail})
     return events
 
 

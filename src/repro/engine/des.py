@@ -49,7 +49,7 @@ from repro.engine.events import (
 )
 from repro.engine.resources import Resource
 from repro.engine.sequence import MonotonicSequence
-from repro.errors import SimulationError
+from repro.errors import DeadlockError, SimulationError
 
 __all__ = ["Simulator", "Process"]
 
@@ -57,9 +57,17 @@ Process = Generator[Any, None, None]
 
 
 class Simulator:
-    """Event-driven scheduler over generator processes."""
+    """Event-driven scheduler over generator processes.
 
-    def __init__(self, max_events: int = 50_000_000):
+    ``watchdog`` is an optional progress monitor (duck-typed to
+    :class:`repro.resilience.watchdog.Watchdog`): its ``check(now)`` is
+    invoked once per *distinct timestamp* the clock advances to, so it
+    can raise :class:`~repro.errors.DeadlockError` on no-progress stalls
+    without adding events of its own (determinism and trace parity with
+    the array engine are preserved).
+    """
+
+    def __init__(self, max_events: int = 50_000_000, watchdog=None):
         self.now: float = 0.0
         self._heap: list[ScheduledEvent] = []
         self._seq = MonotonicSequence()
@@ -67,6 +75,7 @@ class Simulator:
         self._alive: int = 0
         self._events_processed: int = 0
         self._max_events = max_events
+        self.watchdog = watchdog
 
     # ------------------------------------------------------------------
     def spawn(self, process: Process, delay: float = 0.0) -> Process:
@@ -108,6 +117,7 @@ class Simulator:
         """
         start_count = self._events_processed
         heap = self._heap
+        watchdog = self.watchdog
         while heap:
             head_time = heap[0].time
             if until is not None and head_time > until:
@@ -119,15 +129,36 @@ class Simulator:
                 raise SimulationError(
                     f"event budget {self._max_events} exhausted (livelock?)"
                 )
+            if watchdog is not None and head_time > self.now:
+                watchdog.check(head_time)
             ev = heapq.heappop(heap)
             self.now = ev.time
             self._step(ev.process)
             self._events_processed += 1
-        if until is None and self._alive > 0:
-            stuck = {ch: len(ps) for ch, ps in self._waiting.items() if ps}
-            raise SimulationError(
+        if self._alive > 0 and not heap:
+            # Quiescent with waiters: no future run() call can ever wake
+            # these processes (the heap is empty), so returning silently
+            # would hide a deadlock — regardless of the ``until`` bound.
+            blocked = {
+                repr(ch): len(ps) for ch, ps in self._waiting.items() if ps
+            }
+            names = sorted(
+                {
+                    getattr(p, "__name__", "process")
+                    for ps in self._waiting.values()
+                    for p in ps
+                }
+            )
+            raise DeadlockError(
                 f"deadlock: {self._alive} processes alive with empty event "
-                f"heap; waiters per channel: {stuck}"
+                f"heap; waiters per channel: {blocked}",
+                blocked=blocked,
+                diagnostics={
+                    "alive": self._alive,
+                    "now": self.now,
+                    "blocked_process_kinds": names,
+                    "events_processed": self._events_processed,
+                },
             )
         return self._events_processed - start_count
 

@@ -81,6 +81,18 @@ class Resource:
         self.total_acquisitions += 1
         self.peak_in_use = max(self.peak_in_use, self.in_use)
 
+    def drain(self) -> list:
+        """Evict every queued waiter (FIFO order) without granting.
+
+        Used by the resilience layer when the resource's owner fails
+        (a dead GPU's warp-slot pool): the evicted processes must be
+        resumed by the caller so they can observe the failure and exit —
+        they were never granted a unit, so they must not release one.
+        """
+        waiters = list(self._queue)
+        self._queue.clear()
+        return waiters
+
     # Introspection -----------------------------------------------------------
     @property
     def available(self) -> int:

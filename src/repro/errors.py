@@ -16,12 +16,15 @@ __all__ = [
     "NotTriangularError",
     "MatrixMarketError",
     "SimulationError",
+    "DeadlockError",
     "TopologyError",
     "MemoryModelError",
     "ShmemError",
     "SolverError",
     "TaskModelError",
     "WorkloadError",
+    "FaultInjectionError",
+    "RecoveryExhaustedError",
 ]
 
 
@@ -53,6 +56,36 @@ class SimulationError(ReproError, RuntimeError):
     """The discrete-event simulation reached an inconsistent state."""
 
 
+class DeadlockError(SimulationError):
+    """The simulation can make no further progress while work remains.
+
+    Raised by the DES engines when the event calendar drains with
+    processes still blocked (quiescent-with-waiters), or by the
+    resilience watchdog when simulated time keeps advancing without any
+    solve progress (livelock / no-progress stall).
+
+    Attributes
+    ----------
+    blocked:
+        Mapping of blocked channel / resource name to waiter count, when
+        known (``None`` for watchdog stalls).
+    diagnostics:
+        Free-form diagnostic trace: recent progress marks, stall horizon,
+        alive-process count — whatever the raise site can cheaply attach.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        blocked: dict | None = None,
+        diagnostics: dict | None = None,
+    ):
+        super().__init__(message)
+        self.blocked = blocked
+        self.diagnostics = diagnostics or {}
+
+
 class TopologyError(ReproError, ValueError):
     """Invalid interconnect topology description or unreachable peers."""
 
@@ -75,3 +108,22 @@ class TaskModelError(ReproError, ValueError):
 
 class WorkloadError(ReproError, ValueError):
     """Invalid synthetic-workload parameters."""
+
+
+class FaultInjectionError(ReproError, ValueError):
+    """Invalid fault plan: unknown kind, bad window, or impossible target."""
+
+
+class RecoveryExhaustedError(SolverError):
+    """Recovery gave up: bounded retries spent or no survivors to remap to.
+
+    Attributes
+    ----------
+    context:
+        Raise-site detail (edge / component / attempt counts) for the
+        chaos harness's scenario reports.
+    """
+
+    def __init__(self, message: str, *, context: dict | None = None):
+        super().__init__(message)
+        self.context = context or {}

@@ -1,0 +1,354 @@
+"""Deterministic, seed-driven fault plans and the engine-facing injector.
+
+A :class:`FaultPlan` is a declarative list of :class:`FaultSpec` entries
+plus a seed.  :meth:`FaultPlan.build` materialises it against one
+concrete run (matrix + distribution) into a :class:`FaultInjector`: flat
+per-edge and per-component decision tables that both DES engines consult
+at event-dispatch time.
+
+Two properties carry the whole subsystem:
+
+* **Determinism** — every decision is drawn once, in a fixed order, from
+  ``numpy.random.default_rng(seed)`` during :meth:`~FaultPlan.build`.
+  The same ``(plan, matrix, distribution)`` always yields the identical
+  fault schedule, so a chaos scenario is exactly reproducible from its
+  seed.
+* **Purity** — injector queries are pure functions of stable identities
+  (edge id, component id, delivery attempt, current simulated time) and
+  never of call order or engine internals.  The reference and array
+  engines interleave their bookkeeping differently; keying decisions on
+  identities rather than sequence is what keeps their faulted playouts
+  bit-identical (``tests/test_des_array.py`` enforces it).
+
+Fault vocabulary
+----------------
+``link_down``
+    A directed PE pair's fabric is out for ``[t_start, t_end)``: a
+    message putting its bits on the wire inside the window is held at
+    the sender until the outage lifts, then pays the normal wire time.
+``bandwidth``
+    The pair's wire time is multiplied by ``factor`` inside the window
+    (congestion / degraded NVLink).
+``msg_drop``
+    A seeded fraction (``rate``) of cross-GPU deliveries is lost
+    ``repeats`` times; with a retry policy the sender re-sends after
+    timeout + exponential backoff, without one the dependant starves
+    and the deadlock detector fires.
+``msg_delay``
+    A seeded fraction of cross-GPU deliveries arrives ``extra_delay``
+    late (out-of-order delivery stress for the busy-wait protocol).
+``bitflip``
+    ``count`` seeded deliveries have one mantissa bit of their
+    ``left.sum`` contribution flipped — detected at delivery when the
+    recovery policy checksums messages (then re-sent), or delivered
+    silently corrupted otherwise (then caught by the post-solve
+    residual check).
+``straggler``
+    Components on ``gpu`` pay ``factor`` times their solve cost inside
+    the window (one slow SM / thermally throttled die).
+``gpu_fail``
+    GPU ``gpu`` fail-stops at ``t_start``: its unsolved components are
+    remapped onto survivors when the recovery policy allows, otherwise
+    every dependant starves loudly.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import FaultInjectionError
+
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "flip_mantissa_bit",
+]
+
+_INF = float("inf")
+
+
+class FaultKind(str, Enum):
+    """The injectable fault classes."""
+
+    LINK_DOWN = "link_down"
+    BANDWIDTH = "bandwidth"
+    MSG_DROP = "msg_drop"
+    MSG_DELAY = "msg_delay"
+    BITFLIP = "bitflip"
+    STRAGGLER = "straggler"
+    GPU_FAIL = "gpu_fail"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault.
+
+    Only the fields relevant to ``kind`` are read; see the module
+    docstring for the per-kind semantics.  ``src_pe``/``dst_pe`` of -1
+    mean "any pair"; windows default to "the whole run".
+    """
+
+    kind: FaultKind
+    src_pe: int = -1
+    dst_pe: int = -1
+    gpu: int = -1
+    t_start: float = 0.0
+    t_end: float = _INF
+    factor: float = 1.0
+    rate: float = 0.0
+    extra_delay: float = 0.0
+    repeats: int = 1
+    count: int = 1
+    bit: int = 20
+
+    def __post_init__(self) -> None:
+        kind = FaultKind(self.kind)
+        object.__setattr__(self, "kind", kind)
+        if self.t_end < self.t_start:
+            raise FaultInjectionError(
+                f"{kind}: window end {self.t_end} before start {self.t_start}"
+            )
+        if kind in (FaultKind.MSG_DROP, FaultKind.MSG_DELAY):
+            if not 0.0 <= self.rate <= 1.0:
+                raise FaultInjectionError(f"{kind}: rate must be in [0, 1]")
+        if kind in (FaultKind.BANDWIDTH, FaultKind.STRAGGLER):
+            if self.factor < 1.0:
+                raise FaultInjectionError(
+                    f"{kind}: factor must be >= 1.0 (got {self.factor})"
+                )
+        if kind in (FaultKind.STRAGGLER, FaultKind.GPU_FAIL) and self.gpu < 0:
+            raise FaultInjectionError(f"{kind}: needs a target gpu")
+        if kind is FaultKind.BITFLIP and not 0 <= self.bit <= 51:
+            raise FaultInjectionError(
+                f"bitflip: bit must be a mantissa bit in [0, 51]"
+            )
+        if self.repeats < 1 or self.count < 1:
+            raise FaultInjectionError(f"{kind}: repeats/count must be >= 1")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded collection of faults, independent of any concrete run."""
+
+    seed: int = 0
+    specs: tuple[FaultSpec, ...] = ()
+
+    @classmethod
+    def none(cls, seed: int = 0) -> "FaultPlan":
+        """The null plan: consulted everywhere, changes nothing."""
+        return cls(seed=seed, specs=())
+
+    @classmethod
+    def single(cls, kind: FaultKind | str, seed: int = 0, **fields) -> "FaultPlan":
+        """Convenience: a plan with one spec of ``kind``."""
+        return cls(seed=seed, specs=(FaultSpec(kind=FaultKind(kind), **fields),))
+
+    @property
+    def is_null(self) -> bool:
+        return not self.specs
+
+    def build(self, lower, dist) -> "FaultInjector":
+        """Materialise the plan against one run into a `FaultInjector`.
+
+        ``lower`` is the CSC system matrix, ``dist`` the
+        :class:`~repro.tasks.schedule.Distribution`.  All random draws
+        happen here, in spec order, from one ``default_rng(seed)``.
+        """
+        return FaultInjector(self, lower, dist)
+
+
+def flip_mantissa_bit(value: float, bit: int) -> float:
+    """Flip one mantissa bit of a binary64 value (pure, both engines).
+
+    Bit 0 is the least-significant mantissa bit; bits 52+ (exponent /
+    sign) are rejected at plan validation so a flip perturbs, never
+    explodes, the value.
+    """
+    (bits,) = struct.unpack("<Q", struct.pack("<d", value))
+    return struct.unpack("<d", struct.pack("<Q", bits ^ (1 << bit)))[0]
+
+
+# Delivery-fate tags returned by FaultInjector.delivery_fate.
+FATE_DROP = "drop"
+FATE_DELAY = "delay"
+FATE_CORRUPT = "corrupt"
+
+
+class FaultInjector:
+    """Materialised per-run decision tables; the engines' query surface.
+
+    Built by :meth:`FaultPlan.build`; all attributes are read-only from
+    the engines' point of view.
+
+    Query surface (each pure in its arguments):
+
+    * :meth:`wire_time` — effective wire time of a message starting its
+      transfer at ``now`` (link outages, bandwidth degradation);
+    * :meth:`delivery_fate` — what happens to delivery ``attempt`` of
+      edge ``e``: ``None`` (clean), ``("drop",)``, ``("delay", extra)``
+      or ``("corrupt", bit)``;
+    * :meth:`solve_scale` — multiplier applied to component ``i``'s
+      solve cost when it starts solving at ``now`` (stragglers);
+    * :attr:`gpu_failures` — ``[(t_fail, gpu), ...]`` sorted by time.
+    """
+
+    def __init__(self, plan: FaultPlan, lower, dist):
+        self.plan = plan
+        n = lower.shape[0]
+        indptr = lower.indptr
+        nnz = int(indptr[-1])
+        gpu_of = dist.gpu_of
+        col_nnz = np.diff(indptr)
+        col_of = np.repeat(np.arange(n, dtype=np.int64), col_nnz)
+        src_pe_e = gpu_of[col_of]
+        dst_pe_e = gpu_of[lower.indices]
+        is_diag = lower.indices == col_of
+        cross = (src_pe_e != dst_pe_e) & ~is_diag
+        off_diag = ~is_diag
+
+        rng = np.random.default_rng(plan.seed)
+
+        # Link-window tables: list of (src, dst, t0, t1, factor-or-None)
+        # per kind; scanned linearly (plans are tiny).
+        self._outages: list[tuple[int, int, float, float]] = []
+        self._degrades: list[tuple[int, int, float, float, float]] = []
+        # Per-edge delivery fates: edge -> list of per-attempt fates
+        # (attempts past the list are clean).
+        self._fates: dict[int, list[tuple]] = {}
+        # Per-component straggler windows: comp-array of factors + window.
+        self._stragglers: list[tuple[int, float, float, float]] = []
+        self.gpu_failures: list[tuple[float, int]] = []
+
+        def _pair_edges(spec, mask):
+            sel = mask.copy()
+            if spec.src_pe >= 0:
+                sel &= src_pe_e == spec.src_pe
+            if spec.dst_pe >= 0:
+                sel &= dst_pe_e == spec.dst_pe
+            return np.nonzero(sel)[0]
+
+        for spec in plan.specs:
+            kind = spec.kind
+            if kind is FaultKind.LINK_DOWN:
+                self._outages.append(
+                    (spec.src_pe, spec.dst_pe, spec.t_start, spec.t_end)
+                )
+            elif kind is FaultKind.BANDWIDTH:
+                self._degrades.append(
+                    (
+                        spec.src_pe,
+                        spec.dst_pe,
+                        spec.t_start,
+                        spec.t_end,
+                        spec.factor,
+                    )
+                )
+            elif kind is FaultKind.MSG_DROP:
+                edges = _pair_edges(spec, cross)
+                hit = edges[rng.random(len(edges)) < spec.rate]
+                for e in hit.tolist():
+                    fates = self._fates.setdefault(e, [])
+                    fates.extend([(FATE_DROP,)] * spec.repeats)
+            elif kind is FaultKind.MSG_DELAY:
+                edges = _pair_edges(spec, cross)
+                hit = edges[rng.random(len(edges)) < spec.rate]
+                for e in hit.tolist():
+                    self._fates.setdefault(e, []).append(
+                        (FATE_DELAY, float(spec.extra_delay))
+                    )
+            elif kind is FaultKind.BITFLIP:
+                edges = np.nonzero(off_diag)[0]
+                if len(edges) == 0:
+                    continue
+                k = min(spec.count, len(edges))
+                hit = rng.choice(edges, size=k, replace=False)
+                for e in sorted(int(v) for v in hit):
+                    self._fates.setdefault(e, []).append(
+                        (FATE_CORRUPT, spec.bit)
+                    )
+            elif kind is FaultKind.STRAGGLER:
+                self._stragglers.append(
+                    (spec.gpu, spec.factor, spec.t_start, spec.t_end)
+                )
+            elif kind is FaultKind.GPU_FAIL:
+                self.gpu_failures.append((spec.t_start, spec.gpu))
+            else:  # pragma: no cover - enum is closed
+                raise FaultInjectionError(f"unhandled fault kind {kind!r}")
+        self.gpu_failures.sort()
+
+        self.has_link_faults = bool(self._outages or self._degrades)
+        self.has_delivery_faults = bool(self._fates)
+        self.has_stragglers = bool(self._stragglers)
+        self.has_gpu_failures = bool(self.gpu_failures)
+        #: Whether the engines need any instrumented branches at all.
+        self.active = (
+            self.has_link_faults
+            or self.has_delivery_faults
+            or self.has_stragglers
+            or self.has_gpu_failures
+        )
+
+    # ------------------------------------------------------------------
+    def wire_time(
+        self, src_pe: int, dst_pe: int, now: float, base: float
+    ) -> tuple[float, str | None]:
+        """Effective wire time of a transfer starting at ``now``.
+
+        Returns ``(wire, tag)``; ``tag`` is ``None`` when untouched, or
+        the fault kind that applied (for trace emission).  When no fault
+        matches, ``base`` is returned *unchanged* (no arithmetic), so a
+        null plan is bit-transparent.
+        """
+        wire = base
+        tag = None
+        for src, dst, t0, t1 in self._outages:
+            if (src < 0 or src == src_pe) and (dst < 0 or dst == dst_pe):
+                if t0 <= now < t1:
+                    # Held at the sender until the outage lifts.
+                    wire = (t1 - now) + wire
+                    tag = FaultKind.LINK_DOWN.value
+        for src, dst, t0, t1, factor in self._degrades:
+            if (src < 0 or src == src_pe) and (dst < 0 or dst == dst_pe):
+                if t0 <= now < t1:
+                    wire = wire * factor
+                    tag = FaultKind.BANDWIDTH.value
+        return wire, tag
+
+    def delivery_fate(self, e: int, attempt: int) -> tuple | None:
+        """Fate of delivery ``attempt`` (0-based) of edge ``e``."""
+        fates = self._fates.get(e)
+        if fates is None or attempt >= len(fates):
+            return None
+        return fates[attempt]
+
+    def solve_scale(self, i_gpu: int, now: float, base: float) -> float:
+        """Solve cost of a component on ``i_gpu`` starting at ``now``."""
+        cost = base
+        for gpu, factor, t0, t1 in self._stragglers:
+            if gpu == i_gpu and t0 <= now < t1:
+                cost = cost * factor
+        return cost
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        """JSON-able materialised schedule (determinism tests, artefacts)."""
+        return {
+            "seed": self.plan.seed,
+            "outages": list(self._outages),
+            "degrades": list(self._degrades),
+            "fates": {
+                str(e): [list(f) for f in fates]
+                for e, fates in sorted(self._fates.items())
+            },
+            "stragglers": list(self._stragglers),
+            "gpu_failures": list(self.gpu_failures),
+        }

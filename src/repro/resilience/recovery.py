@@ -1,0 +1,250 @@
+"""Recovery policies and post-solve repair for faulted DES runs.
+
+Three mechanisms, mirroring the layers "Elasticity in Parallel Sparse
+Triangular Solve" identifies as sufficient for SpTRSV to tolerate
+degraded communication:
+
+* **bounded retry with exponential backoff** — a delivery the injector
+  drops (or checksums as corrupted) is re-sent after
+  ``retry_timeout * backoff**attempt``; :class:`RecoveryPolicy` bounds
+  the attempts, and exhausting them raises a typed
+  :class:`~repro.errors.RecoveryExhaustedError` instead of starving the
+  dependant silently;
+* **graceful degradation** — a ``gpu_fail`` fault hands the dead rank's
+  unsolved components to
+  :func:`repro.tasks.schedule.remap_failed_components`, which deals them
+  over the survivors; the engines re-launch them after
+  ``detect_latency``;
+* **residual check + selective component replay** — silent corruption
+  (an undetected ``left.sum`` bit-flip) survives the run but not
+  :func:`residual_repair`: rows whose componentwise backward error
+  exceeds the ceiling are recomputed, the fix propagated through their
+  forward closure in dependency order, and a still-failing system raises
+  :class:`RecoveryExhaustedError` rather than returning a wrong ``x``.
+
+:func:`resilient_execute` composes all three around
+:func:`repro.solvers.des_solver.des_execute` and is what the chaos
+harness drives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import RecoveryExhaustedError
+from repro.sparse.csc import CscMatrix
+from repro.sparse.validate import residual_norm
+
+__all__ = [
+    "RecoveryPolicy",
+    "ResilientResult",
+    "residual_repair",
+    "resilient_execute",
+]
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Knobs for every recovery mechanism (all on by default).
+
+    Attributes
+    ----------
+    retry:
+        Re-send dropped / corrupt-detected deliveries.  Off, a lost
+        message starves its dependant and the deadlock detector fires.
+    retry_timeout:
+        Base re-send delay (the per-remote-get timeout).
+    backoff:
+        Exponential backoff factor; attempt ``a`` waits
+        ``retry_timeout * backoff**a``.
+    max_retries:
+        Bounded retry: attempts past this raise
+        :class:`RecoveryExhaustedError`.
+    detect_corruption:
+        Checksum deliveries: a bit-flipped contribution is detected at
+        the receiver and re-sent like a drop.  Off, the corrupted value
+        lands in ``left.sum`` (and only :func:`residual_repair` can
+        catch it).
+    remap_on_failure:
+        Remap a failed GPU's unsolved components onto survivors.  Off,
+        the failure starves every dependant (loud deadlock).
+    detect_latency:
+        Simulated time between a GPU failing and the survivors
+        re-launching its work (failure-detector delay).
+    residual_check:
+        Run :func:`residual_repair` on the finished solution.
+    residual_ceiling:
+        Componentwise backward-error ceiling for the check (matches the
+        conformance harness's differential oracle).
+    """
+
+    retry: bool = True
+    retry_timeout: float = 1e-4
+    backoff: float = 2.0
+    max_retries: int = 8
+    detect_corruption: bool = True
+    remap_on_failure: bool = True
+    detect_latency: float = 1e-5
+    residual_check: bool = True
+    residual_ceiling: float = 1e-8
+
+    def retry_delay(self, attempt: int) -> float:
+        """Backoff before re-sending delivery ``attempt`` (0-based)."""
+        return self.retry_timeout * self.backoff**attempt
+
+
+def _row_backward_errors(
+    lower: CscMatrix, x: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """Componentwise scaled residual per row (vector form of
+    :func:`repro.sparse.validate.residual_norm`)."""
+    r = lower.matvec(x) - b
+    scale_mat = CscMatrix(
+        lower.indptr, lower.indices, np.abs(lower.data), lower.shape
+    )
+    scale = scale_mat.matvec(np.abs(x)) + np.abs(b)
+    scale[scale == 0.0] = 1.0
+    return np.abs(r) / scale
+
+
+def residual_repair(
+    lower: CscMatrix,
+    b: np.ndarray,
+    x: np.ndarray,
+    ceiling: float = 1e-8,
+) -> tuple[np.ndarray, list[int]]:
+    """Detect and repair silently corrupted components of ``x``.
+
+    Rows whose componentwise backward error exceeds ``ceiling`` are the
+    *suspects* (a corrupted ``left.sum`` makes exactly the victim row
+    inconsistent); their forward closure — every component whose value
+    was derived, directly or transitively, from a suspect — is replayed
+    in dependency (ascending-index) order from the surviving clean
+    values.  Returns ``(x_repaired, replayed_components)``; the input is
+    not modified.  Raises :class:`RecoveryExhaustedError` when the
+    repaired system still fails the ceiling (the corruption was not of
+    the repairable single-component kind).
+    """
+    b = np.asarray(b, dtype=np.float64)
+    errs = _row_backward_errors(lower, x, b)
+    suspects = np.nonzero(errs > ceiling)[0]
+    if len(suspects) == 0:
+        return x, []
+
+    n = lower.shape[0]
+    indptr, indices, data = lower.indptr, lower.indices, lower.data
+    # Forward closure over the dependency DAG (CSC column = out-edges).
+    affected = np.zeros(n, dtype=bool)
+    stack = [int(i) for i in suspects]
+    while stack:
+        i = stack.pop()
+        if affected[i]:
+            continue
+        affected[i] = True
+        for e in range(int(indptr[i]) + 1, int(indptr[i + 1])):
+            j = int(indices[e])
+            if not affected[j]:
+                stack.append(j)
+
+    # Partial forward substitution over the closure: left sums seeded
+    # from the clean (unaffected) columns, then replayed in ascending
+    # order so each repaired value feeds its affected dependants.
+    x_fixed = np.asarray(x, dtype=np.float64).copy()
+    left = np.zeros(n)
+    for i in range(n):
+        if affected[i]:
+            continue
+        lo, hi = int(indptr[i]), int(indptr[i + 1])
+        rows = indices[lo + 1 : hi]
+        mask = affected[rows]
+        if np.any(mask):
+            left[rows[mask]] += data[lo + 1 : hi][mask] * x_fixed[i]
+    replayed = np.nonzero(affected)[0]
+    for i in replayed.tolist():
+        lo, hi = int(indptr[i]), int(indptr[i + 1])
+        x_fixed[i] = (b[i] - left[i]) / data[lo]
+        rows = indices[lo + 1 : hi]
+        mask = affected[rows]
+        if np.any(mask):
+            left[rows[mask]] += data[lo + 1 : hi][mask] * x_fixed[i]
+
+    final = residual_norm(lower, x_fixed, b)
+    if final > ceiling:
+        raise RecoveryExhaustedError(
+            f"selective replay of {len(replayed)} components left backward "
+            f"error {final:.3e} above ceiling {ceiling:.1e}",
+            context={
+                "suspects": [int(i) for i in suspects],
+                "replayed": int(len(replayed)),
+                "residual": final,
+            },
+        )
+    return x_fixed, [int(i) for i in replayed]
+
+
+@dataclass(frozen=True)
+class ResilientResult:
+    """Outcome of one :func:`resilient_execute` run."""
+
+    x: np.ndarray
+    execution: object  # repro.solvers.des_solver.DesExecution
+    repaired: tuple[int, ...]
+    residual: float
+
+
+def resilient_execute(
+    lower: CscMatrix,
+    b,
+    dist,
+    machine,
+    design,
+    *,
+    plan=None,
+    recovery: RecoveryPolicy | None = None,
+    watchdog=None,
+    engine: str = "auto",
+    trace_enabled: bool = True,
+) -> ResilientResult:
+    """Run one faulted, recovered, residual-checked DES solve.
+
+    Builds the :class:`~repro.resilience.faults.FaultInjector` from
+    ``plan``, plays the system out on the selected engine with the
+    recovery policy and watchdog wired in, then applies the post-solve
+    residual check/repair.  Any failure surfaces as a typed
+    :class:`~repro.errors.ReproError` subclass — this function either
+    returns a verified solution or raises; it never hangs (watchdog) and
+    never returns silently corrupted data (residual check).
+    """
+    from repro.solvers.des_solver import des_execute
+
+    injector = None
+    if plan is not None and not plan.is_null:
+        injector = plan.build(lower, dist)
+    if recovery is None:
+        recovery = RecoveryPolicy()
+    ex = des_execute(
+        lower,
+        b,
+        dist,
+        machine,
+        design,
+        engine=engine,
+        trace_enabled=trace_enabled,
+        injector=injector,
+        recovery=recovery,
+        watchdog=watchdog,
+    )
+    x = ex.x
+    repaired: list[int] = []
+    if recovery.residual_check:
+        x, repaired = residual_repair(
+            lower, b, x, ceiling=recovery.residual_ceiling
+        )
+    return ResilientResult(
+        x=x,
+        execution=ex,
+        repaired=tuple(repaired),
+        residual=residual_norm(lower, x, np.asarray(b, dtype=np.float64)),
+    )

@@ -1,0 +1,99 @@
+"""No-progress watchdog for the sync-free DES playouts.
+
+The paper's execution model busy-waits: a component spins on its
+``in.degree`` until the last dependency's notification lands.  Lose one
+notification and nothing crashes — the solve just never finishes.  Two
+detectors close that hole:
+
+* the engines' end-of-run *quiescent-with-waiters* check (event calendar
+  empty, processes still blocked) raises
+  :class:`~repro.errors.DeadlockError` — that catches true deadlocks;
+* this :class:`Watchdog` catches *livelocks*: simulated time keeps
+  advancing (retry storms, backoff loops) but no component ever solves.
+
+Design constraint: the watchdog must not perturb the simulation.  It is
+therefore not a process — the engines call :meth:`check` whenever the
+clock advances to a new timestamp and :meth:`progress` at every solve,
+so it adds zero events, zero timestamps, and zero floating-point
+operations to the playout.  Both engines poll it at the same points,
+keeping faulted runs bit-identical across engines, and a run with no
+watchdog bit-identical to one whose watchdog never fires.
+
+An optional wall-clock limit backs the simulated-time horizon: if the
+host process itself burns real seconds without the simulation finishing
+(a bug in the engine rather than the workload), the watchdog raises
+rather than letting CI hit its hard timeout with no diagnostics.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+from repro.errors import DeadlockError
+
+__all__ = ["Watchdog"]
+
+
+class Watchdog:
+    """Raise :class:`DeadlockError` when solve progress stalls.
+
+    Parameters
+    ----------
+    stall_horizon:
+        Maximum simulated time allowed between consecutive solve-progress
+        marks before the run is declared stalled.  Deterministic: both
+        engines trip at the same simulated timestamp.
+    wall_limit:
+        Optional real-seconds budget for the whole run (checked on the
+        same clock-advance polls).  Non-deterministic by nature; it is a
+        belt-and-braces guard under the chaos CI job's hard timeout.
+    """
+
+    def __init__(
+        self, stall_horizon: float, wall_limit: float | None = None
+    ):
+        if stall_horizon <= 0:
+            raise ValueError(f"stall_horizon must be > 0, got {stall_horizon}")
+        self.stall_horizon = stall_horizon
+        self.wall_limit = wall_limit
+        self.last_progress: float = 0.0
+        self.progress_marks: int = 0
+        self._recent: deque = deque(maxlen=8)
+        self._wall_start = time.monotonic()
+
+    # ------------------------------------------------------------------
+    def progress(self, now: float, detail=None) -> None:
+        """Mark forward progress (the engines call this at every solve)."""
+        self.last_progress = now
+        self.progress_marks += 1
+        self._recent.append((now, detail))
+
+    def check(self, now: float) -> None:
+        """Poll at a clock advance; raises on stall or wall overrun."""
+        if now - self.last_progress > self.stall_horizon:
+            raise DeadlockError(
+                f"no-progress stall: simulated clock reached {now:.6g} with "
+                f"no solve since {self.last_progress:.6g} "
+                f"(horizon {self.stall_horizon:.6g})",
+                diagnostics=self._diagnostics(now, "stall"),
+            )
+        if (
+            self.wall_limit is not None
+            and time.monotonic() - self._wall_start > self.wall_limit
+        ):
+            raise DeadlockError(
+                f"watchdog wall-clock limit {self.wall_limit}s exceeded at "
+                f"simulated time {now:.6g}",
+                diagnostics=self._diagnostics(now, "wall"),
+            )
+
+    def _diagnostics(self, now: float, reason: str) -> dict:
+        return {
+            "reason": reason,
+            "now": now,
+            "last_progress": self.last_progress,
+            "progress_marks": self.progress_marks,
+            "recent_progress": list(self._recent),
+            "stall_horizon": self.stall_horizon,
+        }

@@ -64,12 +64,22 @@ import numpy as np
 from repro.analysis.dag import DependencyDag
 from repro.engine.resources import ResourceBank
 from repro.engine.trace import Trace
-from repro.errors import SimulationError, SolverError
+from repro.errors import (
+    DeadlockError,
+    RecoveryExhaustedError,
+    SimulationError,
+    SolverError,
+)
 from repro.exec_model.costmodel import CommCosts, Design
 from repro.machine.node import MachineConfig
 from repro.machine.unified import UnifiedMemory
+from repro.resilience.faults import (
+    FATE_CORRUPT,
+    FATE_DELAY,
+    flip_mantissa_bit,
+)
 from repro.sparse.csc import CscMatrix
-from repro.tasks.schedule import Distribution
+from repro.tasks.schedule import Distribution, remap_failed_components
 
 __all__ = ["execute_array", "ARRAY_MIN_COMPONENTS"]
 
@@ -85,6 +95,12 @@ _S_GATHER = 2  # dependencies satisfied: pay the gather cost
 _S_SOLVE = 3  # gather done: pay the solve cost
 _S_POST = 4  # value ready: update dependants
 _S_RELEASE = 5  # updates issued: retire the slot
+
+# Tombstone state: a cancelled component step (its GPU failed).  The
+# token keeps its exact (time, insertion) slot in the calendar and burns
+# one event when drained — mirroring the reference engine, where the
+# stale generator resumes once, sees its epoch mismatch, and exits.
+_S_DEAD = 6
 
 # Cross-GPU transfer states (token = n*8 + nnz + ((edge << 2) | state)).
 _R_START = 0  # claim a link channel
@@ -103,12 +119,20 @@ def execute_array(
     costs: CommCosts,
     trace_enabled: bool = True,
     max_events: int = 50_000_000,
+    injector=None,
+    recovery=None,
+    watchdog=None,
 ) -> tuple[np.ndarray, float, Trace, int, int]:
     """Play out one event-granular SpTRSV on the array engine.
 
     Returns ``(x, total_time, trace, page_faults, events)`` — the exact
     fields of :class:`~repro.solvers.des_solver.DesExecution`, produced
     bit-identically to the reference engine.
+
+    ``injector``/``recovery``/``watchdog`` mirror the reference engine's
+    resilience hooks (see :func:`repro.solvers.des_solver.des_execute`);
+    with a null/absent plan every instrumented branch is dead and the
+    playout is bit-identical to the un-instrumented engine.
     """
     from repro.solvers.des_solver import MESSAGES_IN_FLIGHT_PER_LINK
 
@@ -118,6 +142,12 @@ def execute_array(
     unified = design is Design.UNIFIED
     topo = machine.topology
     phys = machine.active_gpus
+
+    faulty = injector is not None and injector.active
+    link_faulty = faulty and injector.has_link_faults
+    delivery_faulty = faulty and injector.has_delivery_faults
+    straggler_faulty = faulty and injector.has_stragglers
+    failure_mode = faulty and injector.has_gpu_failures
 
     # ----------------------------------------------------------------
     # Vectorised precompute: per-warp and per-edge cost tables.
@@ -183,6 +213,19 @@ def execute_array(
     e_contrib = [0.0] * nnz
     e_delay = [0.0] * nnz
 
+    # Resilience state.  ``e_attempt`` counts delivery attempts per edge
+    # (the injector's fate tables and the retry backoff are keyed on it);
+    # ``done_l`` marks solved components (a GPU failure only cancels
+    # unsolved ones); ``gpu_np`` is a mutable ownership mirror (remap
+    # must never touch the caller's Distribution).  Failure tokens are
+    # ``f8 + k`` for the k-th entry of ``injector.gpu_failures``.
+    e_attempt = [0] * nnz if (delivery_faulty or link_faulty) else None
+    done_l = [False] * n
+    dead: set = set()
+    f8 = m8 + (nnz << 2)
+    gpu_np = gpu_of.copy() if failure_mode else gpu_of
+    fail_gpu = [g for _t, g in injector.gpu_failures] if failure_mode else []
+
     # Pooled resources: warp-slot rows first (rid == PE rank), then one
     # link row per directed PE pair that carries at least one edge.
     bank = ResourceBank()
@@ -235,6 +278,19 @@ def execute_array(
         t: codes_sorted[bounds[j] : bounds[j + 1]]
         for j, t in enumerate(theap)
     }
+    if failure_mode:
+        # Failure tokens join the calendar *after* the dispatch front but
+        # before any runtime append, matching the reference engine's
+        # spawn order (components first, then failure processes) so
+        # timestamp ties resolve identically.
+        for k, (t_fail, _g) in enumerate(injector.gpu_failures):
+            tf = float(t_fail)
+            bl = buckets.get(tf)
+            if bl is None:
+                buckets[tf] = [f8 + k]
+                heappush(theap, tf)
+            else:
+                bl.append(f8 + k)
 
     # ----------------------------------------------------------------
     # Flat process state.
@@ -246,6 +302,7 @@ def execute_array(
     trace = Trace(enabled=trace_enabled)
     emit = trace.emit if trace_enabled else None
     c_dispatch = c_solve = c_release = c_fault = c_xb = c_xe = 0
+    c_inject = c_retry = c_recov = c_lost = c_gfail = c_remap = 0
 
     nevents = 0
     now = 0.0
@@ -273,6 +330,8 @@ def execute_array(
                 raise SimulationError(
                     f"event budget {max_events} exhausted (livelock?)"
                 )
+            if watchdog is not None and t > now:
+                watchdog.check(t)
             now = t
             cur = buckets.pop(t)
             # Appends during iteration are visited: a list iterator
@@ -282,8 +341,98 @@ def execute_array(
                 if code < 0:
                     # -------------------- update delivery (hottest)
                     e = -1 - code
+                    contrib = e_contrib[e]
+                    if delivery_faulty:
+                        att = e_attempt[e]
+                        fate = injector.delivery_fate(e, att)
+                        if fate is not None:
+                            kind = fate[0]
+                            if emit is not None:
+                                emit(
+                                    now, "inject", gpu=dstg_l[e],
+                                    detail=(kind, e, att),
+                                )
+                            else:
+                                c_inject += 1
+                            if kind == FATE_DELAY:
+                                e_attempt[e] = att + 1
+                                t2 = now + fate[1]
+                                if t2 > now:
+                                    b2 = bget(t2)
+                                    if b2 is None:
+                                        buckets[t2] = [code]
+                                        heappush(theap, t2)
+                                    else:
+                                        b2.append(code)
+                                else:
+                                    cur.append(code)
+                                continue
+                            if kind == FATE_CORRUPT and (
+                                recovery is None
+                                or not recovery.detect_corruption
+                            ):
+                                # No checksum: flipped value lands below.
+                                contrib = flip_mantissa_bit(contrib, fate[1])
+                                e_attempt[e] = att + 1
+                            else:
+                                # Detected loss: drop, or checksummed
+                                # corruption — re-send or starve loudly.
+                                dst = idx_l[e]
+                                if recovery is None or not recovery.retry:
+                                    if emit is not None:
+                                        emit(
+                                            now, "msg_lost", gpu=dstg_l[e],
+                                            detail=(e, dst),
+                                        )
+                                    else:
+                                        c_lost += 1
+                                    continue
+                                if att >= recovery.max_retries:
+                                    raise RecoveryExhaustedError(
+                                        f"delivery on edge {e} to component "
+                                        f"{dst} still failing after "
+                                        f"{att + 1} attempts",
+                                        context={
+                                            "edge": int(e),
+                                            "dst": int(dst),
+                                            "attempts": att + 1,
+                                        },
+                                    )
+                                backoff = recovery.retry_delay(att)
+                                if emit is not None:
+                                    emit(
+                                        now, "retry", gpu=srcg_l[e],
+                                        detail=(e, att, backoff),
+                                    )
+                                else:
+                                    c_retry += 1
+                                e_attempt[e] = att + 1
+                                # Re-send: the spawn-class token re-pays
+                                # the link + wire (cross) or the local
+                                # hop, exactly like the reference
+                                # notifier's outer loop.
+                                ncode = spawn_code_l[e]
+                                t2 = now + backoff
+                                if t2 > now:
+                                    b2 = bget(t2)
+                                    if b2 is None:
+                                        buckets[t2] = [ncode]
+                                        heappush(theap, t2)
+                                    else:
+                                        b2.append(ncode)
+                                else:
+                                    cur.append(ncode)
+                                continue
+                        elif att:
+                            if emit is not None:
+                                emit(
+                                    now, "recovered", gpu=dstg_l[e],
+                                    detail=(e, att),
+                                )
+                            else:
+                                c_recov += 1
                     dst = idx_l[e]
-                    left_sum[dst] += e_contrib[e]
+                    left_sum[dst] += contrib
                     rem = remaining[dst] - 1
                     remaining[dst] = rem
                     if rem == 0 and parked_ready[dst]:
@@ -305,6 +454,129 @@ def execute_array(
                                 b2.append(ncode)
                         else:
                             cur.append(ncode)
+                        continue
+                    if code >= f8:
+                        # ------------------------ GPU fail-stop event
+                        g = fail_gpu[code - f8]
+                        dead.add(g)
+                        if emit is not None:
+                            emit(now, "gpu_fail", gpu=g, detail=g)
+                        else:
+                            c_gfail += 1
+                        victims = [
+                            i
+                            for i in range(n)
+                            if g_l[i] == g and not done_l[i]
+                        ]
+                        # Wake-and-kill everything parked, in the
+                        # reference engine's order: ready-channel waiters
+                        # (ascending victim), then the warp-slot queue
+                        # (FIFO).  Each wake is one tombstone event.
+                        for i in victims:
+                            if parked_ready[i]:
+                                parked_ready[i] = False
+                                cur.append((i << 3) | _S_DEAD)
+                        q = r_q[g]
+                        while q:
+                            cur.append((q.popleft() & -8) | _S_DEAD)
+                        if not victims:
+                            continue
+                        # Cancel pending component steps in place: the
+                        # tombstone keeps the original (time, seq) slot,
+                        # so the stale wake costs one event at the same
+                        # timestamp as the reference generator's exit.
+                        vic = set(victims)
+                        for blist in buckets.values():
+                            for j, c0 in enumerate(blist):
+                                if 0 <= c0 < n8 and (c0 >> 3) in vic:
+                                    blist[j] = (c0 & -8) | _S_DEAD
+                        for j, c0 in enumerate(cur):
+                            if 0 <= c0 < n8 and (c0 >> 3) in vic:
+                                cur[j] = (c0 & -8) | _S_DEAD
+                        if recovery is not None and recovery.remap_on_failure:
+                            targets = remap_failed_components(
+                                gpu_np, victims, g, n_gpus, dead
+                            )
+                            t_klaunch = gpu_spec.t_kernel_launch
+                            for kk, i in enumerate(victims):
+                                ng = int(targets[kk])
+                                g_l[i] = ng
+                                gpu_np[i] = ng
+                                if emit is not None:
+                                    emit(now, "remap", gpu=ng, detail=(i, g))
+                                else:
+                                    c_remap += 1
+                                t2 = now + (
+                                    recovery.detect_latency + kk * t_klaunch
+                                )
+                                ncode = i << 3  # fresh _S_ACQUIRE
+                                if t2 > now:
+                                    b2 = bget(t2)
+                                    if b2 is None:
+                                        buckets[t2] = [ncode]
+                                        heappush(theap, t2)
+                                    else:
+                                        b2.append(ncode)
+                                else:
+                                    cur.append(ncode)
+                            # Refresh per-edge routing for every edge
+                            # whose source has not solved yet (its
+                            # fan-out has not spawned, so the reference
+                            # engine will read the remapped ownership).
+                            # In-flight edges keep their frozen tables —
+                            # matching the reference notifier's
+                            # spawn-time endpoint capture.
+                            done_np = np.fromiter(
+                                done_l, dtype=bool, count=n
+                            )
+                            upd = np.nonzero(~done_np[col_of])[0]
+                            if len(upd):
+                                se = gpu_np[col_of[upd]]
+                                de = gpu_np[lower.indices[upd]]
+                                loc = se == de
+                                new_pairs = np.unique(
+                                    se[~loc] * n_gpus + de[~loc]
+                                )
+                                for p in new_pairs.tolist():
+                                    if pair_rid[p] < 0:
+                                        sp, dp = p // n_gpus, p % n_gpus
+                                        ga = int(phys[sp])
+                                        gb = int(phys[dp])
+                                        cap = max(
+                                            int(topo.link_count[ga, gb]), 1
+                                        ) * MESSAGES_IN_FLIGHT_PER_LINK
+                                        pair_rid[p] = bank.add(
+                                            f"link{sp}->{dp}", cap
+                                        )
+                                        pair_wire[p] = (
+                                            8.0 / topo.peer_bandwidth(ga, gb)
+                                        )
+                                eu = upd.tolist()
+                                se_t = se.tolist()
+                                de_t = de.tolist()
+                                loc_t = loc.tolist()
+                                for jj, ee in enumerate(eu):
+                                    sg = se_t[jj]
+                                    dg = de_t[jj]
+                                    srcg_l[ee] = sg
+                                    dstg_l[ee] = dg
+                                    if loc_t[jj]:
+                                        elink_l[ee] = -1
+                                        ewire_l[ee] = 0.0
+                                        spawn_code_l[ee] = n8 + ee
+                                        if inc_l is not None:
+                                            inc_l[ee] = update_local
+                                            dl_l[ee] = 0.0
+                                    else:
+                                        pp = sg * n_gpus + dg
+                                        elink_l[ee] = int(pair_rid[pp])
+                                        ewire_l[ee] = float(pair_wire[pp])
+                                        spawn_code_l[ee] = m8 + (ee << 2)
+                                        if inc_l is not None:
+                                            inc_l[ee] = float(
+                                                costs.update_remote[sg, dg]
+                                            )
+                                            dl_l[ee] = notify_l[sg][dg]
                         continue
                     # -------------------- cross-GPU transfer steps
                     c = code - m8
@@ -360,7 +632,20 @@ def execute_array(
                         )
                     else:
                         c_xb += 1
-                    t2 = now + ewire_l[e]
+                    wire = ewire_l[e]
+                    if link_faulty:
+                        wire, wtag = injector.wire_time(
+                            srcg_l[e], dstg_l[e], now, wire
+                        )
+                        if wtag is not None:
+                            if emit is not None:
+                                emit(
+                                    now, "inject", gpu=srcg_l[e],
+                                    detail=(wtag, e, e_attempt[e]),
+                                )
+                            else:
+                                c_inject += 1
+                    t2 = now + wire
                     ncode = code - st + _R_XFEREND
                     if t2 > now:
                         b2 = bget(t2)
@@ -404,7 +689,10 @@ def execute_array(
                         continue
                     st = _S_SOLVE  # zero gather: solve in this event
                 if st == _S_SOLVE:
-                    t2 = now + solve_l[i]
+                    s_cost = solve_l[i]
+                    if straggler_faulty:
+                        s_cost = injector.solve_scale(g_l[i], now, s_cost)
+                    t2 = now + s_cost
                     ncode = (code & -8) | _S_POST
                     if t2 > now:
                         b2 = bget(t2)
@@ -421,11 +709,14 @@ def execute_array(
                     hi = indptr_l[i + 1]
                     xi = (b_l[i] - left_sum[i]) / data_l[lo]
                     x_l[i] = xi
+                    done_l[i] = True
                     g = g_l[i]
                     if emit is not None:
                         emit(now, "solve", gpu=g, detail=i)
                     else:
                         c_solve += 1
+                    if watchdog is not None:
+                        watchdog.progress(now, i)
                     uc = 0.0
                     if not unified:
                         for e in range(lo + 1, hi):
@@ -487,6 +778,9 @@ def execute_array(
                     else:
                         r_used[g] -= 1
                     continue
+                if st == _S_DEAD:
+                    # Tombstone: a cancelled step burning its one event.
+                    continue
                 # _S_ACQUIRE / _S_DISPATCH
                 g = g_l[i]
                 if st == _S_ACQUIRE:
@@ -521,15 +815,21 @@ def execute_array(
 
     if any(remaining):
         stuck: dict = {
-            ("ready", i): 1 for i in range(n) if parked_ready[i]
+            repr(("ready", i)): 1 for i in range(n) if parked_ready[i]
         }
         for rid, q in enumerate(r_q):
             if q:
                 stuck[bank.names[rid]] = len(q)
         if stuck:
-            raise SimulationError(
+            raise DeadlockError(
                 f"deadlock: {sum(stuck.values())} waiters with empty "
-                f"event calendar; waiters per channel: {stuck}"
+                f"event calendar; waiters per channel: {stuck}",
+                blocked=stuck,
+                diagnostics={
+                    "now": now,
+                    "events_processed": nevents,
+                    "unsatisfied": sum(1 for r in remaining if r),
+                },
             )
         raise SolverError("DES run finished with unsatisfied dependencies")
     if emit is None:
@@ -539,6 +839,12 @@ def execute_array(
         trace.bulk_count("fault", c_fault)
         trace.bulk_count("xfer_begin", c_xb)
         trace.bulk_count("xfer_end", c_xe)
+        trace.bulk_count("inject", c_inject)
+        trace.bulk_count("retry", c_retry)
+        trace.bulk_count("recovered", c_recov)
+        trace.bulk_count("msg_lost", c_lost)
+        trace.bulk_count("gpu_fail", c_gfail)
+        trace.bulk_count("remap", c_remap)
 
     x = np.asarray(x_l, dtype=np.float64)
     return (

@@ -25,14 +25,27 @@ from repro.engine.des import Simulator
 from repro.engine.events import Acquire, Release, Signal, Timeout, Wait
 from repro.engine.resources import Resource
 from repro.engine.trace import Trace
-from repro.errors import SolverError
+from repro.errors import (
+    FaultInjectionError,
+    RecoveryExhaustedError,
+    SolverError,
+)
 from repro.exec_model.artefacts import get_artefacts
 from repro.exec_model.costmodel import CommCosts, Design
 from repro.machine.node import MachineConfig, dgx1
 from repro.machine.unified import UnifiedMemory
+from repro.resilience.faults import (
+    FATE_CORRUPT,
+    FATE_DELAY,
+    flip_mantissa_bit,
+)
 from repro.solvers.base import SolveResult, TriangularSolver, validate_system
 from repro.sparse.csc import CscMatrix
-from repro.tasks.schedule import Distribution, block_distribution
+from repro.tasks.schedule import (
+    Distribution,
+    block_distribution,
+    remap_failed_components,
+)
 
 __all__ = ["DesExecution", "des_execute", "resolve_engine", "DesSolver"]
 
@@ -88,6 +101,9 @@ def des_execute(
     costs: CommCosts | None = None,
     trace_enabled: bool = True,
     engine: str = "auto",
+    injector=None,
+    recovery=None,
+    watchdog=None,
 ) -> DesExecution:
     """Play out a multi-GPU SpTRSV at event granularity.
 
@@ -106,11 +122,31 @@ def des_execute(
     ``ARRAY_MIN_COMPONENTS`` components up — see
     :func:`resolve_engine`).  The two engines are bit-identical in every
     observable (trace, solution, times, fault/event counts).
+
+    Resilience hooks (all optional, all bit-transparent when absent):
+
+    * ``injector`` — a materialised
+      :class:`~repro.resilience.faults.FaultInjector` both engines
+      consult at event-dispatch time;
+    * ``recovery`` — a
+      :class:`~repro.resilience.recovery.RecoveryPolicy` governing
+      delivery retries (timeout + exponential backoff, bounded),
+      message checksumming, and GPU-failure remap.  Without one, a lost
+      delivery starves its dependant and the deadlock detector fires;
+    * ``watchdog`` — a :class:`~repro.resilience.watchdog.Watchdog`
+      polled at every clock advance (no-progress stall detection).
     """
     design = Design(design)
     n = lower.shape[0]
     if dist.n != n:
         raise SolverError("distribution does not match the matrix")
+    if injector is not None and injector.has_gpu_failures:
+        for _t_fail, g_fail in injector.gpu_failures:
+            if not 0 <= g_fail < machine.n_gpus:
+                raise FaultInjectionError(
+                    f"gpu_fail targets rank {g_fail}, but the machine has "
+                    f"{machine.n_gpus} GPUs"
+                )
     art = get_artefacts(lower, dag=dag)
     if dag is None:
         dag = art.dag
@@ -128,6 +164,9 @@ def des_execute(
             dag=dag,
             costs=costs,
             trace_enabled=trace_enabled,
+            injector=injector,
+            recovery=recovery,
+            watchdog=watchdog,
         )
         return DesExecution(
             x=x,
@@ -139,7 +178,13 @@ def des_execute(
     n_gpus = machine.n_gpus
     gpu_spec = machine.gpu
 
-    sim = Simulator()
+    faulty = injector is not None and injector.active
+    link_faulty = faulty and injector.has_link_faults
+    delivery_faulty = faulty and injector.has_delivery_faults
+    straggler_faulty = faulty and injector.has_stragglers
+    failure_mode = faulty and injector.has_gpu_failures
+
+    sim = Simulator(watchdog=watchdog)
     trace = Trace(enabled=trace_enabled)
     slots = [
         Resource(f"gpu{g}.warps", capacity=gpu_spec.warp_slots)
@@ -167,44 +212,144 @@ def des_execute(
 
     indptr, indices, data = lower.indptr, lower.indices, lower.data
     gpu_of = dist.gpu_of
+    if failure_mode:
+        # Remap mutates ownership mid-run; never touch the caller's
+        # Distribution.
+        gpu_of = gpu_of.copy()
     phys = machine.active_gpus
 
     x = np.zeros(n)
     left_sum = np.zeros(n)
     remaining = dag.in_degree.copy()
     in_counts = np.diff(dag.in_ptr)
+    # Failure bookkeeping: `epoch[i]` invalidates every in-flight
+    # incarnation of component i when its GPU dies (stale generators wake,
+    # see the mismatch, and exit); `done` marks solved components (not
+    # victims); `dead` accumulates failed ranks.
+    epoch = [0] * n if failure_mode else None
+    done = [False] * n
+    dead: set[int] = set()
 
-    def notifier(src: int, dst: int, contribution: float, delay: float):
+    def notifier(
+        e: int,
+        src: int,
+        dst: int,
+        contribution: float,
+        delay: float,
+        src_pe: int,
+        dst_pe: int,
+    ):
         """Deliver one update to a dependant after its notify latency.
 
         Cross-GPU deliveries occupy one of the pair's link channels for
         the message's wire time, so a burst of fine-grained updates
-        between the same pair queues instead of teleporting.
+        between the same pair queues instead of teleporting.  The
+        endpoint ranks are frozen at spawn (solve) time — matching the
+        array engine, whose per-edge routing tables are read when the
+        transfer token is buckets — so a concurrent GPU-failure remap
+        never reroutes a message already in flight.
+
+        Under a fault plan each delivery attempt of edge ``e`` asks the
+        injector for its fate: a drop (or checksum-detected corruption)
+        is re-sent after exponential backoff when the recovery policy
+        allows — re-paying the wire on cross-GPU edges — and starves the
+        dependant loudly otherwise; an undetected corruption flips one
+        mantissa bit of the contribution and lands.
         """
-        src_pe, dst_pe = int(gpu_of[src]), int(gpu_of[dst])
-        if src_pe != dst_pe:
+        cross = src_pe != dst_pe
+        if cross:
             link = link_of(src_pe, dst_pe)
             ga = machine.active_gpus[src_pe]
             gb = machine.active_gpus[dst_pe]
-            wire = 8.0 / machine.topology.peer_bandwidth(ga, gb)
-            yield Acquire(link)
-            trace.emit(sim.now, "xfer_begin", gpu=src_pe, detail=(src_pe, dst_pe, dst))
-            yield Timeout(wire)
-            trace.emit(sim.now, "xfer_end", gpu=src_pe, detail=(src_pe, dst_pe, dst))
-            yield Release(link)
-        yield Timeout(delay)
+            base_wire = 8.0 / machine.topology.peer_bandwidth(ga, gb)
+        attempt = 0
+        corrupted = False
+        while True:
+            if cross:
+                yield Acquire(link)
+                trace.emit(sim.now, "xfer_begin", gpu=src_pe, detail=(src_pe, dst_pe, dst))
+                wire = base_wire
+                if link_faulty:
+                    wire, tag = injector.wire_time(
+                        src_pe, dst_pe, sim.now, wire
+                    )
+                    if tag is not None:
+                        trace.emit(
+                            sim.now, "inject", gpu=src_pe,
+                            detail=(tag, e, attempt),
+                        )
+                yield Timeout(wire)
+                trace.emit(sim.now, "xfer_end", gpu=src_pe, detail=(src_pe, dst_pe, dst))
+                yield Release(link)
+            yield Timeout(delay)
+            fate = (
+                injector.delivery_fate(e, attempt) if delivery_faulty else None
+            )
+            while fate is not None and fate[0] == FATE_DELAY:
+                trace.emit(
+                    sim.now, "inject", gpu=dst_pe,
+                    detail=(FATE_DELAY, e, attempt),
+                )
+                attempt += 1
+                yield Timeout(fate[1])
+                fate = injector.delivery_fate(e, attempt)
+            if fate is None:
+                break
+            kind = fate[0]
+            trace.emit(sim.now, "inject", gpu=dst_pe, detail=(kind, e, attempt))
+            if kind == FATE_CORRUPT and (
+                recovery is None or not recovery.detect_corruption
+            ):
+                # No checksum: the flipped value lands in left.sum.
+                contribution = flip_mantissa_bit(contribution, fate[1])
+                corrupted = True
+                attempt += 1
+                break
+            # Detected loss: a drop, or a corruption the checksum caught.
+            if recovery is None or not recovery.retry:
+                trace.emit(sim.now, "msg_lost", gpu=dst_pe, detail=(e, dst))
+                return  # dependant starves; the deadlock detector reports it
+            if attempt >= recovery.max_retries:
+                raise RecoveryExhaustedError(
+                    f"delivery on edge {e} to component {dst} still failing "
+                    f"after {attempt + 1} attempts",
+                    context={
+                        "edge": int(e),
+                        "dst": int(dst),
+                        "attempts": attempt + 1,
+                    },
+                )
+            backoff = recovery.retry_delay(attempt)
+            trace.emit(sim.now, "retry", gpu=src_pe, detail=(e, attempt, backoff))
+            attempt += 1
+            yield Timeout(backoff)
+        if delivery_faulty and attempt and not corrupted:
+            trace.emit(sim.now, "recovered", gpu=dst_pe, detail=(e, attempt))
         left_sum[dst] += contribution
         remaining[dst] -= 1
         if remaining[dst] == 0:
             yield Signal(("ready", dst))
 
-    def component(i: int):
+    def component(i: int, ep: int = 0):
+        # Epoch guard at every resume point: a GPU failure bumps
+        # epoch[i], so any stale incarnation — including one spawned but
+        # not yet started — exits on its next wake without touching the
+        # (possibly remapped) state.  With no gpu_fail faults, `epoch` is
+        # None and every guard is dead.
+        if epoch is not None and epoch[i] != ep:
+            return
         g = int(gpu_of[i])
         yield Acquire(slots[g])
+        if epoch is not None and epoch[i] != ep:
+            return
         trace.emit(sim.now, "dispatch", gpu=g, detail=i)
         yield Timeout(gpu_spec.t_warp_dispatch)
+        if epoch is not None and epoch[i] != ep:
+            return
         if remaining[i] > 0:
             yield Wait(("ready", i))
+            if epoch is not None and epoch[i] != ep:
+                return
         # Gather phase (remote reads / final poll fault).
         gather = costs.gather if in_counts[i] else 0.0
         if design is Design.UNIFIED and um is not None and in_counts[i]:
@@ -212,13 +357,22 @@ def des_execute(
             gather += cost
         if gather > 0.0:
             yield Timeout(gather)
+            if epoch is not None and epoch[i] != ep:
+                return
         lo, hi = int(indptr[i]), int(indptr[i + 1])
         if indices[lo] != i:
             raise SolverError(f"missing diagonal at column {i}")
         solve_cost = gpu_spec.t_per_nnz * (max(hi - lo, 1) + int(in_counts[i]))
+        if straggler_faulty:
+            solve_cost = injector.solve_scale(g, sim.now, solve_cost)
         yield Timeout(solve_cost)
+        if epoch is not None and epoch[i] != ep:
+            return
         x[i] = (b[i] - left_sum[i]) / data[lo]
+        done[i] = True
         trace.emit(sim.now, "solve", gpu=g, detail=i)
+        if watchdog is not None:
+            watchdog.progress(sim.now, i)
         # Update dependants.
         update_cost = 0.0
         for e in range(lo + 1, hi):
@@ -237,11 +391,52 @@ def des_execute(
             else:
                 update_cost += costs.update_remote[g, dst_g]
                 delay = costs.notify[g, dst_g]
-            sim.spawn(notifier(i, rid, contrib, update_cost + delay))
+            sim.spawn(
+                notifier(e, i, rid, contrib, update_cost + delay, g, dst_g)
+            )
         if update_cost > 0.0:
             yield Timeout(update_cost)
         trace.emit(sim.now, "release", gpu=g, detail=i)
         yield Release(slots[g])
+
+    def gpu_failure(g: int):
+        """Fail-stop rank ``g``: cancel its unsolved work, remap or starve.
+
+        Runs atomically at its fault time.  Cancellation: bump every
+        victim's epoch, then wake whatever is parked — ready-channel
+        waiters via a Signal (ascending victim order), warp-slot queue
+        waiters via a drain (FIFO) — so each stale incarnation resumes
+        once, sees the epoch mismatch, and exits.  In-flight deliveries
+        are *not* cancelled (the message is already on the fabric).  With
+        remap enabled, victims are dealt over the survivors and
+        re-launched after the failure-detector latency, serialised by the
+        kernel-launch cost; without it their dependants starve and the
+        run ends in a loud DeadlockError.
+        """
+        dead.add(g)
+        trace.emit(sim.now, "gpu_fail", gpu=g, detail=g)
+        victims = [
+            i for i in range(n) if int(gpu_of[i]) == g and not done[i]
+        ]
+        for i in victims:
+            epoch[i] += 1
+        for i in victims:
+            yield Signal(("ready", i))
+        for p in slots[g].drain():
+            sim.resume_from_resource(p)
+        if not victims:
+            return
+        if recovery is not None and recovery.remap_on_failure:
+            targets = remap_failed_components(gpu_of, victims, g, n_gpus, dead)
+            t_launch = gpu_spec.t_kernel_launch
+            for k, i in enumerate(victims):
+                new_g = int(targets[k])
+                gpu_of[i] = new_g
+                trace.emit(sim.now, "remap", gpu=new_g, detail=(i, g))
+                sim.spawn(
+                    component(i, epoch[i]),
+                    delay=recovery.detect_latency + k * t_launch,
+                )
 
     # Spawn in ascending index order at each task's launch time: FIFO slot
     # queues then preserve the deadlock-free dispatch order.  The host
@@ -253,6 +448,9 @@ def des_execute(
     )
     for i in range(n):
         sim.spawn(component(i), delay=float(launch[task_of[i]]))
+    if failure_mode:
+        for t_fail, g_fail in injector.gpu_failures:
+            sim.spawn(gpu_failure(g_fail), delay=float(t_fail))
 
     events = sim.run()
     if np.any(remaining != 0):

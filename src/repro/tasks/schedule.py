@@ -27,6 +27,8 @@ __all__ = [
     "Distribution",
     "block_distribution",
     "round_robin_distribution",
+    "remap_failed_components",
+    "redistribute_after_failure",
 ]
 
 
@@ -181,3 +183,68 @@ def round_robin_distribution(
             placed_bytes[g] += float(sizes[t]) * 8 * 3  # x, b, intermediates
             t += 1
     return _build(n, n_gpus, part, task_gpu)
+
+
+# ----------------------------------------------------------------------
+# Graceful degradation: re-distribution after a GPU failure.
+# ----------------------------------------------------------------------
+def remap_failed_components(
+    gpu_of: np.ndarray,
+    components,
+    failed: int,
+    n_gpus: int,
+    dead: set[int] | None = None,
+) -> np.ndarray:
+    """Deterministically remap ``components`` off a failed GPU.
+
+    This is the fine-grained hook the DES engines call mid-run when a
+    ``gpu_fail`` fault fires: ``components`` (the failed GPU's unsolved
+    work, ascending) is dealt round-robin over the surviving ranks in
+    ascending-current-load order (stable on rank), mirroring the paper's
+    available-memory dealing rule at component granularity.
+
+    Returns the new owning rank per entry of ``components``.  Raises
+    :class:`TaskModelError` when no survivor remains.
+    """
+    dead = set(dead or ()) | {failed}
+    survivors = [g for g in range(n_gpus) if g not in dead]
+    if not survivors:
+        raise TaskModelError(
+            f"cannot remap components: all {n_gpus} GPUs have failed"
+        )
+    load = np.bincount(gpu_of, minlength=n_gpus).astype(np.int64)
+    order = sorted(survivors, key=lambda g: (load[g], g))
+    targets = np.empty(len(components), dtype=np.int64)
+    for k in range(len(components)):
+        targets[k] = order[k % len(order)]
+    return targets
+
+
+def redistribute_after_failure(dist: Distribution, failed: int) -> Distribution:
+    """Rebuild a :class:`Distribution` with one GPU's tasks remapped.
+
+    The planning-level counterpart of :func:`remap_failed_components`:
+    the failed rank's whole tasks are dealt over the survivors in
+    ascending-load order, producing a valid placement on the *same*
+    ``n_gpus``-rank machine with rank ``failed`` left empty (callers
+    that shrink the machine can relabel ranks themselves).
+    """
+    if not 0 <= failed < dist.n_gpus:
+        raise TaskModelError(
+            f"failed rank {failed} out of range (n_gpus={dist.n_gpus})"
+        )
+    if dist.n_gpus < 2:
+        raise TaskModelError("cannot redistribute: no surviving GPU")
+    task_gpu = dist.task_gpu.copy()
+    sizes = dist.partition.sizes()
+    load = np.zeros(dist.n_gpus, dtype=np.int64)
+    for t in range(dist.n_tasks):
+        if task_gpu[t] != failed:
+            load[task_gpu[t]] += sizes[t]
+    survivors = [g for g in range(dist.n_gpus) if g != failed]
+    for t in range(dist.n_tasks):
+        if task_gpu[t] == failed:
+            g = min(survivors, key=lambda s: (load[s], s))
+            task_gpu[t] = g
+            load[g] += sizes[t]
+    return _build(dist.n, dist.n_gpus, dist.partition, task_gpu)

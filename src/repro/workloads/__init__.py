@@ -3,6 +3,7 @@
 from repro.workloads.generators import (
     banded_lower,
     dag_profile_matrix,
+    forest_lower,
     grid_graph_lower,
     level_widths,
     random_lower,
@@ -31,6 +32,7 @@ __all__ = [
     "tridiagonal_lower",
     "banded_lower",
     "random_lower",
+    "forest_lower",
     "grid_graph_lower",
     "level_widths",
     "ones_rhs",

@@ -28,6 +28,7 @@ __all__ = [
     "tridiagonal_lower",
     "banded_lower",
     "random_lower",
+    "forest_lower",
     "grid_graph_lower",
     "level_widths",
 ]
@@ -343,6 +344,36 @@ def random_lower(n: int, avg_nnz_per_row: float = 3.0, seed: int = 0) -> CscMatr
     return CooMatrix(
         np.concatenate([rows, diag]),
         np.concatenate([cols, diag]),
+        np.concatenate([vals, 1.0 + row_abs]),
+        (n, n),
+    ).to_csc()
+
+
+def forest_lower(n: int, seed: int = 0) -> CscMatrix:
+    """Random in-forest: every row has at most one off-diagonal entry.
+
+    Component ``i >= 1`` depends on exactly one uniformly drawn parent
+    ``p < i`` (component 0 is the lone root), so every ``left.sum`` is a
+    single product — there is no accumulation order to permute.  That
+    makes these systems the *bitwise oracle* workload of the chaos
+    harness: no matter how fault injection reorders deliveries, a
+    correctly recovered DES solve must equal the serial forward
+    substitution bit for bit, so silent corruption can never hide behind
+    floating-point reassociation.
+    """
+    if n < 1:
+        raise WorkloadError(f"n must be >= 1, got {n}")
+    rng = np.random.default_rng(seed)
+    child = np.arange(1, n, dtype=np.int64)
+    parent = (rng.random(n - 1) * child).astype(np.int64)
+    vals = rng.uniform(-1.0, 1.0, size=n - 1)
+    vals[vals == 0.0] = 0.5
+    row_abs = np.zeros(n)
+    np.add.at(row_abs, child, np.abs(vals))
+    diag = np.arange(n, dtype=np.int64)
+    return CooMatrix(
+        np.concatenate([child, diag]),
+        np.concatenate([parent, diag]),
         np.concatenate([vals, 1.0 + row_abs]),
         (n, n),
     ).to_csc()

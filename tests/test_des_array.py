@@ -167,3 +167,190 @@ class TestFailureModes:
             des_execute(
                 lower, b, dist, dgx1(2), dag=dag, engine="array"
             )
+
+
+# ---------------------------------------------------------------------------
+# Faulted parity: the bit-equality contract extends to every fault-
+# injection and recovery path.  Same plan + seed must yield the identical
+# fault schedule, trace, solution, makespan, and event count on both
+# engines — and error scenarios must fail identically.
+# ---------------------------------------------------------------------------
+
+from repro.errors import (  # noqa: E402
+    DeadlockError,
+    FaultInjectionError,
+    RecoveryExhaustedError,
+)
+from repro.resilience.faults import FaultKind, FaultPlan, FaultSpec  # noqa: E402
+from repro.resilience.recovery import RecoveryPolicy  # noqa: E402
+from repro.resilience.watchdog import Watchdog  # noqa: E402
+from repro.workloads.generators import forest_lower  # noqa: E402
+
+
+def _faulted_fixture(n=48, n_gpus=4, seed=3, design=Design.SHMEM_READONLY):
+    lower = forest_lower(n, seed=seed)
+    machine = dgx1(n_gpus, require_p2p=design is not Design.UNIFIED)
+    dist = block_distribution(n, n_gpus)
+    b = np.random.default_rng(seed).standard_normal(n)
+    probe = des_execute(lower, b, dist, machine, design, engine="reference")
+    return lower, b, dist, machine, design, float(probe.total_time)
+
+
+def _run_both_faulted(plan, recovery=None, fixture=None):
+    lower, b, dist, machine, design, _T = fixture or _faulted_fixture()
+    recovery = recovery if recovery is not None else RecoveryPolicy()
+    runs = []
+    for engine in ("reference", "array"):
+        injector = plan.build(lower, dist) if plan is not None else None
+        runs.append(
+            des_execute(
+                lower, b, dist, machine, design,
+                engine=engine,
+                injector=injector,
+                recovery=recovery,
+                watchdog=Watchdog(stall_horizon=10.0),
+            )
+        )
+    return runs
+
+
+def _fault_plans(T):
+    """One plan per fault kind plus a combined-stress plan."""
+    return [
+        ("link_down", FaultPlan.single(
+            FaultKind.LINK_DOWN, t_start=0.1 * T, t_end=0.5 * T)),
+        ("bandwidth", FaultPlan.single(FaultKind.BANDWIDTH, factor=4.0)),
+        ("msg_drop", FaultPlan.single(FaultKind.MSG_DROP, rate=0.4, seed=5)),
+        ("msg_delay", FaultPlan.single(
+            FaultKind.MSG_DELAY, rate=0.4, extra_delay=0.3 * T, seed=6)),
+        ("bitflip", FaultPlan.single(FaultKind.BITFLIP, count=2, seed=7)),
+        ("straggler", FaultPlan.single(
+            FaultKind.STRAGGLER, gpu=1, factor=8.0)),
+        ("gpu_fail", FaultPlan.single(
+            FaultKind.GPU_FAIL, gpu=2, t_start=0.3 * T)),
+        ("combined", FaultPlan(seed=9, specs=(
+            FaultSpec(FaultKind.MSG_DROP, rate=0.3),
+            FaultSpec(FaultKind.STRAGGLER, gpu=0, factor=4.0),
+            FaultSpec(FaultKind.GPU_FAIL, gpu=3, t_start=0.4 * T),
+        ))),
+    ]
+
+
+class TestFaultedBitEquality:
+    @pytest.fixture(scope="class")
+    def fixture(self):
+        return _faulted_fixture()
+
+    def test_same_plan_same_schedule(self, fixture):
+        """Determinism: one plan builds the identical fault schedule."""
+        lower, _b, dist, _m, _d, _T = fixture
+        plan = FaultPlan.single(FaultKind.MSG_DROP, rate=0.5, seed=4)
+        assert (
+            plan.build(lower, dist).describe()
+            == plan.build(lower, dist).describe()
+        )
+
+    def test_every_fault_kind_bit_identical(self, fixture):
+        _, _, _, _, _, T = fixture
+        for name, plan in _fault_plans(T):
+            ref, arr = _run_both_faulted(plan, fixture=fixture)
+            try:
+                _assert_bit_identical(ref, arr)
+            except AssertionError as exc:  # pragma: no cover - diagnostic
+                raise AssertionError(f"fault kind {name!r}: {exc}") from exc
+
+    def test_faulted_runs_actually_faulted(self, fixture):
+        """Guard against vacuous parity: faults must fire and recover."""
+        _, _, _, _, _, T = fixture
+        ref, _ = _run_both_faulted(
+            FaultPlan.single(FaultKind.MSG_DROP, rate=0.4, seed=5),
+            fixture=fixture,
+        )
+        assert ref.trace.count("inject") > 0
+        assert ref.trace.count("retry") > 0
+        assert ref.trace.count("recovered") > 0
+        ref, _ = _run_both_faulted(
+            FaultPlan.single(FaultKind.GPU_FAIL, gpu=2, t_start=0.3 * T),
+            fixture=fixture,
+        )
+        assert ref.trace.count("gpu_fail") == 1
+        assert ref.trace.count("remap") > 0
+
+    def test_null_plan_is_bit_transparent(self, fixture):
+        """A built null injector + watchdog change nothing at all."""
+        lower, b, dist, machine, design, _T = fixture
+        for engine in ("reference", "array"):
+            plain = des_execute(
+                lower, b, dist, machine, design, engine=engine
+            )
+            nulled = des_execute(
+                lower, b, dist, machine, design,
+                engine=engine,
+                injector=FaultPlan.none().build(lower, dist),
+                recovery=RecoveryPolicy(),
+                watchdog=Watchdog(stall_horizon=10.0),
+            )
+            _assert_bit_identical(plain, nulled)
+
+    def test_unified_design_faulted_parity(self):
+        fixture = _faulted_fixture(design=Design.UNIFIED)
+        _, _, _, _, _, T = fixture
+        plan = FaultPlan(seed=2, specs=(
+            FaultSpec(FaultKind.MSG_DROP, rate=0.3),
+            FaultSpec(FaultKind.GPU_FAIL, gpu=1, t_start=0.3 * T),
+        ))
+        ref, arr = _run_both_faulted(plan, fixture=fixture)
+        _assert_bit_identical(ref, arr)
+
+
+class TestFaultedErrorParity:
+    @pytest.fixture(scope="class")
+    def fixture(self):
+        return _faulted_fixture()
+
+    def _raise_both(self, plan, recovery, fixture):
+        errors = []
+        lower, b, dist, machine, design, _T = fixture
+        for engine in ("reference", "array"):
+            with pytest.raises(Exception) as excinfo:
+                des_execute(
+                    lower, b, dist, machine, design,
+                    engine=engine,
+                    injector=plan.build(lower, dist),
+                    recovery=recovery,
+                    watchdog=Watchdog(stall_horizon=10.0),
+                )
+            errors.append(excinfo.value)
+        return errors
+
+    def test_no_retry_deadlocks_identically(self, fixture):
+        ref_err, arr_err = self._raise_both(
+            FaultPlan.single(FaultKind.MSG_DROP, rate=1.0, seed=5),
+            RecoveryPolicy(retry=False),
+            fixture,
+        )
+        assert type(ref_err) is type(arr_err) is DeadlockError
+
+    def test_retry_exhaustion_identical_message(self, fixture):
+        ref_err, arr_err = self._raise_both(
+            FaultPlan.single(
+                FaultKind.MSG_DROP, rate=1.0, repeats=20, seed=5
+            ),
+            RecoveryPolicy(max_retries=3),
+            fixture,
+        )
+        assert type(ref_err) is type(arr_err) is RecoveryExhaustedError
+        assert str(ref_err) == str(arr_err)
+        assert ref_err.context == arr_err.context
+
+    def test_bad_failure_rank_rejected_before_run(self, fixture):
+        lower, b, dist, machine, design, _T = fixture
+        plan = FaultPlan.single(FaultKind.GPU_FAIL, gpu=64, t_start=0.0)
+        for engine in ("reference", "array"):
+            with pytest.raises(FaultInjectionError, match="gpu_fail"):
+                des_execute(
+                    lower, b, dist, machine, design,
+                    engine=engine,
+                    injector=plan.build(lower, dist),
+                    recovery=RecoveryPolicy(),
+                )
