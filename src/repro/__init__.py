@@ -31,7 +31,7 @@ from repro.analysis import (
     profile_matrix,
     scaling_class,
 )
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.exec_model import (
     CommCosts,
     Design,
@@ -90,6 +90,7 @@ from repro.workloads import (
     suite_names,
     tridiagonal_lower,
 )
+from repro.runtime import RunConfig, SessionResult, SolverSession
 from repro.workloads import load as load_suite_matrix
 
 __version__ = "1.0.0"
@@ -98,6 +99,11 @@ __all__ = [
     "__version__",
     # errors
     "ReproError",
+    "ConfigurationError",
+    # runtime facade
+    "RunConfig",
+    "SolverSession",
+    "SessionResult",
     # sparse
     "CooMatrix",
     "CscMatrix",

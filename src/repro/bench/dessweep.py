@@ -190,6 +190,8 @@ def run_des_sweep(
     repeats: int = 3,
     jobs: int | None = None,
     cases: dict[str, dict[str, Any]] | None = None,
+    n_gpus: int = 4,
+    design: Design = Design.SHMEM_READONLY,
 ) -> dict[str, Any]:
     """Run the engine sweep; returns the ``BENCH_des.json`` payload.
 
@@ -197,7 +199,10 @@ def run_des_sweep(
     engine mismatch anywhere, a worker that re-derived its analysis, or
     a *clean* (non-noisy) case below its floor — ``SPEEDUP_FLOOR`` for
     medium-and-up cases, ``ACCEPTANCE_FLOOR`` for the acceptance case.
-    ``cases`` overrides the case table (tests use tiny workloads).
+    ``cases`` overrides the case table (tests use tiny workloads);
+    ``n_gpus`` / ``design`` select the simulated node shape and
+    communication design every case is measured on (the
+    ``tools/sweep.py --config`` surface).
     """
     table = DES_CASES if cases is None else cases
     if cases is not None:
@@ -222,6 +227,8 @@ def run_des_sweep(
                     spills[cname],
                     enforce_floor=True,
                     acceptance=cname == ACCEPTANCE_CASE,
+                    n_gpus=n_gpus,
+                    design=design,
                     repeats=repeats,
                 )
                 for cname in names
@@ -254,6 +261,8 @@ def run_des_sweep(
         "quick": quick,
         "repeats": repeats,
         "jobs": jobs,
+        "n_gpus": n_gpus,
+        "design": design.value,
         "speedup_floor": SPEEDUP_FLOOR,
         "medium_n": MEDIUM_N,
         "acceptance_floor": ACCEPTANCE_FLOOR,

@@ -1,4 +1,9 @@
-"""Discrete-event simulation core: simulator, commands, resources, traces."""
+"""Discrete-event simulation core: simulator, commands, resources, traces.
+
+:mod:`repro.engine.protocol` additionally holds the engine-agnostic
+SpTRSV execution protocol (lifecycle tables, token layout, timing rules,
+delivery/fail-stop decision trees) that both DES engines interpret.
+"""
 
 from repro.engine.calendar import CalendarQueue
 from repro.engine.chrometrace import trace_to_chrome, write_chrome_trace
@@ -10,6 +15,16 @@ from repro.engine.events import (
     Signal,
     Timeout,
     Wait,
+)
+from repro.engine.protocol import (
+    ALL_TRACE_KINDS,
+    COMPONENT_LIFECYCLE,
+    TRANSFER_LIFECYCLE,
+    DesignHooks,
+    StateRule,
+    TokenLayout,
+    delivery_action,
+    design_hooks,
 )
 from repro.engine.resources import Resource, ResourceBank
 from repro.engine.sequence import MonotonicSequence
@@ -32,4 +47,12 @@ __all__ = [
     "TraceRecord",
     "trace_to_chrome",
     "write_chrome_trace",
+    "StateRule",
+    "TokenLayout",
+    "DesignHooks",
+    "COMPONENT_LIFECYCLE",
+    "TRANSFER_LIFECYCLE",
+    "ALL_TRACE_KINDS",
+    "delivery_action",
+    "design_hooks",
 ]

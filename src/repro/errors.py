@@ -21,6 +21,7 @@ __all__ = [
     "MemoryModelError",
     "ShmemError",
     "SolverError",
+    "ConfigurationError",
     "TaskModelError",
     "WorkloadError",
     "FaultInjectionError",
@@ -100,6 +101,40 @@ class ShmemError(ReproError, RuntimeError):
 
 class SolverError(ReproError, RuntimeError):
     """A solver failed to produce a solution (deadlock, divergence, ...)."""
+
+
+class ConfigurationError(SolverError, ValueError):
+    """An execution-configuration knob has an unknown or invalid value.
+
+    Raised for unknown ``engine`` / ``design`` / ``scheduler`` choices
+    (and any other :class:`~repro.runtime.config.RunConfig` field) with
+    the valid choices spelled out in the message.  Subclasses
+    :class:`SolverError` so existing ``except SolverError`` call sites
+    keep catching it, and :class:`ValueError` because the failure is a
+    bad argument.
+
+    Attributes
+    ----------
+    parameter:
+        Name of the offending knob (``"engine"``, ``"design"``, ...).
+    value:
+        The rejected value, verbatim.
+    choices:
+        Tuple of accepted values, when the domain is enumerable.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        parameter: str | None = None,
+        value: object = None,
+        choices: tuple | None = None,
+    ):
+        super().__init__(message)
+        self.parameter = parameter
+        self.value = value
+        self.choices = choices
 
 
 class TaskModelError(ReproError, ValueError):

@@ -58,7 +58,7 @@ import numpy as np
 
 from repro.analysis.dag import DependencyDag
 from repro.analysis.levels import DispatchFronts, LevelSets
-from repro.errors import SolverError
+from repro.errors import ConfigurationError, SolverError
 from repro.exec_model.artefacts import (
     AnalysisArtefacts,
     PlacementArtefacts,
@@ -466,7 +466,9 @@ def simulate_execution(
         — can audit the scheduling pass without re-deriving the cost
         model.  Has no effect on the returned report.
     """
-    design = Design(design)
+    from repro.engine.protocol import coerce_design
+
+    design = coerce_design(design)
     if dist.n != lower.shape[0]:
         raise SolverError(
             f"distribution covers {dist.n} components, matrix has "
@@ -478,7 +480,13 @@ def simulate_execution(
             f"{machine.n_gpus}"
         )
     if scheduler not in ("auto", "batched", "reference"):
-        raise SolverError(f"unknown scheduler {scheduler!r}")
+        raise ConfigurationError(
+            f"unknown scheduler {scheduler!r}; valid choices: auto, "
+            "batched, reference",
+            parameter="scheduler",
+            value=scheduler,
+            choices=("auto", "batched", "reference"),
+        )
     if artefacts is None:
         artefacts = get_artefacts(lower, dag=dag)
     elif dag is not None and dag is not artefacts.dag:

@@ -51,6 +51,7 @@ __all__ = [
     "ChaosScenario",
     "ChaosCell",
     "ChaosReport",
+    "axes_from_config",
     "default_scenarios",
     "run_chaos_matrix",
 ]
@@ -289,15 +290,48 @@ def _design(name: str):
     return {"unified": Design.UNIFIED, "zerocopy": Design.SHMEM_READONLY}[name]
 
 
+def axes_from_config(config) -> dict:
+    """Map a :class:`~repro.runtime.RunConfig` onto chaos-matrix axes.
+
+    The config's single-valued knobs pin the matching axis to a
+    one-element tuple: ``design`` → ``designs``, ``distribution`` →
+    ``dists``, ``engine`` → ``engines`` (``"auto"`` keeps the default
+    per-mode engine axis).  Designs the matrix has no vocabulary for
+    (``shmem_naive``) raise :class:`~repro.errors.ConfigurationError`.
+    """
+    from repro.errors import ConfigurationError
+    from repro.exec_model.costmodel import Design
+
+    design_names = {
+        Design.UNIFIED: "unified",
+        Design.SHMEM_READONLY: "zerocopy",
+    }
+    if config.design not in design_names:
+        raise ConfigurationError(
+            f"chaos matrix has no axis for design {config.design.value!r}; "
+            "valid choices: unified, zerocopy",
+            parameter="design",
+            value=config.design.value,
+            choices=tuple(d.value for d in design_names),
+        )
+    axes: dict = {
+        "designs": (design_names[config.design],),
+        "dists": (config.distribution,),
+    }
+    if config.engine != "auto":
+        axes["engines"] = (config.engine,)
+    return axes
+
+
 def _run_one(lower, b, dist, machine, design, scenario, T, engine, wall_limit):
     """One faulted, recovered run; returns (result, error)."""
-    from repro.resilience.recovery import resilient_execute
+    from repro.runtime.session import resilient_run
 
     watchdog = Watchdog(
         stall_horizon=max(50.0 * T, 1.0), wall_limit=wall_limit
     )
     try:
-        res = resilient_execute(
+        res = resilient_run(
             lower,
             b,
             dist,
@@ -351,6 +385,7 @@ def run_chaos_matrix(
     designs: Sequence[str] = DESIGNS,
     dists: Sequence[str] = DISTRIBUTIONS,
     wall_limit: float = 60.0,
+    engines: Sequence[str] | None = None,
 ) -> ChaosReport:
     """Run the chaos matrix and return the per-cell report.
 
@@ -358,7 +393,9 @@ def run_chaos_matrix(
     subset, a smaller system, and the ``auto`` engine per cell.  A full
     run executes every cell on *both* engines and requires them to agree
     bitwise (or on the same typed error), folding the engine-parity
-    contract into the chaos sweep itself.
+    contract into the chaos sweep itself.  ``engines`` overrides the
+    per-cell engine axis (``tools/chaos.py --config`` pins one engine
+    through it).
 
     Never hangs: every run carries a fresh :class:`Watchdog` with a
     simulated-time stall horizon and a ``wall_limit`` real-seconds guard.
@@ -376,7 +413,10 @@ def run_chaos_matrix(
     machine = dgx1(n_gpus)
     if scenarios is None:
         scenarios = default_scenarios(quick=quick)
-    engines = ("auto",) if quick else ("reference", "array")
+    if engines is None:
+        engines = ("auto",) if quick else ("reference", "array")
+    else:
+        engines = tuple(engines)
 
     cells: list[ChaosCell] = []
     dist_map = _distributions(n, n_gpus)
@@ -404,9 +444,9 @@ def run_chaos_matrix(
             # must itself match serial forward substitution bit-for-bit.
             base: dict = {}
             for engine in engines:
-                from repro.resilience.recovery import resilient_execute
+                from repro.runtime.session import resilient_run
 
-                base[engine] = resilient_execute(
+                base[engine] = resilient_run(
                     lower,
                     b,
                     dist,

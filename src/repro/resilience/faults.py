@@ -60,6 +60,7 @@ from enum import Enum
 
 import numpy as np
 
+from repro.engine.protocol import FATE_CORRUPT, FATE_DELAY, FATE_DROP
 from repro.errors import FaultInjectionError
 
 __all__ = [
@@ -68,6 +69,9 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "flip_mantissa_bit",
+    "FATE_DROP",
+    "FATE_DELAY",
+    "FATE_CORRUPT",
 ]
 
 _INF = float("inf")
@@ -177,10 +181,8 @@ def flip_mantissa_bit(value: float, bit: int) -> float:
     return struct.unpack("<d", struct.pack("<Q", bits ^ (1 << bit)))[0]
 
 
-# Delivery-fate tags returned by FaultInjector.delivery_fate.
-FATE_DROP = "drop"
-FATE_DELAY = "delay"
-FATE_CORRUPT = "corrupt"
+# Delivery-fate tags returned by FaultInjector.delivery_fate are defined
+# once in the protocol core (see the header import) and re-exported here.
 
 
 class FaultInjector:

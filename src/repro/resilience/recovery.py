@@ -22,9 +22,10 @@ degraded communication:
   forward closure in dependency order, and a still-failing system raises
   :class:`RecoveryExhaustedError` rather than returning a wrong ``x``.
 
-:func:`resilient_execute` composes all three around
+:func:`repro.runtime.session.resilient_run` composes all three around
 :func:`repro.solvers.des_solver.des_execute` and is what the chaos
-harness drives.
+harness drives; :func:`resilient_execute` remains here as a deprecation
+shim for it.
 """
 
 from __future__ import annotations
@@ -207,44 +208,29 @@ def resilient_execute(
     engine: str = "auto",
     trace_enabled: bool = True,
 ) -> ResilientResult:
-    """Run one faulted, recovered, residual-checked DES solve.
+    """Deprecated shim: use :func:`repro.runtime.session.resilient_run`
+    (or a configured :class:`~repro.runtime.session.SolverSession`).
 
-    Builds the :class:`~repro.resilience.faults.FaultInjector` from
-    ``plan``, plays the system out on the selected engine with the
-    recovery policy and watchdog wired in, then applies the post-solve
-    residual check/repair.  Any failure surfaces as a typed
-    :class:`~repro.errors.ReproError` subclass — this function either
-    returns a verified solution or raises; it never hangs (watchdog) and
-    never returns silently corrupted data (residual check).
+    The pipeline body moved to the runtime facade; this wrapper emits
+    the documented ``repro.runtime shim`` DeprecationWarning and
+    delegates unchanged.
     """
-    from repro.solvers.des_solver import des_execute
+    from repro.runtime.session import resilient_run
+    from repro.runtime.shims import shim_warn
 
-    injector = None
-    if plan is not None and not plan.is_null:
-        injector = plan.build(lower, dist)
-    if recovery is None:
-        recovery = RecoveryPolicy()
-    ex = des_execute(
+    shim_warn(
+        "repro.resilience.recovery.resilient_execute",
+        "repro.runtime.resilient_run",
+    )
+    return resilient_run(
         lower,
         b,
         dist,
         machine,
         design,
-        engine=engine,
-        trace_enabled=trace_enabled,
-        injector=injector,
+        plan=plan,
         recovery=recovery,
         watchdog=watchdog,
-    )
-    x = ex.x
-    repaired: list[int] = []
-    if recovery.residual_check:
-        x, repaired = residual_repair(
-            lower, b, x, ceiling=recovery.residual_ceiling
-        )
-    return ResilientResult(
-        x=x,
-        execution=ex,
-        repaired=tuple(repaired),
-        residual=residual_norm(lower, x, np.asarray(b, dtype=np.float64)),
+        engine=engine,
+        trace_enabled=trace_enabled,
     )

@@ -1,0 +1,326 @@
+"""Declarative run configuration for the execution facade.
+
+A :class:`RunConfig` captures every knob of one SpTRSV execution
+pipeline — design, engine, fast-model scheduler, machine shape, task
+distribution, fault plan, recovery policy, watchdog, and trace sink —
+as one frozen, validated value.  It is the single argument of
+:class:`repro.runtime.session.SolverSession` and the JSON surface of the
+``tools/sweep.py --config`` / ``tools/chaos.py --config`` CLIs
+(:meth:`RunConfig.from_mapping` / :meth:`RunConfig.from_json`).
+
+Every unknown key or out-of-domain value raises a typed
+:class:`~repro.errors.ConfigurationError` naming the parameter and the
+valid choices — no bare ``ValueError`` / ``KeyError`` paths.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+
+from repro.engine.protocol import VALID_ENGINES, coerce_design
+from repro.errors import ConfigurationError
+from repro.exec_model.costmodel import Design
+
+__all__ = [
+    "RunConfig",
+    "VALID_DISTRIBUTIONS",
+    "VALID_SCHEDULERS",
+    "load_run_config",
+]
+
+#: Task distributions the facade can build (see ``repro.tasks.schedule``).
+VALID_DISTRIBUTIONS = ("block", "taskpool")
+
+#: Fast-model scheduling passes (see ``simulate_execution``).
+VALID_SCHEDULERS = ("auto", "batched", "reference")
+
+#: Design aliases accepted on the JSON surface, matching the chaos
+#: harness's vocabulary (``zerocopy`` is the read-only NVSHMEM design).
+_DESIGN_ALIASES = {"zerocopy": Design.SHMEM_READONLY}
+
+
+def _choice(parameter: str, value, choices: tuple) -> None:
+    if value not in choices:
+        raise ConfigurationError(
+            f"unknown {parameter} {value!r}; valid choices: "
+            + ", ".join(str(c) for c in choices),
+            parameter=parameter,
+            value=value,
+            choices=choices,
+        )
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One validated execution configuration.
+
+    Attributes
+    ----------
+    design:
+        Communication design (:class:`~repro.exec_model.costmodel.Design`
+        or its string value; the alias ``"zerocopy"`` maps to
+        ``shmem_readonly``).
+    engine:
+        DES engine: ``"auto"`` / ``"array"`` / ``"reference"``.
+    scheduler:
+        Fast-model scheduling pass: ``"auto"`` / ``"batched"`` /
+        ``"reference"``.
+    machine:
+        Explicit :class:`~repro.machine.node.MachineConfig`; ``None``
+        builds a ``dgx1(n_gpus)`` node lazily.
+    n_gpus:
+        GPU count for the default machine (ignored when ``machine`` is
+        given).
+    distribution:
+        Task distribution: ``"block"`` (contiguous) or ``"taskpool"``
+        (round-robin, ``tasks_per_gpu`` pools per rank).
+    tasks_per_gpu:
+        Pool count per rank for the ``taskpool`` distribution.
+    plan:
+        Optional :class:`~repro.resilience.faults.FaultPlan` materialised
+        per solve.
+    recovery:
+        Optional :class:`~repro.resilience.recovery.RecoveryPolicy`;
+        ``None`` means the default policy for faulted runs.
+    watchdog_stall_horizon / watchdog_wall_limit:
+        When either is set, each solve carries a fresh
+        :class:`~repro.resilience.watchdog.Watchdog` with these bounds
+        (a watchdog is single-run state, so the config stores the knobs,
+        not the instance).
+    trace_enabled:
+        Record the full DES trace stream (disable for throughput runs).
+    """
+
+    design: Design | str = Design.SHMEM_READONLY
+    engine: str = "auto"
+    scheduler: str = "auto"
+    machine: object | None = None
+    n_gpus: int = 4
+    distribution: str = "block"
+    tasks_per_gpu: int = 2
+    plan: object | None = None
+    recovery: object | None = None
+    watchdog_stall_horizon: float | None = None
+    watchdog_wall_limit: float | None = None
+    trace_enabled: bool = True
+
+    def __post_init__(self):
+        design = self.design
+        if isinstance(design, str) and design in _DESIGN_ALIASES:
+            design = _DESIGN_ALIASES[design]
+        object.__setattr__(self, "design", coerce_design(design))
+        _choice("engine", self.engine, VALID_ENGINES)
+        _choice("scheduler", self.scheduler, VALID_SCHEDULERS)
+        _choice("distribution", self.distribution, VALID_DISTRIBUTIONS)
+        if self.n_gpus < 1:
+            raise ConfigurationError(
+                f"n_gpus must be >= 1, got {self.n_gpus}",
+                parameter="n_gpus",
+                value=self.n_gpus,
+            )
+        if self.tasks_per_gpu < 1:
+            raise ConfigurationError(
+                f"tasks_per_gpu must be >= 1, got {self.tasks_per_gpu}",
+                parameter="tasks_per_gpu",
+                value=self.tasks_per_gpu,
+            )
+
+    # ------------------------------------------------------------ builders
+    def resolve_machine(self):
+        """The configured machine, building the default node on demand."""
+        if self.machine is not None:
+            return self.machine
+        from repro.machine.node import dgx1
+
+        return dgx1(self.n_gpus)
+
+    def build_distribution(self, n: int, n_gpus: int):
+        """Materialise the configured distribution for an ``n``-component
+        system on ``n_gpus`` ranks."""
+        from repro.tasks.schedule import (
+            block_distribution,
+            round_robin_distribution,
+        )
+
+        if self.distribution == "taskpool":
+            return round_robin_distribution(
+                n, n_gpus, tasks_per_gpu=self.tasks_per_gpu
+            )
+        return block_distribution(n, n_gpus)
+
+    def build_watchdog(self):
+        """A fresh per-run watchdog, or ``None`` when neither bound is set."""
+        if (
+            self.watchdog_stall_horizon is None
+            and self.watchdog_wall_limit is None
+        ):
+            return None
+        from repro.resilience.watchdog import Watchdog
+
+        horizon = self.watchdog_stall_horizon
+        return Watchdog(
+            stall_horizon=horizon if horizon is not None else 1.0,
+            wall_limit=self.watchdog_wall_limit,
+        )
+
+    # -------------------------------------------------------- serialisation
+    @classmethod
+    def from_mapping(cls, mapping: dict) -> "RunConfig":
+        """Build a config from a plain mapping (the ``--config`` surface).
+
+        Scalar keys mirror the dataclass fields.  ``recovery`` accepts a
+        mapping of :class:`RecoveryPolicy` fields, ``plan`` a mapping
+        ``{"seed": ..., "specs": [{"kind": ..., ...}, ...]}``, and
+        ``watchdog`` a mapping with ``stall_horizon`` / ``wall_limit``.
+        Unknown keys at any level raise
+        :class:`~repro.errors.ConfigurationError`.
+        """
+        known = {f.name for f in fields(cls)}
+        kwargs: dict = {}
+        for key, value in mapping.items():
+            if key == "recovery" and isinstance(value, dict):
+                kwargs["recovery"] = _recovery_from_mapping(value)
+            elif key == "plan" and isinstance(value, dict):
+                kwargs["plan"] = _plan_from_mapping(value)
+            elif key == "watchdog" and isinstance(value, dict):
+                extra = set(value) - {"stall_horizon", "wall_limit"}
+                if extra:
+                    raise ConfigurationError(
+                        f"unknown watchdog key(s): {sorted(extra)}",
+                        parameter="watchdog",
+                        value=sorted(extra),
+                    )
+                kwargs["watchdog_stall_horizon"] = value.get("stall_horizon")
+                kwargs["watchdog_wall_limit"] = value.get("wall_limit")
+            elif key in known:
+                kwargs[key] = value
+            else:
+                raise ConfigurationError(
+                    f"unknown RunConfig key {key!r}; valid keys: "
+                    + ", ".join(sorted(known | {"watchdog"})),
+                    parameter=key,
+                    value=value,
+                    choices=tuple(sorted(known | {"watchdog"})),
+                )
+        return cls(**kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunConfig":
+        """Parse a JSON object into a config (see :meth:`from_mapping`)."""
+        try:
+            mapping = json.loads(text)
+        except json.JSONDecodeError as err:
+            raise ConfigurationError(
+                f"--config is not valid JSON: {err}", parameter="config"
+            ) from None
+        if not isinstance(mapping, dict):
+            raise ConfigurationError(
+                "--config must be a JSON object of RunConfig keys",
+                parameter="config",
+                value=mapping,
+            )
+        return cls.from_mapping(mapping)
+
+    def to_mapping(self) -> dict:
+        """Round-trippable plain mapping (machine/plan/recovery elided to
+        their reprs when not JSON-representable)."""
+        out: dict = {
+            "design": self.design.value,
+            "engine": self.engine,
+            "scheduler": self.scheduler,
+            "n_gpus": self.n_gpus,
+            "distribution": self.distribution,
+            "tasks_per_gpu": self.tasks_per_gpu,
+            "trace_enabled": self.trace_enabled,
+        }
+        if self.watchdog_stall_horizon is not None:
+            out.setdefault("watchdog", {})[
+                "stall_horizon"
+            ] = self.watchdog_stall_horizon
+        if self.watchdog_wall_limit is not None:
+            out.setdefault("watchdog", {})[
+                "wall_limit"
+            ] = self.watchdog_wall_limit
+        return out
+
+
+def load_run_config(source: str | None) -> RunConfig:
+    """Resolve a CLI ``--config`` argument to a :class:`RunConfig`.
+
+    ``None`` yields the default config; ``@path`` reads a JSON file;
+    anything else is parsed as an inline JSON object.  All failure modes
+    raise :class:`~repro.errors.ConfigurationError`.
+    """
+    if source is None:
+        return RunConfig()
+    if source.startswith("@"):
+        try:
+            with open(source[1:], "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as err:
+            raise ConfigurationError(
+                f"cannot read --config file {source[1:]!r}: {err}",
+                parameter="config",
+                value=source,
+            ) from None
+    return RunConfig.from_json(source)
+
+
+def _recovery_from_mapping(mapping: dict):
+    from repro.resilience.recovery import RecoveryPolicy
+
+    valid = {f.name for f in fields(RecoveryPolicy)}
+    extra = set(mapping) - valid
+    if extra:
+        raise ConfigurationError(
+            f"unknown RecoveryPolicy key(s): {sorted(extra)}; valid keys: "
+            + ", ".join(sorted(valid)),
+            parameter="recovery",
+            value=sorted(extra),
+            choices=tuple(sorted(valid)),
+        )
+    return RecoveryPolicy(**mapping)
+
+
+def _plan_from_mapping(mapping: dict):
+    from repro.resilience.faults import FaultKind, FaultPlan, FaultSpec
+
+    extra = set(mapping) - {"seed", "specs"}
+    if extra:
+        raise ConfigurationError(
+            f"unknown FaultPlan key(s): {sorted(extra)}; valid keys: "
+            "seed, specs",
+            parameter="plan",
+            value=sorted(extra),
+        )
+    spec_fields = {f.name for f in fields(FaultSpec)}
+    specs = []
+    for raw in mapping.get("specs", ()):
+        if "kind" not in raw:
+            raise ConfigurationError(
+                "every fault spec needs a 'kind'",
+                parameter="plan",
+                value=raw,
+            )
+        bad = set(raw) - spec_fields
+        if bad:
+            raise ConfigurationError(
+                f"unknown FaultSpec key(s): {sorted(bad)}; valid keys: "
+                + ", ".join(sorted(spec_fields)),
+                parameter="plan",
+                value=sorted(bad),
+                choices=tuple(sorted(spec_fields)),
+            )
+        try:
+            kind = FaultKind(raw["kind"])
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown fault kind {raw['kind']!r}; valid choices: "
+                + ", ".join(k.value for k in FaultKind),
+                parameter="plan",
+                value=raw["kind"],
+                choices=tuple(k.value for k in FaultKind),
+            ) from None
+        specs.append(FaultSpec(**{**raw, "kind": kind}))
+    return FaultPlan(seed=int(mapping.get("seed", 0)), specs=tuple(specs))

@@ -1,0 +1,31 @@
+"""Deprecation shims for the entry points the runtime facade replaced.
+
+Every shim warning starts with :data:`SHIM_PREFIX`, which is the exact
+filter CI's deprecation-shim job allows::
+
+    python -m pytest -x -q \\
+        -W error::DeprecationWarning \\
+        -W "ignore:repro.runtime shim:DeprecationWarning"
+
+Any *other* DeprecationWarning escaping the tier-1 suite fails that job,
+so new deprecations must either go through :func:`shim_warn` or migrate
+their callers.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["SHIM_PREFIX", "shim_warn"]
+
+#: Leading text of every documented shim warning (CI filters on it).
+SHIM_PREFIX = "repro.runtime shim"
+
+
+def shim_warn(old: str, new: str) -> None:
+    """Emit the documented deprecation warning for a shimmed entry point."""
+    warnings.warn(
+        f"{SHIM_PREFIX}: {old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )

@@ -1,8 +1,13 @@
 """Array-based DES fast path: the event-granular playout without generators.
 
-This module re-implements :func:`repro.solvers.des_solver.des_execute`'s
-simulation — the same components, notifiers, warp slots, link channels,
-and unified-memory page table — as a flat state machine instead of one
+This module is the *compiling interpreter* of the shared execution
+protocol in :mod:`repro.engine.protocol`: at build time it compiles the
+protocol's lifecycle tables, token layout, and timing rules into flat
+integer/float arrays, then drains them with a branchy hot loop — the
+same components, notifiers, warp slots, link channels, and
+unified-memory page table as the reference engine
+(:func:`repro.solvers.des_solver.des_execute`, which *walks* the same
+tables with generator objects), as a flat state machine instead of one
 Python generator per process:
 
 * **exact-time event calendar** — pending events live in FIFO buckets
@@ -62,24 +67,57 @@ from heapq import heappop, heappush
 import numpy as np
 
 from repro.analysis.dag import DependencyDag
+from repro.engine.protocol import (
+    ACT_CORRUPT,
+    ACT_DELAY,
+    ACT_EXHAUSTED,
+    ACT_STARVE,
+    COMP_ACQUIRE,
+    COMP_DEAD,
+    COMP_DISPATCH,
+    COMP_GATHER,
+    COMP_POST,
+    COMP_RELEASE,
+    COMP_SHIFT,
+    COMP_SOLVE,
+    TRACE_DISPATCH,
+    TRACE_FAULT,
+    TRACE_GPU_FAIL,
+    TRACE_INJECT,
+    TRACE_MSG_LOST,
+    TRACE_RECOVERED,
+    TRACE_RELEASE,
+    TRACE_REMAP,
+    TRACE_RETRY,
+    TRACE_SOLVE,
+    TRACE_XFER_BEGIN,
+    TRACE_XFER_END,
+    XFER_CLAIM,
+    XFER_RETIRE,
+    XFER_SHIFT,
+    TokenLayout,
+    delivery_action,
+    design_hooks,
+    edge_cost_tables,
+    exhausted_delivery,
+    failure_victims,
+    gather_cost_table,
+    launch_times,
+    link_capacity,
+    remap_plan,
+    solve_cost_table,
+    validate_diagonals,
+    wire_time,
+)
 from repro.engine.resources import ResourceBank
 from repro.engine.trace import Trace
-from repro.errors import (
-    DeadlockError,
-    RecoveryExhaustedError,
-    SimulationError,
-    SolverError,
-)
+from repro.errors import DeadlockError, SimulationError, SolverError
 from repro.exec_model.costmodel import CommCosts, Design
 from repro.machine.node import MachineConfig
 from repro.machine.unified import UnifiedMemory
-from repro.resilience.faults import (
-    FATE_CORRUPT,
-    FATE_DELAY,
-    flip_mantissa_bit,
-)
+from repro.resilience.faults import flip_mantissa_bit
 from repro.sparse.csc import CscMatrix
-from repro.tasks.schedule import Distribution, remap_failed_components
+from repro.tasks.schedule import Distribution
 
 __all__ = ["execute_array", "ARRAY_MIN_COMPONENTS"]
 
@@ -87,25 +125,6 @@ __all__ = ["execute_array", "ARRAY_MIN_COMPONENTS"]
 #: vectorised precompute passes cost more than the generator overhead
 #: they remove.
 ARRAY_MIN_COMPONENTS = 64
-
-# Component resume states (token = (component << 3) | state).
-_S_ACQUIRE = 0  # initial: claim a warp slot
-_S_DISPATCH = 1  # slot granted: emit dispatch, pay warp-dispatch cost
-_S_GATHER = 2  # dependencies satisfied: pay the gather cost
-_S_SOLVE = 3  # gather done: pay the solve cost
-_S_POST = 4  # value ready: update dependants
-_S_RELEASE = 5  # updates issued: retire the slot
-
-# Tombstone state: a cancelled component step (its GPU failed).  The
-# token keeps its exact (time, insertion) slot in the calendar and burns
-# one event when drained — mirroring the reference engine, where the
-# stale generator resumes once, sees its epoch mismatch, and exits.
-_S_DEAD = 6
-
-# Cross-GPU transfer states (token = n*8 + nnz + ((edge << 2) | state)).
-_R_START = 0  # claim a link channel
-_R_XFER = 1  # channel granted: message on the wire
-_R_XFEREND = 2  # wire time paid: retire the channel, deliver
 
 
 def execute_array(
@@ -139,7 +158,7 @@ def execute_array(
     n = lower.shape[0]
     n_gpus = machine.n_gpus
     gpu_spec = machine.gpu
-    unified = design is Design.UNIFIED
+    unified = design_hooks(design).page_table
     topo = machine.topology
     phys = machine.active_gpus
 
@@ -160,15 +179,8 @@ def execute_array(
 
     # The reference engine discovers a missing diagonal when the solve
     # front reaches the column; with the whole structure in hand the
-    # array engine can reject it upfront.
-    if np.any(col_nnz == 0):
-        bad = int(np.nonzero(col_nnz == 0)[0][0])
-        raise SolverError(f"missing diagonal at column {bad}")
-    diag_bad = lower.indices[indptr[:-1]] != np.arange(n)
-    if np.any(diag_bad):
-        raise SolverError(
-            f"missing diagonal at column {int(np.nonzero(diag_bad)[0][0])}"
-        )
+    # array engine can reject it upfront (identical error either way).
+    validate_diagonals(indptr, lower.indices, n)
 
     indptr_l = indptr.tolist()
     idx_l = lower.indices.tolist()
@@ -177,10 +189,8 @@ def execute_array(
     b_l = np.asarray(b, dtype=np.float64).tolist()
     remaining = dag.in_degree.tolist()
     in_counts_l = in_counts.tolist()
-    gather_l = np.where(in_counts > 0, costs.gather, 0.0).tolist()
-    solve_l = (
-        gpu_spec.t_per_nnz * (np.maximum(col_nnz, 1) + in_counts)
-    ).tolist()
+    gather_l = gather_cost_table(costs.gather, in_counts).tolist()
+    solve_l = solve_cost_table(gpu_spec.t_per_nnz, col_nnz, in_counts).tolist()
 
     # Per-entry edge tables, aligned with ``indices``/``data`` (the
     # diagonal slots carry unused values; the update loop starts past
@@ -192,10 +202,9 @@ def execute_array(
     srcg_l = src_g_e.tolist()
     dstg_l = dst_g_e.tolist()
     if not unified:
-        inc_l = np.where(
-            local_e, costs.update_local, costs.update_remote[src_g_e, dst_g_e]
-        ).tolist()
-        dl_l = np.where(local_e, 0.0, costs.notify[src_g_e, dst_g_e]).tolist()
+        inc_e, dl_e = edge_cost_tables(costs, src_g_e, dst_g_e, local_e)
+        inc_l = inc_e.tolist()
+        dl_l = dl_e.tolist()
     else:
         inc_l = dl_l = None
     notify_l = costs.notify.tolist()
@@ -205,11 +214,14 @@ def execute_array(
     # value, post-transfer delay) written at solve time.  The spawn
     # token already encodes the edge's class — local hop or cross-GPU
     # transfer — so a component's whole update fan-out is ingested with
-    # a single slice-extend.
-    n8 = n << 3
-    m8 = n8 + nnz
-    eids = np.arange(nnz, dtype=np.int64)
-    spawn_code_l = np.where(local_e, n8 + eids, m8 + (eids << 2)).tolist()
+    # a single slice-extend.  The protocol's TokenLayout fixes the
+    # ranges; its bases and shifts are hoisted into locals for the hot
+    # loop (the literal shift/mask constants below are the compiled form
+    # of COMP_SHIFT=3 / XFER_SHIFT=2, pinned by tests/test_protocol_parity).
+    layout = TokenLayout.for_system(n, nnz)
+    n8 = layout.local_base
+    m8 = layout.xfer_base
+    spawn_code_l = layout.spawn_codes(local_e).tolist()
     e_contrib = [0.0] * nnz
     e_delay = [0.0] * nnz
 
@@ -222,7 +234,7 @@ def execute_array(
     e_attempt = [0] * nnz if (delivery_faulty or link_faulty) else None
     done_l = [False] * n
     dead: set = set()
-    f8 = m8 + (nnz << 2)
+    f8 = layout.failure_base
     gpu_np = gpu_of.copy() if failure_mode else gpu_of
     fail_gpu = [g for _t, g in injector.gpu_failures] if failure_mode else []
 
@@ -237,11 +249,9 @@ def execute_array(
     for p in cross_pairs.tolist():
         src_pe, dst_pe = p // n_gpus, p % n_gpus
         ga, gb = int(phys[src_pe]), int(phys[dst_pe])
-        capacity = max(int(topo.link_count[ga, gb]), 1) * (
-            MESSAGES_IN_FLIGHT_PER_LINK
-        )
+        capacity = link_capacity(topo, ga, gb, MESSAGES_IN_FLIGHT_PER_LINK)
         pair_rid[p] = bank.add(f"link{src_pe}->{dst_pe}", capacity)
-        pair_wire[p] = 8.0 / topo.peer_bandwidth(ga, gb)
+        pair_wire[p] = wire_time(topo, ga, gb)
     elink_l = np.where(
         local_e, -1, pair_rid[src_g_e * n_gpus + dst_g_e]
     ).tolist()
@@ -264,12 +274,11 @@ def execute_array(
     # Inline FIFO calendar: ingest the initial dispatch front.
     # ----------------------------------------------------------------
     task_of = dist.task_of()
-    launch = (
-        np.arange(dist.n_tasks, dtype=np.float64) * gpu_spec.t_kernel_launch
-    )
+    launch = launch_times(dist.n_tasks, gpu_spec.t_kernel_launch)
     spawn_times = launch[task_of]
     order = np.argsort(spawn_times, kind="stable")
-    codes_sorted = (order.astype(np.int64) << 3).tolist()  # state _S_ACQUIRE
+    # State COMP_ACQUIRE (= 0): the shift alone encodes the token.
+    codes_sorted = (order.astype(np.int64) << COMP_SHIFT).tolist()
     uniq, starts = np.unique(spawn_times[order], return_index=True)
     theap = uniq.tolist()  # ascending ⇒ already a valid heap
     bounds = starts.tolist()
@@ -346,17 +355,22 @@ def execute_array(
                         att = e_attempt[e]
                         fate = injector.delivery_fate(e, att)
                         if fate is not None:
-                            kind = fate[0]
+                            # The protocol's decision tree resolves the
+                            # fate; this block only carries out the
+                            # verdict with token bookkeeping.
+                            verdict, arg = delivery_action(
+                                fate, att, recovery
+                            )
                             if emit is not None:
                                 emit(
-                                    now, "inject", gpu=dstg_l[e],
-                                    detail=(kind, e, att),
+                                    now, TRACE_INJECT, gpu=dstg_l[e],
+                                    detail=(fate[0], e, att),
                                 )
                             else:
                                 c_inject += 1
-                            if kind == FATE_DELAY:
+                            if verdict == ACT_DELAY:
                                 e_attempt[e] = att + 1
-                                t2 = now + fate[1]
+                                t2 = now + arg
                                 if t2 > now:
                                     b2 = bget(t2)
                                     if b2 is None:
@@ -367,42 +381,28 @@ def execute_array(
                                 else:
                                     cur.append(code)
                                 continue
-                            if kind == FATE_CORRUPT and (
-                                recovery is None
-                                or not recovery.detect_corruption
-                            ):
+                            if verdict == ACT_CORRUPT:
                                 # No checksum: flipped value lands below.
-                                contrib = flip_mantissa_bit(contrib, fate[1])
+                                contrib = flip_mantissa_bit(contrib, arg)
                                 e_attempt[e] = att + 1
-                            else:
-                                # Detected loss: drop, or checksummed
-                                # corruption — re-send or starve loudly.
-                                dst = idx_l[e]
-                                if recovery is None or not recovery.retry:
-                                    if emit is not None:
-                                        emit(
-                                            now, "msg_lost", gpu=dstg_l[e],
-                                            detail=(e, dst),
-                                        )
-                                    else:
-                                        c_lost += 1
-                                    continue
-                                if att >= recovery.max_retries:
-                                    raise RecoveryExhaustedError(
-                                        f"delivery on edge {e} to component "
-                                        f"{dst} still failing after "
-                                        f"{att + 1} attempts",
-                                        context={
-                                            "edge": int(e),
-                                            "dst": int(dst),
-                                            "attempts": att + 1,
-                                        },
-                                    )
-                                backoff = recovery.retry_delay(att)
+                            elif verdict == ACT_STARVE:
                                 if emit is not None:
                                     emit(
-                                        now, "retry", gpu=srcg_l[e],
-                                        detail=(e, att, backoff),
+                                        now, TRACE_MSG_LOST, gpu=dstg_l[e],
+                                        detail=(e, idx_l[e]),
+                                    )
+                                else:
+                                    c_lost += 1
+                                continue
+                            elif verdict == ACT_EXHAUSTED:
+                                raise exhausted_delivery(
+                                    e, idx_l[e], att + 1
+                                )
+                            else:  # ACT_RETRY
+                                if emit is not None:
+                                    emit(
+                                        now, TRACE_RETRY, gpu=srcg_l[e],
+                                        detail=(e, att, arg),
                                     )
                                 else:
                                     c_retry += 1
@@ -412,7 +412,7 @@ def execute_array(
                                 # hop, exactly like the reference
                                 # notifier's outer loop.
                                 ncode = spawn_code_l[e]
-                                t2 = now + backoff
+                                t2 = now + arg
                                 if t2 > now:
                                     b2 = bget(t2)
                                     if b2 is None:
@@ -426,7 +426,7 @@ def execute_array(
                         elif att:
                             if emit is not None:
                                 emit(
-                                    now, "recovered", gpu=dstg_l[e],
+                                    now, TRACE_RECOVERED, gpu=dstg_l[e],
                                     detail=(e, att),
                                 )
                             else:
@@ -437,7 +437,8 @@ def execute_array(
                     remaining[dst] = rem
                     if rem == 0 and parked_ready[dst]:
                         parked_ready[dst] = False
-                        cur.append((dst << 3) | 2)  # resume at GATHER
+                        # Resume the parked component at COMP_GATHER.
+                        cur.append((dst << 3) | COMP_GATHER)
                     continue
                 if code >= n8:
                     if code < m8:
@@ -460,14 +461,10 @@ def execute_array(
                         g = fail_gpu[code - f8]
                         dead.add(g)
                         if emit is not None:
-                            emit(now, "gpu_fail", gpu=g, detail=g)
+                            emit(now, TRACE_GPU_FAIL, gpu=g, detail=g)
                         else:
                             c_gfail += 1
-                        victims = [
-                            i
-                            for i in range(n)
-                            if g_l[i] == g and not done_l[i]
-                        ]
+                        victims = failure_victims(g_l, done_l, g, n)
                         # Wake-and-kill everything parked, in the
                         # reference engine's order: ready-channel waiters
                         # (ascending victim), then the warp-slot queue
@@ -475,10 +472,10 @@ def execute_array(
                         for i in victims:
                             if parked_ready[i]:
                                 parked_ready[i] = False
-                                cur.append((i << 3) | _S_DEAD)
+                                cur.append((i << 3) | COMP_DEAD)
                         q = r_q[g]
                         while q:
-                            cur.append((q.popleft() & -8) | _S_DEAD)
+                            cur.append((q.popleft() & -8) | COMP_DEAD)
                         if not victims:
                             continue
                         # Cancel pending component steps in place: the
@@ -489,27 +486,27 @@ def execute_array(
                         for blist in buckets.values():
                             for j, c0 in enumerate(blist):
                                 if 0 <= c0 < n8 and (c0 >> 3) in vic:
-                                    blist[j] = (c0 & -8) | _S_DEAD
+                                    blist[j] = (c0 & -8) | COMP_DEAD
                         for j, c0 in enumerate(cur):
                             if 0 <= c0 < n8 and (c0 >> 3) in vic:
-                                cur[j] = (c0 & -8) | _S_DEAD
+                                cur[j] = (c0 & -8) | COMP_DEAD
                         if recovery is not None and recovery.remap_on_failure:
-                            targets = remap_failed_components(
-                                gpu_np, victims, g, n_gpus, dead
+                            plan = remap_plan(
+                                gpu_np, victims, g, n_gpus, dead,
+                                recovery, gpu_spec.t_kernel_launch,
                             )
-                            t_klaunch = gpu_spec.t_kernel_launch
-                            for kk, i in enumerate(victims):
-                                ng = int(targets[kk])
+                            for i, ng, relaunch in plan:
                                 g_l[i] = ng
                                 gpu_np[i] = ng
                                 if emit is not None:
-                                    emit(now, "remap", gpu=ng, detail=(i, g))
+                                    emit(
+                                        now, TRACE_REMAP, gpu=ng,
+                                        detail=(i, g),
+                                    )
                                 else:
                                     c_remap += 1
-                                t2 = now + (
-                                    recovery.detect_latency + kk * t_klaunch
-                                )
-                                ncode = i << 3  # fresh _S_ACQUIRE
+                                t2 = now + relaunch
+                                ncode = i << 3  # fresh COMP_ACQUIRE
                                 if t2 > now:
                                     b2 = bget(t2)
                                     if b2 is None:
@@ -542,15 +539,14 @@ def execute_array(
                                         sp, dp = p // n_gpus, p % n_gpus
                                         ga = int(phys[sp])
                                         gb = int(phys[dp])
-                                        cap = max(
-                                            int(topo.link_count[ga, gb]), 1
-                                        ) * MESSAGES_IN_FLIGHT_PER_LINK
+                                        cap = link_capacity(
+                                            topo, ga, gb,
+                                            MESSAGES_IN_FLIGHT_PER_LINK,
+                                        )
                                         pair_rid[p] = bank.add(
                                             f"link{sp}->{dp}", cap
                                         )
-                                        pair_wire[p] = (
-                                            8.0 / topo.peer_bandwidth(ga, gb)
-                                        )
+                                        pair_wire[p] = wire_time(topo, ga, gb)
                                 eu = upd.tolist()
                                 se_t = se.tolist()
                                 de_t = de.tolist()
@@ -582,11 +578,11 @@ def execute_array(
                     c = code - m8
                     st = c & 3
                     e = c >> 2
-                    if st == _R_XFEREND:
+                    if st == XFER_RETIRE:
                         if emit is not None:
                             emit(
                                 now,
-                                "xfer_end",
+                                TRACE_XFER_END,
                                 gpu=srcg_l[e],
                                 detail=(srcg_l[e], dstg_l[e], idx_l[e]),
                             )
@@ -611,22 +607,22 @@ def execute_array(
                         else:
                             cur.append(ncode)
                         continue
-                    if st == _R_START:
+                    if st == XFER_CLAIM:
                         link = elink_l[e]
                         q = r_q[link]
                         if q or r_used[link] >= r_cap[link]:
-                            q.append(code + 1)  # park; resume at XFER
+                            q.append(code + 1)  # park; resume at WIRE
                             continue
                         u = r_used[link] + 1
                         r_used[link] = u
                         r_tot[link] += 1
                         if u > r_peak[link]:
                             r_peak[link] = u
-                    # _R_XFER (granted inline above, or woken parked)
+                    # XFER_WIRE (granted inline above, or woken parked)
                     if emit is not None:
                         emit(
                             now,
-                            "xfer_begin",
+                            TRACE_XFER_BEGIN,
                             gpu=srcg_l[e],
                             detail=(srcg_l[e], dstg_l[e], idx_l[e]),
                         )
@@ -640,13 +636,13 @@ def execute_array(
                         if wtag is not None:
                             if emit is not None:
                                 emit(
-                                    now, "inject", gpu=srcg_l[e],
+                                    now, TRACE_INJECT, gpu=srcg_l[e],
                                     detail=(wtag, e, e_attempt[e]),
                                 )
                             else:
                                 c_inject += 1
                     t2 = now + wire
-                    ncode = code - st + _R_XFEREND
+                    ncode = code - st + XFER_RETIRE
                     if t2 > now:
                         b2 = bget(t2)
                         if b2 is None:
@@ -661,7 +657,7 @@ def execute_array(
                 # ---------------------------------------- component
                 i = code >> 3
                 st = code & 7
-                if st == _S_GATHER:
+                if st == COMP_GATHER:
                     if remaining[i] > 0:
                         # Unsatisfied dependencies at the post-dispatch
                         # check: park on the readiness flag; the closing
@@ -676,7 +672,7 @@ def execute_array(
                         gather += cost
                     if gather > 0.0:
                         t2 = now + gather
-                        ncode = (code & -8) | _S_SOLVE
+                        ncode = (code & -8) | COMP_SOLVE
                         if t2 > now:
                             b2 = bget(t2)
                             if b2 is None:
@@ -687,13 +683,13 @@ def execute_array(
                         else:
                             cur.append(ncode)
                         continue
-                    st = _S_SOLVE  # zero gather: solve in this event
-                if st == _S_SOLVE:
+                    st = COMP_SOLVE  # zero gather: solve in this event
+                if st == COMP_SOLVE:
                     s_cost = solve_l[i]
                     if straggler_faulty:
                         s_cost = injector.solve_scale(g_l[i], now, s_cost)
                     t2 = now + s_cost
-                    ncode = (code & -8) | _S_POST
+                    ncode = (code & -8) | COMP_POST
                     if t2 > now:
                         b2 = bget(t2)
                         if b2 is None:
@@ -704,7 +700,7 @@ def execute_array(
                     else:
                         cur.append(ncode)
                     continue
-                if st == _S_POST:
+                if st == COMP_POST:
                     lo = indptr_l[i]
                     hi = indptr_l[i + 1]
                     xi = (b_l[i] - left_sum[i]) / data_l[lo]
@@ -712,7 +708,7 @@ def execute_array(
                     done_l[i] = True
                     g = g_l[i]
                     if emit is not None:
-                        emit(now, "solve", gpu=g, detail=i)
+                        emit(now, TRACE_SOLVE, gpu=g, detail=i)
                     else:
                         c_solve += 1
                     if watchdog is not None:
@@ -738,7 +734,7 @@ def execute_array(
                                 if faulted:
                                     if emit is not None:
                                         emit(
-                                            now, "fault",
+                                            now, TRACE_FAULT,
                                             gpu=g, detail=idx_l[e],
                                         )
                                     else:
@@ -753,7 +749,7 @@ def execute_array(
                         cur.extend(spawn_code_l[lo + 1 : hi])
                     if uc > 0.0:
                         t2 = now + uc
-                        ncode = (code & -8) | _S_RELEASE
+                        ncode = (code & -8) | COMP_RELEASE
                         if t2 > now:
                             b2 = bget(t2)
                             if b2 is None:
@@ -764,11 +760,11 @@ def execute_array(
                         else:
                             cur.append(ncode)
                         continue
-                    st = _S_RELEASE  # zero update cost: retire now
-                if st == _S_RELEASE:
+                    st = COMP_RELEASE  # zero update cost: retire now
+                if st == COMP_RELEASE:
                     g = g_l[i]
                     if emit is not None:
-                        emit(now, "release", gpu=g, detail=i)
+                        emit(now, TRACE_RELEASE, gpu=g, detail=i)
                     else:
                         c_release += 1
                     q = r_q[g]
@@ -778,15 +774,15 @@ def execute_array(
                     else:
                         r_used[g] -= 1
                     continue
-                if st == _S_DEAD:
+                if st == COMP_DEAD:
                     # Tombstone: a cancelled step burning its one event.
                     continue
-                # _S_ACQUIRE / _S_DISPATCH
+                # COMP_ACQUIRE / COMP_DISPATCH
                 g = g_l[i]
-                if st == _S_ACQUIRE:
+                if st == COMP_ACQUIRE:
                     q = r_q[g]
                     if q or r_used[g] >= r_cap[g]:
-                        q.append(code | _S_DISPATCH)  # park; grant later
+                        q.append(code | COMP_DISPATCH)  # park; grant later
                         continue
                     u = r_used[g] + 1
                     r_used[g] = u
@@ -794,11 +790,11 @@ def execute_array(
                     if u > r_peak[g]:
                         r_peak[g] = u
                 if emit is not None:
-                    emit(now, "dispatch", gpu=g, detail=i)
+                    emit(now, TRACE_DISPATCH, gpu=g, detail=i)
                 else:
                     c_dispatch += 1
                 t2 = now + t_disp
-                ncode = (code & -8) | _S_GATHER
+                ncode = (code & -8) | COMP_GATHER
                 if t2 > now:
                     b2 = bget(t2)
                     if b2 is None:
@@ -833,18 +829,18 @@ def execute_array(
             )
         raise SolverError("DES run finished with unsatisfied dependencies")
     if emit is None:
-        trace.bulk_count("dispatch", c_dispatch)
-        trace.bulk_count("solve", c_solve)
-        trace.bulk_count("release", c_release)
-        trace.bulk_count("fault", c_fault)
-        trace.bulk_count("xfer_begin", c_xb)
-        trace.bulk_count("xfer_end", c_xe)
-        trace.bulk_count("inject", c_inject)
-        trace.bulk_count("retry", c_retry)
-        trace.bulk_count("recovered", c_recov)
-        trace.bulk_count("msg_lost", c_lost)
-        trace.bulk_count("gpu_fail", c_gfail)
-        trace.bulk_count("remap", c_remap)
+        trace.bulk_count(TRACE_DISPATCH, c_dispatch)
+        trace.bulk_count(TRACE_SOLVE, c_solve)
+        trace.bulk_count(TRACE_RELEASE, c_release)
+        trace.bulk_count(TRACE_FAULT, c_fault)
+        trace.bulk_count(TRACE_XFER_BEGIN, c_xb)
+        trace.bulk_count(TRACE_XFER_END, c_xe)
+        trace.bulk_count(TRACE_INJECT, c_inject)
+        trace.bulk_count(TRACE_RETRY, c_retry)
+        trace.bulk_count(TRACE_RECOVERED, c_recov)
+        trace.bulk_count(TRACE_MSG_LOST, c_lost)
+        trace.bulk_count(TRACE_GPU_FAIL, c_gfail)
+        trace.bulk_count(TRACE_REMAP, c_remap)
 
     x = np.asarray(x_l, dtype=np.float64)
     return (

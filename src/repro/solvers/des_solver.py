@@ -1,4 +1,4 @@
-"""Event-granular SpTRSV simulation on the DES core.
+"""Event-granular SpTRSV simulation on the DES core (reference engine).
 
 Where the fast model (:mod:`repro.exec_model.timeline`) prices an
 execution analytically, this tier *plays it out*: every component is a
@@ -7,6 +7,13 @@ channel, gathers, solves, and notifies its dependants — with the unified
 design routing every shared-array touch through the exact
 :class:`~repro.machine.unified.UnifiedMemory` page table (exact fault
 counts, exact ownership churn).
+
+This module is the *literal interpreter* of the shared execution
+protocol in :mod:`repro.engine.protocol`: it walks the lifecycle tables
+with generator objects, while :mod:`repro.solvers.des_array` compiles
+the same tables to integer tokens.  Every state constant, timing rule,
+delivery verdict, and remap decision comes from the protocol core —
+neither engine declares protocol logic of its own.
 
 It is O(events) in Python and therefore meant for small systems: tests
 use it to validate the fast model's orderings, and the Fig. 3 bench can
@@ -23,35 +30,54 @@ import numpy as np
 from repro.analysis.dag import DependencyDag
 from repro.engine.des import Simulator
 from repro.engine.events import Acquire, Release, Signal, Timeout, Wait
+from repro.engine.protocol import (
+    ACT_CORRUPT,
+    ACT_DELAY,
+    ACT_DELIVER,
+    ACT_EXHAUSTED,
+    ACT_STARVE,
+    FATE_DELAY,
+    MESSAGES_IN_FLIGHT_PER_LINK,
+    TRACE_DISPATCH,
+    TRACE_FAULT,
+    TRACE_GPU_FAIL,
+    TRACE_INJECT,
+    TRACE_MSG_LOST,
+    TRACE_RECOVERED,
+    TRACE_RELEASE,
+    TRACE_REMAP,
+    TRACE_RETRY,
+    TRACE_SOLVE,
+    TRACE_XFER_BEGIN,
+    TRACE_XFER_END,
+    VALID_ENGINES,
+    coerce_design,
+    delivery_action,
+    design_hooks,
+    edge_notify_delay,
+    edge_update_inc,
+    exhausted_delivery,
+    failure_victims,
+    launch_times,
+    link_capacity,
+    missing_diagonal,
+    remap_plan,
+    solve_cost,
+    wire_time,
+)
 from repro.engine.resources import Resource
 from repro.engine.trace import Trace
-from repro.errors import (
-    FaultInjectionError,
-    RecoveryExhaustedError,
-    SolverError,
-)
+from repro.errors import ConfigurationError, FaultInjectionError, SolverError
 from repro.exec_model.artefacts import get_artefacts
 from repro.exec_model.costmodel import CommCosts, Design
 from repro.machine.node import MachineConfig, dgx1
 from repro.machine.unified import UnifiedMemory
-from repro.resilience.faults import (
-    FATE_CORRUPT,
-    FATE_DELAY,
-    flip_mantissa_bit,
-)
+from repro.resilience.faults import flip_mantissa_bit
 from repro.solvers.base import SolveResult, TriangularSolver, validate_system
 from repro.sparse.csc import CscMatrix
-from repro.tasks.schedule import (
-    Distribution,
-    block_distribution,
-    remap_failed_components,
-)
+from repro.tasks.schedule import Distribution, block_distribution
 
 __all__ = ["DesExecution", "des_execute", "resolve_engine", "DesSolver"]
-
-#: Fine-grained 8-byte messages a single physical link keeps in flight;
-#: beyond this, notifications queue on the link channel (DES resource).
-MESSAGES_IN_FLIGHT_PER_LINK = 16
 
 
 def resolve_engine(engine: str, n: int) -> str:
@@ -70,9 +96,12 @@ def resolve_engine(engine: str, n: int) -> str:
         return "array" if n >= ARRAY_MIN_COMPONENTS else "reference"
     if engine in ("array", "reference"):
         return engine
-    raise SolverError(
-        f"unknown DES engine {engine!r}; expected 'auto', 'array' or "
-        "'reference'"
+    raise ConfigurationError(
+        f"unknown DES engine {engine!r}; valid choices: "
+        + ", ".join(VALID_ENGINES),
+        parameter="engine",
+        value=engine,
+        choices=VALID_ENGINES,
     )
 
 
@@ -136,7 +165,8 @@ def des_execute(
     * ``watchdog`` — a :class:`~repro.resilience.watchdog.Watchdog`
       polled at every clock advance (no-progress stall detection).
     """
-    design = Design(design)
+    design = coerce_design(design)
+    hooks = design_hooks(design)
     n = lower.shape[0]
     if dist.n != n:
         raise SolverError("distribution does not match the matrix")
@@ -199,13 +229,14 @@ def des_execute(
         if key not in links:
             ga = machine.active_gpus[src_pe]
             gb = machine.active_gpus[dst_pe]
-            n_links = int(machine.topology.link_count[ga, gb])
-            capacity = max(n_links, 1) * MESSAGES_IN_FLIGHT_PER_LINK
+            capacity = link_capacity(
+                machine.topology, ga, gb, MESSAGES_IN_FLIGHT_PER_LINK
+            )
             links[key] = Resource(f"link{src_pe}->{dst_pe}", capacity)
         return links[key]
     um: UnifiedMemory | None = None
     s_left = s_indeg = None
-    if design is Design.UNIFIED:
+    if hooks.page_table:
         um = UnifiedMemory(machine.um, machine.topology)
         s_left = um.malloc_managed("s.left_sum", n)
         s_indeg = um.malloc_managed("s.in_degree", n, dtype=np.int64)
@@ -250,10 +281,10 @@ def des_execute(
         never reroutes a message already in flight.
 
         Under a fault plan each delivery attempt of edge ``e`` asks the
-        injector for its fate: a drop (or checksum-detected corruption)
-        is re-sent after exponential backoff when the recovery policy
-        allows — re-paying the wire on cross-GPU edges — and starves the
-        dependant loudly otherwise; an undetected corruption flips one
+        injector for its fate and resolves it through the protocol's
+        :func:`~repro.engine.protocol.delivery_action` decision tree:
+        retries re-pay the wire on cross-GPU edges, a starved dependant
+        is reported loudly, and an undetected corruption flips one
         mantissa bit of the contribution and lands.
         """
         cross = src_pe != dst_pe
@@ -261,13 +292,13 @@ def des_execute(
             link = link_of(src_pe, dst_pe)
             ga = machine.active_gpus[src_pe]
             gb = machine.active_gpus[dst_pe]
-            base_wire = 8.0 / machine.topology.peer_bandwidth(ga, gb)
+            base_wire = wire_time(machine.topology, ga, gb)
         attempt = 0
         corrupted = False
         while True:
             if cross:
                 yield Acquire(link)
-                trace.emit(sim.now, "xfer_begin", gpu=src_pe, detail=(src_pe, dst_pe, dst))
+                trace.emit(sim.now, TRACE_XFER_BEGIN, gpu=src_pe, detail=(src_pe, dst_pe, dst))
                 wire = base_wire
                 if link_faulty:
                     wire, tag = injector.wire_time(
@@ -275,56 +306,48 @@ def des_execute(
                     )
                     if tag is not None:
                         trace.emit(
-                            sim.now, "inject", gpu=src_pe,
+                            sim.now, TRACE_INJECT, gpu=src_pe,
                             detail=(tag, e, attempt),
                         )
                 yield Timeout(wire)
-                trace.emit(sim.now, "xfer_end", gpu=src_pe, detail=(src_pe, dst_pe, dst))
+                trace.emit(sim.now, TRACE_XFER_END, gpu=src_pe, detail=(src_pe, dst_pe, dst))
                 yield Release(link)
             yield Timeout(delay)
             fate = (
                 injector.delivery_fate(e, attempt) if delivery_faulty else None
             )
-            while fate is not None and fate[0] == FATE_DELAY:
+            verdict, arg = delivery_action(fate, attempt, recovery)
+            while verdict == ACT_DELAY:
                 trace.emit(
-                    sim.now, "inject", gpu=dst_pe,
+                    sim.now, TRACE_INJECT, gpu=dst_pe,
                     detail=(FATE_DELAY, e, attempt),
                 )
                 attempt += 1
-                yield Timeout(fate[1])
+                yield Timeout(arg)
                 fate = injector.delivery_fate(e, attempt)
-            if fate is None:
+                verdict, arg = delivery_action(fate, attempt, recovery)
+            if verdict == ACT_DELIVER:
                 break
-            kind = fate[0]
-            trace.emit(sim.now, "inject", gpu=dst_pe, detail=(kind, e, attempt))
-            if kind == FATE_CORRUPT and (
-                recovery is None or not recovery.detect_corruption
-            ):
+            trace.emit(
+                sim.now, TRACE_INJECT, gpu=dst_pe, detail=(fate[0], e, attempt)
+            )
+            if verdict == ACT_CORRUPT:
                 # No checksum: the flipped value lands in left.sum.
-                contribution = flip_mantissa_bit(contribution, fate[1])
+                contribution = flip_mantissa_bit(contribution, arg)
                 corrupted = True
                 attempt += 1
                 break
-            # Detected loss: a drop, or a corruption the checksum caught.
-            if recovery is None or not recovery.retry:
-                trace.emit(sim.now, "msg_lost", gpu=dst_pe, detail=(e, dst))
+            if verdict == ACT_STARVE:
+                trace.emit(sim.now, TRACE_MSG_LOST, gpu=dst_pe, detail=(e, dst))
                 return  # dependant starves; the deadlock detector reports it
-            if attempt >= recovery.max_retries:
-                raise RecoveryExhaustedError(
-                    f"delivery on edge {e} to component {dst} still failing "
-                    f"after {attempt + 1} attempts",
-                    context={
-                        "edge": int(e),
-                        "dst": int(dst),
-                        "attempts": attempt + 1,
-                    },
-                )
-            backoff = recovery.retry_delay(attempt)
-            trace.emit(sim.now, "retry", gpu=src_pe, detail=(e, attempt, backoff))
+            if verdict == ACT_EXHAUSTED:
+                raise exhausted_delivery(e, dst, attempt + 1)
+            # ACT_RETRY: re-send after exponential backoff.
+            trace.emit(sim.now, TRACE_RETRY, gpu=src_pe, detail=(e, attempt, arg))
             attempt += 1
-            yield Timeout(backoff)
+            yield Timeout(arg)
         if delivery_faulty and attempt and not corrupted:
-            trace.emit(sim.now, "recovered", gpu=dst_pe, detail=(e, attempt))
+            trace.emit(sim.now, TRACE_RECOVERED, gpu=dst_pe, detail=(e, attempt))
         left_sum[dst] += contribution
         remaining[dst] -= 1
         if remaining[dst] == 0:
@@ -342,7 +365,7 @@ def des_execute(
         yield Acquire(slots[g])
         if epoch is not None and epoch[i] != ep:
             return
-        trace.emit(sim.now, "dispatch", gpu=g, detail=i)
+        trace.emit(sim.now, TRACE_DISPATCH, gpu=g, detail=i)
         yield Timeout(gpu_spec.t_warp_dispatch)
         if epoch is not None and epoch[i] != ep:
             return
@@ -352,7 +375,7 @@ def des_execute(
                 return
         # Gather phase (remote reads / final poll fault).
         gather = costs.gather if in_counts[i] else 0.0
-        if design is Design.UNIFIED and um is not None and in_counts[i]:
+        if hooks.page_table and um is not None and in_counts[i]:
             cost, _ = um.access(phys[g], s_indeg, i, sharers=n_gpus)
             gather += cost
         if gather > 0.0:
@@ -361,16 +384,16 @@ def des_execute(
                 return
         lo, hi = int(indptr[i]), int(indptr[i + 1])
         if indices[lo] != i:
-            raise SolverError(f"missing diagonal at column {i}")
-        solve_cost = gpu_spec.t_per_nnz * (max(hi - lo, 1) + int(in_counts[i]))
+            raise missing_diagonal(i)
+        cost_solve = solve_cost(gpu_spec.t_per_nnz, hi - lo, int(in_counts[i]))
         if straggler_faulty:
-            solve_cost = injector.solve_scale(g, sim.now, solve_cost)
-        yield Timeout(solve_cost)
+            cost_solve = injector.solve_scale(g, sim.now, cost_solve)
+        yield Timeout(cost_solve)
         if epoch is not None and epoch[i] != ep:
             return
         x[i] = (b[i] - left_sum[i]) / data[lo]
         done[i] = True
-        trace.emit(sim.now, "solve", gpu=g, detail=i)
+        trace.emit(sim.now, TRACE_SOLVE, gpu=g, detail=i)
         if watchdog is not None:
             watchdog.progress(sim.now, i)
         # Update dependants.
@@ -379,24 +402,21 @@ def des_execute(
             rid = int(indices[e])
             contrib = data[e] * x[i]
             dst_g = int(gpu_of[rid])
-            if dst_g == g:
-                update_cost += costs.update_local
-                delay = 0.0
-            elif design is Design.UNIFIED and um is not None:
+            if hooks.page_table and um is not None and dst_g != g:
                 cost, faulted = um.access(phys[g], s_left, rid, sharers=n_gpus)
                 update_cost += cost
                 if faulted:
-                    trace.emit(sim.now, "fault", gpu=g, detail=rid)
+                    trace.emit(sim.now, TRACE_FAULT, gpu=g, detail=rid)
                 delay = costs.notify[g, dst_g]
             else:
-                update_cost += costs.update_remote[g, dst_g]
-                delay = costs.notify[g, dst_g]
+                update_cost += edge_update_inc(costs, g, dst_g)
+                delay = edge_notify_delay(costs, g, dst_g)
             sim.spawn(
                 notifier(e, i, rid, contrib, update_cost + delay, g, dst_g)
             )
         if update_cost > 0.0:
             yield Timeout(update_cost)
-        trace.emit(sim.now, "release", gpu=g, detail=i)
+        trace.emit(sim.now, TRACE_RELEASE, gpu=g, detail=i)
         yield Release(slots[g])
 
     def gpu_failure(g: int):
@@ -414,10 +434,8 @@ def des_execute(
         run ends in a loud DeadlockError.
         """
         dead.add(g)
-        trace.emit(sim.now, "gpu_fail", gpu=g, detail=g)
-        victims = [
-            i for i in range(n) if int(gpu_of[i]) == g and not done[i]
-        ]
+        trace.emit(sim.now, TRACE_GPU_FAIL, gpu=g, detail=g)
+        victims = failure_victims(gpu_of, done, g, n)
         for i in victims:
             epoch[i] += 1
         for i in victims:
@@ -427,25 +445,21 @@ def des_execute(
         if not victims:
             return
         if recovery is not None and recovery.remap_on_failure:
-            targets = remap_failed_components(gpu_of, victims, g, n_gpus, dead)
-            t_launch = gpu_spec.t_kernel_launch
-            for k, i in enumerate(victims):
-                new_g = int(targets[k])
+            plan = remap_plan(
+                gpu_of, victims, g, n_gpus, dead, recovery,
+                gpu_spec.t_kernel_launch,
+            )
+            for i, new_g, relaunch in plan:
                 gpu_of[i] = new_g
-                trace.emit(sim.now, "remap", gpu=new_g, detail=(i, g))
-                sim.spawn(
-                    component(i, epoch[i]),
-                    delay=recovery.detect_latency + k * t_launch,
-                )
+                trace.emit(sim.now, TRACE_REMAP, gpu=new_g, detail=(i, g))
+                sim.spawn(component(i, epoch[i]), delay=relaunch)
 
     # Spawn in ascending index order at each task's launch time: FIFO slot
     # queues then preserve the deadlock-free dispatch order.  The host
     # issues kernels serially in task order (same model as the fast
     # tier), so task k launches at k * t_kernel_launch.
     task_of = dist.task_of()
-    launch = (
-        np.arange(dist.n_tasks, dtype=np.float64) * gpu_spec.t_kernel_launch
-    )
+    launch = launch_times(dist.n_tasks, gpu_spec.t_kernel_launch)
     for i in range(n):
         sim.spawn(component(i), delay=float(launch[task_of[i]]))
     if failure_mode:
@@ -477,7 +491,7 @@ class DesSolver(TriangularSolver):
         engine: str = "auto",
     ):
         self.machine = machine if machine is not None else dgx1(4)
-        self.design = Design(design)
+        self.design = coerce_design(design)
         self.max_components = max_components
         self.engine = engine
 

@@ -10,6 +10,12 @@ cell on both DES engines and require bitwise agreement between them.
     python tools/chaos.py                 # full matrix, both engines
     python tools/chaos.py --quick         # CI subset, auto engine
     python tools/chaos.py --n 96 --seed 3 --out chaos.json
+    python tools/chaos.py --config '{"design": "unified", "engine": "array"}'
+
+``--config`` takes a :class:`repro.runtime.RunConfig` JSON object (or
+``@path/to/file.json``); its ``design`` / ``distribution`` / ``engine``
+/ ``n_gpus`` knobs pin the matching matrix axis to that single value
+(``engine: "auto"`` keeps the default per-mode engine axis).
 
 Exit status: 0 when every cell is green, 1 otherwise.
 """
@@ -23,7 +29,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.resilience.chaos import run_chaos_matrix  # noqa: E402
+from repro.resilience.chaos import axes_from_config, run_chaos_matrix  # noqa: E402
 
 
 def main(argv=None) -> int:
@@ -47,7 +53,24 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out", type=Path, default=None, help="write the JSON report here"
     )
+    parser.add_argument(
+        "--config",
+        default=None,
+        help="RunConfig JSON object (or @file.json) pinning matrix axes",
+    )
     args = parser.parse_args(argv)
+
+    extra = {}
+    if args.config is not None:
+        from repro.errors import ConfigurationError
+        from repro.runtime import load_run_config
+
+        try:
+            cfg = load_run_config(args.config)
+            extra = axes_from_config(cfg)
+        except ConfigurationError as err:
+            parser.error(str(err))
+        args.gpus = cfg.n_gpus
 
     t0 = time.time()
     report = run_chaos_matrix(
@@ -56,6 +79,7 @@ def main(argv=None) -> int:
         quick=args.quick,
         n_gpus=args.gpus,
         wall_limit=args.wall_limit,
+        **extra,
     )
     for line in report.summary_lines():
         print(line)

@@ -9,6 +9,11 @@ engines, and writes ``BENCH_des.json``.
     python tools/sweep.py                    # full sweep incl. scale-50k
     python tools/sweep.py --quick            # CI subset (no 50k case)
     python tools/sweep.py --repeats 5 --jobs 2 --out results.json
+    python tools/sweep.py --config '{"design": "unified", "n_gpus": 8}'
+
+``--config`` takes a :class:`repro.runtime.RunConfig` JSON object (or
+``@path/to/file.json``); its ``design`` and ``n_gpus`` knobs select the
+simulated node every case is measured on.
 
 Exit status: 0 when every comparison is bit-identical, no worker
 re-derived its analysis, and every clean (non-noisy) case meets its
@@ -50,14 +55,31 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="worker processes (default: one per case, capped at cores-1)",
     )
+    parser.add_argument(
+        "--config",
+        default=None,
+        help="RunConfig JSON object (or @file.json) selecting design/n_gpus",
+    )
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be at least 1")
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be at least 1")
 
+    from repro.errors import ConfigurationError
+    from repro.runtime import load_run_config
+
+    try:
+        cfg = load_run_config(args.config)
+    except ConfigurationError as err:
+        parser.error(str(err))
+
     payload = run_des_sweep(
-        quick=args.quick, repeats=args.repeats, jobs=args.jobs
+        quick=args.quick,
+        repeats=args.repeats,
+        jobs=args.jobs,
+        n_gpus=cfg.n_gpus,
+        design=cfg.design,
     )
     args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
