@@ -11,6 +11,11 @@ from repro.bench.experiments import (
     run_fig10b,
     run_table1,
 )
+from repro.bench.dessweep import (
+    measure_des_case,
+    measure_partitioned_case,
+    run_des_sweep,
+)
 from repro.bench.fastmodel import measure_case, run_sweep
 from repro.bench.harness import (
     MatrixContext,
@@ -48,4 +53,7 @@ __all__ = [
     "replicated_speedups",
     "measure_case",
     "run_sweep",
+    "measure_des_case",
+    "measure_partitioned_case",
+    "run_des_sweep",
 ]

@@ -571,7 +571,7 @@ def edge_cost_tables(
 # Validation: identical typed errors from both engines.
 # ---------------------------------------------------------------------------
 #: Engine names accepted by ``des_execute(engine=...)``.
-VALID_ENGINES = ("auto", "array", "reference")
+VALID_ENGINES = ("auto", "array", "vector", "reference")
 
 
 def coerce_design(design: Design | str) -> Design:

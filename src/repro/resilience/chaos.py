@@ -414,7 +414,9 @@ def run_chaos_matrix(
     if scenarios is None:
         scenarios = default_scenarios(quick=quick)
     if engines is None:
-        engines = ("auto",) if quick else ("reference", "array")
+        engines = (
+            ("auto",) if quick else ("reference", "array", "vector")
+        )
     else:
         engines = tuple(engines)
 
@@ -474,11 +476,12 @@ def run_chaos_matrix(
                         scenario, base[engine].x, res, err
                     )
                     runs[engine] = (outcome, ok, info)
-                # Cross-engine agreement (full mode): same outcome, and
-                # bit-identical observables on recovered runs.
+                # Cross-engine agreement (full mode): every engine must
+                # match the first one — same outcome, and bit-identical
+                # observables on recovered runs.
                 (o0, ok0, i0) = runs[engines[0]]
-                if len(engines) == 2:
-                    (o1, ok1, i1) = runs[engines[1]]
+                for other in engines[1:]:
+                    (o1, _ok1, i1) = runs[other]
                     agree = o0 == o1 and i0.get("error_type") == i1.get(
                         "error_type"
                     )
@@ -491,10 +494,11 @@ def run_chaos_matrix(
                         o0, ok0 = "engine_divergence", False
                         i0 = {
                             "error": (
-                                f"reference={runs[engines[0]]} "
-                                f"array={runs[engines[1]]}"
+                                f"{engines[0]}={runs[engines[0]]} "
+                                f"{other}={runs[other]}"
                             )
                         }
+                        break
                 cells.append(
                     ChaosCell(
                         scenario=scenario.name,

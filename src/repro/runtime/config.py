@@ -62,7 +62,8 @@ class RunConfig:
         or its string value; the alias ``"zerocopy"`` maps to
         ``shmem_readonly``).
     engine:
-        DES engine: ``"auto"`` / ``"array"`` / ``"reference"``.
+        DES engine: ``"auto"`` / ``"array"`` / ``"vector"`` /
+        ``"reference"``.
     scheduler:
         Fast-model scheduling pass: ``"auto"`` / ``"batched"`` /
         ``"reference"``.

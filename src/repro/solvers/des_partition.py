@@ -1,0 +1,804 @@
+"""Partitioned parallel DES playout: conservative round-based execution.
+
+This module splits the event calendar of the array engine
+(:mod:`repro.solvers.des_array`) **by GPU**: each partition owns a
+contiguous block of the simulated GPUs and plays out every event whose
+process lives on an owned GPU — component lifecycle steps, warp-slot
+grants, and the full claim/wire/retire pipeline of every link (links
+are directional and owned by their *source* GPU, so all three transfer
+steps of an edge execute in the source partition).  The only event that
+crosses a partition boundary is the **update delivery** of a cross-GPU
+edge: generated at the transfer's retire step in the source partition,
+consumed at the destination component's partition.
+
+Conservative lookahead
+----------------------
+Every cross-partition delivery is scheduled ``e_delay[e]`` after its
+retire event, and ``e_delay[e] = uc + dl[e] >= dl[e]`` where ``dl[e]``
+is the cross-pair notify latency from
+:func:`~repro.engine.protocol.edge_cost_tables`.  The lookahead window
+
+    ``W = min(dl[e] for cross-partition edges e)``
+
+is therefore a hard lower bound on the source-time-to-target-time gap
+of any boundary message.  The coordinator advances in rounds: find the
+global minimum pending event time ``t0``, let every partition drain
+events in ``[t0, t0 + W)``, exchange the outboxes at the barrier, and
+repeat.  A message generated in a round (pusher time ``>= t0``) targets
+``>= t0 + W`` — at or beyond the round end — so it always arrives at
+its destination partition before that partition reaches its target
+time.  Link claim/wire times never bound the window because the whole
+link pipeline is partition-local.  When no edge crosses a partition
+boundary the window is infinite and the playout completes in one round.
+
+Ordering contract (and its honest limit)
+----------------------------------------
+The sequential engines break timestamp ties by *push order*: a
+monotone sequence number assigned when the event is scheduled.  The
+partitioned playout reproduces that order with a **pusher key**
+``(push_time, partition_rank, local_seq)`` attached to every calendar
+entry:
+
+* pushes are chronologically ordered within a partition, so for two
+  entries with *different* push times the key order equals the
+  sequential push order exactly (sequence numbers are assigned while
+  the simulation clock is non-decreasing);
+* entries pushed at the *same* time from the same partition keep their
+  local order, which matches the sequential order restricted to that
+  partition;
+* entries pushed at the same time from *different* partitions fall
+  back to the canonical ``partition_rank`` tie-break.  This is the one
+  place the merged order is canonical rather than provably identical
+  to the sequential interleaving, so the bench layer *verifies* every
+  observable (solution bits, simulated wall clock, event and trace
+  counters) against the sequential engine per case and reports the
+  comparison rather than assuming it.
+
+Scope: the partitioned playout covers the unfaulted, non-unified
+configurations the DES bench measures.  Unified-memory designs share
+one global page table (cost depends on global access order) and the
+resilience hooks mutate cross-partition state; both delegate to the
+sequential engines.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from bisect import insort
+from heapq import heappop, heappush
+
+import numpy as np
+
+from repro.analysis.dag import DependencyDag
+from repro.engine.protocol import (
+    COMP_ACQUIRE,
+    COMP_DISPATCH,
+    COMP_GATHER,
+    COMP_POST,
+    COMP_RELEASE,
+    COMP_SHIFT,
+    COMP_SOLVE,
+    XFER_CLAIM,
+    XFER_RETIRE,
+    TokenLayout,
+    design_hooks,
+    edge_cost_tables,
+    gather_cost_table,
+    launch_times,
+    link_capacity,
+    solve_cost_table,
+    validate_diagonals,
+    wire_time,
+)
+from repro.engine.resources import ResourceBank
+from repro.errors import SolverError
+from repro.exec_model.costmodel import CommCosts, Design
+from repro.machine.node import MachineConfig
+from repro.sparse.csc import CscMatrix
+from repro.tasks.schedule import Distribution
+
+__all__ = [
+    "PartitionEngine",
+    "execute_partitioned",
+    "partition_of_gpu",
+    "run_partitioned_spill",
+]
+
+
+def partition_of_gpu(n_gpus: int, n_workers: int) -> np.ndarray:
+    """Blocked GPU→partition map: contiguous GPU ranges per worker."""
+    if not 1 <= n_workers <= n_gpus:
+        raise SolverError(
+            f"partition count must be in [1, n_gpus={n_gpus}], "
+            f"got {n_workers}"
+        )
+    gpus = np.arange(n_gpus, dtype=np.int64)
+    return gpus * n_workers // n_gpus
+
+
+class PartitionEngine:
+    """One partition of the array engine's event playout.
+
+    Owns the components, warp pools, and outgoing links of a block of
+    GPUs; exchanges cross-partition update deliveries through
+    round-barrier outboxes.  The precompute mirrors
+    :func:`~repro.solvers.des_array.execute_array` exactly (every
+    partition builds the full global tables — they are cheap relative
+    to the playout and keep edge indexing identical), then seeds its
+    calendar with only the owned components' dispatch front.
+    """
+
+    def __init__(
+        self,
+        lower: CscMatrix,
+        b: np.ndarray,
+        dist: Distribution,
+        machine: MachineConfig,
+        design: Design,
+        *,
+        dag: DependencyDag,
+        costs: CommCosts,
+        n_workers: int,
+        rank: int,
+    ):
+        from repro.solvers.des_solver import MESSAGES_IN_FLIGHT_PER_LINK
+
+        if design_hooks(design).page_table:
+            raise SolverError(
+                "partitioned playout does not support unified-memory "
+                "designs (global page-table state); use the sequential "
+                "engines"
+            )
+        n = lower.shape[0]
+        n_gpus = machine.n_gpus
+        gpu_spec = machine.gpu
+        topo = machine.topology
+        phys = machine.active_gpus
+        indptr = lower.indptr
+        gpu_of = dist.gpu_of
+        in_counts = np.diff(dag.in_ptr)
+        col_nnz = np.diff(indptr)
+        nnz = int(indptr[-1])
+        validate_diagonals(indptr, lower.indices, n)
+
+        self.rank = rank
+        self.n_workers = n_workers
+        self._n = n
+        self._indptr_l = indptr.tolist()
+        self._idx_l = lower.indices.tolist()
+        self._data_l = lower.data.tolist()
+        self._g_l = gpu_of.tolist()
+        self._b_l = np.asarray(b, dtype=np.float64).tolist()
+        self._remaining = dag.in_degree.tolist()
+        self._gather_l = gather_cost_table(costs.gather, in_counts).tolist()
+        self._solve_l = solve_cost_table(
+            gpu_spec.t_per_nnz, col_nnz, in_counts
+        ).tolist()
+
+        col_of = np.repeat(np.arange(n, dtype=np.int64), col_nnz)
+        src_g_e = gpu_of[col_of]
+        dst_g_e = gpu_of[lower.indices]
+        local_e = src_g_e == dst_g_e
+        inc_e, dl_e = edge_cost_tables(costs, src_g_e, dst_g_e, local_e)
+        self._inc_l = inc_e.tolist()
+        self._dl_l = dl_e.tolist()
+        self._dstg_l = dst_g_e.tolist()
+        self._srcg_l = src_g_e.tolist()
+
+        layout = TokenLayout.for_system(n, nnz)
+        self._n8 = layout.local_base
+        self._m8 = layout.xfer_base
+        self._spawn_code_l = layout.spawn_codes(local_e).tolist()
+        self._e_contrib = [0.0] * nnz
+        self._e_delay = [0.0] * nnz
+
+        bank = ResourceBank()
+        for g in range(n_gpus):
+            bank.add(f"gpu{g}.warps", gpu_spec.warp_slots)
+        pair_rid = np.full(n_gpus * n_gpus, -1, dtype=np.int64)
+        pair_wire = np.zeros(n_gpus * n_gpus)
+        cross_pairs = np.unique(
+            src_g_e[~local_e] * n_gpus + dst_g_e[~local_e]
+        )
+        for p in cross_pairs.tolist():
+            src_pe, dst_pe = p // n_gpus, p % n_gpus
+            ga, gb = int(phys[src_pe]), int(phys[dst_pe])
+            cap = link_capacity(topo, ga, gb, MESSAGES_IN_FLIGHT_PER_LINK)
+            pair_rid[p] = bank.add(f"link{src_pe}->{dst_pe}", cap)
+            pair_wire[p] = wire_time(topo, ga, gb)
+        self._elink_l = np.where(
+            local_e, -1, pair_rid[src_g_e * n_gpus + dst_g_e]
+        ).tolist()
+        self._ewire_l = np.where(
+            local_e, 0.0, pair_wire[src_g_e * n_gpus + dst_g_e]
+        ).tolist()
+        self._bank = bank
+
+        # Ownership and the conservative lookahead window.
+        rank_of_g = partition_of_gpu(n_gpus, n_workers)
+        self._rank_of_g = rank_of_g.tolist()
+        cross_part = (~local_e) & (
+            rank_of_g[src_g_e] != rank_of_g[dst_g_e]
+        )
+        self.lookahead = (
+            float(dl_e[cross_part].min()) if cross_part.any() else np.inf
+        )
+
+        # Seed the owned dispatch front.  Pusher keys ``(-1.0, 0, i)``
+        # order seeds before any runtime push and by component index
+        # within equal spawn times — the sequential ingest order.
+        task_of = dist.task_of()
+        launch = launch_times(dist.n_tasks, gpu_spec.t_kernel_launch)
+        spawn_times = launch[task_of]
+        own = rank_of_g[gpu_of] == rank
+        own_idx = np.nonzero(own)[0]
+        self._own_idx = own_idx
+        order = own_idx[np.argsort(spawn_times[own_idx], kind="stable")]
+        self._buckets: dict[float, list] = {}
+        self._theap: list[float] = []
+        st_sorted = spawn_times[order].tolist()
+        for i, t in zip(order.tolist(), st_sorted):
+            entry = (-1.0, 0, i, i << COMP_SHIFT)
+            bl = self._buckets.get(t)
+            if bl is None:
+                self._buckets[t] = [entry]
+                self._theap.append(t)
+            else:
+                bl.append(entry)
+        self._theap.sort()
+
+        self._parked_ready = [False] * n
+        self._x_l = [0.0] * n
+        self._left_sum = [0.0] * n
+        self._t_disp = gpu_spec.t_warp_dispatch
+        self._seq = 0
+        self._nevents = 0
+        self._last = 0.0
+        self._counters = dict(
+            dispatch=0, solve=0, release=0, xfer_begin=0, xfer_end=0
+        )
+
+    # ------------------------------------------------------------ barriers
+    def next_time(self) -> float | None:
+        """Earliest pending local event time, or None when drained."""
+        return self._theap[0] if self._theap else None
+
+    def receive(self, msgs: list[tuple]) -> None:
+        """Merge inbound deliveries ``(t2, ptime, src_rank, seq, e, contrib)``.
+
+        Each message lands in the bucket at its target time at the slot
+        its pusher key dictates; local entries already in the bucket
+        were pushed in non-decreasing pusher-time order, so the list is
+        sorted by pusher key and a plain ``insort`` is exact.
+        """
+        buckets = self._buckets
+        e_contrib = self._e_contrib
+        for t2, ptime, src_rank, seq, e, contrib in msgs:
+            e_contrib[e] = contrib
+            entry = (ptime, src_rank, seq, -1 - e)
+            bl = buckets.get(t2)
+            if bl is None:
+                buckets[t2] = [entry]
+                heappush(self._theap, t2)
+            else:
+                insort(bl, entry)
+
+    # ------------------------------------------------------------ playout
+    def run_round(self, round_end: float) -> dict[int, list]:
+        """Drain every owned event strictly before ``round_end``.
+
+        Returns the outbox: destination rank → cross-partition delivery
+        messages generated this round.
+        """
+        theap = self._theap
+        buckets = self._buckets
+        idx_l = self._idx_l
+        indptr_l = self._indptr_l
+        data_l = self._data_l
+        g_l = self._g_l
+        b_l = self._b_l
+        remaining = self._remaining
+        parked_ready = self._parked_ready
+        left_sum = self._left_sum
+        x_l = self._x_l
+        gather_l = self._gather_l
+        solve_l = self._solve_l
+        inc_l = self._inc_l
+        dl_l = self._dl_l
+        e_contrib = self._e_contrib
+        e_delay = self._e_delay
+        dstg_l = self._dstg_l
+        elink_l = self._elink_l
+        ewire_l = self._ewire_l
+        spawn_code_l = self._spawn_code_l
+        rank_of_g = self._rank_of_g
+        my_rank = self.rank
+        n8 = self._n8
+        m8 = self._m8
+        t_disp = self._t_disp
+        bank = self._bank
+        r_cap = bank.capacity
+        r_used = bank.in_use
+        r_tot = bank.total_acquisitions
+        r_peak = bank.peak_in_use
+        r_q = bank._queues
+        bget = buckets.get
+        c = self._counters
+        c_dispatch = c["dispatch"]
+        c_solve = c["solve"]
+        c_release = c["release"]
+        c_xb = c["xfer_begin"]
+        c_xe = c["xfer_end"]
+        seq = self._seq
+        nevents = self._nevents
+        now = self._last
+        outbox: dict[int, list] = {}
+
+        while theap and theap[0] < round_end:
+            t = heappop(theap)
+            now = t
+            cur = buckets.pop(t)
+            for entry in cur:
+                code = entry[3]
+                if code < 0:
+                    # -------------------------------- update delivery
+                    e = -1 - code
+                    dst = idx_l[e]
+                    left_sum[dst] += e_contrib[e]
+                    rem = remaining[dst] - 1
+                    remaining[dst] = rem
+                    if rem == 0 and parked_ready[dst]:
+                        parked_ready[dst] = False
+                        seq += 1
+                        cur.append((now, my_rank, seq, (dst << 3) | COMP_GATHER))
+                    continue
+                if code >= n8:
+                    if code < m8:
+                        # ------------------ local edge: one delay hop
+                        e = code - n8
+                        t2 = now + e_delay[e]
+                        seq += 1
+                        entry2 = (now, my_rank, seq, -1 - e)
+                        if t2 > now:
+                            b2 = bget(t2)
+                            if b2 is None:
+                                buckets[t2] = [entry2]
+                                heappush(theap, t2)
+                            else:
+                                b2.append(entry2)
+                        else:
+                            cur.append(entry2)
+                        continue
+                    # -------------------- cross-GPU transfer steps
+                    cc = code - m8
+                    st = cc & 3
+                    e = cc >> 2
+                    if st == XFER_RETIRE:
+                        c_xe += 1
+                        link = elink_l[e]
+                        q = r_q[link]
+                        if q:
+                            r_tot[link] += 1
+                            seq += 1
+                            cur.append((now, my_rank, seq, q.popleft()))
+                        else:
+                            r_used[link] -= 1
+                        t2 = now + e_delay[e]
+                        seq += 1
+                        dr = rank_of_g[dstg_l[e]]
+                        if dr != my_rank:
+                            msg = (t2, now, my_rank, seq, e, e_contrib[e])
+                            ob = outbox.get(dr)
+                            if ob is None:
+                                outbox[dr] = [msg]
+                            else:
+                                ob.append(msg)
+                            continue
+                        entry2 = (now, my_rank, seq, -1 - e)
+                        if t2 > now:
+                            b2 = bget(t2)
+                            if b2 is None:
+                                buckets[t2] = [entry2]
+                                heappush(theap, t2)
+                            else:
+                                b2.append(entry2)
+                        else:
+                            cur.append(entry2)
+                        continue
+                    if st == XFER_CLAIM:
+                        link = elink_l[e]
+                        q = r_q[link]
+                        if q or r_used[link] >= r_cap[link]:
+                            q.append(code + 1)  # park; resume at WIRE
+                            continue
+                        u = r_used[link] + 1
+                        r_used[link] = u
+                        r_tot[link] += 1
+                        if u > r_peak[link]:
+                            r_peak[link] = u
+                    # XFER_WIRE (granted inline above, or woken parked)
+                    c_xb += 1
+                    t2 = now + ewire_l[e]
+                    seq += 1
+                    entry2 = (now, my_rank, seq, code - st + XFER_RETIRE)
+                    if t2 > now:
+                        b2 = bget(t2)
+                        if b2 is None:
+                            buckets[t2] = [entry2]
+                            heappush(theap, t2)
+                        else:
+                            b2.append(entry2)
+                    else:
+                        cur.append(entry2)
+                    continue
+
+                # ------------------------------------------ component
+                i = code >> 3
+                st = code & 7
+                if st == COMP_GATHER:
+                    if remaining[i] > 0:
+                        parked_ready[i] = True
+                        continue
+                    gather = gather_l[i]
+                    if gather > 0.0:
+                        t2 = now + gather
+                        seq += 1
+                        entry2 = (now, my_rank, seq, (code & -8) | COMP_SOLVE)
+                        if t2 > now:
+                            b2 = bget(t2)
+                            if b2 is None:
+                                buckets[t2] = [entry2]
+                                heappush(theap, t2)
+                            else:
+                                b2.append(entry2)
+                        else:
+                            cur.append(entry2)
+                        continue
+                    st = COMP_SOLVE  # zero gather: solve in this event
+                if st == COMP_SOLVE:
+                    t2 = now + solve_l[i]
+                    seq += 1
+                    entry2 = (now, my_rank, seq, (code & -8) | COMP_POST)
+                    if t2 > now:
+                        b2 = bget(t2)
+                        if b2 is None:
+                            buckets[t2] = [entry2]
+                            heappush(theap, t2)
+                        else:
+                            b2.append(entry2)
+                    else:
+                        cur.append(entry2)
+                    continue
+                if st == COMP_POST:
+                    lo = indptr_l[i]
+                    hi = indptr_l[i + 1]
+                    xi = (b_l[i] - left_sum[i]) / data_l[lo]
+                    x_l[i] = xi
+                    g = g_l[i]
+                    c_solve += 1
+                    uc = 0.0
+                    for e in range(lo + 1, hi):
+                        uc += inc_l[e]
+                        e_contrib[e] = data_l[e] * xi
+                        e_delay[e] = uc + dl_l[e]
+                    if hi > lo + 1:
+                        for sc in spawn_code_l[lo + 1 : hi]:
+                            seq += 1
+                            cur.append((now, my_rank, seq, sc))
+                    if uc > 0.0:
+                        t2 = now + uc
+                        seq += 1
+                        entry2 = (
+                            now, my_rank, seq, (code & -8) | COMP_RELEASE
+                        )
+                        if t2 > now:
+                            b2 = bget(t2)
+                            if b2 is None:
+                                buckets[t2] = [entry2]
+                                heappush(theap, t2)
+                            else:
+                                b2.append(entry2)
+                        else:
+                            cur.append(entry2)
+                        continue
+                    st = COMP_RELEASE  # zero update cost: retire now
+                if st == COMP_RELEASE:
+                    g = g_l[i]
+                    c_release += 1
+                    q = r_q[g]
+                    if q:
+                        r_tot[g] += 1
+                        seq += 1
+                        cur.append((now, my_rank, seq, q.popleft()))
+                    else:
+                        r_used[g] -= 1
+                    continue
+                # COMP_ACQUIRE / COMP_DISPATCH
+                g = g_l[i]
+                if st == COMP_ACQUIRE:
+                    q = r_q[g]
+                    if q or r_used[g] >= r_cap[g]:
+                        q.append(code | COMP_DISPATCH)  # park; grant later
+                        continue
+                    u = r_used[g] + 1
+                    r_used[g] = u
+                    r_tot[g] += 1
+                    if u > r_peak[g]:
+                        r_peak[g] = u
+                c_dispatch += 1
+                t2 = now + t_disp
+                seq += 1
+                entry2 = (now, my_rank, seq, (code & -8) | COMP_GATHER)
+                if t2 > now:
+                    b2 = bget(t2)
+                    if b2 is None:
+                        buckets[t2] = [entry2]
+                        heappush(theap, t2)
+                    else:
+                        b2.append(entry2)
+                else:
+                    cur.append(entry2)
+            nevents += len(cur)
+
+        c["dispatch"] = c_dispatch
+        c["solve"] = c_solve
+        c["release"] = c_release
+        c["xfer_begin"] = c_xb
+        c["xfer_end"] = c_xe
+        self._seq = seq
+        self._nevents = nevents
+        self._last = now
+        return outbox
+
+    # ------------------------------------------------------------- results
+    def finish(self) -> tuple[np.ndarray, np.ndarray, float, int, dict]:
+        """Owned results: ``(own_idx, x_own, last_time, events, counters)``.
+
+        Raises :class:`SolverError` when an owned component never
+        solved — with the conservative barrier protocol that can only
+        mean a lost boundary message, so fail loudly.
+        """
+        own = self._own_idx
+        rem = self._remaining
+        if any(rem[i] for i in own.tolist()):
+            raise SolverError(
+                f"partition {self.rank}: unsatisfied dependencies after "
+                "drain (lost boundary message?)"
+            )
+        x = np.asarray(self._x_l, dtype=np.float64)[own]
+        return own, x, self._last, self._nevents, dict(self._counters)
+
+
+def _drive_rounds(engines) -> int:
+    """Inline round loop over in-process partition engines."""
+    lookahead = min(e.lookahead for e in engines)
+    rounds = 0
+    while True:
+        nts = [e.next_time() for e in engines]
+        live = [t for t in nts if t is not None]
+        if not live:
+            return rounds
+        round_end = min(live) + lookahead
+        rounds += 1
+        outboxes = [e.run_round(round_end) for e in engines]
+        for ob in outboxes:
+            for r, msgs in ob.items():
+                engines[r].receive(msgs)
+
+
+def execute_partitioned(
+    lower: CscMatrix,
+    b: np.ndarray,
+    dist: Distribution,
+    machine: MachineConfig,
+    design: Design,
+    *,
+    dag: DependencyDag,
+    costs: CommCosts,
+    n_workers: int = 2,
+) -> dict:
+    """Single-process partitioned playout (deterministic, no IPC).
+
+    Runs ``n_workers`` partition engines round-robin in this process —
+    the exact round/barrier/outbox protocol of the multiprocess path
+    without its process machinery, so tests and verification exercise
+    the same ordering rules cheaply.  Returns the observable dict
+    (``x``, ``total_time``, ``events``, ``counters``, ``rounds``,
+    ``lookahead``, ``workers``).
+    """
+    engines = [
+        PartitionEngine(
+            lower, b, dist, machine, design,
+            dag=dag, costs=costs, n_workers=n_workers, rank=r,
+        )
+        for r in range(n_workers)
+    ]
+    rounds = _drive_rounds(engines)
+    n = lower.shape[0]
+    x = np.zeros(n, dtype=np.float64)
+    total = 0.0
+    events = 0
+    counters = dict(
+        dispatch=0, solve=0, release=0, xfer_begin=0, xfer_end=0
+    )
+    for eng in engines:
+        own, x_own, last, nev, cnt = eng.finish()
+        x[own] = x_own
+        total = max(total, last)
+        events += nev
+        for k, v in cnt.items():
+            counters[k] += v
+    return {
+        "x": x,
+        "total_time": total,
+        "events": events,
+        "counters": counters,
+        "rounds": rounds,
+        "lookahead": engines[0].lookahead,
+        "workers": n_workers,
+    }
+
+
+# ---------------------------------------------------------------- processes
+def _partition_worker(conn, spill_path, n_gpus, design_value, n_workers,
+                      rank, seed):
+    """Persistent worker: load the spilled bundle, serve round requests."""
+    from numpy.random import default_rng
+
+    from repro.exec_model.artefacts import load_artefacts
+    from repro.machine.node import dgx1
+    from repro.tasks.schedule import block_distribution
+
+    try:
+        lower, art = load_artefacts(spill_path)
+        n = lower.shape[0]
+        machine = dgx1(n_gpus)
+        dist = block_distribution(n, n_gpus)
+        design = Design(design_value)
+        costs = art.comm_costs(machine, design)
+        b = default_rng(seed).standard_normal(n)
+        eng = PartitionEngine(
+            lower, b, dist, machine, design,
+            dag=art.dag, costs=costs, n_workers=n_workers, rank=rank,
+        )
+        conn.send(("ready", eng.lookahead,
+                   art.build_counts.get("dag", 0) == 0))
+    except BaseException as err:  # surface the failure to the parent
+        conn.send(("error", repr(err), False))
+        conn.close()
+        return
+    while True:
+        req = conn.recv()
+        kind = req[0]
+        if kind == "round":
+            if req[2]:
+                eng.receive(req[2])
+            outbox = eng.run_round(req[1])
+            conn.send((eng.next_time(), outbox))
+        elif kind == "finish":
+            own, x_own, last, nev, cnt = eng.finish()
+            conn.send((own.tolist(), x_own.tolist(), last, nev, cnt))
+            conn.close()
+            return
+        else:  # "stop"
+            conn.close()
+            return
+
+
+def run_partitioned_spill(
+    spill_path: str,
+    *,
+    n_gpus: int = 4,
+    design: Design = Design.SHMEM_READONLY,
+    n_workers: int = 2,
+    seed: int = 0,
+) -> dict:
+    """Multiprocess partitioned playout against a spilled bundle.
+
+    Spawns ``n_workers`` persistent worker processes, each loading the
+    workload from ``spill_path`` (no analysis is re-derived: the spill
+    carries the DAG) and owning one GPU block; the parent coordinates
+    rounds and routes outbox messages over pipes.  Returns the same
+    observable dict as :func:`execute_partitioned` plus
+    ``analysis_shared``.
+    """
+    ctx = mp.get_context("fork")
+    pipes = []
+    procs = []
+    try:
+        for r in range(n_workers):
+            parent, child = ctx.Pipe()
+            p = ctx.Process(
+                target=_partition_worker,
+                args=(child, spill_path, n_gpus, design.value,
+                      n_workers, r, seed),
+            )
+            p.start()
+            child.close()
+            pipes.append(parent)
+            procs.append(p)
+        lookahead = np.inf
+        analysis_shared = True
+        for conn in pipes:
+            tag, la, shared = conn.recv()
+            if tag == "error":
+                raise SolverError(f"partition worker failed: {la}")
+            lookahead = min(lookahead, la)
+            analysis_shared = analysis_shared and shared
+        # Workers report their next pending time after every round; the
+        # initial front is read with one zero-width round.
+        next_ts = [None] * n_workers
+        for conn in pipes:
+            conn.send(("round", -np.inf, None))
+        for r, conn in enumerate(pipes):
+            next_ts[r], _ = conn.recv()
+        # Undelivered boundary messages are held here and folded into
+        # each destination's *next* round request (one barrier per
+        # round, not two).  The parent sees every message's target
+        # time, so pending inboxes count toward the round-start scan.
+        pending: dict[int, list] = {}
+        rounds = 0
+        while True:
+            live = [t for t in next_ts if t is not None]
+            live.extend(m[0] for msgs in pending.values() for m in msgs)
+            if not live:
+                break
+            round_end = min(live) + lookahead
+            rounds += 1
+            for r, conn in enumerate(pipes):
+                # Determinism: per-destination messages are sorted by
+                # target time then pusher key — the same order the
+                # worker's insort produces, independent of arrival.
+                inbound = pending.pop(r, None)
+                if inbound is not None:
+                    inbound.sort()
+                conn.send(("round", round_end, inbound))
+            for r, conn in enumerate(pipes):
+                next_ts[r], outbox = conn.recv()
+                for dst, msgs in outbox.items():
+                    pending.setdefault(dst, []).extend(msgs)
+        x = None
+        total = 0.0
+        events = 0
+        counters = dict(
+            dispatch=0, solve=0, release=0, xfer_begin=0, xfer_end=0
+        )
+        for conn in pipes:
+            conn.send(("finish",))
+        for conn in pipes:
+            own, x_own, last, nev, cnt = conn.recv()
+            if x is None:
+                # n is recoverable from the largest owned index only in
+                # aggregate; allocate lazily once any payload arrives.
+                x = {}
+            for i, v in zip(own, x_own):
+                x[i] = v
+            total = max(total, last)
+            events += nev
+            for k, v in cnt.items():
+                counters[k] += v
+        n = max(x) + 1 if x else 0
+        xv = np.zeros(n, dtype=np.float64)
+        for i, v in x.items():
+            xv[i] = v
+        return {
+            "x": xv,
+            "total_time": total,
+            "events": events,
+            "counters": counters,
+            "rounds": rounds,
+            "lookahead": float(lookahead),
+            "workers": n_workers,
+            "analysis_shared": analysis_shared,
+        }
+    finally:
+        for conn in pipes:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for p in procs:
+            p.join(timeout=10)
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=5)

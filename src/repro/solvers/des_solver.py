@@ -81,20 +81,21 @@ __all__ = ["DesExecution", "des_execute", "resolve_engine", "DesSolver"]
 
 
 def resolve_engine(engine: str, n: int) -> str:
-    """Resolve an ``engine=`` argument to ``"array"`` or ``"reference"``.
+    """Resolve an ``engine=`` argument to a concrete engine name.
 
     ``"auto"`` picks the array engine once the system is large enough
     (``n >= ARRAY_MIN_COMPONENTS``) for its vectorised precompute to pay
     for itself; tiny systems stay on the reference engine, whose
-    per-event overhead is negligible at that scale.  Both engines
-    produce bit-identical traces and results, so the choice is purely a
-    throughput decision.
+    per-event overhead is negligible at that scale.  ``"vector"`` selects
+    the windowed batch engine (:mod:`repro.solvers.des_vector`).  All
+    engines produce bit-identical traces and results, so the choice is
+    purely a throughput decision.
     """
     if engine == "auto":
         from repro.solvers.des_array import ARRAY_MIN_COMPONENTS
 
         return "array" if n >= ARRAY_MIN_COMPONENTS else "reference"
-    if engine in ("array", "reference"):
+    if engine in ("array", "vector", "reference"):
         return engine
     raise ConfigurationError(
         f"unknown DES engine {engine!r}; valid choices: "
@@ -147,9 +148,10 @@ def des_execute(
 
     ``engine`` selects the playout implementation: ``"reference"`` (one
     generator per process), ``"array"`` (the flat state machine in
-    :mod:`repro.solvers.des_array`), or ``"auto"`` (array from
-    ``ARRAY_MIN_COMPONENTS`` components up — see
-    :func:`resolve_engine`).  The two engines are bit-identical in every
+    :mod:`repro.solvers.des_array`), ``"vector"`` (the windowed batch
+    engine in :mod:`repro.solvers.des_vector`), or ``"auto"`` (array
+    from ``ARRAY_MIN_COMPONENTS`` components up — see
+    :func:`resolve_engine`).  All engines are bit-identical in every
     observable (trace, solution, times, fault/event counts).
 
     Resilience hooks (all optional, all bit-transparent when absent):
@@ -182,10 +184,14 @@ def des_execute(
         dag = art.dag
     if costs is None:
         costs = art.comm_costs(machine, design)
-    if resolve_engine(engine, n) == "array":
-        from repro.solvers.des_array import execute_array
+    resolved = resolve_engine(engine, n)
+    if resolved in ("array", "vector"):
+        if resolved == "vector":
+            from repro.solvers.des_vector import execute_vector as _execute
+        else:
+            from repro.solvers.des_array import execute_array as _execute
 
-        x, total_time, trace, page_faults, events = execute_array(
+        x, total_time, trace, page_faults, events = _execute(
             lower,
             b,
             dist,

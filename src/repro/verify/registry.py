@@ -270,6 +270,18 @@ def default_registry() -> ConformanceRegistry:
             relations=("differential", "permutation", "row_scaling"),
         )
     )
+    add(
+        ConformanceCase(
+            "des-2gpu-vector",
+            # The batch-execution engine faces the same oracle battery
+            # as the scalar engines (small workloads exercise both the
+            # batched windows and the scalar-fallback boundary).
+            lambda: DesSolver(machine=dgx1(2), engine="vector"),
+            DesSolver,
+            max_n=300,
+            relations=("differential", "permutation", "row_scaling"),
+        )
+    )
     add(ConformanceCase("plan-adapter", PlanSolver, PlanSolver))
     add(
         ConformanceCase(

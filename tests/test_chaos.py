@@ -68,10 +68,13 @@ class TestQuickMatrix:
 
 @pytest.mark.chaos
 class TestFullMatrix:
-    def test_full_matrix_both_engines_green(self):
-        """Full sweep: 12 scenarios x 2 designs x 2 dists, both engines
-        required to agree bitwise (or on the same typed error)."""
+    def test_full_matrix_all_engines_green(self):
+        """Full sweep: 12 scenarios x 2 designs x 2 dists, all three
+        engines required to agree bitwise (or on the same typed
+        error)."""
         report = run_chaos_matrix(quick=False)
         assert len(report.cells) == 12 * len(DESIGNS) * len(DISTRIBUTIONS)
         assert report.green, [c.to_dict() for c in report.failed]
-        assert all(c.engine == "reference+array" for c in report.cells)
+        assert all(
+            c.engine == "reference+array+vector" for c in report.cells
+        )

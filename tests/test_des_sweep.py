@@ -6,7 +6,11 @@ import numpy as np
 import pytest
 
 from repro.bench import dessweep
-from repro.bench.dessweep import measure_des_case, run_des_sweep
+from repro.bench.dessweep import (
+    measure_des_case,
+    measure_partitioned_case,
+    run_des_sweep,
+)
 from repro.exec_model.artefacts import (
     get_artefacts,
     load_artefacts,
@@ -80,11 +84,37 @@ class TestMeasureCase:
             "tiny", str(path), n_gpus=2, repeats=1
         )
         assert res["identical"] is True
+        assert res["identical_vector"] is True
+        assert res["verified"] == "trace"
         assert res["analysis_shared"] is True
         assert res["n"] == TINY["n"]
         assert res["events"] > 0
         assert res["t_reference"] > 0 and res["t_array"] > 0
+        assert res["t_vector"] > 0
+        assert res["events_per_sec_vector"] > 0
         assert res["enforce_floor"] is False  # tiny: below MEDIUM_N
+
+    def test_array_only_engine_selection(self, tmp_path):
+        low = _tiny_matrix(5)
+        path = spill_artefacts(low, tmp_path / "case.pkl")
+        res = measure_des_case(
+            "tiny", str(path), n_gpus=2, repeats=1, engines=("array",)
+        )
+        assert res["t_vector"] is None
+        assert res["vector_over_array"] is None
+        assert res["identical_vector"] is True  # vacuously: not measured
+
+    def test_partitioned_measurement_verifies_digest(self, tmp_path):
+        low = _tiny_matrix(6)
+        path = spill_artefacts(low, tmp_path / "case.pkl")
+        case = measure_des_case("tiny", str(path), n_gpus=4, repeats=1)
+        part = measure_partitioned_case(
+            case, str(path), n_gpus=4, repeats=1, n_workers=2
+        )
+        assert part["partition_identical"] is True
+        assert part["partition_workers"] == 2
+        assert part["partition_rounds"] >= 1
+        assert part["t_partitioned"] > 0
 
 
 class TestSweep:
@@ -96,11 +126,21 @@ class TestSweep:
         payload = run_des_sweep(cases=cases, repeats=1, jobs=2)
         assert [c["name"] for c in payload["cases"]] == ["tiny-a", "tiny-b"]
         assert payload["all_identical"] is True
+        assert payload["partition_identical"] is True
         assert payload["analysis_shared"] is True
         assert payload["floor_misses"] == []
         assert payload["acceptance"] is None  # no scale-50k in this table
+        assert payload["engines"] == ["array", "vector"]
         assert payload["pass"] is True
+        for c in payload["cases"]:
+            assert "digest" not in c  # internal hand-off, stripped
+            assert c["t_vector"] > 0
+            assert c["t_partitioned"] > 0
         json.dumps(payload)  # BENCH_des.json payload must be serialisable
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="valid"):
+            run_des_sweep(cases={"tiny": TINY}, engines=("warp",))
 
     def test_quick_selection_excludes_acceptance_case(self):
         quick = set(dessweep.QUICK_CASES)

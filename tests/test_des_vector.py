@@ -1,0 +1,147 @@
+"""Vector DES engine: golden bit-equality, fault parity, causality.
+
+The vector engine batches whole-timestamp windows through numpy but is
+held to the exact contract of the array engine: *bit*-equality with the
+reference engine — every trace record (kind, time, gpu, detail), the
+solution bits, the simulated wall clock, and the fault/event counters
+must match exactly on every workload, design, and fault plan (faulted
+runs exercise the scalar-fallback boundary).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.dag import build_dag
+from repro.exec_model.costmodel import Design
+from repro.machine.node import dgx1
+from repro.resilience.faults import FaultKind, FaultPlan, FaultSpec
+from repro.solvers.des_solver import DesSolver, des_execute, resolve_engine
+from repro.tasks.schedule import block_distribution
+from repro.verify.causality import check_des_trace
+from repro.verify.oracles import default_generators
+from repro.verify.registry import default_registry
+
+GENERATORS = default_generators()
+
+# The faulted plan must complete *without* a recovery policy (drops
+# would starve dependencies into a deadlock in both engines), so it
+# mixes delays, corruption, and stragglers — all delivered eventually.
+FAULT_PLANS = {
+    "clean": None,
+    "faulted": FaultPlan(
+        seed=5,
+        specs=(
+            FaultSpec(FaultKind.MSG_DELAY, rate=0.4, extra_delay=2e-6),
+            FaultSpec(FaultKind.BITFLIP, count=2, bit=30),
+            FaultSpec(FaultKind.STRAGGLER, gpu=0, factor=2.0),
+            FaultSpec(FaultKind.BANDWIDTH, factor=1.5),
+        ),
+    ),
+}
+
+
+def _run_pair(lower, design, n_gpus=2, seed=7, plan=None):
+    n = lower.shape[0]
+    machine = dgx1(n_gpus, require_p2p=design is not Design.UNIFIED)
+    dist = block_distribution(n, n_gpus)
+    b = np.random.default_rng(seed).standard_normal(n)
+
+    def run(engine):
+        # A fresh injector per run: fate tables are stateless but
+        # attempt counters are consumed during playout.
+        inj = plan.build(lower, dist) if plan is not None else None
+        return des_execute(
+            lower, b, dist, machine, design, engine=engine, injector=inj
+        )
+
+    return run("reference"), run("vector"), dist, machine
+
+
+def _assert_bit_identical(ref, vec):
+    assert ref.events == vec.events
+    assert ref.page_faults == vec.page_faults
+    assert ref.total_time == vec.total_time  # exact, not approx
+    assert ref.x.tobytes() == vec.x.tobytes()
+    assert len(ref.trace.records) == len(vec.trace.records)
+    for k, (r, v) in enumerate(zip(ref.trace.records, vec.trace.records)):
+        assert r == v, f"trace diverges at record {k}: {r} != {v}"
+
+
+class TestGoldenBitEquality:
+    @pytest.mark.parametrize("fname", list(FAULT_PLANS), ids=str)
+    @pytest.mark.parametrize("design", list(Design), ids=lambda d: d.value)
+    @pytest.mark.parametrize(
+        "gname,gen", GENERATORS, ids=[g[0] for g in GENERATORS]
+    )
+    def test_every_generator_every_design(self, gname, gen, design, fname):
+        ref, vec, _, _ = _run_pair(
+            gen(3), design, plan=FAULT_PLANS[fname]
+        )
+        _assert_bit_identical(ref, vec)
+
+    def test_four_gpu_placement(self):
+        _, gen = GENERATORS[4]  # level-major: widest fronts
+        ref, vec, _, _ = _run_pair(gen(5), Design.SHMEM_READONLY, n_gpus=4)
+        _assert_bit_identical(ref, vec)
+
+    def test_link_contention(self, monkeypatch):
+        """Equality must survive saturated link channels (queued xfers)."""
+        import repro.solvers.des_solver as mod
+
+        monkeypatch.setattr(mod, "MESSAGES_IN_FLIGHT_PER_LINK", 1)
+        _, gen = GENERATORS[5]  # scattered: cross-GPU heavy
+        ref, vec, _, _ = _run_pair(gen(2), Design.SHMEM_READONLY)
+        _assert_bit_identical(ref, vec)
+        assert ref.trace.count("xfer_begin") > 0
+
+    def test_trace_disabled_keeps_counters_identical(self):
+        _, gen = GENERATORS[3]
+        lower = gen(1)
+        n = lower.shape[0]
+        machine = dgx1(2)
+        dist = block_distribution(n, 2)
+        b = np.random.default_rng(0).standard_normal(n)
+        ref = des_execute(
+            lower, b, dist, machine, engine="reference", trace_enabled=False
+        )
+        vec = des_execute(
+            lower, b, dist, machine, engine="vector", trace_enabled=False
+        )
+        assert len(ref.trace.records) == len(vec.trace.records) == 0
+        assert ref.trace.count("solve") == vec.trace.count("solve") == n
+        assert ref.total_time == vec.total_time
+        assert ref.x.tobytes() == vec.x.tobytes()
+
+
+class TestCausalityReplay:
+    @pytest.mark.parametrize("design", list(Design), ids=lambda d: d.value)
+    def test_vector_traces_respect_machine_physics(self, design):
+        """Replay vector-engine traces through the causality checker."""
+        for gname, gen in GENERATORS:
+            lower = gen(11)
+            n = lower.shape[0]
+            machine = dgx1(2, require_p2p=design is not Design.UNIFIED)
+            dist = block_distribution(n, 2)
+            b = np.random.default_rng(1).standard_normal(n)
+            vec = des_execute(
+                lower, b, dist, machine, design, engine="vector"
+            )
+            report = check_des_trace(
+                vec.trace, build_dag(lower), dist, machine, design
+            )
+            assert report.ok, f"{gname}/{design.value}: {report.violations}"
+
+
+class TestSelectionAndRegistry:
+    def test_vector_always_resolves_to_vector(self):
+        assert resolve_engine("vector", 1) == "vector"
+        assert resolve_engine("vector", 10**6) == "vector"
+
+    def test_registry_has_vector_conformance_case(self):
+        reg = default_registry()
+        case = next(
+            c for c in reg.cases if c.name == "des-2gpu-vector"
+        )
+        solver = case.factory()
+        assert isinstance(solver, DesSolver)
+        assert solver.engine == "vector"
