@@ -81,6 +81,7 @@ __all__ = [
     "StateRule",
     "COMPONENT_LIFECYCLE",
     "TRANSFER_LIFECYCLE",
+    "STALE_LIFECYCLE",
     # trace vocabulary
     "TRACE_DISPATCH",
     "TRACE_SOLVE",
@@ -94,6 +95,9 @@ __all__ = [
     "TRACE_MSG_LOST",
     "TRACE_GPU_FAIL",
     "TRACE_REMAP",
+    "TRACE_STALE_LAUNCH",
+    "TRACE_VALIDATE",
+    "TRACE_REPLAY",
     "ALL_TRACE_KINDS",
     # delivery fates + protocol verdicts
     "FATE_DROP",
@@ -122,6 +126,12 @@ __all__ = [
     "link_capacity",
     "wire_time",
     "relaunch_delay",
+    # stale-synchronous protocol
+    "StalePolicy",
+    "DEFAULT_STALE_POLICY",
+    "resolve_stale_policy",
+    "wake_threshold",
+    "stale_validation_times",
     # per-design hooks
     "DesignHooks",
     "design_hooks",
@@ -179,6 +189,14 @@ TRACE_RECOVERED = "recovered"
 TRACE_MSG_LOST = "msg_lost"
 TRACE_GPU_FAIL = "gpu_fail"
 TRACE_REMAP = "remap"
+# Stale-synchronous vocabulary (the elastic design of Steiner et al.):
+# a component that launches on a bounded-stale partial sum records
+# ``stale_launch`` with ``(component, missing)``; the post-hoc pass
+# records one ``validate`` summary ``(n_suspects, n_replayed)`` and one
+# ``replay`` per forward-closure component it re-solves.
+TRACE_STALE_LAUNCH = "stale_launch"
+TRACE_VALIDATE = "validate"
+TRACE_REPLAY = "replay"
 
 #: The closed set of DES trace kinds (causality replay + chrometrace
 #: enumerate exactly these).
@@ -195,6 +213,9 @@ ALL_TRACE_KINDS = (
     TRACE_MSG_LOST,
     TRACE_GPU_FAIL,
     TRACE_REMAP,
+    TRACE_STALE_LAUNCH,
+    TRACE_VALIDATE,
+    TRACE_REPLAY,
 )
 
 
@@ -245,6 +266,25 @@ COMPONENT_LIFECYCLE: tuple[StateRule, ...] = (
     StateRule(COMP_RELEASE, "release", emits=TRACE_RELEASE,
               resource="warp_slot:release"),
     StateRule(COMP_DEAD, "dead"),
+)
+
+#: Stale-synchronous *extension* rows, interpreted on top of the base
+#: component lifecycle when the design is
+#: :attr:`~repro.exec_model.costmodel.Design.STALE_SYNC`.  They do not
+#: introduce new integer states (the token layout is unchanged): the
+#: ``stale_launch`` row annotates the GATHER step of a component whose
+#: wake threshold fired with contributions still missing, and the
+#: ``validate`` / ``replay`` rows describe the post-hoc validation pass
+#: appended after the calendar drains (timestamps from
+#: :func:`stale_validation_times`).  Kept in a separate table so the
+#: base lifecycle's state set stays closed.
+STALE_LIFECYCLE: tuple[StateRule, ...] = (
+    StateRule(COMP_GATHER, "stale_launch", emits=TRACE_STALE_LAUNCH,
+              cost="gather", next=COMP_SOLVE),
+    StateRule(COMP_RELEASE, "validate", emits=TRACE_VALIDATE,
+              cost="validate"),
+    StateRule(COMP_RELEASE, "replay", emits=TRACE_REPLAY,
+              cost="t_kernel_launch"),
 )
 
 #: The cross-GPU transfer lifecycle (a local delivery skips straight to
@@ -502,6 +542,94 @@ def relaunch_delay(recovery, k: int, t_kernel_launch: float) -> float:
 
 
 # ---------------------------------------------------------------------------
+# Stale-synchronous protocol: bounded-stale launch + validation/replay.
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class StalePolicy:
+    """Staleness bound of the ``stale_sync`` design.
+
+    Attributes
+    ----------
+    k:
+        A component may launch once at most ``k`` contributions are
+        still missing from its partial sum (all-but-k elasticity).
+        Components with in-degree ``<= k`` never block at all.
+    ceiling:
+        Per-row backward-error ceiling of the post-hoc validation pass:
+        any solved row whose stale-read error exceeds it is replayed
+        (with its forward closure).  Much tighter than the resilience
+        residual ceiling (1e-8) so repaired solutions still clear the
+        1e-9 differential-oracle tolerance.
+    """
+
+    k: int = 1
+    ceiling: float = 1e-12
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigurationError(
+                f"stale policy k must be >= 1, got {self.k}",
+                parameter="stale_k",
+                value=self.k,
+            )
+        if not self.ceiling > 0.0:
+            raise ConfigurationError(
+                f"stale validation ceiling must be > 0, got {self.ceiling}",
+                parameter="stale_ceiling",
+                value=self.ceiling,
+            )
+
+
+#: Policy used when the ``stale_sync`` design is selected without an
+#: explicit override.
+DEFAULT_STALE_POLICY = StalePolicy()
+
+
+def resolve_stale_policy(
+    design: Design, stale: "StalePolicy | None"
+) -> "StalePolicy | None":
+    """The effective staleness policy of one run.
+
+    ``stale_sync`` runs get the default policy unless one is supplied;
+    any other design must not carry a policy (typed error — staleness is
+    a property of the design, not a free knob)."""
+    if design is Design.STALE_SYNC:
+        return stale if stale is not None else DEFAULT_STALE_POLICY
+    if stale is not None:
+        raise ConfigurationError(
+            f"stale policy requires design={Design.STALE_SYNC.value!r}, "
+            f"got {design.value!r}",
+            parameter="stale",
+            value=stale,
+        )
+    return None
+
+
+def wake_threshold(stale: "StalePolicy | None") -> int:
+    """Ready-wake threshold both engines gate on: a component may leave
+    the GATHER park once at most this many contributions are missing
+    (0 = fully synchronous, the base protocol)."""
+    return 0 if stale is None else stale.k
+
+
+def stale_validation_times(
+    total_time: float, n_replayed: int, t_kernel_launch: float
+) -> tuple[float, np.ndarray]:
+    """Timestamps of the post-hoc validation pass records.
+
+    The ``validate`` summary lands exactly when the calendar drains;
+    replayed component ``j`` (ascending index order) lands after ``j+1``
+    host-serialised kernel launches — the same serialisation model as
+    :func:`launch_times` / :func:`relaunch_delay`.  Pure function of the
+    run's observables, so every engine extends the trace and the wall
+    clock bit-identically."""
+    replays = total_time + (
+        np.arange(1, n_replayed + 1, dtype=np.float64) * t_kernel_launch
+    )
+    return total_time, replays
+
+
+# ---------------------------------------------------------------------------
 # Per-design hooks: unified page-table routing vs priced cost tables.
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -519,14 +647,24 @@ class DesignHooks:
         engines own the stateful table; the hook only routes).  Local
         updates and notify latencies use the shared cost tables either
         way.
+    stale:
+        The default :class:`StalePolicy` for
+        :attr:`~repro.exec_model.costmodel.Design.STALE_SYNC` (``None``
+        for every fully synchronous design).
     """
 
     design: Design
     page_table: bool
+    stale: "StalePolicy | None" = None
 
 
 _DESIGN_HOOKS = {
-    d: DesignHooks(design=d, page_table=d is Design.UNIFIED) for d in Design
+    d: DesignHooks(
+        design=d,
+        page_table=d is Design.UNIFIED,
+        stale=DEFAULT_STALE_POLICY if d is Design.STALE_SYNC else None,
+    )
+    for d in Design
 }
 
 
@@ -641,6 +779,9 @@ PROTOCOL_CONSTANTS: dict[str, object] = {
     "TRACE_MSG_LOST": TRACE_MSG_LOST,
     "TRACE_GPU_FAIL": TRACE_GPU_FAIL,
     "TRACE_REMAP": TRACE_REMAP,
+    "TRACE_STALE_LAUNCH": TRACE_STALE_LAUNCH,
+    "TRACE_VALIDATE": TRACE_VALIDATE,
+    "TRACE_REPLAY": TRACE_REPLAY,
     "FATE_DROP": FATE_DROP,
     "FATE_DELAY": FATE_DELAY,
     "FATE_CORRUPT": FATE_CORRUPT,

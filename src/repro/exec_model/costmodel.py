@@ -39,6 +39,12 @@ class Design(str, Enum):
     UNIFIED = "unified"
     SHMEM_NAIVE = "shmem_naive"
     SHMEM_READONLY = "shmem_readonly"
+    #: Stale-synchronous variant of the read-only design: consumers may
+    #: launch on a bounded-stale partial sum (all-but-k contributions)
+    #: and a post-hoc validation pass replays above-ceiling components.
+    #: The fabric pricing is identical to ``shmem_readonly`` — staleness
+    #: changes *when* a consumer reads, not *what* a read costs.
+    STALE_SYNC = "stale_sync"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -155,7 +161,7 @@ def build_comm_costs(
             use_shortcircuit=False,
         )
 
-    if design is Design.SHMEM_READONLY:
+    if design in (Design.SHMEM_READONLY, Design.STALE_SYNC):
         # Producer: accumulate into the LOCAL symmetric heap - a plain
         # device atomic, no fabric traffic at all.
         update_remote = np.full((n, n), gpu.t_atomic_device)

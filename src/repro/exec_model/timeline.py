@@ -550,9 +550,11 @@ def simulate_execution(
         if n_gpus > 1:
             if design is Design.SHMEM_NAIVE:
                 fabric = 16.0 * n_remote  # get + put per remote update
-            elif design is Design.SHMEM_READONLY:
+            elif design in (Design.SHMEM_READONLY, Design.STALE_SYNC):
                 # Consumer get round: in_degree + left_sum from every
-                # remote PE per component with remote predecessors.
+                # remote PE per component with remote predecessors
+                # (stale-sync reads the same symmetric heap; elasticity
+                # changes when a consumer reads, not the traffic shape).
                 fabric = 16.0 * (n_gpus - 1) * float(np.sum(has_remote_pred))
     # bincount accumulates its weights in input order, exactly like the
     # np.add.at it replaces (src is non-decreasing), only ~10x faster.

@@ -43,6 +43,7 @@ __all__ = [
     "ResilientResult",
     "residual_repair",
     "resilient_execute",
+    "stale_validate",
 ]
 
 
@@ -134,9 +135,36 @@ def residual_repair(
     if len(suspects) == 0:
         return x, []
 
+    x_fixed, replayed = _closure_replay(lower, b, x, suspects)
+    final = residual_norm(lower, x_fixed, b)
+    if final > ceiling:
+        raise RecoveryExhaustedError(
+            f"selective replay of {len(replayed)} components left backward "
+            f"error {final:.3e} above ceiling {ceiling:.1e}",
+            context={
+                "suspects": [int(i) for i in suspects],
+                "replayed": int(len(replayed)),
+                "residual": final,
+            },
+        )
+    return x_fixed, [int(i) for i in replayed]
+
+
+def _closure_replay(
+    lower: CscMatrix, b: np.ndarray, x: np.ndarray, suspects
+) -> tuple[np.ndarray, np.ndarray]:
+    """Forward-closure selective replay shared by :func:`residual_repair`
+    and :func:`stale_validate`.
+
+    Expands ``suspects`` to their forward closure over the dependency
+    DAG (CSC column = out-edges), then re-solves the closure by partial
+    forward substitution — left sums seeded from the clean columns,
+    replayed in ascending order so each repaired value feeds its
+    affected dependants.  Returns ``(x_fixed, replayed_indices)``; the
+    input ``x`` is not modified.
+    """
     n = lower.shape[0]
     indptr, indices, data = lower.indptr, lower.indices, lower.data
-    # Forward closure over the dependency DAG (CSC column = out-edges).
     affected = np.zeros(n, dtype=bool)
     stack = [int(i) for i in suspects]
     while stack:
@@ -149,9 +177,6 @@ def residual_repair(
             if not affected[j]:
                 stack.append(j)
 
-    # Partial forward substitution over the closure: left sums seeded
-    # from the clean (unaffected) columns, then replayed in ascending
-    # order so each repaired value feeds its affected dependants.
     x_fixed = np.asarray(x, dtype=np.float64).copy()
     left = np.zeros(n)
     for i in range(n):
@@ -170,19 +195,46 @@ def residual_repair(
         mask = affected[rows]
         if np.any(mask):
             left[rows[mask]] += data[lo + 1 : hi][mask] * x_fixed[i]
+    return x_fixed, replayed
 
+
+def stale_validate(
+    lower: CscMatrix,
+    b,
+    x: np.ndarray,
+    ceiling: float,
+) -> tuple[np.ndarray, list[int], list[int]]:
+    """Post-hoc validation pass of the ``stale_sync`` design.
+
+    A component that launched on a bounded-stale partial sum and never
+    saw the late contributions land is exactly as inconsistent as a
+    silently corrupted ``left.sum``: its own row's componentwise
+    backward error equals the missing mass.  Rows above ``ceiling`` are
+    the suspects; their forward closure is replayed from the clean
+    values (:func:`residual_repair` machinery).  Returns
+    ``(x_validated, suspects, replayed)`` — both index lists ascending,
+    ``replayed`` a superset of ``suspects`` — and raises
+    :class:`RecoveryExhaustedError` when the replayed system still
+    fails the ceiling.
+    """
+    b = np.asarray(b, dtype=np.float64)
+    errs = _row_backward_errors(lower, x, b)
+    suspects = np.nonzero(errs > ceiling)[0]
+    if len(suspects) == 0:
+        return x, [], []
+    x_fixed, replayed = _closure_replay(lower, b, x, suspects)
     final = residual_norm(lower, x_fixed, b)
     if final > ceiling:
         raise RecoveryExhaustedError(
-            f"selective replay of {len(replayed)} components left backward "
-            f"error {final:.3e} above ceiling {ceiling:.1e}",
+            f"stale-read replay of {len(replayed)} components left "
+            f"backward error {final:.3e} above ceiling {ceiling:.1e}",
             context={
                 "suspects": [int(i) for i in suspects],
                 "replayed": int(len(replayed)),
                 "residual": final,
             },
         )
-    return x_fixed, [int(i) for i in replayed]
+    return x_fixed, [int(i) for i in suspects], [int(i) for i in replayed]
 
 
 @dataclass(frozen=True)

@@ -18,9 +18,10 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, fields
 
-from repro.engine.protocol import VALID_ENGINES, coerce_design
+from repro.engine.protocol import StalePolicy, VALID_ENGINES, coerce_design
 from repro.errors import ConfigurationError
 from repro.exec_model.costmodel import Design
+from repro.tasks.schedule import VALID_DISTRIBUTIONS
 
 __all__ = [
     "RunConfig",
@@ -28,9 +29,6 @@ __all__ = [
     "VALID_SCHEDULERS",
     "load_run_config",
 ]
-
-#: Task distributions the facade can build (see ``repro.tasks.schedule``).
-VALID_DISTRIBUTIONS = ("block", "taskpool")
 
 #: Fast-model scheduling passes (see ``simulate_execution``).
 VALID_SCHEDULERS = ("auto", "batched", "reference")
@@ -74,10 +72,23 @@ class RunConfig:
         GPU count for the default machine (ignored when ``machine`` is
         given).
     distribution:
-        Task distribution: ``"block"`` (contiguous) or ``"taskpool"``
-        (round-robin, ``tasks_per_gpu`` pools per rank).
+        Task distribution: ``"block"`` (contiguous), ``"taskpool"``
+        (round-robin, ``tasks_per_gpu`` pools per rank), or
+        ``"costaware"`` (greedy LPT over per-task solve+gather+edge
+        cost; needs the matrix, so :meth:`build_distribution` must be
+        given ``lower``).
     tasks_per_gpu:
-        Pool count per rank for the ``taskpool`` distribution.
+        Pool count per rank for the ``taskpool`` / ``costaware``
+        distributions.  ``None`` (the default) uses each policy's
+        canonical granularity: 2 for ``taskpool``, 1 for ``costaware``
+        (its cost-balanced boundaries already encode the imbalance).
+    stale_k / stale_ceiling:
+        Staleness-bound and backward-error ceiling for the
+        ``stale_sync`` design (see
+        :class:`~repro.engine.protocol.StalePolicy`).  Leaving both
+        ``None`` uses the design's default policy; setting either with
+        a non-stale design raises
+        :class:`~repro.errors.ConfigurationError`.
     plan:
         Optional :class:`~repro.resilience.faults.FaultPlan` materialised
         per solve.
@@ -99,7 +110,9 @@ class RunConfig:
     machine: object | None = None
     n_gpus: int = 4
     distribution: str = "block"
-    tasks_per_gpu: int = 2
+    tasks_per_gpu: int | None = None
+    stale_k: int | None = None
+    stale_ceiling: float | None = None
     plan: object | None = None
     recovery: object | None = None
     watchdog_stall_horizon: float | None = None
@@ -120,12 +133,15 @@ class RunConfig:
                 parameter="n_gpus",
                 value=self.n_gpus,
             )
-        if self.tasks_per_gpu < 1:
+        if self.tasks_per_gpu is not None and self.tasks_per_gpu < 1:
             raise ConfigurationError(
                 f"tasks_per_gpu must be >= 1, got {self.tasks_per_gpu}",
                 parameter="tasks_per_gpu",
                 value=self.tasks_per_gpu,
             )
+        # Validate the stale knobs eagerly so a bad config fails at
+        # construction, not mid-solve.
+        self.build_stale_policy()
 
     # ------------------------------------------------------------ builders
     def resolve_machine(self):
@@ -136,19 +152,52 @@ class RunConfig:
 
         return dgx1(self.n_gpus)
 
-    def build_distribution(self, n: int, n_gpus: int):
-        """Materialise the configured distribution for an ``n``-component
-        system on ``n_gpus`` ranks."""
-        from repro.tasks.schedule import (
-            block_distribution,
-            round_robin_distribution,
-        )
+    def build_stale_policy(self) -> StalePolicy | None:
+        """The :class:`~repro.engine.protocol.StalePolicy` implied by the
+        ``stale_k`` / ``stale_ceiling`` knobs, or ``None`` when the
+        design is not ``stale_sync``.
 
-        if self.distribution == "taskpool":
-            return round_robin_distribution(
-                n, n_gpus, tasks_per_gpu=self.tasks_per_gpu
+        Setting either knob with a non-stale design raises
+        :class:`~repro.errors.ConfigurationError`, mirroring
+        :func:`~repro.engine.protocol.resolve_stale_policy`.
+        """
+        from repro.engine.protocol import resolve_stale_policy
+
+        stale = None
+        if self.stale_k is not None or self.stale_ceiling is not None:
+            defaults = StalePolicy()
+            stale = StalePolicy(
+                k=self.stale_k if self.stale_k is not None else defaults.k,
+                ceiling=(
+                    self.stale_ceiling
+                    if self.stale_ceiling is not None
+                    else defaults.ceiling
+                ),
             )
-        return block_distribution(n, n_gpus)
+        return resolve_stale_policy(self.design, stale)
+
+    def build_distribution(self, n: int, n_gpus: int, *, lower=None):
+        """Materialise the configured distribution for an ``n``-component
+        system on ``n_gpus`` ranks.
+
+        The ``costaware`` policy prices tasks from the matrix, so the
+        caller must pass the ``lower`` triangular operand; the machine
+        and design come from the config itself.
+        """
+        from repro.tasks.schedule import build_distribution
+
+        machine = None
+        if self.distribution == "costaware":
+            machine = self.resolve_machine()
+        return build_distribution(
+            self.distribution,
+            n,
+            n_gpus,
+            tasks_per_gpu=self.tasks_per_gpu,
+            lower=lower,
+            machine=machine,
+            design=self.design,
+        )
 
     def build_watchdog(self):
         """A fresh per-run watchdog, or ``None`` when neither bound is set."""
@@ -232,9 +281,14 @@ class RunConfig:
             "scheduler": self.scheduler,
             "n_gpus": self.n_gpus,
             "distribution": self.distribution,
-            "tasks_per_gpu": self.tasks_per_gpu,
             "trace_enabled": self.trace_enabled,
         }
+        if self.tasks_per_gpu is not None:
+            out["tasks_per_gpu"] = self.tasks_per_gpu
+        if self.stale_k is not None:
+            out["stale_k"] = self.stale_k
+        if self.stale_ceiling is not None:
+            out["stale_ceiling"] = self.stale_ceiling
         if self.watchdog_stall_horizon is not None:
             out.setdefault("watchdog", {})[
                 "stall_horizon"

@@ -77,6 +77,7 @@ def resilient_run(
     watchdog=None,
     engine: str = "auto",
     trace_enabled: bool = True,
+    stale=None,
 ):
     """Run one faulted, recovered, residual-checked DES solve.
 
@@ -114,6 +115,7 @@ def resilient_run(
         injector=injector,
         recovery=recovery,
         watchdog=watchdog,
+        stale=stale,
     )
     x = ex.x
     repaired: list[int] = []
@@ -176,7 +178,7 @@ class SolverSession:
             self._artefacts = get_artefacts(lower)
             machine = self.machine
             self._dist = self.config.build_distribution(
-                lower.shape[0], machine.n_gpus
+                lower.shape[0], machine.n_gpus, lower=lower
             )
             self._costs = self._artefacts.comm_costs(
                 machine, self.config.design
@@ -198,6 +200,7 @@ class SolverSession:
             costs=self._costs,
             trace_enabled=self.config.trace_enabled,
             engine=self.config.engine,
+            stale=self.config.build_stale_policy(),
         )
 
     def simulate(self, lower):
@@ -249,6 +252,7 @@ class SolverSession:
             injector=injector,
             recovery=recovery,
             watchdog=cfg.build_watchdog(),
+            stale=cfg.build_stale_policy(),
         )
         x = ex.x
         repaired: list[int] = []

@@ -90,6 +90,7 @@ from repro.engine.protocol import (
     TRACE_REMAP,
     TRACE_RETRY,
     TRACE_SOLVE,
+    TRACE_STALE_LAUNCH,
     TRACE_XFER_BEGIN,
     TRACE_XFER_END,
     XFER_CLAIM,
@@ -107,6 +108,7 @@ from repro.engine.protocol import (
     remap_plan,
     solve_cost_table,
     validate_diagonals,
+    wake_threshold,
     wire_time,
 )
 from repro.engine.resources import ResourceBank
@@ -141,6 +143,7 @@ def execute_array(
     injector=None,
     recovery=None,
     watchdog=None,
+    stale=None,
 ) -> tuple[np.ndarray, float, Trace, int, int]:
     """Play out one event-granular SpTRSV on the array engine.
 
@@ -159,6 +162,10 @@ def execute_array(
     n_gpus = machine.n_gpus
     gpu_spec = machine.gpu
     unified = design_hooks(design).page_table
+    # Stale-sync: the ready park releases once at most ``wake_at``
+    # contributions are missing (0 = fully synchronous); the caller
+    # (``des_execute``) owns the post-hoc validation pass.
+    wake_at = wake_threshold(stale)
     topo = machine.topology
     phys = machine.active_gpus
 
@@ -312,6 +319,7 @@ def execute_array(
     emit = trace.emit if trace_enabled else None
     c_dispatch = c_solve = c_release = c_fault = c_xb = c_xe = 0
     c_inject = c_retry = c_recov = c_lost = c_gfail = c_remap = 0
+    c_stale = 0
 
     nevents = 0
     now = 0.0
@@ -435,7 +443,9 @@ def execute_array(
                     left_sum[dst] += contrib
                     rem = remaining[dst] - 1
                     remaining[dst] = rem
-                    if rem == 0 and parked_ready[dst]:
+                    # The countdown crosses the wake threshold (0, or
+                    # ``stale.k`` under stale-sync) exactly once.
+                    if rem == wake_at and parked_ready[dst]:
                         parked_ready[dst] = False
                         # Resume the parked component at COMP_GATHER.
                         cur.append((dst << 3) | COMP_GATHER)
@@ -658,12 +668,24 @@ def execute_array(
                 i = code >> 3
                 st = code & 7
                 if st == COMP_GATHER:
-                    if remaining[i] > 0:
+                    if remaining[i] > wake_at:
                         # Unsatisfied dependencies at the post-dispatch
                         # check: park on the readiness flag; the closing
                         # update delivery re-schedules this same state.
                         parked_ready[i] = True
                         continue
+                    if wake_at and remaining[i] > 0:
+                        # Bounded-stale launch: ``remaining`` re-read at
+                        # the GATHER event (same (time, seq) slot as the
+                        # reference engine's post-wake re-read), so the
+                        # recorded missing count is bit-identical.
+                        if emit is not None:
+                            emit(
+                                now, TRACE_STALE_LAUNCH, gpu=g_l[i],
+                                detail=(i, remaining[i]),
+                            )
+                        else:
+                            c_stale += 1
                     gather = gather_l[i]
                     if unified and in_counts_l[i]:
                         cost, _ = um_access(
@@ -841,6 +863,7 @@ def execute_array(
         trace.bulk_count(TRACE_MSG_LOST, c_lost)
         trace.bulk_count(TRACE_GPU_FAIL, c_gfail)
         trace.bulk_count(TRACE_REMAP, c_remap)
+        trace.bulk_count(TRACE_STALE_LAUNCH, c_stale)
 
     x = np.asarray(x_l, dtype=np.float64)
     return (

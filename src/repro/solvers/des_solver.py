@@ -48,9 +48,13 @@ from repro.engine.protocol import (
     TRACE_REMAP,
     TRACE_RETRY,
     TRACE_SOLVE,
+    TRACE_STALE_LAUNCH,
+    TRACE_VALIDATE,
+    TRACE_REPLAY,
     TRACE_XFER_BEGIN,
     TRACE_XFER_END,
     VALID_ENGINES,
+    StalePolicy,
     coerce_design,
     delivery_action,
     design_hooks,
@@ -62,7 +66,10 @@ from repro.engine.protocol import (
     link_capacity,
     missing_diagonal,
     remap_plan,
+    resolve_stale_policy,
     solve_cost,
+    stale_validation_times,
+    wake_threshold,
     wire_time,
 )
 from repro.engine.resources import Resource
@@ -75,7 +82,7 @@ from repro.machine.unified import UnifiedMemory
 from repro.resilience.faults import flip_mantissa_bit
 from repro.solvers.base import SolveResult, TriangularSolver, validate_system
 from repro.sparse.csc import CscMatrix
-from repro.tasks.schedule import Distribution, block_distribution
+from repro.tasks.schedule import Distribution
 
 __all__ = ["DesExecution", "des_execute", "resolve_engine", "DesSolver"]
 
@@ -134,6 +141,7 @@ def des_execute(
     injector=None,
     recovery=None,
     watchdog=None,
+    stale: StalePolicy | None = None,
 ) -> DesExecution:
     """Play out a multi-GPU SpTRSV at event granularity.
 
@@ -166,9 +174,21 @@ def des_execute(
       delivery starves its dependant and the deadlock detector fires;
     * ``watchdog`` — a :class:`~repro.resilience.watchdog.Watchdog`
       polled at every clock advance (no-progress stall detection).
+
+    Under ``Design.STALE_SYNC`` a component may leave its dependency
+    park once at most ``stale.k`` contributions are still missing
+    (recording :data:`~repro.engine.protocol.TRACE_STALE_LAUNCH`); after
+    the calendar drains, a post-hoc validation pass detects above-ceiling
+    stale reads and replays their forward closure
+    (:data:`~repro.engine.protocol.TRACE_VALIDATE` /
+    :data:`~repro.engine.protocol.TRACE_REPLAY`).  The pass is a pure
+    function of the finished run, so every engine extends the trace and
+    wall clock bit-identically.
     """
     design = coerce_design(design)
     hooks = design_hooks(design)
+    stale = resolve_stale_policy(design, stale)
+    wake_at = wake_threshold(stale)
     n = lower.shape[0]
     if dist.n != n:
         raise SolverError("distribution does not match the matrix")
@@ -185,6 +205,28 @@ def des_execute(
     if costs is None:
         costs = art.comm_costs(machine, design)
     resolved = resolve_engine(engine, n)
+
+    def _finish(x, total_time, trace, page_faults, events) -> DesExecution:
+        """Shared finishing step: the stale-sync validation/replay pass.
+
+        Runs identically after every engine (pure function of the
+        finished run's observables), so the repaired solution, the
+        appended trace records, and the extended wall clock stay
+        bit-identical across reference, array, and vector.
+        """
+        if stale is not None:
+            x, total_time = _stale_validation_pass(
+                lower, b, x, stale, trace, total_time,
+                machine.gpu.t_kernel_launch,
+            )
+        return DesExecution(
+            x=x,
+            total_time=total_time,
+            trace=trace,
+            page_faults=page_faults,
+            events=events,
+        )
+
     if resolved in ("array", "vector"):
         if resolved == "vector":
             from repro.solvers.des_vector import execute_vector as _execute
@@ -203,14 +245,9 @@ def des_execute(
             injector=injector,
             recovery=recovery,
             watchdog=watchdog,
+            stale=stale,
         )
-        return DesExecution(
-            x=x,
-            total_time=total_time,
-            trace=trace,
-            page_faults=page_faults,
-            events=events,
-        )
+        return _finish(x, total_time, trace, page_faults, events)
     n_gpus = machine.n_gpus
     gpu_spec = machine.gpu
 
@@ -356,7 +393,11 @@ def des_execute(
             trace.emit(sim.now, TRACE_RECOVERED, gpu=dst_pe, detail=(e, attempt))
         left_sum[dst] += contribution
         remaining[dst] -= 1
-        if remaining[dst] == 0:
+        # The wake threshold is 0 for synchronous designs and ``k``
+        # under stale-sync: the countdown crosses it exactly once, so
+        # the ready channel fires exactly once either way (a signal with
+        # no waiter is a no-op).
+        if remaining[dst] == wake_at:
             yield Signal(("ready", dst))
 
     def component(i: int, ep: int = 0):
@@ -375,10 +416,20 @@ def des_execute(
         yield Timeout(gpu_spec.t_warp_dispatch)
         if epoch is not None and epoch[i] != ep:
             return
-        if remaining[i] > 0:
+        if remaining[i] > wake_at:
             yield Wait(("ready", i))
             if epoch is not None and epoch[i] != ep:
                 return
+        if stale is not None and remaining[i] > 0:
+            # Bounded-stale launch: gather proceeds with contributions
+            # still missing.  ``remaining`` is re-read here (not at the
+            # wake) so same-timestamp deliveries that land before this
+            # process resumes are counted — matching the array engine's
+            # token semantics bit-for-bit.
+            trace.emit(
+                sim.now, TRACE_STALE_LAUNCH, gpu=g,
+                detail=(i, int(remaining[i])),
+            )
         # Gather phase (remote reads / final poll fault).
         gather = costs.gather if in_counts[i] else 0.0
         if hooks.page_table and um is not None and in_counts[i]:
@@ -475,13 +526,50 @@ def des_execute(
     events = sim.run()
     if np.any(remaining != 0):
         raise SolverError("DES run finished with unsatisfied dependencies")
-    return DesExecution(
-        x=x,
-        total_time=sim.now,
-        trace=trace,
-        page_faults=um.fault_count if um is not None else 0,
-        events=events,
+    return _finish(
+        x,
+        sim.now,
+        trace,
+        um.fault_count if um is not None else 0,
+        events,
     )
+
+
+def _stale_validation_pass(
+    lower: CscMatrix,
+    b: np.ndarray,
+    x: np.ndarray,
+    stale: StalePolicy,
+    trace: Trace,
+    total_time: float,
+    t_kernel_launch: float,
+) -> tuple[np.ndarray, float]:
+    """The stale-sync post-hoc validation/replay step (all engines).
+
+    Detects solved rows whose stale-read error exceeds the policy
+    ceiling, replays their forward closure via the resilience repair
+    machinery, and appends the protocol's ``validate`` / ``replay``
+    records at the timestamps of
+    :func:`~repro.engine.protocol.stale_validation_times`.  Returns the
+    validated solution and the extended wall clock.  Raises
+    :class:`~repro.errors.RecoveryExhaustedError` when replay cannot
+    bring the system under the ceiling.
+    """
+    from repro.resilience.recovery import stale_validate
+
+    x_fixed, suspects, replayed = stale_validate(lower, b, x, stale.ceiling)
+    t_validate, t_replays = stale_validation_times(
+        total_time, len(replayed), t_kernel_launch
+    )
+    trace.emit(
+        t_validate, TRACE_VALIDATE, gpu=0,
+        detail=(len(suspects), len(replayed)),
+    )
+    for k, i in enumerate(replayed):
+        trace.emit(float(t_replays[k]), TRACE_REPLAY, gpu=0, detail=i)
+    if len(replayed):
+        total_time = float(t_replays[-1])
+    return x_fixed, total_time
 
 
 class DesSolver(TriangularSolver):
@@ -495,13 +583,21 @@ class DesSolver(TriangularSolver):
         design: Design | str = Design.SHMEM_READONLY,
         max_components: int = 20_000,
         engine: str = "auto",
+        distribution: str = "block",
+        tasks_per_gpu: int | None = None,
+        stale: StalePolicy | None = None,
     ):
         self.machine = machine if machine is not None else dgx1(4)
         self.design = coerce_design(design)
         self.max_components = max_components
         self.engine = engine
+        self.distribution = distribution
+        self.tasks_per_gpu = tasks_per_gpu
+        self.stale = resolve_stale_policy(self.design, stale)
 
     def solve(self, lower: CscMatrix, b: np.ndarray) -> SolveResult:
+        from repro.tasks.schedule import build_distribution
+
         b = validate_system(lower, b)
         n = lower.shape[0]
         if n > self.max_components:
@@ -509,12 +605,20 @@ class DesSolver(TriangularSolver):
                 f"DES tier is for small systems (n <= {self.max_components}); "
                 "use the fast-model solvers for large inputs"
             )
-        dist = block_distribution(n, self.machine.n_gpus)
         # One artefact bundle feeds both tiers: the DES playout and the
         # fast-model re-pricing share the DAG and cost tables instead of
         # deriving the structure twice per solve.
         art = get_artefacts(lower)
         costs = art.comm_costs(self.machine, self.design)
+        dist = build_distribution(
+            self.distribution,
+            n,
+            self.machine.n_gpus,
+            tasks_per_gpu=self.tasks_per_gpu,
+            lower=lower,
+            machine=self.machine,
+            design=self.design,
+        )
         ex = des_execute(
             lower,
             b,
@@ -524,6 +628,7 @@ class DesSolver(TriangularSolver):
             dag=art.dag,
             costs=costs,
             engine=self.engine,
+            stale=self.stale,
         )
         # Re-price through the fast model for a comparable report, but keep
         # the DES-exact wall clock by exposing it through the trace.

@@ -1,6 +1,6 @@
 """Task-to-GPU distribution and the malleable task pool (Section V).
 
-Two placement policies:
+Three placement policies:
 
 * :func:`block_distribution` — the baseline: components split into one
   contiguous block per GPU in ascending order.  Produces the
@@ -8,9 +8,17 @@ Two placement policies:
 * :func:`round_robin_distribution` — the paper's task model: contiguous
   tasks dealt round-robin over GPUs *in order of available memory* so
   every GPU receives both early (small-index) and late components.
+* :func:`costaware_distribution` — task boundaries placed where the
+  cumulative estimated component cost (solve + gather tables from the
+  artefact bundle) balances, edges priced per design (local atomic
+  inside a task, off-diagonal-average remote update + notify across
+  tasks), then tasks dealt greedily longest-processing-time first onto
+  the least-loaded GPU (schedules beating plain level-set / positional
+  dealing on imbalanced DAGs, after Böhnlein et al.).
 
-Both return a :class:`Distribution` that the execution models and the
-functional solver emulations consume.
+All return a :class:`Distribution` that the execution models and the
+functional solver emulations consume; :func:`build_distribution`
+resolves one by name (:data:`VALID_DISTRIBUTIONS`).
 """
 
 from __future__ import annotations
@@ -19,17 +27,24 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import TaskModelError
+from repro.errors import ConfigurationError, TaskModelError
 from repro.machine.memory import DeviceMemory
 from repro.tasks.partition import TaskPartition, partition_components
 
 __all__ = [
     "Distribution",
+    "VALID_DISTRIBUTIONS",
     "block_distribution",
     "round_robin_distribution",
+    "costaware_distribution",
+    "build_distribution",
     "remap_failed_components",
     "redistribute_after_failure",
 ]
+
+#: Distribution names :func:`build_distribution` (and therefore
+#: ``RunConfig(distribution=...)``) accepts.
+VALID_DISTRIBUTIONS = ("block", "taskpool", "costaware")
 
 
 @dataclass(frozen=True)
@@ -183,6 +198,176 @@ def round_robin_distribution(
             placed_bytes[g] += float(sizes[t]) * 8 * 3  # x, b, intermediates
             t += 1
     return _build(n, n_gpus, part, task_gpu)
+
+
+def costaware_distribution(
+    lower,
+    n_gpus: int,
+    machine,
+    design=None,
+    tasks_per_gpu: int | None = None,
+    dag=None,
+    costs=None,
+) -> Distribution:
+    """Cost-aware placement: estimated task cost balanced over GPUs.
+
+    Task boundaries are *cost-balanced*, not count-balanced: the
+    per-component cost (solve + gather cost tables from the artefact
+    bundle) is accumulated and the contiguous boundaries placed where
+    the cumulative cost crosses equal fractions of the total, so a DAG
+    whose expensive components cluster at one end still yields tasks of
+    comparable work.  Each task is then priced including the
+    producer-side edge cost (local atomic inside the task,
+    off-diagonal-average remote update plus notify latency across
+    tasks) and dealt greedily longest-processing-time first onto the
+    currently least-loaded GPU (ties: lower task index, lower rank;
+    fully deterministic).  Contiguous tasks keep the per-GPU
+    ascending-component dispatch order, so the sync-free
+    deadlock-freedom argument of :func:`block_distribution` /
+    :func:`round_robin_distribution` carries over unchanged.
+
+    Parameters
+    ----------
+    lower:
+        The system matrix (:class:`~repro.sparse.csc.CscMatrix`); its
+        artefact bundle supplies the DAG and cost tables.
+    n_gpus, machine:
+        Machine shape and the node whose links price the edges.
+    design:
+        The communication design priced (default
+        :attr:`~repro.exec_model.costmodel.Design.SHMEM_READONLY`).
+    tasks_per_gpu:
+        Pool granularity, as in :func:`round_robin_distribution`.
+        Defaults to 1: cost-balanced boundaries already encode the
+        imbalance, so extra pool granularity only adds per-task
+        kernel-launch overhead.
+    dag, costs:
+        Optional pre-built artefacts (skip the bundle lookups).
+    """
+    from repro.engine.protocol import gather_cost_table, solve_cost_table
+    from repro.exec_model.artefacts import get_artefacts
+    from repro.exec_model.costmodel import Design
+
+    if n_gpus < 1:
+        raise TaskModelError(f"n_gpus must be >= 1, got {n_gpus}")
+    if tasks_per_gpu is None:
+        tasks_per_gpu = 1
+    if tasks_per_gpu < 1:
+        raise TaskModelError(f"tasks_per_gpu must be >= 1, got {tasks_per_gpu}")
+    if design is None:
+        design = Design.SHMEM_READONLY
+    art = get_artefacts(lower, dag=dag)
+    if dag is None:
+        dag = art.dag
+    if costs is None:
+        costs = art.comm_costs(machine, design)
+
+    n = lower.shape[0]
+    n_tasks = min(tasks_per_gpu * n_gpus, max(n, 1))
+
+    col_nnz = np.diff(lower.indptr)
+    in_counts = np.diff(dag.in_ptr)
+    comp_cost = solve_cost_table(
+        machine.gpu.t_per_nnz, col_nnz, in_counts
+    ) + gather_cost_table(costs.gather, in_counts)
+
+    # Cost-balanced contiguous boundaries: cut where the running node
+    # cost crosses k/n_tasks of the total, clamped so every task keeps
+    # at least one component and boundaries stay strictly increasing.
+    cum = np.cumsum(comp_cost)
+    targets = cum[-1] * np.arange(1, n_tasks) / n_tasks
+    cuts = np.searchsorted(cum, targets) + 1
+    task_ptr = np.zeros(n_tasks + 1, dtype=np.int64)
+    task_ptr[-1] = n
+    prev = 0
+    for i, c in enumerate(cuts, start=1):
+        c = max(prev + 1, min(int(c), n - (n_tasks - i)))
+        task_ptr[i] = c
+        prev = c
+    part = TaskPartition(n, task_ptr)
+    task_of = part.task_of_components()
+
+    # Producer-side edge pricing: the exact local atomic inside a task;
+    # across tasks the destination GPU is unknown before placement, so
+    # cross-task edges carry the off-diagonal average update + notify.
+    if dag.n_edges:
+        src = np.repeat(np.arange(n, dtype=np.int64), np.diff(dag.out_ptr))
+        dst = dag.out_idx
+        if n_gpus > 1:
+            off = ~np.eye(n_gpus, dtype=bool)
+            remote_avg = float(np.mean(costs.update_remote[off]))
+            notify_avg = float(np.mean(costs.notify[off]))
+        else:
+            remote_avg = notify_avg = float(costs.update_local)
+        edge_cost = np.where(
+            task_of[src] == task_of[dst],
+            costs.update_local,
+            remote_avg + notify_avg,
+        )
+        np.add.at(comp_cost, src, edge_cost)
+
+    task_cost = np.zeros(n_tasks, dtype=np.float64)
+    np.add.at(task_cost, task_of, comp_cost)
+
+    # Greedy LPT: heaviest task first (ties ascending id) onto the
+    # least-loaded GPU (ties lowest rank).
+    task_gpu = np.zeros(n_tasks, dtype=np.int64)
+    load = np.zeros(n_gpus, dtype=np.float64)
+    for t in np.argsort(-task_cost, kind="stable"):
+        g = int(np.argmin(load))
+        task_gpu[t] = g
+        load[g] += task_cost[t]
+    return _build(n, n_gpus, part, task_gpu)
+
+
+def build_distribution(
+    name: str,
+    n: int,
+    n_gpus: int,
+    *,
+    tasks_per_gpu: int | None = None,
+    lower=None,
+    machine=None,
+    design=None,
+) -> Distribution:
+    """Resolve a distribution by name (:data:`VALID_DISTRIBUTIONS`).
+
+    ``tasks_per_gpu=None`` means each policy's canonical granularity:
+    2 for ``"taskpool"`` (the paper's default pool), 1 for
+    ``"costaware"`` (cost-balanced boundaries already encode the
+    imbalance).  ``"costaware"`` prices tasks from the system matrix
+    and so requires ``lower=`` and ``machine=``; the positional
+    policies ignore them.  Unknown names raise a typed
+    :class:`~repro.errors.ConfigurationError` listing the choices.
+    """
+    if name == "block":
+        return block_distribution(n, n_gpus)
+    if name == "taskpool":
+        return round_robin_distribution(
+            n, n_gpus, 2 if tasks_per_gpu is None else tasks_per_gpu
+        )
+    if name == "costaware":
+        if lower is None or machine is None:
+            raise ConfigurationError(
+                "distribution 'costaware' prices tasks from the system "
+                "matrix; pass lower= and machine=",
+                parameter="distribution",
+                value=name,
+            )
+        return costaware_distribution(
+            lower,
+            n_gpus,
+            machine,
+            design=design,
+            tasks_per_gpu=tasks_per_gpu,
+        )
+    raise ConfigurationError(
+        f"unknown distribution {name!r}; valid choices: "
+        + ", ".join(VALID_DISTRIBUTIONS),
+        parameter="distribution",
+        value=name,
+        choices=VALID_DISTRIBUTIONS,
+    )
 
 
 # ----------------------------------------------------------------------

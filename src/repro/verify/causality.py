@@ -93,7 +93,11 @@ class CausalityReport:
 # DES trace audit
 # ======================================================================
 def _shmem_design(design: Design) -> bool:
-    return design in (Design.SHMEM_NAIVE, Design.SHMEM_READONLY)
+    return design in (
+        Design.SHMEM_NAIVE,
+        Design.SHMEM_READONLY,
+        Design.STALE_SYNC,
+    )
 
 
 def check_des_trace(
@@ -102,6 +106,8 @@ def check_des_trace(
     dist: Distribution,
     machine: MachineConfig,
     design: Design | str = Design.SHMEM_READONLY,
+    *,
+    stale=None,
 ) -> CausalityReport:
     """Audit an event-granular trace against the machine's physics.
 
@@ -131,10 +137,34 @@ def check_des_trace(
         In-flight messages per directed PE pair never exceed the pair's
         physical budget (``links * MESSAGES_IN_FLIGHT_PER_LINK``), and
         every ``xfer_begin`` is matched by an ``xfer_end``.
+    ``stale-bound``
+        ``stale_launch`` records appear only under the ``stale_sync``
+        design, at most once per component, and always with
+        ``0 < missing <= k`` for the policy's staleness bound ``k``
+        (``stale=`` overrides the default policy).  Under ``stale_sync``
+        the ``dependency-order`` rule relaxes per component to "at most
+        the recorded missing count of predecessors may solve late";
+        components with no stale record stay strict.
+    ``validate-order``
+        ``replay`` records require exactly one ``validate`` record, no
+        replay precedes it, and the validate record's replayed count
+        matches the number of replay records.
+    ``replay-closure``
+        The replayed set is closed under DAG out-edges: repairing a
+        component invalidates every successor's gathered sum, so each
+        successor of a replayed component must itself be replayed.
     """
+    from repro.engine.protocol import (
+        TRACE_REPLAY,
+        TRACE_STALE_LAUNCH,
+        TRACE_VALIDATE,
+        resolve_stale_policy,
+    )
     from repro.solvers.des_solver import MESSAGES_IN_FLIGHT_PER_LINK
 
     design = Design(design)
+    if design is Design.STALE_SYNC:
+        stale = resolve_stale_policy(design, stale)
     rep = CausalityReport(subject=f"des-trace[{design.value}]")
     n = dag.n
     rep.n_components = n
@@ -148,6 +178,32 @@ def check_des_trace(
     for r in trace.of_kind("remap"):
         remap_to[int(r.detail[0])] = int(r.gpu)
     dead_gpus = {int(r.detail) for r in trace.of_kind("gpu_fail")}
+
+    # ------------------------------------------------ stale bound
+    stale_missing: dict[int, int] = {}
+    for r in trace.of_kind(TRACE_STALE_LAUNCH):
+        i, missing = int(r.detail[0]), int(r.detail[1])
+        if design is not Design.STALE_SYNC:
+            rep.flag(
+                "stale-bound",
+                f"stale_launch record for component {i} under strict "
+                f"design {design.value}",
+            )
+            continue
+        if i in stale_missing:
+            rep.flag(
+                "stale-bound",
+                f"component {i} has multiple stale_launch records",
+            )
+            continue
+        if missing < 1 or missing > stale.k:
+            rep.flag(
+                "stale-bound",
+                f"component {i} launched with {missing} missing "
+                f"contribution(s), outside (0, k={stale.k}]",
+            )
+        stale_missing[i] = missing
+        rep.n_checks += 1
 
     # ------------------------------------------------ solve coverage
     solve_t = np.full(n, np.nan)
@@ -179,13 +235,31 @@ def check_des_trace(
         preds = in_idx
         comps = np.repeat(np.arange(n), np.diff(in_ptr))
         late = solve_t[comps] <= solve_t[preds]
-        for e in np.flatnonzero(late)[:MAX_VIOLATIONS]:
+        is_stale = np.zeros(n, dtype=bool)
+        allowed = np.zeros(n, dtype=np.int64)
+        for i, m in stale_missing.items():
+            is_stale[i] = True
+            allowed[i] = m
+        strict_late = late & ~is_stale[comps]
+        for e in np.flatnonzero(strict_late)[:MAX_VIOLATIONS]:
             u, v = int(preds[e]), int(comps[e])
             rep.flag(
                 "dependency-order",
                 f"component {v} solved at {solve_t[v]:.3e} but its "
                 f"predecessor {u} only at {solve_t[u]:.3e}",
             )
+        if stale_missing:
+            # A stale launch may run ahead of at most the number of
+            # contributions it recorded as missing — no more.
+            late_counts = np.bincount(comps[late], minlength=n)
+            over = np.flatnonzero(is_stale & (late_counts > allowed))
+            for i in over[:MAX_VIOLATIONS]:
+                rep.flag(
+                    "dependency-order",
+                    f"component {int(i)} solved before "
+                    f"{int(late_counts[i])} predecessor(s) but recorded "
+                    f"only {int(allowed[i])} missing at stale launch",
+                )
         rep.n_checks += int(len(preds))
 
     # ------------------------------------------------ warp-slot occupancy
@@ -297,6 +371,48 @@ def check_des_trace(
                 f"{cnt} transfer(s) on PE pair {key[0]}->{key[1]} "
                 "never completed",
             )
+
+    # ------------------------------------------------ validation pass
+    validates = list(trace.of_kind(TRACE_VALIDATE))
+    replays = list(trace.of_kind(TRACE_REPLAY))
+    if len(validates) > 1:
+        rep.flag(
+            "validate-order",
+            f"{len(validates)} validate records (want at most 1)",
+        )
+    if replays and not validates:
+        rep.flag(
+            "validate-order",
+            f"{len(replays)} replay record(s) with no validate record",
+        )
+    if validates:
+        v = validates[0]
+        n_replayed = int(v.detail[1])
+        if n_replayed != len(replays):
+            rep.flag(
+                "validate-order",
+                f"validate record claims {n_replayed} replay(s) but "
+                f"{len(replays)} replay records follow",
+            )
+        for r in replays:
+            if r.time < v.time:
+                rep.flag(
+                    "validate-order",
+                    f"component {int(r.detail)} replayed at "
+                    f"{r.time:.3e}, before validation at {v.time:.3e}",
+                )
+        rep.n_checks += 1 + len(replays)
+
+    replayed = {int(r.detail) for r in replays}
+    for i in sorted(replayed):
+        for j in dag.successors(i):
+            if int(j) not in replayed:
+                rep.flag(
+                    "replay-closure",
+                    f"component {i} was replayed but its successor "
+                    f"{int(j)} was not — its gathered sum is stale",
+                )
+        rep.n_checks += 1
     return rep
 
 
@@ -306,10 +422,14 @@ def check_des_execution(
     dist: Distribution,
     machine: MachineConfig,
     design: Design | str = Design.SHMEM_READONLY,
+    *,
+    stale=None,
 ) -> CausalityReport:
     """Convenience wrapper: audit a :class:`DesExecution`'s trace."""
     dag = get_artefacts(lower).dag
-    return check_des_trace(execution.trace, dag, dist, machine, design)
+    return check_des_trace(
+        execution.trace, dag, dist, machine, design, stale=stale
+    )
 
 
 # ======================================================================

@@ -12,6 +12,15 @@ Cases carry a factory (constructor arguments are part of the contract),
 the solve *kind* (forward ``Lx=b`` or backward ``Ux=b``), a relative
 tolerance, and the set of metamorphic relations from
 :mod:`repro.verify.oracles` that apply to them.
+
+Coverage has two more axes beyond solver classes: execution *designs*
+(:class:`~repro.exec_model.costmodel.Design` values) and task
+*distributions* (``repro.tasks.schedule.VALID_DISTRIBUTIONS``).  Cases
+declare which design/distribution they exercise;
+:meth:`ConformanceRegistry.design_coverage_gaps` and
+:meth:`ConformanceRegistry.distribution_coverage_gaps` report required
+axes nobody covers, so dropping e.g. the ``stale_sync`` case fails
+``tests/test_conformance.py`` the same way an unregistered solver does.
 """
 
 from __future__ import annotations
@@ -34,6 +43,8 @@ __all__ = [
     "default_registry",
     "FORWARD_RELATIONS",
     "BACKWARD_RELATIONS",
+    "REQUIRED_DESIGNS",
+    "REQUIRED_DISTRIBUTIONS",
 ]
 
 #: Relations applied to forward (``Lx = b``) cases by default.
@@ -52,6 +63,17 @@ BACKWARD_RELATIONS: tuple[str, ...] = (
     "row_scaling",
     "rhs_linearity",
 )
+
+#: Execution designs the matrix must exercise (``Design`` values).
+REQUIRED_DESIGNS: tuple[str, ...] = (
+    "unified",
+    "shmem_naive",
+    "shmem_readonly",
+    "stale_sync",
+)
+
+#: Task distributions the matrix must exercise.
+REQUIRED_DISTRIBUTIONS: tuple[str, ...] = ("block", "taskpool", "costaware")
 
 
 @dataclass(frozen=True)
@@ -79,6 +101,13 @@ class ConformanceCase:
         Python).
     relations:
         Metamorphic relations to run, by name.
+    design:
+        Execution design this case exercises (a
+        :class:`~repro.exec_model.costmodel.Design` value string), or
+        ``None`` for solvers with no design axis.
+    distribution:
+        Task distribution this case exercises, or ``None`` when the
+        solver has no distribution axis.
     """
 
     name: str
@@ -88,6 +117,8 @@ class ConformanceCase:
     rtol: float = 1e-9
     max_n: int | None = None
     relations: tuple[str, ...] = FORWARD_RELATIONS
+    design: str | None = None
+    distribution: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("forward", "backward"):
@@ -128,6 +159,22 @@ class ConformanceRegistry:
         return [
             cls for cls in discover_solver_classes() if cls not in covered
         ]
+
+    def design_coverage_gaps(
+        self, required: tuple[str, ...] = REQUIRED_DESIGNS
+    ) -> list[str]:
+        """Required execution designs no registered case exercises."""
+        covered = {c.design for c in self._cases.values() if c.design}
+        return [d for d in required if d not in covered]
+
+    def distribution_coverage_gaps(
+        self, required: tuple[str, ...] = REQUIRED_DISTRIBUTIONS
+    ) -> list[str]:
+        """Required task distributions no registered case exercises."""
+        covered = {
+            c.distribution for c in self._cases.values() if c.distribution
+        }
+        return [d for d in required if d not in covered]
 
 
 def discover_solver_classes() -> list[type]:
@@ -228,16 +275,29 @@ def default_registry() -> ConformanceRegistry:
     )
     add(
         ConformanceCase(
-            "unified-4gpu", UnifiedMemorySolver, UnifiedMemorySolver
+            "unified-4gpu",
+            UnifiedMemorySolver,
+            UnifiedMemorySolver,
+            design="unified",
         )
     )
     add(ConformanceCase("shmem-4gpu", ShmemSolver, ShmemSolver))
     add(
         ConformanceCase(
-            "shmem-naive-4gpu", NaiveShmemSolver, NaiveShmemSolver
+            "shmem-naive-4gpu",
+            NaiveShmemSolver,
+            NaiveShmemSolver,
+            design="shmem_naive",
         )
     )
-    add(ConformanceCase("zerocopy-4gpu", ZeroCopySolver, ZeroCopySolver))
+    add(
+        ConformanceCase(
+            "zerocopy-4gpu",
+            ZeroCopySolver,
+            ZeroCopySolver,
+            design="shmem_readonly",
+        )
+    )
     add(
         ConformanceCase(
             "zerocopy-8gpu-dgx2",
@@ -257,6 +317,8 @@ def default_registry() -> ConformanceRegistry:
             # size and skip the solve-heavy multi-RHS relation.
             max_n=300,
             relations=("differential", "permutation", "row_scaling"),
+            design="shmem_readonly",
+            distribution="block",
         )
     )
     add(
@@ -268,6 +330,8 @@ def default_registry() -> ConformanceRegistry:
             DesSolver,
             max_n=300,
             relations=("differential", "permutation", "row_scaling"),
+            design="shmem_readonly",
+            distribution="block",
         )
     )
     add(
@@ -280,9 +344,43 @@ def default_registry() -> ConformanceRegistry:
             DesSolver,
             max_n=300,
             relations=("differential", "permutation", "row_scaling"),
+            design="shmem_readonly",
+            distribution="block",
         )
     )
-    add(ConformanceCase("plan-adapter", PlanSolver, PlanSolver))
+    add(
+        ConformanceCase(
+            "des-2gpu-stale",
+            # Stale-synchronous design: components may launch on a
+            # bounded-stale partial sum; the post-hoc validation pass
+            # must repair every above-ceiling stale read, so the case
+            # keeps the same oracle tolerance as the strict designs.
+            lambda: DesSolver(machine=dgx1(2), design="stale_sync"),
+            DesSolver,
+            max_n=300,
+            relations=("differential", "permutation", "row_scaling"),
+            design="stale_sync",
+            distribution="block",
+        )
+    )
+    add(
+        ConformanceCase(
+            "des-2gpu-costaware",
+            # Cost-aware placement must be solution-invariant: any
+            # task-to-GPU map yields the same x, only timings move.
+            lambda: DesSolver(machine=dgx1(2), distribution="costaware"),
+            DesSolver,
+            max_n=300,
+            relations=("differential", "permutation", "row_scaling"),
+            design="shmem_readonly",
+            distribution="costaware",
+        )
+    )
+    add(
+        ConformanceCase(
+            "plan-adapter", PlanSolver, PlanSolver, distribution="taskpool"
+        )
+    )
     add(
         ConformanceCase(
             "backward-zerocopy",

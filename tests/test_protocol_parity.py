@@ -24,7 +24,12 @@ import repro.solvers.des_solver as des_solver
 from repro.engine.protocol import (
     ALL_TRACE_KINDS,
     COMPONENT_LIFECYCLE,
+    DEFAULT_STALE_POLICY,
     PROTOCOL_CONSTANTS,
+    STALE_LIFECYCLE,
+    TRACE_REPLAY,
+    TRACE_STALE_LAUNCH,
+    TRACE_VALIDATE,
     TRANSFER_LIFECYCLE,
     TokenLayout,
 )
@@ -216,6 +221,34 @@ def test_lifecycle_tables_are_coherent():
                 else TRANSFER_LIFECYCLE
             )
             assert rule.next in {r.state for r in table}, rule
+
+
+def test_stale_lifecycle_is_coherent():
+    # Stale rows annotate existing component states — they must never
+    # widen the base component state machine (the compiled COMP_SHIFT
+    # token width pins its size), and every emit must be a registered
+    # trace kind.
+    comp_states = {rule.state for rule in COMPONENT_LIFECYCLE}
+    for rule in STALE_LIFECYCLE:
+        assert rule.state in comp_states, rule
+        assert rule.emits in ALL_TRACE_KINDS, rule
+        if rule.next is not None:
+            assert rule.next in comp_states, rule
+    emitted = {rule.emits for rule in STALE_LIFECYCLE}
+    assert emitted == {TRACE_STALE_LAUNCH, TRACE_VALIDATE, TRACE_REPLAY}
+    # The stale rows are an overlay, not new base transitions.
+    base_keys = {(r.state, r.name) for r in COMPONENT_LIFECYCLE}
+    assert not base_keys & {(r.state, r.name) for r in STALE_LIFECYCLE}
+
+
+def test_stale_constants_in_manifest():
+    for name in ("TRACE_STALE_LAUNCH", "TRACE_VALIDATE", "TRACE_REPLAY"):
+        assert name in PROTOCOL_CONSTANTS
+        assert PROTOCOL_CONSTANTS[name] in ALL_TRACE_KINDS
+    # The default policy is part of the cross-engine contract: both the
+    # wake threshold and the replay ceiling must match everywhere.
+    assert DEFAULT_STALE_POLICY.k == 1
+    assert DEFAULT_STALE_POLICY.ceiling == 1e-12
 
 
 def test_token_layout_round_trip():
