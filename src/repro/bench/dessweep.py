@@ -32,12 +32,16 @@ engines at the counter level (solution bits, simulated clock, event and
 trace counters, traces disabled); record-stream equality is covered by
 the smaller cases and the test batteries.
 
-Honest numbers: the vector engine has not reached the 2x-over-array
-aspiration on these workloads — the conservative lookahead yields mean
-batch windows of ~80 events, too small to amortise per-window numpy
-dispatch (see ``docs/architecture.md``).  ``VECTOR_FLOOR`` is therefore
-set as a measured-reality regression floor, not the aspiration, and the
-measured ratio is recorded per case as ``vector_over_array``.
+Honest numbers: the epoch-compiled vector engine widened the mean
+batch from ~80 to ~350 events per epoch (recorded per case under
+``epoch_stats``), but the simulated-time event density caps epochs
+there regardless of ``n``, so per-epoch numpy dispatch still dominates
+and the 3x-over-array target is missed — the measured ratio is
+recorded per case as ``vector_over_array`` and against the target
+under ``vector_target``.  ``VECTOR_FLOOR`` is the ratcheted
+measured-reality regression floor, not the aspiration.  The same
+honesty applies to the partitioned playout (``partition_target``) and
+the scale-1M throughput row (``throughput_target``).
 """
 
 from __future__ import annotations
@@ -68,7 +72,11 @@ __all__ = [
     "NOISE_CV",
     "SPEEDUP_FLOOR",
     "VECTOR_FLOOR",
+    "VECTOR_TARGET",
+    "PARTITION_TARGET",
+    "THROUGHPUT_TARGET",
     "MEDIUM_N",
+    "LARGE_CASE_N",
     "ACCEPTANCE_FLOOR",
     "ACCEPTANCE_CASE",
     "SKIP_REFERENCE_N",
@@ -102,7 +110,17 @@ DES_CASES: dict[str, dict[str, Any]] = {
         n=200_000, n_levels=50, dependency=9.0, profile="uniform",
         locality=0.5, order_mix=0.3, scatter=0.0, seed=0,
     ),
+    "scale-1M": dict(
+        n=1_000_000, n_levels=60, dependency=9.0, profile="uniform",
+        locality=0.5, order_mix=0.3, scatter=0.0, seed=0,
+    ),
 }
+
+#: Cases at or above this size are timed with a single repeat (plus the
+#: untimed warmup/verification run): one scale-1M playout is tens of
+#: seconds, and the counter verification — not timer variance — is what
+#: the row exists for.
+LARGE_CASE_N = 500_000
 
 #: Subset run by ``tools/sweep.py --quick`` (the CI perf-smoke job):
 #: everything but the expensive acceptance/scale cases.
@@ -118,17 +136,31 @@ SPEEDUP_FLOOR = 3.0
 MEDIUM_N = 8_000
 
 #: Noise-aware vector-over-array floor for clean medium-and-up cases.
-#: Measured reality on these workloads is ~0.4-0.6x (batch windows of
-#: ~80 events cannot amortise the per-window numpy dispatch), so this
-#: gates against *regression* of the vector engine, not the original
-#: 2x aspiration — which the bench records honestly via
-#: ``vector_over_array`` and the ``vector_target`` payload block.
-VECTOR_FLOOR = 0.3
+#: Measured reality with the epoch compiler is ~0.5-0.6x (epochs hold
+#: ~350 events regardless of ``n``, so per-epoch numpy dispatch still
+#: dominates), so this gates against *regression* of the epoch path —
+#: ratcheted from the pre-epoch 0.3 — while the 3x aspiration is
+#: recorded honestly via ``vector_over_array`` and the
+#: ``vector_target`` payload block.
+VECTOR_FLOOR = 0.4
 
-#: The aspiration the ISSUE set for the vector engine on the medium
-#: case; recorded (met or not) in the payload's ``vector_target``.
+#: The aspiration the ISSUE set for the epoch-compiled vector engine
+#: at scale-50k; recorded (met or not) in the payload's
+#: ``vector_target``.
 VECTOR_TARGET = 3.0
-VECTOR_TARGET_CASE = "des-medium-8k"
+VECTOR_TARGET_CASE = "scale-50k"
+
+#: Partitioned-playout target: beat the sequential array engine with
+#: >= 2 workers at n >= 100k.  Recorded (met or not) under
+#: ``partition_target``.
+PARTITION_TARGET = 1.0
+PARTITION_TARGET_CASE = "scale-200k"
+
+#: Aggregate throughput target for the scale-1M row (ROADMAP item 2's
+#: 10M events/s); recorded (met or not) under ``throughput_target``
+#: with the best measured engine rate on that row.
+THROUGHPUT_TARGET = 10_000_000.0
+THROUGHPUT_TARGET_CASE = "scale-1M"
 
 #: The acceptance case must beat this when its timings are clean.
 ACCEPTANCE_FLOOR = 5.0
@@ -257,6 +289,23 @@ def measure_des_case(
     ref_times = None if skip_reference else timed("reference")
     arr_times = timed("array")
     vec_times = timed("vector") if "vector" in engines else None
+    epoch_stats = None
+    if "vector" in engines:
+        # Statistics of this process's most recent epoch playout (the
+        # last timed vector run); None when the run delegated to the
+        # scalar engines (e.g. unified designs).
+        from repro.engine.epoch import last_run_stats
+
+        st = last_run_stats()
+        if st is not None:
+            epoch_stats = {
+                k: st[k]
+                for k in (
+                    "epochs", "scalar_windows", "mean_events_per_epoch",
+                    "max_epoch_events", "overwide_clamps",
+                    "link_fallbacks", "pool_fallbacks", "lookahead",
+                )
+            }
     t_ref = min(ref_times) if ref_times else None
     t_arr = min(arr_times)
     t_vec = min(vec_times) if vec_times else None
@@ -289,6 +338,11 @@ def measure_des_case(
         "events_per_sec_vector": (
             events / t_vec if t_vec is not None and t_vec > 0 else None
         ),
+        # Named alias for the throughput metric CI tracks: the vector
+        # engine *is* the epoch-compiled path on clean runs.
+        "events_per_sec_epoch": (
+            events / t_vec if t_vec is not None and t_vec > 0 else None
+        ),
         "identical": identical,
         "identical_vector": identical_vector,
         "verified": verified,
@@ -303,6 +357,7 @@ def measure_des_case(
         ),
         "acceptance": bool(acceptance),
         "analysis_shared": art.build_counts.get("dag", 0) == 0,
+        "epoch_stats": epoch_stats,
         "digest": digest,
     }
 
@@ -428,7 +483,11 @@ def run_des_sweep(
                     acceptance=cname == ACCEPTANCE_CASE,
                     n_gpus=n_gpus,
                     design=design,
-                    repeats=repeats,
+                    repeats=(
+                        repeats
+                        if table[cname].get("n", 0) < LARGE_CASE_N
+                        else 1
+                    ),
                     engines=engines,
                 )
                 for cname in names
@@ -444,7 +503,9 @@ def run_des_sweep(
                         spills[c["name"]],
                         n_gpus=n_gpus,
                         design=design,
-                        repeats=repeats,
+                        repeats=(
+                            repeats if c["n"] < LARGE_CASE_N else 1
+                        ),
                         n_workers=partition_workers,
                     )
                 )
@@ -496,6 +557,35 @@ def run_des_sweep(
             "ratio": vt[0]["vector_over_array"],
             "met": vt[0]["vector_over_array"] >= VECTOR_TARGET,
         }
+    partition_target = None
+    pt = [c for c in results if c["name"] == PARTITION_TARGET_CASE]
+    if pt and pt[0].get("partition_over_array") is not None:
+        partition_target = {
+            "case": PARTITION_TARGET_CASE,
+            "target": PARTITION_TARGET,
+            "ratio": pt[0]["partition_over_array"],
+            "workers": pt[0]["partition_workers"],
+            "met": pt[0]["partition_over_array"] > PARTITION_TARGET,
+        }
+    throughput_target = None
+    tt = [c for c in results if c["name"] == THROUGHPUT_TARGET_CASE]
+    if tt:
+        rates = [
+            r
+            for r in (
+                tt[0].get("events_per_sec_array"),
+                tt[0].get("events_per_sec_vector"),
+                tt[0].get("events_per_sec_partitioned"),
+            )
+            if r
+        ]
+        if rates:
+            throughput_target = {
+                "case": THROUGHPUT_TARGET_CASE,
+                "target": THROUGHPUT_TARGET,
+                "events_per_sec": max(rates),
+                "met": max(rates) >= THROUGHPUT_TARGET,
+            }
     for c in results:
         c.pop("digest", None)  # internal hand-off, not a payload field
     return {
@@ -520,6 +610,8 @@ def run_des_sweep(
         "floor_misses": floor_misses,
         "acceptance": acceptance,
         "vector_target": vector_target,
+        "partition_target": partition_target,
+        "throughput_target": throughput_target,
         "pass": (
             all_identical
             and partition_identical

@@ -1,0 +1,1897 @@
+"""Epoch compiler: structure-derived macro-batching for the DES stack.
+
+This module lowers the declarative protocol tables of
+:mod:`repro.engine.protocol` (lifecycle rules, token layout, timing
+rules) plus the per-run analysis artefacts (dependency DAG, dispatch
+fronts, placement) into a *precompiled execution plan* — flat numpy
+tables plus reusable scratch buffers — and then drains the event
+calendar in **macro-epochs** instead of the min-delay windows the
+original vector engine used.
+
+Why epochs can be wide
+----------------------
+The windowed engine bounded its lookahead by the *smallest* cost
+constant::
+
+    W = min(t_warp_dispatch, min(solve), min positive gather)
+
+because every chain spawned inside a window had to land past the
+horizon.  The epoch compiler derives a wider bound from the structure
+of the protocol itself: a SOLVE token in the calendar proves its
+component's ``left.sum`` is final (the last delivery landed before the
+gather began), so its POST — and the POST's whole fan-out — can be
+*internalised* and priced inside the epoch with compile-time tables.
+With in-window POSTs internalised, the only chains that must escape are
+dispatch→gather hops (``>= t_warp_dispatch``) and gather→solve edges of
+dependent components (``>= min dependent gather``), so::
+
+    W_epoch = min(t_warp_dispatch, min gather over components with deps)
+
+whenever every dependent component has a positive gather cost (e.g. the
+``shmem_readonly`` design).  For designs with zero-cost gathers the
+plan falls back to the conservative window, bit-for-bit the old
+behaviour.  An over-wide ``lookahead`` (set by hand or by a bad
+heuristic) is *detected and split*: the drain loop clamps every epoch
+at the provably safe horizon and counts the clamp in
+:class:`EpochStats` instead of silently reordering events.
+
+Hierarchical push keys, generalised
+-----------------------------------
+Bit-equality with the array engine rests on hierarchical push-order
+keys: a calendar token popped at time ``t`` in bucket position ``p``
+has key ``(t, 0, p)``; the ``s``-th push of the event with key ``k``
+has ``(t2, 1, k, s)``.  The windowed engine special-cased four shallow
+key shapes; internalised POSTs create deeper genealogies, so this
+module flattens *any* key of depth ``<= MAX_KEY_DEPTH`` into a
+fixed-width numeric row::
+
+    [t0, m0, t1, m1, ..., p, s_{d-2}, ..., s_0]
+
+where ``m_k`` is 1 when level ``k`` nests deeper and 0 at the gen0
+leaf.  Because a marker column always differs before any structural
+misalignment can be consulted, ``np.lexsort`` over the columns equals
+nested-tuple comparison exactly; rare deeper keys (contended link
+chains) keep real tuples and are merged by binary search.  Floating
+point state is updated in key order — ``np.add.at`` applies repeated
+indices sequentially — so every binary64 accumulation happens in the
+array engine's order.
+
+Compile-time pricing
+--------------------
+Fan-out prices are *static*: the update-cost prefix ``uc`` along a
+column and the landing delay ``uc + dl`` per edge depend only on the
+matrix structure and the cost tables, never on solved values.
+:func:`compile_plan` computes them once per run with the exact
+per-column sequential addition order of the scalar engine, so the batch
+path prices a whole epoch's fan-outs with two ``np.take`` calls and
+zero per-edge Python.
+"""
+
+from __future__ import annotations
+
+import gc
+from heapq import heapify, heappop, heappush
+from operator import itemgetter
+
+import numpy as np
+
+from repro.engine.protocol import (
+    COMP_DISPATCH,
+    COMP_GATHER,
+    COMP_POST,
+    COMP_RELEASE,
+    COMP_SHIFT,
+    COMP_SOLVE,
+    TRACE_DISPATCH,
+    TRACE_RELEASE,
+    TRACE_SOLVE,
+    TRACE_XFER_BEGIN,
+    TRACE_XFER_END,
+    XFER_CLAIM,
+    XFER_RETIRE,
+    TokenLayout,
+    edge_cost_tables,
+    gather_cost_table,
+    launch_times,
+    link_capacity,
+    solve_cost_table,
+    validate_diagonals,
+    wire_time,
+)
+from repro.engine.resources import ResourceBank
+from repro.engine.trace import Trace
+from repro.errors import DeadlockError, SolverError
+
+__all__ = [
+    "EpochPlan",
+    "EpochStats",
+    "compile_plan",
+    "execute_plan",
+    "last_run_stats",
+    "BATCH_MIN_EVENTS",
+    "MAX_KEY_DEPTH",
+    "KEY_COLS",
+]
+
+#: Epochs with fewer calendar tokens than this take the scalar
+#: sub-path (the array engine's loop verbatim): below it the numpy
+#: dispatch overhead costs more than the scalar loop it replaces.
+BATCH_MIN_EVENTS = 48
+
+#: Deepest push-key genealogy representable as a fixed-width numeric
+#: row.  Internalised POST chains reach depth 4 (POST -> hop ->
+#: delivery) and pool/link hand-overs depth 5-6; anything deeper
+#: (contended link chains) keeps tuple keys on the rare path.
+MAX_KEY_DEPTH = 6
+
+#: Flattened key width: (time, marker) per level, the gen0 position,
+#: and one push-index per non-leaf level, deepest first.
+KEY_COLS = 2 * MAX_KEY_DEPTH + 1 + (MAX_KEY_DEPTH - 1)
+
+_P_COL = 2 * MAX_KEY_DEPTH  # column holding the gen0 bucket position
+_S_BASE = KEY_COLS - 1      # column of the level-0 (outermost) push index
+
+# Mini-simulation op tags (internal; aligned with the XFER_* states so
+# gen0 transfer tokens feed the link sims without translation).
+_OP_CLAIM = 0
+_OP_WIRE = 1
+_OP_RETIRE = 2
+_OP_ACQ = 0
+_OP_REL = 1
+
+_LAST_STATS: dict | None = None
+
+
+def last_run_stats() -> dict | None:
+    """Statistics of the most recent :func:`execute_plan` call in this
+    process (epoch count, events per epoch, clamp count), or ``None``.
+
+    Single-threaded convenience for benchmarks; each sweep worker is
+    its own process so the snapshot is per-measurement.
+    """
+    return None if _LAST_STATS is None else dict(_LAST_STATS)
+
+
+# ---------------------------------------------------------------------------
+# Key algebra: nested push-key tuples <-> fixed-width numeric rows.
+# ---------------------------------------------------------------------------
+def key_to_row(key):
+    """Flatten a nested push key to ``(row, depth)``; ``None`` if the
+    genealogy is deeper than :data:`MAX_KEY_DEPTH`."""
+    spine = []
+    subs = []
+    k = key
+    while k[1] == 1:
+        if len(spine) >= MAX_KEY_DEPTH - 1:
+            return None
+        spine.append(k[0])
+        subs.append(k[3])
+        k = k[2]
+    row = [0.0] * KEY_COLS
+    for lvl, t in enumerate(spine):
+        row[2 * lvl] = t
+        row[2 * lvl + 1] = 1.0
+    d = len(spine) + 1
+    row[2 * (d - 1)] = k[0]
+    row[_P_COL] = float(k[2])
+    for lvl, s in enumerate(subs):
+        row[_S_BASE - lvl] = float(s)
+    return row, d
+
+
+def row_depth(row) -> int:
+    """Genealogy depth encoded by a row's marker columns."""
+    lvl = 0
+    while row[2 * lvl + 1] == 1.0:
+        lvl += 1
+    return lvl + 1
+
+
+def row_to_key(row, d=None):
+    """Rebuild the nested tuple key a flattened row encodes."""
+    if d is None:
+        d = row_depth(row)
+    k = (float(row[2 * (d - 1)]), 0, int(row[_P_COL]))
+    for lvl in range(d - 2, -1, -1):
+        k = (float(row[2 * lvl]), 1, k, int(row[_S_BASE - lvl]))
+    return k
+
+
+def child_row(prow, d, t, sub):
+    """Row of ``(t, 1, parent, sub)`` given the parent's row and depth;
+    ``None`` when the child would exceed :data:`MAX_KEY_DEPTH`."""
+    if d >= MAX_KEY_DEPTH:
+        return None
+    row = [0.0] * KEY_COLS
+    row[0] = t
+    row[1] = 1.0
+    for c in range(2 * d):
+        row[2 + c] = prow[c]
+    row[_P_COL] = prow[_P_COL]
+    for lvl in range(d - 1):
+        row[_S_BASE - (lvl + 1)] = prow[_S_BASE - lvl]
+    row[_S_BASE] = sub
+    return row
+
+
+def _lexsort_rows(rows):
+    """Sort order of flattened key rows == nested-tuple key order."""
+    return np.lexsort(tuple(rows[:, c] for c in range(KEY_COLS - 1, -1, -1)))
+
+
+def _post_tuples(npa, npb, p_t, post_sel, ip_te, ip_p):
+    """Nested push-key tuples of the epoch's POST work-list (gen0 POSTs
+    first, internalised POSTs after) — built only when a tuple-keyed
+    path (trace emission or a contended mini-sim) actually needs them."""
+    p_t_l = p_t.tolist()
+    out = [None] * (npa + npb)
+    if npa:
+        ps_l = post_sel.tolist()
+        for j in range(npa):
+            out[j] = (p_t_l[j], 0, ps_l[j])
+    if npb:
+        te_l = ip_te.tolist()
+        pp_l = ip_p.tolist()
+        for j in range(npb):
+            out[npa + j] = (p_t_l[npa + j], 1, (te_l[j], 0, pp_l[j]), 0)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Reusable scratch buffers (satellite: allocate once per run, reuse).
+# ---------------------------------------------------------------------------
+class _Scratch:
+    """Named grow-on-demand numpy buffers reused across epochs."""
+
+    __slots__ = ("_bufs",)
+
+    def __init__(self):
+        self._bufs: dict = {}
+
+    def _get1(self, name, size, dtype):
+        buf = self._bufs.get(name)
+        if buf is None or buf.shape[0] < size:
+            cap = max(size, 64, 0 if buf is None else 2 * buf.shape[0])
+            buf = np.empty(cap, dtype)
+            self._bufs[name] = buf
+        return buf[:size]
+
+    def f64(self, name, size):
+        return self._get1(name, size, np.float64)
+
+    def i64(self, name, size):
+        return self._get1(name, size, np.int64)
+
+    def mat(self, name, rows, cols):
+        """A zeroed ``rows x cols`` float64 view (zeroing is part of the
+        contract: key rows rely on zero padding)."""
+        buf = self._bufs.get(name)
+        if buf is None or buf.shape[0] < rows or buf.shape[1] != cols:
+            cap = max(rows, 64, 0 if buf is None else 2 * buf.shape[0])
+            buf = np.empty((cap, cols))
+            self._bufs[name] = buf
+        out = buf[:rows]
+        out[...] = 0.0
+        return out
+
+
+class EpochStats:
+    """Per-run epoch statistics (window widths drive the perf story, so
+    regressions must be visible in the bench payload)."""
+
+    __slots__ = (
+        "epochs",
+        "scalar_windows",
+        "epoch_events",
+        "max_epoch_events",
+        "events",
+        "overwide_clamps",
+        "link_fallbacks",
+        "pool_fallbacks",
+        "lookahead",
+        "safe_lookahead",
+    )
+
+    def __init__(self, lookahead: float, safe_lookahead: float):
+        self.epochs = 0
+        self.scalar_windows = 0
+        self.epoch_events = 0
+        self.max_epoch_events = 0
+        self.events = 0
+        self.overwide_clamps = 0
+        self.link_fallbacks = 0
+        self.pool_fallbacks = 0
+        self.lookahead = lookahead
+        self.safe_lookahead = safe_lookahead
+
+    def as_dict(self) -> dict:
+        return {
+            "epochs": self.epochs,
+            "scalar_windows": self.scalar_windows,
+            "events": self.events,
+            "epoch_events": self.epoch_events,
+            "mean_events_per_epoch": (
+                self.epoch_events / self.epochs if self.epochs else 0.0
+            ),
+            "max_epoch_events": self.max_epoch_events,
+            "overwide_clamps": self.overwide_clamps,
+            "link_fallbacks": self.link_fallbacks,
+            "pool_fallbacks": self.pool_fallbacks,
+            "lookahead": self.lookahead,
+            "safe_lookahead": self.safe_lookahead,
+        }
+
+
+class EpochPlan:
+    """Everything one run needs, lowered to flat tables plus mutable
+    playout state.  Built by :func:`compile_plan`, drained by
+    :func:`execute_plan`."""
+
+    # Plain attribute bag: ~40 tables/state fields, all assigned once in
+    # compile_plan; __slots__ would only duplicate that list.
+    def __init__(self):
+        self.scratch = _Scratch()
+
+
+# ---------------------------------------------------------------------------
+# Compilation: protocol tables + artefacts -> flat execution plan.
+# ---------------------------------------------------------------------------
+def compile_plan(
+    lower,
+    b,
+    dist,
+    machine,
+    design,
+    *,
+    dag,
+    costs,
+    in_flight_per_link: int,
+) -> EpochPlan | None:
+    """Lower one run onto an :class:`EpochPlan`.
+
+    Returns ``None`` when the epoch algebra cannot cover the run (zero
+    lookahead, or a zero-cost fan-out increment that would let a
+    delivery land in the same instant as its POST) — callers delegate
+    those to the array engine.
+    """
+    n = lower.shape[0]
+    indptr = lower.indptr
+    nnz = int(indptr[-1])
+    gpu_spec = machine.gpu
+
+    in_counts = np.diff(dag.in_ptr)
+    col_nnz = np.diff(indptr)
+    gather_t = gather_cost_table(costs.gather, in_counts)
+    solve_t = solve_cost_table(gpu_spec.t_per_nnz, col_nnz, in_counts)
+    t_disp = float(gpu_spec.t_warp_dispatch)
+
+    pos_gather = gather_t[gather_t > 0.0]
+    narrow = min(
+        t_disp,
+        float(solve_t.min()) if n else 0.0,
+        float(pos_gather.min()) if len(pos_gather) else np.inf,
+    )
+    # Structure-derived epoch bound: valid whenever every dependent
+    # component pays a positive gather (its solve then escapes any
+    # epoch no wider than that gather).  Zero-gather designs keep the
+    # conservative window — bit-for-bit the old behaviour.
+    dep = in_counts > 0
+    if dep.any():
+        dep_gather = gather_t[dep]
+        wide_ok = bool((dep_gather > 0.0).all())
+        g_dep_min = float(dep_gather.min()) if wide_ok else 0.0
+    else:
+        wide_ok = True
+        g_dep_min = np.inf
+    safe = min(t_disp, g_dep_min) if wide_ok else narrow
+
+    gpu_of = dist.gpu_of
+    src_col = np.repeat(np.arange(n, dtype=np.int64), col_nnz)
+    src_g_e = gpu_of[src_col]
+    dst_g_e = gpu_of[lower.indices]
+    local_e = src_g_e == dst_g_e
+    inc_e, dl_e = edge_cost_tables(costs, src_g_e, dst_g_e, local_e)
+    offdiag = np.ones(nnz, dtype=bool)
+    offdiag[indptr[:-1]] = False
+    min_inc = float(inc_e[offdiag].min()) if offdiag.any() else np.inf
+    if safe <= 0.0 or min_inc <= 0.0:
+        return None
+
+    validate_diagonals(indptr, lower.indices, n)
+
+    p = EpochPlan()
+    p.n = n
+    p.nnz = nnz
+    p.n_gpus = machine.n_gpus
+    p.t_disp = t_disp
+    p.lookahead = safe
+    p.safe_lookahead = safe
+
+    p.indptr_np = np.asarray(indptr, dtype=np.int64)
+    p.indptr_l = indptr.tolist()
+    p.idx_np = lower.indices
+    p.idx_l = lower.indices.tolist()
+    p.data_np = lower.data
+    p.data_l = lower.data.tolist()
+    p.diag_np = lower.data[indptr[:-1]]
+    p.b_np = np.asarray(b, dtype=np.float64)
+    p.b_l = p.b_np.tolist()
+    p.gpu_of = gpu_of
+    p.g_l = gpu_of.tolist()
+    p.gather_t = gather_t
+    p.gather_l = gather_t.tolist()
+    p.solve_t = solve_t
+    p.solve_l = solve_t.tolist()
+    p.local_np = local_e
+    p.srcg_l = src_g_e.tolist()
+    p.dstg_l = dst_g_e.tolist()
+
+    # ---- compile-time fan-out pricing -------------------------------
+    # uc_tab[e]: the update-cost prefix the scalar loop accumulates
+    # when it reaches edge e of its column; built with the exact
+    # per-column sequential addition order so the bits match.
+    uc_tab = np.zeros(nnz)
+    fan = col_nnz - 1
+    if n and fan.any():
+        first = p.indptr_np[:-1] + 1
+        max_fan = int(fan.max())
+        for k in range(max_fan):
+            m = fan > k
+            ek = first[m] + k
+            if k == 0:
+                uc_tab[ek] = inc_e[ek]
+            else:
+                uc_tab[ek] = uc_tab[ek - 1] + inc_e[ek]
+    p.uc_tab = uc_tab
+    p.e_delay = uc_tab + dl_e  # landing delay per edge (static)
+    p.e_delay_l = p.e_delay.tolist()
+    uc_tot = np.where(fan > 0, uc_tab[p.indptr_np[1:] - 1], 0.0)
+    p.uc_tot = uc_tot
+    p.uc_tot_l = uc_tot.tolist()
+    p.fan = fan
+
+    layout = TokenLayout.for_system(n, nnz)
+    p.n8 = layout.local_base
+    p.m8 = layout.xfer_base
+    p.f8 = layout.failure_base
+    p.spawn_code_l = layout.spawn_codes(local_e).tolist()
+
+    bank = ResourceBank()
+    for g in range(machine.n_gpus):
+        bank.add(f"gpu{g}.warps", gpu_spec.warp_slots)
+    topo = machine.topology
+    phys = machine.active_gpus
+    n_gpus = machine.n_gpus
+    pair_rid = np.full(n_gpus * n_gpus, -1, dtype=np.int64)
+    pair_wire = np.zeros(n_gpus * n_gpus)
+    cross_pairs = np.unique(src_g_e[~local_e] * n_gpus + dst_g_e[~local_e])
+    for pr in cross_pairs.tolist():
+        src_pe, dst_pe = pr // n_gpus, pr % n_gpus
+        ga, gb = int(phys[src_pe]), int(phys[dst_pe])
+        capacity = link_capacity(topo, ga, gb, in_flight_per_link)
+        pair_rid[pr] = bank.add(f"link{src_pe}->{dst_pe}", capacity)
+        pair_wire[pr] = wire_time(topo, ga, gb)
+    p.bank = bank
+    p.elink_np = np.where(
+        local_e, -1, pair_rid[src_g_e * n_gpus + dst_g_e]
+    )
+    p.elink_l = p.elink_np.tolist()
+    p.ewire_np = np.where(
+        local_e, 0.0, pair_wire[src_g_e * n_gpus + dst_g_e]
+    )
+    p.ewire_l = p.ewire_np.tolist()
+
+    # ---- initial dispatch front: the calendar's first segment -------
+    # The calendar is a list of time-sorted (times, codes) array
+    # segments consumed through cursors; same-time tokens across
+    # segments keep segment-creation order, which reproduces the
+    # array engine's FIFO bucket-append order exactly.
+    task_of = dist.task_of()
+    launch = launch_times(dist.n_tasks, gpu_spec.t_kernel_launch)
+    spawn_times = launch[task_of]
+    order = np.argsort(spawn_times, kind="stable")
+    p.cal_t = spawn_times[order]
+    p.cal_c = order.astype(np.int64) << COMP_SHIFT
+
+    # ---- mutable playout state --------------------------------------
+    p.remaining = dag.in_degree.astype(np.int64).copy()
+    p.left_sum = np.zeros(n)
+    p.e_contrib = np.zeros(nnz)
+    p.parked_ready = np.zeros(n, dtype=bool)
+    p.x_np = np.zeros(n)
+    return p
+
+
+def execute_plan(
+    plan: EpochPlan, *, trace_enabled: bool = True
+) -> tuple[np.ndarray, float, Trace, int, int]:
+    """Drain the calendar in macro-epochs; returns
+    ``(x, total_time, trace, page_faults, events)`` bit-identical to
+    the array engine."""
+    global _LAST_STATS
+
+    # Hot-loop local bindings (plan tables).
+    scr = plan.scratch
+    n8 = plan.n8
+    m8 = plan.m8
+    f8 = plan.f8
+    indptr_np = plan.indptr_np
+    indptr_l = plan.indptr_l
+    idx_np = plan.idx_np
+    idx_l = plan.idx_l
+    data_np = plan.data_np
+    data_l = plan.data_l
+    diag_np = plan.diag_np
+    b_np = plan.b_np
+    b_l = plan.b_l
+    gpu_of = plan.gpu_of
+    g_l = plan.g_l
+    gather_t = plan.gather_t
+    gather_l = plan.gather_l
+    solve_t = plan.solve_t
+    solve_l = plan.solve_l
+    local_np = plan.local_np
+    srcg_l = plan.srcg_l
+    dstg_l = plan.dstg_l
+    e_delay = plan.e_delay
+    e_delay_l = plan.e_delay_l
+    uc_tot = plan.uc_tot
+    uc_tot_l = plan.uc_tot_l
+    spawn_code_l = plan.spawn_code_l
+    elink_l = plan.elink_l
+    elink_np = plan.elink_np
+    ewire_l = plan.ewire_l
+    ewire_np = plan.ewire_np
+    e_contrib = plan.e_contrib
+    remaining = plan.remaining
+    left_sum = plan.left_sum
+    parked_ready = plan.parked_ready
+    x_np = plan.x_np
+    t_disp = plan.t_disp
+    # Calendar: time-sorted (times, codes) array segments consumed
+    # through cursors, in creation order.  Same-time tokens order by
+    # (segment id, intra-segment index), which reproduces the array
+    # engine's FIFO bucket-append order without per-bucket dicts.
+    if len(plan.cal_t):
+        seg_ts = [plan.cal_t]
+        seg_cs = [plan.cal_c]
+        seg_cur = [0]
+    else:
+        seg_ts, seg_cs, seg_cur = [], [], []
+
+    bank = plan.bank
+    r_cap = bank.capacity
+    r_used = bank.in_use
+    r_tot = bank.total_acquisitions
+    r_peak = bank.peak_in_use
+    r_q = bank._queues
+
+    safe_w = plan.safe_lookahead
+    lookahead = plan.lookahead
+    clamped = lookahead > safe_w
+    if clamped:
+        lookahead = safe_w
+    stats = EpochStats(plan.lookahead, safe_w)
+
+    trace = Trace(enabled=trace_enabled)
+    emit = trace.emit if trace_enabled else None
+    fast_run = emit is None
+    c_dispatch = c_solve = c_release = c_xb = c_xe = 0
+    nevents = 0
+    now = 0.0
+    wire_state = XFER_CLAIM + 1  # parked claims resume at the wire step
+
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        while seg_ts:
+            t0 = min(
+                seg_ts[s][seg_cur[s]] for s in range(len(seg_ts))
+            )
+            horizon = t0 + lookahead
+            if clamped:
+                stats.overwide_clamps += 1
+            parts_t: list = []
+            parts_c: list = []
+            live_t: list = []
+            live_c: list = []
+            live_cur: list = []
+            for s in range(len(seg_ts)):
+                st = seg_ts[s]
+                cur0 = seg_cur[s]
+                if st[cur0] < horizon:
+                    end = cur0 + int(np.searchsorted(
+                        st[cur0:], horizon, side="left"
+                    ))
+                    parts_t.append(st[cur0:end])
+                    parts_c.append(seg_cs[s][cur0:end])
+                    if end < len(st):
+                        live_t.append(st)
+                        live_c.append(seg_cs[s])
+                        live_cur.append(end)
+                else:
+                    live_t.append(st)
+                    live_c.append(seg_cs[s])
+                    live_cur.append(cur0)
+            seg_ts, seg_cs, seg_cur = live_t, live_c, live_cur
+            if len(parts_t) == 1:
+                times_np = parts_t[0]
+                codes_np = parts_c[0]
+            else:
+                tcat = np.concatenate(parts_t)
+                ordw = np.argsort(tcat, kind="stable")
+                times_np = tcat[ordw]
+                codes_np = np.concatenate(parts_c)[ordw]
+            total = len(times_np)
+
+            if total < BATCH_MIN_EVENTS:
+                # ------------------------------------------------------
+                # Scalar sub-path: the array engine's loop, merged with
+                # any in-window buckets its own pushes create.
+                # ------------------------------------------------------
+                stats.scalar_windows += 1
+                codes_l = codes_np.tolist()
+                ut_w, ustarts_w = np.unique(
+                    times_np, return_index=True
+                )
+                wtimes = ut_w.tolist()
+                ub_w = ustarts_w.tolist()
+                ub_w.append(total)
+                wlists = [
+                    codes_l[ub_w[j] : ub_w[j + 1]]
+                    for j in range(len(wtimes))
+                ]
+                nwin = len(wtimes)
+                wmap = dict(zip(wtimes, wlists))
+                wlast = wtimes[-1]
+                lheap: list = []
+                fut_t: list = []
+                fut_c: list = []
+
+                def spush(t2, ncode):
+                    b2 = wmap.get(t2)
+                    if b2 is not None:
+                        b2.append(ncode)
+                    elif t2 < wlast:
+                        wmap[t2] = [ncode]
+                        heappush(lheap, t2)
+                    else:
+                        fut_t.append(t2)
+                        fut_c.append(ncode)
+
+                wi = 0
+                while wi < nwin:
+                    tw = wtimes[wi]
+                    if lheap and lheap[0] < tw:
+                        t = heappop(lheap)
+                        cur = wmap[t]
+                    else:
+                        t = tw
+                        cur = wlists[wi]
+                        wi += 1
+                    now = t
+                    for code in cur:
+                        if code < 0:
+                            e = -1 - code
+                            dst = idx_l[e]
+                            left_sum[dst] += e_contrib[e]
+                            rem = remaining[dst] - 1
+                            remaining[dst] = rem
+                            if rem == 0 and parked_ready[dst]:
+                                parked_ready[dst] = False
+                                cur.append((dst << 3) | COMP_GATHER)
+                            continue
+                        if code >= n8:
+                            if code < m8:
+                                e = code - n8
+                                t2 = now + e_delay_l[e]
+                                ncode = -1 - e
+                                if t2 > now:
+                                    spush(t2, ncode)
+                                else:
+                                    cur.append(ncode)
+                                continue
+                            c = code - m8
+                            st = c & 3
+                            e = c >> 2
+                            if st == XFER_RETIRE:
+                                if emit is not None:
+                                    emit(
+                                        now, TRACE_XFER_END,
+                                        gpu=srcg_l[e],
+                                        detail=(
+                                            srcg_l[e], dstg_l[e], idx_l[e]
+                                        ),
+                                    )
+                                else:
+                                    c_xe += 1
+                                link = elink_l[e]
+                                q = r_q[link]
+                                if q:
+                                    r_tot[link] += 1
+                                    cur.append(q.popleft())
+                                else:
+                                    r_used[link] -= 1
+                                t2 = now + e_delay_l[e]
+                                ncode = -1 - e
+                                if t2 > now:
+                                    spush(t2, ncode)
+                                else:
+                                    cur.append(ncode)
+                                continue
+                            if st == XFER_CLAIM:
+                                link = elink_l[e]
+                                q = r_q[link]
+                                if q or r_used[link] >= r_cap[link]:
+                                    q.append(code + 1)
+                                    continue
+                                u = r_used[link] + 1
+                                r_used[link] = u
+                                r_tot[link] += 1
+                                if u > r_peak[link]:
+                                    r_peak[link] = u
+                            if emit is not None:
+                                emit(
+                                    now, TRACE_XFER_BEGIN,
+                                    gpu=srcg_l[e],
+                                    detail=(
+                                        srcg_l[e], dstg_l[e], idx_l[e]
+                                    ),
+                                )
+                            else:
+                                c_xb += 1
+                            t2 = now + ewire_l[e]
+                            ncode = code - st + XFER_RETIRE
+                            if t2 > now:
+                                spush(t2, ncode)
+                            else:
+                                cur.append(ncode)
+                            continue
+                        i = code >> 3
+                        st = code & 7
+                        if st == COMP_GATHER:
+                            if remaining[i] > 0:
+                                parked_ready[i] = True
+                                continue
+                            gather = gather_l[i]
+                            if gather > 0.0:
+                                t2 = now + gather
+                                ncode = (code & -8) | COMP_SOLVE
+                                if t2 > now:
+                                    spush(t2, ncode)
+                                else:
+                                    cur.append(ncode)
+                                continue
+                            st = COMP_SOLVE
+                        if st == COMP_SOLVE:
+                            t2 = now + solve_l[i]
+                            ncode = (code & -8) | COMP_POST
+                            if t2 > now:
+                                spush(t2, ncode)
+                            else:
+                                cur.append(ncode)
+                            continue
+                        if st == COMP_POST:
+                            lo = indptr_l[i]
+                            hi = indptr_l[i + 1]
+                            xi = (b_l[i] - left_sum[i]) / data_l[lo]
+                            x_np[i] = xi
+                            g = g_l[i]
+                            if emit is not None:
+                                emit(now, TRACE_SOLVE, gpu=g, detail=i)
+                            else:
+                                c_solve += 1
+                            for e in range(lo + 1, hi):
+                                e_contrib[e] = data_l[e] * xi
+                            if hi > lo + 1:
+                                cur.extend(spawn_code_l[lo + 1 : hi])
+                            uc = uc_tot_l[i]
+                            if uc > 0.0:
+                                t2 = now + uc
+                                ncode = (code & -8) | COMP_RELEASE
+                                if t2 > now:
+                                    spush(t2, ncode)
+                                else:
+                                    cur.append(ncode)
+                                continue
+                            st = COMP_RELEASE
+                        if st == COMP_RELEASE:
+                            g = g_l[i]
+                            if emit is not None:
+                                emit(now, TRACE_RELEASE, gpu=g, detail=i)
+                            else:
+                                c_release += 1
+                            q = r_q[g]
+                            if q:
+                                r_tot[g] += 1
+                                cur.append(q.popleft())
+                            else:
+                                r_used[g] -= 1
+                            continue
+                        # COMP_ACQUIRE / COMP_DISPATCH
+                        g = g_l[i]
+                        if not st:  # COMP_ACQUIRE == 0
+                            q = r_q[g]
+                            if q or r_used[g] >= r_cap[g]:
+                                q.append(code | COMP_DISPATCH)
+                                continue
+                            u = r_used[g] + 1
+                            r_used[g] = u
+                            r_tot[g] += 1
+                            if u > r_peak[g]:
+                                r_peak[g] = u
+                        if emit is not None:
+                            emit(now, TRACE_DISPATCH, gpu=g, detail=i)
+                        else:
+                            c_dispatch += 1
+                        t2 = now + t_disp
+                        ncode = (code & -8) | COMP_GATHER
+                        if t2 > now:
+                            spush(t2, ncode)
+                        else:
+                            cur.append(ncode)
+                    nevents += len(cur)
+                if fut_t:
+                    fa = np.array(fut_t)
+                    fo = np.argsort(fa, kind="stable")
+                    seg_ts.append(fa[fo])
+                    seg_cs.append(np.array(fut_c, dtype=np.int64)[fo])
+                    seg_cur.append(0)
+                continue
+
+            # ==========================================================
+            # Batch epoch.
+            # ==========================================================
+            stats.epochs += 1
+            if fast_run:
+                times_l = codes_l = None
+            else:
+                times_l = times_np.tolist()
+                codes_l = codes_np.tolist()
+            wmax = float(times_np[-1])
+            internal = 0
+            emits = [] if emit is not None else None
+
+            is_neg = codes_np < 0
+            is_comp = (~is_neg) & (codes_np < n8)
+            comp_state = codes_np & 7
+
+            # Escapes: vectorised segments (rows, t2, code) as 20-col
+            # matrices, per-item 20-tuples, and rare tuple-keyed items.
+            esc_mats: list = []
+            esc_one: list = []
+            esc_rare: list = []
+            esc_append = esc_one.append
+            # In-window deliveries: 19-col matrices (key row + edge),
+            # per-item 19-tuples, and rare tuple-keyed landings.
+            dl_mats: list = []
+            dl_one: list = []
+            rare_deliv: list = []
+
+            link_ops: dict = {}
+            gpu_ops: dict = {}
+            # ``fast``: counters-only runs take vectorised resource
+            # playout for provably queue-free links/pools; traced runs
+            # (and contended epochs) keep the tuple mini-sims.
+            fast = emits is None
+            Ptup = None
+            cl_e = None
+            fz_j = rin_j = None
+
+            # ---- phase A: route gen0 resource/hop tokens ------------
+            # Gen0 transfer tokens are boundary stragglers (a wire that
+            # crossed an epoch edge); their link must replay the exact
+            # FIFO interleaving, so flag it for the tuple path.
+            tuple_links = set()
+            xsel = np.nonzero((codes_np >= m8) & (codes_np < f8))[0]
+            if len(xsel):
+                xc = codes_np[xsel] - m8
+                xe_l = (xc >> 2).tolist()
+                xst_l = (xc & 3).tolist()
+                xt_l = times_np[xsel].tolist()
+                xp_l = xsel.tolist()
+                for j in range(len(xp_l)):
+                    e = xe_l[j]
+                    tuple_links.add(elink_l[e])
+                    link_ops.setdefault(elink_l[e], []).append(
+                        ((xt_l[j], 0, xp_l[j]), xst_l[j], e)
+                    )
+            hop_sel = np.nonzero(
+                (codes_np >= n8) & (codes_np < m8)
+            )[0]
+            hop_in: list = []
+            if len(hop_sel):
+                he = codes_np[hop_sel] - n8
+                ht = times_np[hop_sel]
+                htd = ht + e_delay[he]
+                h_in = htd < horizon
+                n_out = int(np.count_nonzero(~h_in))
+                if n_out:
+                    seg = scr.mat("esc_hop", n_out, 20)
+                    seg[:, 0] = ht[~h_in]
+                    seg[:, _P_COL] = hop_sel[~h_in]
+                    seg[:, 18] = htd[~h_in]
+                    seg[:, 19] = -1 - he[~h_in]
+                    esc_mats.append(seg)
+                n_in = int(np.count_nonzero(h_in))
+                if n_in:
+                    # Delivery key (td, 1, (tp, 0, p), 0) — depth 2.
+                    seg = scr.mat("dl_hop", n_in, 19)
+                    seg[:, 0] = htd[h_in]
+                    seg[:, 1] = 1.0
+                    seg[:, 2] = ht[h_in]
+                    seg[:, _P_COL] = hop_sel[h_in]
+                    seg[:, 18] = he[h_in]
+                    dl_mats.append(seg)
+                    internal += n_in
+                    hmax = float(htd[h_in].max())
+                    if hmax > wmax:
+                        wmax = hmax
+            rel0_pos = np.nonzero(
+                is_comp & (comp_state == COMP_RELEASE)
+            )[0]
+            acq_pos = np.nonzero(is_comp & (comp_state == 0))[0]
+            if fast:
+                acq_i = codes_np[acq_pos] >> 3
+                acq_g = gpu_of[acq_i]
+                acq_t = times_np[acq_pos]
+                rel0_i = codes_np[rel0_pos] >> 3
+                rel0_g = gpu_of[rel0_i]
+                rel0_t = times_np[rel0_pos]
+            else:
+                for pos in rel0_pos.tolist():
+                    i = codes_l[pos] >> 3
+                    gpu_ops.setdefault(g_l[i], []).append(
+                        ((times_l[pos], 0, pos), _OP_REL, i)
+                    )
+                for pos in acq_pos.tolist():
+                    i = codes_l[pos] >> 3
+                    gpu_ops.setdefault(g_l[i], []).append(
+                        ((times_l[pos], 0, pos), _OP_ACQ, i)
+                    )
+
+            # ---- phase B0: the epoch's POST work-list ---------------
+            # gen0 POSTs, plus *internalised* POSTs: a gen0 SOLVE whose
+            # completion lands inside the epoch (its left.sum is final
+            # — the last delivery preceded the gather), and a gen0
+            # zero-gather GATHER that falls through to an in-window
+            # solve.  Out-of-window completions escape as before.
+            post_sel = np.nonzero(
+                is_comp & (comp_state == COMP_POST)
+            )[0]
+            sol_sel = np.nonzero(
+                is_comp & (comp_state == COMP_SOLVE)
+            )[0]
+            gath_sel = np.nonzero(
+                is_comp & (comp_state == COMP_GATHER)
+            )[0]
+
+            ip_i_parts: list = []
+            ip_t_parts: list = []
+            ip_te_parts: list = []
+            ip_p_parts: list = []
+            if len(sol_sel):
+                si = codes_np[sol_sel] >> 3
+                tsv = times_np[sol_sel]
+                tpv = tsv + solve_t[si]
+                s_in = tpv < horizon
+                n_out = int(np.count_nonzero(~s_in))
+                if n_out:
+                    seg = scr.mat("esc_solve", n_out, 20)
+                    seg[:, 0] = tsv[~s_in]
+                    seg[:, _P_COL] = sol_sel[~s_in]
+                    seg[:, 18] = tpv[~s_in]
+                    seg[:, 19] = (si[~s_in] << 3) | COMP_POST
+                    esc_mats.append(seg)
+                if s_in.any():
+                    ip_i_parts.append(si[s_in])
+                    ip_t_parts.append(tpv[s_in])
+                    ip_te_parts.append(tsv[s_in])
+                    ip_p_parts.append(sol_sel[s_in])
+            if len(gath_sel):
+                gi0 = codes_np[gath_sel] >> 3
+                zg = (gather_t[gi0] == 0.0) & (remaining[gi0] == 0)
+                if zg.any():
+                    tgz = times_np[gath_sel]
+                    tpz = tgz + solve_t[gi0]
+                    cz = zg & (tpz < horizon)
+                    if cz.any():
+                        ip_i_parts.append(gi0[cz])
+                        ip_t_parts.append(tpz[cz])
+                        ip_te_parts.append(tgz[cz])
+                        ip_p_parts.append(gath_sel[cz])
+                        gath_sel = gath_sel[~cz]
+
+            npA = len(post_sel)
+            if ip_i_parts:
+                ip_i = np.concatenate(ip_i_parts)
+                ip_t = np.concatenate(ip_t_parts)
+                ip_te = np.concatenate(ip_te_parts)
+                ip_p = np.concatenate(ip_p_parts)
+                npB = len(ip_i)
+            else:
+                npB = 0
+            npost = npA + npB
+
+            # ---- phase B: fused POST fan-out ------------------------
+            if npost:
+                P_i = scr.i64("post_i", npost)
+                P_t = scr.f64("post_t", npost)
+                P_rows = scr.mat("post_rows", npost, KEY_COLS)
+                if npA:
+                    P_i[:npA] = codes_np[post_sel] >> 3
+                    P_t[:npA] = times_np[post_sel]
+                    P_rows[:npA, 0] = P_t[:npA]
+                    P_rows[:npA, _P_COL] = post_sel
+                if npB:
+                    P_i[npA:] = ip_i
+                    P_t[npA:] = ip_t
+                    P_rows[npA:, 0] = ip_t
+                    P_rows[npA:, 1] = 1.0
+                    P_rows[npA:, 2] = ip_te
+                    P_rows[npA:, _P_COL] = ip_p
+                    internal += npB
+                    bmax = float(ip_t.max())
+                    if bmax > wmax:
+                        wmax = bmax
+
+                xv = (b_np[P_i] - left_sum[P_i]) / diag_np[P_i]
+                x_np[P_i] = xv
+
+                # Push-key tuples per POST: only tuple-keyed consumers
+                # (traces, contended mini-sim fallbacks) pay for them.
+                if not fast:
+                    P_t_l = P_t.tolist()
+                    P_i_l = P_i.tolist()
+                    Ptup = _post_tuples(
+                        npA, npB, P_t, post_sel,
+                        ip_te if npB else None, ip_p if npB else None,
+                    )
+                    for j in range(npost):
+                        i = P_i_l[j]
+                        emits.append((Ptup[j], TRACE_SOLVE, g_l[i], i))
+                else:
+                    c_solve += npost
+
+                loE = indptr_np[P_i] + 1
+                fanv = indptr_np[P_i + 1] - loE
+                nE = int(fanv.sum())
+                if nE:
+                    seg_id = np.repeat(
+                        np.arange(npost, dtype=np.int64), fanv
+                    )
+                    ends = np.cumsum(fanv)
+                    sub = np.arange(nE, dtype=np.int64) - np.repeat(
+                        ends - fanv, fanv
+                    )
+                    er = sub + loE[seg_id]
+                    e_contrib[er] = data_np[er] * xv[seg_id]
+                    tpE = P_t[seg_id]
+                    tdE = tpE + e_delay[er]
+                    locE = local_np[er]
+                    inwE = tdE < horizon
+                    internal += nE
+
+                    sel_in = locE & inwE
+                    m_in = int(np.count_nonzero(sel_in))
+                    if m_in:
+                        # Delivery key: POST -> hop -> landing, i.e.
+                        # (td, 1, (tp, 1, K_post, sub), 0).
+                        R = scr.mat("dl_post", m_in, 19)
+                        sj = seg_id[sel_in]
+                        R[:, 0] = tdE[sel_in]
+                        R[:, 1] = 1.0
+                        R[:, 2] = tpE[sel_in]
+                        R[:, 3] = 1.0
+                        R[:, 4:8] = P_rows[sj, 0:4]
+                        R[:, _P_COL] = P_rows[sj, _P_COL]
+                        R[:, _S_BASE - 1] = sub[sel_in]
+                        R[:, 18] = er[sel_in]
+                        dl_mats.append(R)
+                        internal += m_in
+                        dmax = float(tdE[sel_in].max())
+                        if dmax > wmax:
+                            wmax = dmax
+                    sel_out = locE & ~inwE
+                    m_out = int(np.count_nonzero(sel_out))
+                    if m_out:
+                        # Escape pushed by the hop: (tp, 1, K_post, sub)
+                        E = scr.mat("esc_post", m_out, 20)
+                        sj = seg_id[sel_out]
+                        E[:, 0] = tpE[sel_out]
+                        E[:, 1] = 1.0
+                        E[:, 2:6] = P_rows[sj, 0:4]
+                        E[:, _P_COL] = P_rows[sj, _P_COL]
+                        E[:, _S_BASE] = sub[sel_out]
+                        E[:, 18] = tdE[sel_out]
+                        E[:, 19] = -1 - er[sel_out]
+                        esc_mats.append(E)
+                    cross_j = np.nonzero(~locE)[0]
+                    if len(cross_j):
+                        cl_e = er[cross_j]
+                        cl_t = tpE[cross_j]
+                        cl_seg = seg_id[cross_j]
+                        cl_sub = sub[cross_j]
+                        cl_lk = elink_np[cl_e]
+                        if not fast:
+                            sub_l = cl_sub.tolist()
+                            er_l = cl_e.tolist()
+                            seg_l = cl_seg.tolist()
+                            for j in range(len(er_l)):
+                                s = seg_l[j]
+                                e = er_l[j]
+                                link_ops.setdefault(
+                                    elink_l[e], []
+                                ).append((
+                                    (P_t_l[s], 1, Ptup[s], sub_l[j]),
+                                    _OP_CLAIM, e,
+                                ))
+
+                # Releases: in-window ones join the pool sims, the
+                # rest escape with the POST itself as pusher.
+                trel = P_t + uc_tot[P_i]
+                fz = fanv == 0
+                rel_in = (~fz) & (trel < horizon)
+                rel_out = (~fz) & ~rel_in
+                fz_j = np.nonzero(fz)[0]
+                rin_j = np.nonzero(rel_in)[0]
+                if fast:
+                    fz_g = gpu_of[P_i[fz_j]]
+                    rin_g = gpu_of[P_i[rin_j]]
+                else:
+                    for j in fz_j.tolist():
+                        i = P_i_l[j]
+                        gpu_ops.setdefault(g_l[i], []).append(
+                            (Ptup[j], -1, i)
+                        )
+                    if len(rin_j):
+                        trel_l = trel.tolist()
+                        fan_l = fanv.tolist()
+                        for j in rin_j.tolist():
+                            i = P_i_l[j]
+                            gpu_ops.setdefault(g_l[i], []).append(
+                                (
+                                    (trel_l[j], 1, Ptup[j], fan_l[j]),
+                                    _OP_REL, i,
+                                )
+                            )
+                if len(rin_j):
+                    internal += len(rin_j)
+                    rmax = float(trel[rin_j].max())
+                    if rmax > wmax:
+                        wmax = rmax
+                m_out = int(np.count_nonzero(rel_out))
+                if m_out:
+                    E = scr.mat("esc_rel", m_out, 20)
+                    E[:, 0:KEY_COLS] = P_rows[rel_out]
+                    E[:, 18] = trel[rel_out]
+                    E[:, 19] = (P_i[rel_out] << 3) | COMP_RELEASE
+                    esc_mats.append(E)
+
+            # ---- phase C: per-link transfer playout -----------------
+            # Fast path: a link with no boundary stragglers, no parked
+            # waiters, and capacity for the epoch's whole claim wave
+            # grants FIFO with zero queueing — claims, retires and
+            # deliveries then reduce to pure array arithmetic.  The
+            # occupancy check is a sorted-merge high-water mark that
+            # counts a tie as claim-before-retire, so it can only
+            # overestimate; any overflow falls back to the tuple sim.
+            if fast and cl_e is not None:
+                for link in np.unique(cl_lk).tolist():
+                    msk = cl_lk == link
+                    lt = cl_t[msk]
+                    e_grp = cl_e[msk]
+                    m = len(lt)
+                    runmax = -1
+                    if link not in tuple_links and not r_q[link]:
+                        if r_used[link] + m <= r_cap[link]:
+                            # Even granting every claim with no retire
+                            # fits; skip the sorted high-water scan.
+                            runmax = r_used[link] + m
+                        else:
+                            ts_s = np.sort(lt)
+                            freed = np.searchsorted(
+                                ts_s + ewire_np[int(e_grp[0])], ts_s,
+                                side="left",
+                            )
+                            runmax = r_used[link] + int((
+                                np.arange(1, m + 1, dtype=np.int64)
+                                - freed
+                            ).max())
+                    if runmax < 0 or runmax > r_cap[link]:
+                        # Contended (or straggler-shared): replay the
+                        # exact FIFO interleaving on the tuple sim.
+                        stats.link_fallbacks += 1
+                        if Ptup is None:
+                            Ptup = _post_tuples(
+                                npA, npB, P_t, post_sel,
+                                ip_te if npB else None,
+                                ip_p if npB else None,
+                            )
+                        lst = link_ops.setdefault(link, [])
+                        lt_l = lt.tolist()
+                        sg_l = cl_seg[msk].tolist()
+                        sb_l = cl_sub[msk].tolist()
+                        eg_l = e_grp.tolist()
+                        for j in range(m):
+                            lst.append((
+                                (lt_l[j], 1, Ptup[sg_l[j]], sb_l[j]),
+                                _OP_CLAIM, eg_l[j],
+                            ))
+                        continue
+                    # Every claim grants on arrival; the queue stays
+                    # empty, so retires never wake and sub2 == 0.
+                    sg = cl_seg[msk]
+                    sb = cl_sub[msk]
+                    tr = lt + ewire_np[e_grp]
+                    c_xb += m
+                    r_tot[link] += m
+                    if runmax > r_peak[link]:
+                        r_peak[link] = runmax
+                    rin = tr < horizon
+                    n_rin = int(np.count_nonzero(rin))
+                    r_used[link] += m - n_rin
+                    if m - n_rin:
+                        # Escaping wires: pusher is the claim key
+                        # (t, 1, K_post, sub) — depth <= 3.
+                        C = np.zeros((m - n_rin, 20))
+                        so = sg[~rin]
+                        C[:, 0] = lt[~rin]
+                        C[:, 1] = 1.0
+                        C[:, 2:6] = P_rows[so, 0:4]
+                        C[:, _P_COL] = P_rows[so, _P_COL]
+                        C[:, _S_BASE] = sb[~rin]
+                        C[:, 18] = tr[~rin]
+                        C[:, 19] = m8 + (
+                            (e_grp[~rin] << 2) | XFER_RETIRE
+                        )
+                        esc_mats.append(C)
+                    if n_rin:
+                        c_xe += n_rin
+                        internal += n_rin
+                        trm = float(tr[rin].max())
+                        if trm > wmax:
+                            wmax = trm
+                        e_in = e_grp[rin]
+                        s_in2 = sg[rin]
+                        sb_in = sb[rin]
+                        tc_in = lt[rin]
+                        tr_in = tr[rin]
+                        td = tr_in + e_delay[e_in]
+                        din = td < horizon
+                        n_din = int(np.count_nonzero(din))
+                        if n_din:
+                            internal += n_din
+                            tdm = float(td[din].max())
+                            if tdm > wmax:
+                                wmax = tdm
+                            # Delivery key (td, 1, retire, 0) with
+                            # retire = (tr, 1, claim, 0) — depth <= 5.
+                            DD = np.zeros((n_din, 19))
+                            si = s_in2[din]
+                            DD[:, 0] = td[din]
+                            DD[:, 1] = 1.0
+                            DD[:, 2] = tr_in[din]
+                            DD[:, 3] = 1.0
+                            DD[:, 4] = tc_in[din]
+                            DD[:, 5] = 1.0
+                            DD[:, 6:10] = P_rows[si, 0:4]
+                            DD[:, _P_COL] = P_rows[si, _P_COL]
+                            DD[:, _S_BASE - 2] = sb_in[din]
+                            DD[:, 18] = e_in[din]
+                            dl_mats.append(DD)
+                        if n_din < n_rin:
+                            dout = ~din
+                            so2 = s_in2[dout]
+                            R2 = np.zeros((n_rin - n_din, 20))
+                            R2[:, 0] = tr_in[dout]
+                            R2[:, 1] = 1.0
+                            R2[:, 2] = tc_in[dout]
+                            R2[:, 3] = 1.0
+                            R2[:, 4:8] = P_rows[so2, 0:4]
+                            R2[:, _P_COL] = P_rows[so2, _P_COL]
+                            R2[:, _S_BASE - 1] = sb_in[dout]
+                            R2[:, 18] = td[dout]
+                            R2[:, 19] = -1.0 - e_in[dout]
+                            esc_mats.append(R2)
+
+            for link, ops in link_ops.items():
+                heapify(ops)
+                q = r_q[link]
+                while ops:
+                    key, op, e = heappop(ops)
+                    tk = key[0]
+                    if op == _OP_CLAIM:
+                        if q or r_used[link] >= r_cap[link]:
+                            q.append(m8 + ((e << 2) | wire_state))
+                            continue
+                        u = r_used[link] + 1
+                        r_used[link] = u
+                        r_tot[link] += 1
+                        if u > r_peak[link]:
+                            r_peak[link] = u
+                    if op != _OP_RETIRE:
+                        # Wire step (granted claim, woken waiter, or a
+                        # stray gen0 wire token).
+                        if emits is not None:
+                            emits.append((
+                                key, TRACE_XFER_BEGIN, srcg_l[e],
+                                (srcg_l[e], dstg_l[e], idx_l[e]),
+                            ))
+                        else:
+                            c_xb += 1
+                        tr = tk + ewire_l[e]
+                        if tr < horizon:
+                            heappush(
+                                ops, ((tr, 1, key, 0), _OP_RETIRE, e)
+                            )
+                            if tr > wmax:
+                                wmax = tr
+                            internal += 1
+                        else:
+                            code2 = m8 + ((e << 2) | XFER_RETIRE)
+                            kr = key_to_row(key)
+                            if kr is None:
+                                esc_rare.append((tr, key, code2))
+                            else:
+                                esc_append(
+                                    (*kr[0], tr, float(code2))
+                                )
+                        continue
+                    # Retire: end the transfer, hand over, land update.
+                    if emits is not None:
+                        emits.append((
+                            key, TRACE_XFER_END, srcg_l[e],
+                            (srcg_l[e], dstg_l[e], idx_l[e]),
+                        ))
+                    else:
+                        c_xe += 1
+                    sub2 = 0
+                    if q:
+                        r_tot[link] += 1
+                        woken = q.popleft()
+                        e2 = (woken - m8) >> 2
+                        heappush(ops, ((tk, 1, key, 0), _OP_WIRE, e2))
+                        internal += 1
+                        sub2 = 1
+                    else:
+                        r_used[link] -= 1
+                    td = tk + e_delay_l[e]
+                    if td < horizon:
+                        dk = (td, 1, key, sub2)
+                        kr = key_to_row(dk)
+                        if kr is None:
+                            rare_deliv.append((dk, e))
+                        else:
+                            dl_one.append((*kr[0], float(e)))
+                        if td > wmax:
+                            wmax = td
+                        internal += 1
+                    else:
+                        kr = key_to_row(key)
+                        if kr is None:
+                            esc_rare.append((td, key, -1 - e))
+                        else:
+                            esc_append((*kr[0], td, float(-1 - e)))
+
+            # ---- phase D: assemble the epoch's delivery set ---------
+            g0_p = np.nonzero(is_neg)[0]
+            n_g0 = len(g0_p)
+            if n_g0:
+                G = scr.mat("dl_g0", n_g0, 19)
+                G[:, 0] = times_np[is_neg]
+                G[:, _P_COL] = g0_p
+                G[:, 18] = -1 - codes_np[is_neg]
+                dl_mats.append(G)
+            if dl_one:
+                dl_mats.append(np.array(dl_one))
+            if dl_mats:
+                n_bulk = sum(m.shape[0] for m in dl_mats)
+                D = scr.mat("dl_all", n_bulk, 19)
+                off = 0
+                for m in dl_mats:
+                    D[off : off + m.shape[0]] = m
+                    off += m.shape[0]
+                D_t = D[:, 0]
+                D_m0 = D[:, 1]
+                D_p = D[:, _P_COL]
+                D_e = D[:, 18].astype(np.int64)
+                D_dst = idx_np[D_e]
+            else:
+                n_bulk = 0
+
+            # ---- phase E: gen0 GATHER resolution, landings, wakes ---
+            ready_p = None
+            if len(gath_sel):
+                gi_v = codes_np[gath_sel] >> 3
+                rem_v = remaining[gi_v]
+                ready_mask = rem_v == 0
+                pk = np.nonzero(rem_v > 0)[0]
+                extra_p = np.empty(0, dtype=np.int64)
+                if len(pk):
+                    pk_pos = gath_sel[pk]
+                    pk_i = gi_v[pk]
+                    rems = rem_v[pk].copy()
+                    if n_bulk:
+                        # For each parked gather, count deliveries to
+                        # its comp that key-sort strictly before the
+                        # gather key (tg, 0, pos): rank the queries
+                        # among the deliveries under the combined order
+                        # (dst, t, marker, pos), then subtract the
+                        # deliveries belonging to smaller dsts.  One
+                        # lexsort replaces a per-gather mask scan.
+                        nq = len(pk)
+                        pk_t = times_np[pk_pos]
+                        kt = np.concatenate((D_t, pk_t))
+                        km = np.concatenate((D_m0, np.zeros(nq)))
+                        kp = np.concatenate(
+                            (D_p, pk_pos.astype(np.float64))
+                        )
+                        kd = np.concatenate((D_dst, pk_i))
+                        order_q = np.lexsort((kp, km, kt, kd))
+                        rank = np.empty(n_bulk + nq, dtype=np.int64)
+                        rank[order_q] = np.arange(
+                            n_bulk + nq, dtype=np.int64
+                        )
+                        q_rank = rank[n_bulk:]
+                        sq = np.sort(q_rank)
+                        before_q = np.searchsorted(
+                            sq, q_rank, side="left"
+                        )
+                        cnt_lt = np.searchsorted(
+                            np.sort(D_dst), pk_i, side="left"
+                        )
+                        rems -= (q_rank - before_q) - cnt_lt
+                    if rare_deliv:
+                        pos_l = pk_pos.tolist()
+                        i_l = pk_i.tolist()
+                        for j in np.nonzero(rems > 0)[0].tolist():
+                            kg = (float(times_np[pos_l[j]]), 0, pos_l[j])
+                            i = i_l[j]
+                            for kdk, e2 in rare_deliv:
+                                if idx_l[e2] == i and kdk < kg:
+                                    rems[j] -= 1
+                    park_sel = rems > 0
+                    parked_ready[pk_i[park_sel]] = True
+                    extra_p = pk_pos[~park_sel]
+                ready_p = gath_sel[ready_mask]
+                if len(extra_p):
+                    ready_p = np.concatenate((ready_p, extra_p))
+                if len(ready_p):
+                    gii = codes_np[ready_p] >> 3
+                    tgv = times_np[ready_p]
+                    gv = gather_t[gii]
+                    has_g = gv > 0.0
+                    seg = scr.mat("esc_ready", len(ready_p), 20)
+                    seg[:, 0] = tgv
+                    seg[:, _P_COL] = ready_p
+                    seg[:, 18] = np.where(
+                        has_g, tgv + gv, tgv + solve_t[gii]
+                    )
+                    seg[:, 19] = np.where(
+                        has_g,
+                        (gii << 3) | COMP_SOLVE,
+                        (gii << 3) | COMP_POST,
+                    )
+                    esc_mats.append(seg)
+
+            if n_bulk or rare_deliv:
+                if n_bulk:
+                    sorder = _lexsort_rows(D)
+                    SD = scr.mat("dl_sorted", n_bulk, 19)
+                    np.take(D, sorder, axis=0, out=SD)
+                    s_t = SD[:, 0]
+                    s_e = SD[:, 18].astype(np.int64)
+                else:
+                    SD = None
+                    s_t = np.empty(0)
+                    s_e = np.empty(0, dtype=np.int64)
+                r_final = None
+                if rare_deliv:
+                    rare_deliv.sort(key=itemgetter(0))
+
+                    def _dkey(j):
+                        return row_to_key(SD[j])
+
+                    pos_list = []
+                    for kd, _e2 in rare_deliv:
+                        lo2, hi2 = 0, n_bulk
+                        while lo2 < hi2:
+                            mid = (lo2 + hi2) >> 1
+                            if _dkey(mid) < kd:
+                                lo2 = mid + 1
+                            else:
+                                hi2 = mid
+                        pos_list.append(lo2)
+                    pos_arr = np.array(pos_list, dtype=np.int64)
+                    m_e = np.insert(
+                        s_e, pos_arr,
+                        np.array(
+                            [e2 for _k, e2 in rare_deliv],
+                            dtype=np.int64,
+                        ),
+                    )
+                    m_t = np.insert(
+                        s_t, pos_arr,
+                        np.array([k[0] for k, _e2 in rare_deliv]),
+                    )
+                    r_final = pos_arr + np.arange(len(pos_arr))
+                else:
+                    m_e = s_e
+                    m_t = s_t
+                m_dst = idx_np[m_e]
+                np.add.at(left_sum, m_dst, e_contrib[m_e])
+                uniq_d, cnt_d = np.unique(m_dst, return_counts=True)
+                remaining[uniq_d] -= cnt_d
+                zero_sel = np.nonzero(remaining[uniq_d] == 0)[0]
+                if len(zero_sel) and r_final is None:
+                    # Bulk-only epoch: every zeroing delivery is a row
+                    # of SD, so the wake rows build as one grouped
+                    # child_row pass (per-depth column shifts).  Wake
+                    # keys are unique (each wraps a distinct delivery
+                    # key), so append order never reaches the final
+                    # stable key sort.
+                    perm = np.argsort(m_dst, kind="stable")
+                    ends = np.cumsum(cnt_d) - 1
+                    wake_ids = uniq_d[zero_sel]
+                    wmask = parked_ready[wake_ids]
+                    wsel = zero_sel[wmask]
+                    if len(wsel):
+                        wake_i = uniq_d[wsel]
+                        parked_ready[wake_i] = False
+                        internal += len(wsel)
+                        z_arr = perm[ends[wsel]]
+                        tz_arr = m_t[z_arr]
+                        gv2 = gather_t[wake_i]
+                        has_g2 = gv2 > 0.0
+                        t_out_v = np.where(
+                            has_g2, tz_arr + gv2,
+                            tz_arr + solve_t[wake_i],
+                        )
+                        c_out_v = np.where(
+                            has_g2,
+                            (wake_i << 3) | COMP_SOLVE,
+                            (wake_i << 3) | COMP_POST,
+                        )
+                        zrows = SD[z_arr]
+                        markers = zrows[:, 1:2 * MAX_KEY_DEPTH:2]
+                        depths = np.argmin(markers, axis=1) + 1
+                        deep = depths >= MAX_KEY_DEPTH
+                        if deep.any():
+                            for jj in np.nonzero(deep)[0].tolist():
+                                esc_rare.append((
+                                    float(t_out_v[jj]),
+                                    (float(tz_arr[jj]), 1,
+                                     row_to_key(zrows[jj]), 0),
+                                    int(c_out_v[jj]),
+                                ))
+                        sh = ~deep
+                        nw = int(sh.sum())
+                        if nw:
+                            W = np.zeros((nw, 20))
+                            wz = zrows[sh]
+                            wd = depths[sh]
+                            W[:, 0] = tz_arr[sh]
+                            W[:, 1] = 1.0
+                            W[:, _P_COL] = wz[:, _P_COL]
+                            W[:, 18] = t_out_v[sh]
+                            W[:, 19] = c_out_v[sh]
+                            for dval in np.unique(wd).tolist():
+                                m2 = wd == dval
+                                W[m2, 2:2 + 2 * dval] = (
+                                    wz[m2, 0:2 * dval]
+                                )
+                                for lvl in range(dval - 1):
+                                    W[m2, _S_BASE - (lvl + 1)] = (
+                                        wz[m2, _S_BASE - lvl]
+                                    )
+                            esc_mats.append(W)
+                elif len(zero_sel):
+                    perm = np.argsort(m_dst, kind="stable")
+                    ends = np.cumsum(cnt_d) - 1
+                    for j in zero_sel.tolist():
+                        i = int(uniq_d[j])
+                        if not parked_ready[i]:
+                            continue
+                        parked_ready[i] = False
+                        z = int(perm[ends[j]])
+                        tz = float(m_t[z])
+                        jb = z
+                        rare_k = None
+                        if r_final is not None:
+                            rb = int(np.searchsorted(r_final, z))
+                            if (
+                                rb < len(r_final)
+                                and int(r_final[rb]) == z
+                            ):
+                                rare_k = rare_deliv[rb][0]
+                            else:
+                                jb = z - rb
+                        internal += 1  # the wake GATHER event
+                        gather = gather_l[i]
+                        if gather > 0.0:
+                            t_out2 = tz + gather
+                            c_out2 = (i << 3) | COMP_SOLVE
+                        else:
+                            t_out2 = tz + solve_l[i]
+                            c_out2 = (i << 3) | COMP_POST
+                        if rare_k is not None:
+                            esc_rare.append(
+                                (t_out2, (tz, 1, rare_k, 0), c_out2)
+                            )
+                        else:
+                            # Wake key: (tz, 1, zeroing delivery, 0).
+                            zrow = SD[jb]
+                            wrow = child_row(
+                                zrow, row_depth(zrow), tz, 0.0
+                            )
+                            if wrow is None:
+                                esc_rare.append((
+                                    t_out2,
+                                    (tz, 1, row_to_key(zrow), 0),
+                                    c_out2,
+                                ))
+                            else:
+                                esc_append(
+                                    (*wrow, t_out2, float(c_out2))
+                                )
+
+            # ---- phase F: per-warp-pool playout ---------------------
+            # Fast path mirrors phase C: a pool whose whole epoch wave
+            # fits under the slot cap (tie counted acquire-first, so
+            # the high-water mark only overestimates) grants every
+            # acquire on arrival and no release ever wakes a waiter.
+            # A release-free wave over a busy pool is still exact as a
+            # prefix grant: acquires arrive in key order, so the first
+            # free-slot ones grant and the rest park in that order.
+            if fast:
+                if npost:
+                    rel_t_all = np.concatenate(
+                        (rel0_t, P_t[fz_j], trel[rin_j])
+                    )
+                    rel_g_all = np.concatenate((rel0_g, fz_g, rin_g))
+                else:
+                    rel_t_all = rel0_t
+                    rel_g_all = rel0_g
+                pool_gs = np.unique(
+                    np.concatenate((acq_g, rel_g_all))
+                )
+                for g in pool_gs.tolist():
+                    q = r_q[g]
+                    am = acq_g == g
+                    ra = acq_t[am]
+                    na = len(ra)
+                    rmsk = rel_g_all == g
+                    nrel = int(np.count_nonzero(rmsk))
+                    if nrel == 0:
+                        k = 0 if q else min(na, r_cap[g] - r_used[g])
+                        if k:
+                            c_dispatch += k
+                            r_tot[g] += k
+                            u = r_used[g] + k
+                            r_used[g] = u
+                            if u > r_peak[g]:
+                                r_peak[g] = u
+                            seg = np.zeros((k, 20))
+                            seg[:, 0] = ra[:k]
+                            seg[:, _P_COL] = acq_pos[am][:k]
+                            seg[:, 18] = ra[:k] + t_disp
+                            seg[:, 19] = (
+                                (acq_i[am][:k] << 3) | COMP_GATHER
+                            )
+                            esc_mats.append(seg)
+                        if na > k:
+                            q.extend((
+                                (acq_i[am][k:] << 3) | COMP_DISPATCH
+                            ).tolist())
+                        continue
+                    ok = not q
+                    if ok:
+                        if not na:
+                            runmax = r_used[g]
+                        elif r_used[g] + na <= r_cap[g]:
+                            # Fits even release-free; skip the sorted
+                            # high-water scan.
+                            runmax = r_used[g] + na
+                        else:
+                            ta_s = np.sort(ra)
+                            tr_s = np.sort(rel_t_all[rmsk])
+                            freed = np.searchsorted(
+                                tr_s, ta_s, side="left"
+                            )
+                            runmax = r_used[g] + int((
+                                np.arange(1, na + 1, dtype=np.int64)
+                                - freed
+                            ).max())
+                        ok = runmax <= r_cap[g]
+                    if ok:
+                        c_dispatch += na
+                        c_release += nrel
+                        r_tot[g] += na
+                        r_used[g] += na - nrel
+                        if runmax > r_peak[g]:
+                            r_peak[g] = runmax
+                        if na:
+                            seg = np.zeros((na, 20))
+                            seg[:, 0] = ra
+                            seg[:, _P_COL] = acq_pos[am]
+                            seg[:, 18] = ra + t_disp
+                            seg[:, 19] = (
+                                (acq_i[am] << 3) | COMP_GATHER
+                            )
+                            esc_mats.append(seg)
+                        continue
+                    # Contended pool: rebuild the exact tuple op list
+                    # (same insertion order as the traced path).
+                    stats.pool_fallbacks += 1
+                    if Ptup is None:
+                        Ptup = _post_tuples(
+                            npA, npB, P_t, post_sel,
+                            ip_te if npB else None,
+                            ip_p if npB else None,
+                        )
+                    ops = gpu_ops.setdefault(g, [])
+                    r_sel = rel0_g == g
+                    for tk, pos, i in zip(
+                        rel0_t[r_sel].tolist(),
+                        rel0_pos[r_sel].tolist(),
+                        rel0_i[r_sel].tolist(),
+                    ):
+                        ops.append(((tk, 0, pos), _OP_REL, i))
+                    for tk, pos, i in zip(
+                        ra.tolist(),
+                        acq_pos[am].tolist(),
+                        acq_i[am].tolist(),
+                    ):
+                        ops.append(((tk, 0, pos), _OP_ACQ, i))
+                    if npost:
+                        for j in fz_j[fz_g == g].tolist():
+                            ops.append((Ptup[j], -1, int(P_i[j])))
+                        for j in rin_j[rin_g == g].tolist():
+                            ops.append((
+                                (float(trel[j]), 1, Ptup[j],
+                                 int(fanv[j])),
+                                _OP_REL, int(P_i[j]),
+                            ))
+
+            for g, ops in gpu_ops.items():
+                ops.sort(key=itemgetter(0))
+                q = r_q[g]
+                for key, op, i in ops:
+                    if op == _OP_ACQ:
+                        if q or r_used[g] >= r_cap[g]:
+                            q.append((i << 3) | COMP_DISPATCH)
+                            continue
+                        u = r_used[g] + 1
+                        r_used[g] = u
+                        r_tot[g] += 1
+                        if u > r_peak[g]:
+                            r_peak[g] = u
+                        if emits is not None:
+                            emits.append((key, TRACE_DISPATCH, g, i))
+                        else:
+                            c_dispatch += 1
+                        kr = key_to_row(key)
+                        esc_append((
+                            *kr[0], key[0] + t_disp,
+                            float((i << 3) | COMP_GATHER),
+                        ))
+                        continue
+                    # Release (op == _OP_REL: its own event; op == -1:
+                    # fall-through inside an empty-fan-out POST).
+                    if emits is not None:
+                        emits.append((key, TRACE_RELEASE, g, i))
+                    else:
+                        c_release += 1
+                    if q:
+                        r_tot[g] += 1
+                        i2 = q.popleft() >> 3
+                        tk = key[0]
+                        internal += 1
+                        if emits is not None:
+                            emits.append(
+                                ((tk, 1, key, 0), TRACE_DISPATCH, g, i2)
+                            )
+                        else:
+                            c_dispatch += 1
+                        dk = (tk, 1, key, 0)
+                        kr = key_to_row(dk)
+                        if kr is None:
+                            esc_rare.append((
+                                tk + t_disp, dk,
+                                (i2 << 3) | COMP_GATHER,
+                            ))
+                        else:
+                            esc_append((
+                                *kr[0], tk + t_disp,
+                                float((i2 << 3) | COMP_GATHER),
+                            ))
+                    else:
+                        r_used[g] -= 1
+
+            # ---- phase H: traces in key order, escapes into the
+            # calendar in pusher-key order --------------------------
+            if emits is not None:
+                emits.sort(key=itemgetter(0))
+                for key, kind, g, detail in emits:
+                    emit(key[0], kind, gpu=g, detail=detail)
+
+            if esc_one:
+                esc_mats.append(np.array(esc_one))
+            if esc_mats:
+                n_esc = sum(m.shape[0] for m in esc_mats)
+                E = scr.mat("esc_all", n_esc, 20)
+                off = 0
+                for m in esc_mats:
+                    E[off : off + m.shape[0]] = m
+                    off += m.shape[0]
+            else:
+                n_esc = 0
+            if esc_rare and n_esc:
+                comb = [
+                    (row_to_key(E[j]), E[j, 18], int(E[j, 19]))
+                    for j in range(n_esc)
+                ]
+                for t2, k, code in esc_rare:
+                    comb.append((k, t2, code))
+                comb.sort(key=itemgetter(0))
+                et = np.array([r[1] for r in comb])
+                ec = np.array([r[2] for r in comb], dtype=np.int64)
+            elif n_esc:
+                eorder = _lexsort_rows(E[:, :KEY_COLS])
+                et = E[:, 18][eorder]
+                ec = E[:, 19][eorder].astype(np.int64)
+            elif esc_rare:
+                esc_rare.sort(key=itemgetter(1))
+                et = np.array([r[0] for r in esc_rare])
+                ec = np.array(
+                    [r[2] for r in esc_rare], dtype=np.int64
+                )
+            else:
+                et = np.empty(0)
+                ec = np.empty(0, dtype=np.int64)
+            if len(ec):
+                tins = np.argsort(et, kind="stable")
+                seg_ts.append(et[tins])
+                seg_cs.append(ec[tins])
+                seg_cur.append(0)
+            nevents += total + internal
+            stats.epoch_events += total + internal
+            if total + internal > stats.max_epoch_events:
+                stats.max_epoch_events = total + internal
+            now = wmax
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    if remaining.any():
+        stuck: dict = {
+            repr(("ready", i)): 1
+            for i in range(plan.n)
+            if parked_ready[i]
+        }
+        for rid, q in enumerate(r_q):
+            if q:
+                stuck[bank.names[rid]] = len(q)
+        if stuck:
+            raise DeadlockError(
+                f"deadlock: {sum(stuck.values())} waiters with empty "
+                f"event calendar; waiters per channel: {stuck}",
+                blocked=stuck,
+                diagnostics={
+                    "now": now,
+                    "events_processed": nevents,
+                    "unsatisfied": int(np.count_nonzero(remaining)),
+                },
+            )
+        raise SolverError("DES run finished with unsatisfied dependencies")
+    if emit is None:
+        trace.bulk_count(TRACE_DISPATCH, c_dispatch)
+        trace.bulk_count(TRACE_SOLVE, c_solve)
+        trace.bulk_count(TRACE_RELEASE, c_release)
+        trace.bulk_count(TRACE_XFER_BEGIN, c_xb)
+        trace.bulk_count(TRACE_XFER_END, c_xe)
+
+    stats.events = nevents
+    _LAST_STATS = stats.as_dict()
+    return (x_np, now, trace, 0, nevents)

@@ -11,25 +11,47 @@ crosses a partition boundary is the **update delivery** of a cross-GPU
 edge: generated at the transfer's retire step in the source partition,
 consumed at the destination component's partition.
 
-Conservative lookahead
-----------------------
+Conservative per-pair lookahead
+-------------------------------
 Every cross-partition delivery is scheduled ``e_delay[e]`` after its
 retire event, and ``e_delay[e] = uc + dl[e] >= dl[e]`` where ``dl[e]``
 is the cross-pair notify latency from
-:func:`~repro.engine.protocol.edge_cost_tables`.  The lookahead window
+:func:`~repro.engine.protocol.edge_cost_tables`.  Each partition ``q``
+therefore has a **per-destination lookahead**
 
-    ``W = min(dl[e] for cross-partition edges e)``
+    ``W[q][r] = min(dl[e] for edges e crossing from q to r)``
 
-is therefore a hard lower bound on the source-time-to-target-time gap
-of any boundary message.  The coordinator advances in rounds: find the
-global minimum pending event time ``t0``, let every partition drain
-events in ``[t0, t0 + W)``, exchange the outboxes at the barrier, and
-repeat.  A message generated in a round (pusher time ``>= t0``) targets
-``>= t0 + W`` — at or beyond the round end — so it always arrives at
-its destination partition before that partition reaches its target
-time.  Link claim/wire times never bound the window because the whole
-link pipeline is partition-local.  When no edge crosses a partition
-boundary the window is infinite and the playout completes in one round.
+(``inf`` when no edge crosses that pair): any message ``q`` generates
+for ``r`` while its earliest pending event is at ``t_q`` targets
+``>= t_q + W[q][r]``.  The coordinator advances in rounds with a
+*per-partition* window
+
+    ``end[r] = min over q != r of (t_q + W[q][r])``
+
+so each partition drains as far as the *actual* cross-link delays of
+its inbound pairs allow, not to the global minimum plus the global
+minimum delay.  The partition holding the globally earliest event
+always clears it (``end[r*] > t_{r*}``), so every round makes
+progress.  Link claim/wire times never bound the window because the
+whole link pipeline is partition-local.  A partition with no inbound
+cross edges drains completely in one round.
+
+Shared-memory state (multiprocess path)
+---------------------------------------
+:func:`run_partitioned_spill` loads the workload bundle **once** in
+the coordinator and places the playout state in
+:mod:`multiprocessing.shared_memory`: the matrix tables
+(``indptr``/``indices``/``data``), the right-hand side, the DAG
+in-pointers/in-degrees, the solution vector, and the cross-edge
+contribution table.  Workers map the same block instead of re-loading
+a pickle spill each, boundary messages carry only the edge id (the
+contribution value travels through the shared table, with the round
+barrier's pipe hand-off ordering the write before the read), and the
+solved ``x`` entries are written in place — ``finish`` ships only
+scalars.  Message fold-in is double-buffered: inbound deliveries stage
+in a back buffer on receipt and are merged into the calendar in one
+sorted pass when the next round starts draining, so the barrier cost
+per message is an append, not a binary insertion.
 
 Ordering contract (and its honest limit)
 ----------------------------------------
@@ -64,8 +86,8 @@ sequential engines.
 from __future__ import annotations
 
 import multiprocessing as mp
-from bisect import insort
 from heapq import heappop, heappush
+from multiprocessing import shared_memory
 
 import numpy as np
 
@@ -140,6 +162,8 @@ class PartitionEngine:
         costs: CommCosts,
         n_workers: int,
         rank: int,
+        x_out: np.ndarray | None = None,
+        contrib_out: np.ndarray | None = None,
     ):
         from repro.solvers.des_solver import MESSAGES_IN_FLIGHT_PER_LINK
 
@@ -214,7 +238,9 @@ class PartitionEngine:
         ).tolist()
         self._bank = bank
 
-        # Ownership and the conservative lookahead window.
+        # Ownership and the conservative lookahead windows: the global
+        # minimum (reported in the payload) and the per-destination
+        # minima this partition's outbound messages can never undercut.
         rank_of_g = partition_of_gpu(n_gpus, n_workers)
         self._rank_of_g = rank_of_g.tolist()
         cross_part = (~local_e) & (
@@ -223,6 +249,11 @@ class PartitionEngine:
         self.lookahead = (
             float(dl_e[cross_part].min()) if cross_part.any() else np.inf
         )
+        mine = cross_part & (rank_of_g[src_g_e] == rank)
+        out_la = np.full(n_workers, np.inf)
+        if mine.any():
+            np.minimum.at(out_la, rank_of_g[dst_g_e[mine]], dl_e[mine])
+        self.lookahead_out = out_la
 
         # Seed the owned dispatch front.  Pusher keys ``(-1.0, 0, i)``
         # order seeds before any runtime push and by component index
@@ -247,6 +278,9 @@ class PartitionEngine:
                 bl.append(entry)
         self._theap.sort()
 
+        self._x_out = x_out
+        self._contrib_out = contrib_out
+        self._inbox: list[tuple] = []
         self._parked_ready = [False] * n
         self._x_l = [0.0] * n
         self._left_sum = [0.0] * n
@@ -261,27 +295,54 @@ class PartitionEngine:
     # ------------------------------------------------------------ barriers
     def next_time(self) -> float | None:
         """Earliest pending local event time, or None when drained."""
+        self._fold_inbox()
         return self._theap[0] if self._theap else None
 
     def receive(self, msgs: list[tuple]) -> None:
-        """Merge inbound deliveries ``(t2, ptime, src_rank, seq, e, contrib)``.
+        """Stage inbound deliveries in the back buffer (no merge cost).
 
-        Each message lands in the bucket at its target time at the slot
-        its pusher key dictates; local entries already in the bucket
-        were pushed in non-decreasing pusher-time order, so the list is
-        sorted by pusher key and a plain ``insort`` is exact.
+        Messages are ``(t2, ptime, src_rank, seq, e, contrib)`` — or
+        ``(t2, ptime, src_rank, seq, e)`` when the contribution travels
+        through the shared-memory table.  The fold into the calendar
+        happens in one sorted pass when the next round starts.
         """
+        self._inbox.extend(msgs)
+
+    def _fold_inbox(self) -> None:
+        """Merge the staged back buffer into the calendar front.
+
+        One sort orders every staged message by ``(t2, pusher key)``;
+        each target-time group then lands in its bucket in a single
+        extend+sort (existing bucket entries are already sorted by
+        pusher key, and keys are globally unique, so the merged order
+        equals the per-entry binary-insertion order exactly).
+        """
+        msgs = self._inbox
+        if not msgs:
+            return
+        self._inbox = []
+        msgs.sort()
         buckets = self._buckets
         e_contrib = self._e_contrib
-        for t2, ptime, src_rank, seq, e, contrib in msgs:
-            e_contrib[e] = contrib
-            entry = (ptime, src_rank, seq, -1 - e)
+        contrib_out = self._contrib_out
+        k = 0
+        nmsgs = len(msgs)
+        while k < nmsgs:
+            t2 = msgs[k][0]
+            entries = []
+            while k < nmsgs and msgs[k][0] == t2:
+                m = msgs[k]
+                e = m[4]
+                e_contrib[e] = m[5] if len(m) > 5 else contrib_out[e]
+                entries.append((m[1], m[2], m[3], -1 - e))
+                k += 1
             bl = buckets.get(t2)
             if bl is None:
-                buckets[t2] = [entry]
+                buckets[t2] = entries
                 heappush(self._theap, t2)
             else:
-                insort(bl, entry)
+                bl.extend(entries)
+                bl.sort()
 
     # ------------------------------------------------------------ playout
     def run_round(self, round_end: float) -> dict[int, list]:
@@ -290,6 +351,7 @@ class PartitionEngine:
         Returns the outbox: destination rank → cross-partition delivery
         messages generated this round.
         """
+        self._fold_inbox()
         theap = self._theap
         buckets = self._buckets
         idx_l = self._idx_l
@@ -307,6 +369,7 @@ class PartitionEngine:
         dl_l = self._dl_l
         e_contrib = self._e_contrib
         e_delay = self._e_delay
+        contrib_out = self._contrib_out
         dstg_l = self._dstg_l
         elink_l = self._elink_l
         ewire_l = self._ewire_l
@@ -387,7 +450,15 @@ class PartitionEngine:
                         seq += 1
                         dr = rank_of_g[dstg_l[e]]
                         if dr != my_rank:
-                            msg = (t2, now, my_rank, seq, e, e_contrib[e])
+                            if contrib_out is None:
+                                msg = (t2, now, my_rank, seq, e,
+                                       e_contrib[e])
+                            else:
+                                # Contribution travels via the shared
+                                # table; the barrier pipe orders this
+                                # write before the consumer's read.
+                                contrib_out[e] = e_contrib[e]
+                                msg = (t2, now, my_rank, seq, e)
                             ob = outbox.get(dr)
                             if ob is None:
                                 outbox[dr] = [msg]
@@ -566,21 +637,67 @@ class PartitionEngine:
                 "drain (lost boundary message?)"
             )
         x = np.asarray(self._x_l, dtype=np.float64)[own]
+        if self._x_out is not None:
+            self._x_out[own] = x  # in-place publish; no pickled payload
         return own, x, self._last, self._nevents, dict(self._counters)
+
+
+#: Pipeline chunk width, in multiples of a partition's outgoing
+#: lookahead.  A producer whose consumers are still live stops its
+#: round this far past its own clock so the round barrier releases its
+#: boundary messages while it keeps working — consumers trail the
+#: producer by one chunk of simulated time instead of idling until it
+#: drains.  Larger values amortise more barrier crossings per round;
+#: smaller values fill the pipeline sooner.
+PIPELINE_CHUNK = 24.0
+
+
+def _pair_windows(next_ts, w_mat, chunk=PIPELINE_CHUNK) -> list[float]:
+    """Per-partition safe round ends from the pair-lookahead matrix.
+
+    ``end[r] = min over q != r of (next_ts[q] + w_mat[q][r])`` — the
+    earliest target any live peer could still send ``r``.  Drained
+    peers (``None``) and non-communicating pairs (``inf``) never bound
+    the window; a partition nobody can reach drains in one round —
+    unless it still feeds a live consumer, in which case its round is
+    capped at ``chunk`` times its outgoing lookahead so the consumer
+    overlaps it (processing less than the safe bound is always safe).
+    """
+    nw = len(next_ts)
+    ends = []
+    for r in range(nw):
+        end = np.inf
+        for q in range(nw):
+            if q == r or next_ts[q] is None:
+                continue
+            w = w_mat[q][r]
+            if w < np.inf:
+                end = min(end, next_ts[q] + w)
+        if chunk and next_ts[r] is not None:
+            wout = min(
+                (w_mat[r][s] for s in range(nw)
+                 if s != r and next_ts[s] is not None),
+                default=np.inf,
+            )
+            if wout < np.inf:
+                end = min(end, next_ts[r] + chunk * wout)
+        ends.append(end)
+    return ends
 
 
 def _drive_rounds(engines) -> int:
     """Inline round loop over in-process partition engines."""
-    lookahead = min(e.lookahead for e in engines)
+    w_mat = [e.lookahead_out for e in engines]
     rounds = 0
     while True:
         nts = [e.next_time() for e in engines]
-        live = [t for t in nts if t is not None]
-        if not live:
+        if all(t is None for t in nts):
             return rounds
-        round_end = min(live) + lookahead
+        ends = _pair_windows(nts, w_mat)
         rounds += 1
-        outboxes = [e.run_round(round_end) for e in engines]
+        outboxes = [
+            e.run_round(ends[r]) for r, e in enumerate(engines)
+        ]
         for ob in outboxes:
             for r, msgs in ob.items():
                 engines[r].receive(msgs)
@@ -640,31 +757,66 @@ def execute_partitioned(
 
 
 # ---------------------------------------------------------------- processes
-def _partition_worker(conn, spill_path, n_gpus, design_value, n_workers,
-                      rank, seed):
-    """Persistent worker: load the spilled bundle, serve round requests."""
-    from numpy.random import default_rng
+#: Segment order of the coordinator's shared-memory block; every field
+#: is 8 bytes wide (int64 / float64), laid out back to back.
+_SHM_SEGMENTS = (
+    ("indptr", "n1", np.int64),
+    ("indices", "nnz", np.int64),
+    ("data", "nnz", np.float64),
+    ("b", "n", np.float64),
+    ("in_ptr", "n1", np.int64),
+    ("in_degree", "n", np.int64),
+    ("x", "n", np.float64),
+    ("contrib", "nnz", np.float64),
+)
 
-    from repro.exec_model.artefacts import load_artefacts
+
+def _shm_views(buf, n: int, nnz: int) -> dict[str, np.ndarray]:
+    """Zero-copy numpy views of every segment in the shared block."""
+    counts = {"n": n, "n1": n + 1, "nnz": nnz}
+    views = {}
+    off = 0
+    for name, cnt_key, dt in _SHM_SEGMENTS:
+        cnt = counts[cnt_key]
+        views[name] = np.ndarray(cnt, dtype=dt, buffer=buf, offset=off)
+        off += cnt * 8
+    return views
+
+
+def _partition_worker(conn, views, n_gpus, design_value, n_workers,
+                      rank, costs):
+    """Persistent worker: play out one partition over the shared block.
+
+    The workload tables arrive as shared-memory views (mapped once by
+    the coordinator, inherited through fork) — no bundle is loaded and
+    no analysis is re-derived here.  Solved ``x`` entries and boundary
+    contributions are written back through the same block, so round
+    replies and the finish payload carry only scalars.
+    """
     from repro.machine.node import dgx1
     from repro.tasks.schedule import block_distribution
 
     try:
-        lower, art = load_artefacts(spill_path)
-        n = lower.shape[0]
-        machine = dgx1(n_gpus)
-        dist = block_distribution(n, n_gpus)
-        design = Design(design_value)
-        costs = art.comm_costs(machine, design)
-        b = default_rng(seed).standard_normal(n)
-        eng = PartitionEngine(
-            lower, b, dist, machine, design,
-            dag=art.dag, costs=costs, n_workers=n_workers, rank=rank,
+        n = len(views["b"])
+        lower = CscMatrix(
+            indptr=views["indptr"], indices=views["indices"],
+            data=views["data"], shape=(n, n),
         )
-        conn.send(("ready", eng.lookahead,
-                   art.build_counts.get("dag", 0) == 0))
+        empty = np.empty(0, dtype=np.int64)
+        dag = DependencyDag(
+            n=n, out_ptr=empty, out_idx=empty,
+            in_ptr=views["in_ptr"], in_idx=empty,
+            in_degree=views["in_degree"],
+        )
+        eng = PartitionEngine(
+            lower, views["b"], block_distribution(n, n_gpus),
+            dgx1(n_gpus), Design(design_value),
+            dag=dag, costs=costs, n_workers=n_workers, rank=rank,
+            x_out=views["x"], contrib_out=views["contrib"],
+        )
+        conn.send(("ready", eng.lookahead_out.tolist()))
     except BaseException as err:  # surface the failure to the parent
-        conn.send(("error", repr(err), False))
+        conn.send(("error", repr(err)))
         conn.close()
         return
     while True:
@@ -676,8 +828,8 @@ def _partition_worker(conn, spill_path, n_gpus, design_value, n_workers,
             outbox = eng.run_round(req[1])
             conn.send((eng.next_time(), outbox))
         elif kind == "finish":
-            own, x_own, last, nev, cnt = eng.finish()
-            conn.send((own.tolist(), x_own.tolist(), last, nev, cnt))
+            _own, _x, last, nev, cnt = eng.finish()
+            conn.send((last, nev, cnt))
             conn.close()
             return
         else:  # "stop"
@@ -693,38 +845,68 @@ def run_partitioned_spill(
     n_workers: int = 2,
     seed: int = 0,
 ) -> dict:
-    """Multiprocess partitioned playout against a spilled bundle.
+    """Multiprocess partitioned playout over a shared-memory block.
 
-    Spawns ``n_workers`` persistent worker processes, each loading the
-    workload from ``spill_path`` (no analysis is re-derived: the spill
-    carries the DAG) and owning one GPU block; the parent coordinates
-    rounds and routes outbox messages over pipes.  Returns the same
-    observable dict as :func:`execute_partitioned` plus
+    The coordinator loads the spilled bundle **once**, copies the
+    workload tables plus the mutable playout state into one
+    :class:`multiprocessing.shared_memory.SharedMemory` block, and
+    forks ``n_workers`` persistent partition workers over it — no
+    worker ever loads the bundle or re-derives analysis.  Rounds use
+    the per-pair lookahead matrix gathered from the workers: each
+    partition's window ends at the earliest target any live peer could
+    still send it, so wide pairs advance far past the global minimum.
+    Boundary messages carry only the edge id (contributions travel in
+    the shared block) and the solution is read back in place.  Returns
+    the same observable dict as :func:`execute_partitioned` plus
     ``analysis_shared``.
     """
+    from numpy.random import default_rng
+
+    from repro.exec_model.artefacts import load_artefacts
+    from repro.machine.node import dgx1
+
+    lower, art = load_artefacts(spill_path)
+    n = lower.shape[0]
+    nnz = int(lower.nnz)
+    costs = art.comm_costs(dgx1(n_gpus), design)
+    analysis_shared = art.build_counts.get("dag", 0) == 0
+    total_bytes = (5 * n + 2 + 3 * nnz) * 8
+
     ctx = mp.get_context("fork")
     pipes = []
     procs = []
+    shm = shared_memory.SharedMemory(
+        create=True, size=max(total_bytes, 8)
+    )
+    views = _shm_views(shm.buf, n, nnz)
     try:
+        views["indptr"][:] = lower.indptr
+        views["indices"][:] = lower.indices
+        views["data"][:] = lower.data
+        views["b"][:] = default_rng(seed).standard_normal(n)
+        views["in_ptr"][:] = art.dag.in_ptr
+        views["in_degree"][:] = art.dag.in_degree
+        views["x"][:] = 0.0
+        views["contrib"][:] = 0.0
         for r in range(n_workers):
             parent, child = ctx.Pipe()
             p = ctx.Process(
                 target=_partition_worker,
-                args=(child, spill_path, n_gpus, design.value,
-                      n_workers, r, seed),
+                args=(child, views, n_gpus, design.value,
+                      n_workers, r, costs),
             )
             p.start()
             child.close()
             pipes.append(parent)
             procs.append(p)
-        lookahead = np.inf
-        analysis_shared = True
-        for conn in pipes:
-            tag, la, shared = conn.recv()
-            if tag == "error":
-                raise SolverError(f"partition worker failed: {la}")
-            lookahead = min(lookahead, la)
-            analysis_shared = analysis_shared and shared
+        w_mat = [None] * n_workers
+        for r, conn in enumerate(pipes):
+            msg = conn.recv()
+            if msg[0] == "error":
+                raise SolverError(f"partition worker failed: {msg[1]}")
+            w_mat[r] = msg[1]
+        finite = [w for row in w_mat for w in row if w < np.inf]
+        lookahead = float(min(finite)) if finite else np.inf
         # Workers report their next pending time after every round; the
         # initial front is read with one zero-width round.
         next_ts = [None] * n_workers
@@ -735,29 +917,30 @@ def run_partitioned_spill(
         # Undelivered boundary messages are held here and folded into
         # each destination's *next* round request (one barrier per
         # round, not two).  The parent sees every message's target
-        # time, so pending inboxes count toward the round-start scan.
+        # time, so pending inboxes bound the per-pair window scan.
         pending: dict[int, list] = {}
         rounds = 0
         while True:
-            live = [t for t in next_ts if t is not None]
-            live.extend(m[0] for msgs in pending.values() for m in msgs)
-            if not live:
+            eff = list(next_ts)
+            for r, msgs in pending.items():
+                lo = min(m[0] for m in msgs)
+                eff[r] = lo if eff[r] is None else min(eff[r], lo)
+            if all(t is None for t in eff):
                 break
-            round_end = min(live) + lookahead
+            ends = _pair_windows(eff, w_mat)
             rounds += 1
             for r, conn in enumerate(pipes):
                 # Determinism: per-destination messages are sorted by
                 # target time then pusher key — the same order the
-                # worker's insort produces, independent of arrival.
+                # worker's fold produces, independent of arrival.
                 inbound = pending.pop(r, None)
                 if inbound is not None:
                     inbound.sort()
-                conn.send(("round", round_end, inbound))
+                conn.send(("round", ends[r], inbound))
             for r, conn in enumerate(pipes):
                 next_ts[r], outbox = conn.recv()
                 for dst, msgs in outbox.items():
                     pending.setdefault(dst, []).extend(msgs)
-        x = None
         total = 0.0
         events = 0
         counters = dict(
@@ -766,28 +949,19 @@ def run_partitioned_spill(
         for conn in pipes:
             conn.send(("finish",))
         for conn in pipes:
-            own, x_own, last, nev, cnt = conn.recv()
-            if x is None:
-                # n is recoverable from the largest owned index only in
-                # aggregate; allocate lazily once any payload arrives.
-                x = {}
-            for i, v in zip(own, x_own):
-                x[i] = v
+            last, nev, cnt = conn.recv()
             total = max(total, last)
             events += nev
             for k, v in cnt.items():
                 counters[k] += v
-        n = max(x) + 1 if x else 0
-        xv = np.zeros(n, dtype=np.float64)
-        for i, v in x.items():
-            xv[i] = v
+        xv = np.array(views["x"], dtype=np.float64, copy=True)
         return {
             "x": xv,
             "total_time": total,
             "events": events,
             "counters": counters,
             "rounds": rounds,
-            "lookahead": float(lookahead),
+            "lookahead": lookahead,
             "workers": n_workers,
             "analysis_shared": analysis_shared,
         }
@@ -802,3 +976,6 @@ def run_partitioned_spill(
             if p.is_alive():
                 p.terminate()
                 p.join(timeout=5)
+        views.clear()
+        shm.close()
+        shm.unlink()

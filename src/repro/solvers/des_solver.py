@@ -142,6 +142,7 @@ def des_execute(
     recovery=None,
     watchdog=None,
     stale: StalePolicy | None = None,
+    epoch_lookahead: float | None = None,
 ) -> DesExecution:
     """Play out a multi-GPU SpTRSV at event granularity.
 
@@ -174,6 +175,12 @@ def des_execute(
       delivery starves its dependant and the deadlock detector fires;
     * ``watchdog`` — a :class:`~repro.resilience.watchdog.Watchdog`
       polled at every clock advance (no-progress stall detection).
+
+    ``epoch_lookahead`` overrides the epoch-compiled vector engine's
+    structure-derived window width (narrower widths split epochs finer;
+    over-wide ones are clamped per epoch, so the playout stays
+    bit-identical either way).  The scalar interpreters have no epochs
+    and ignore it.
 
     Under ``Design.STALE_SYNC`` a component may leave its dependency
     park once at most ``stale.k`` contributions are still missing
@@ -228,8 +235,11 @@ def des_execute(
         )
 
     if resolved in ("array", "vector"):
+        extra = {}
         if resolved == "vector":
             from repro.solvers.des_vector import execute_vector as _execute
+
+            extra["epoch_lookahead"] = epoch_lookahead
         else:
             from repro.solvers.des_array import execute_array as _execute
 
@@ -246,6 +256,7 @@ def des_execute(
             recovery=recovery,
             watchdog=watchdog,
             stale=stale,
+            **extra,
         )
         return _finish(x, total_time, trace, page_faults, events)
     n_gpus = machine.n_gpus

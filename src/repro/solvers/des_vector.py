@@ -1,103 +1,48 @@
-"""Windowed batch-execution DES engine (the ``vector`` fast path).
+"""Epoch-compiled batch-execution DES engine (the ``vector`` fast path).
 
 Third interpreter of the shared execution protocol in
-:mod:`repro.engine.protocol`: where the reference engine walks the
-lifecycle tables with generators and :mod:`repro.solvers.des_array`
-drains them one integer token at a time, this engine executes **whole
-time windows** of tokens at once.
+:mod:`repro.engine.protocol`.  Since the epoch-compiler rework this
+module is a thin front end: it owns the *delegation boundary* (which
+runs are provably covered by the batch algebra) and hands everything
+else to :mod:`repro.engine.epoch`, which lowers the protocol tables
+into a precompiled numpy execution plan and drains the calendar in
+structure-derived macro-epochs::
 
-The core idea is a conservative lookahead ``W`` derived from the cost
-tables::
+    plan = compile_plan(...)      # protocol tables -> flat numpy plan
+    execute_plan(plan)            # macro-epoch playout, bit-identical
 
-    W = min(t_warp_dispatch, min(solve), min positive gather)
+The epoch width is derived from the DAG structure rather than the
+smallest timing constant — see the :mod:`repro.engine.epoch` module
+docstring for the widening argument and the key algebra that keeps
+every observable (traces, solution bits, wall clock, counters)
+bit-identical to the reference and array engines.
 
-Every token popped in ``[t0, t0 + W)`` can be classified, priced, and
-retired *as a batch*, because any event chain that escapes the window
-does so through a delay of at least ``W`` (a dispatch, a gather, or a
-solve), while the short-delay chains — update fan-outs, link
-claim/wire/retire hops, delivery landings, warp hand-overs — are
-*internalised*: they are played out inside the window by per-link and
-per-warp-pool mini-simulations and a vectorised delivery pass.
-
-Bit-equality contract
----------------------
-Identical to the array engine's (same trace streams, solution bits,
-total time, event counts).  Intra-window ordering is reproduced with
-*hierarchical push-order keys*: a calendar token popped at time ``t``
-in bucket position ``p`` gets key ``(t, 0, p)``; an event generated by
-the item with key ``k`` as its ``s``-th push gets ``(t2, 1, k, s)``.
-Lexicographic comparison of these nested tuples reproduces exactly the
-``(time, seq)`` order of the reference heap (and therefore the FIFO
-bucket order of the array engine): within one timestamp, calendar
-tokens precede generated ones, and generated ones sort by their
-pusher's position.  Floating-point state (``left.sum`` accumulation,
-fan-out pricing) is updated in key order — ``np.add.at`` applies
-repeated indices sequentially, so the vectorised delivery pass performs
-the same binary64 additions in the same order as the scalar loop.
-
-Windows with fewer than :data:`BATCH_MIN_EVENTS` tokens take a scalar
-sub-path that is literally the array engine's hot loop (batch dispatch
-would cost more than it saves); resilience-instrumented, unified-design
-or tiny-budget runs delegate to :func:`~repro.solvers.des_array.
-execute_array` wholesale, so the 48-cell chaos matrix exercises the
-exact scalar semantics while clean large runs get the batch path.
+Delegation boundary
+-------------------
+Fault/recovery/watchdog instrumentation, the unified design's
+page-table pricing, a stale-sync wake threshold, a zero lookahead, a
+zero-cost fan-out increment, or an event budget small enough to bite
+mid-run all delegate wholesale to
+:func:`~repro.solvers.des_array.execute_array` (which shares every
+protocol table with this engine), so the 48-cell chaos matrix
+exercises the exact scalar semantics while clean large runs get the
+compiled path.
 """
 
 from __future__ import annotations
 
-import gc
-from heapq import heapify, heappop, heappush
-from itertools import chain
-from operator import itemgetter
-
 import numpy as np
 
 from repro.analysis.dag import DependencyDag
-from repro.engine.protocol import (
-    COMP_DISPATCH,
-    COMP_GATHER,
-    COMP_POST,
-    COMP_RELEASE,
-    COMP_SHIFT,
-    COMP_SOLVE,
-    TRACE_DISPATCH,
-    TRACE_RELEASE,
-    TRACE_SOLVE,
-    TRACE_XFER_BEGIN,
-    TRACE_XFER_END,
-    XFER_CLAIM,
-    XFER_RETIRE,
-    TokenLayout,
-    design_hooks,
-    edge_cost_tables,
-    gather_cost_table,
-    launch_times,
-    link_capacity,
-    solve_cost_table,
-    validate_diagonals,
-    wire_time,
-)
-from repro.engine.resources import ResourceBank
+from repro.engine.epoch import BATCH_MIN_EVENTS, compile_plan, execute_plan
+from repro.engine.protocol import design_hooks
 from repro.engine.trace import Trace
-from repro.errors import DeadlockError, SolverError
 from repro.exec_model.costmodel import CommCosts, Design
 from repro.machine.node import MachineConfig
 from repro.sparse.csc import CscMatrix
 from repro.tasks.schedule import Distribution
 
 __all__ = ["execute_vector", "BATCH_MIN_EVENTS"]
-
-#: Windows with fewer calendar tokens than this take the scalar
-#: sub-path: below it the per-window numpy dispatch costs more than the
-#: scalar loop it replaces.
-BATCH_MIN_EVENTS = 48
-
-# Mini-simulation op tags (internal to this module).
-_OP_CLAIM = 0
-_OP_WIRE = 1
-_OP_RETIRE = 2
-_OP_ACQ = 0
-_OP_REL = 1
 
 
 def execute_vector(
@@ -115,44 +60,30 @@ def execute_vector(
     recovery=None,
     watchdog=None,
     stale=None,
+    epoch_lookahead: float | None = None,
 ) -> tuple[np.ndarray, float, Trace, int, int]:
-    """Play out one event-granular SpTRSV on the windowed batch engine.
+    """Play out one event-granular SpTRSV on the epoch-compiled engine.
 
     Returns ``(x, total_time, trace, page_faults, events)`` bit-identical
     to both the reference and the array engine.  Runs the batch path only
-    when it is provably exact: fault/recovery/watchdog instrumentation,
-    the unified design's page-table pricing, a stale-sync wake threshold,
-    a zero lookahead window, or an event budget small enough to bite
-    mid-run all delegate to
-    :func:`~repro.solvers.des_array.execute_array` (which shares every
-    protocol table with this engine).
+    when it is provably exact — see the module docstring for the
+    delegation boundary.
     """
     from repro.solvers.des_array import execute_array
     from repro.solvers.des_solver import MESSAGES_IN_FLIGHT_PER_LINK
 
     n = lower.shape[0]
-    indptr = lower.indptr
-    nnz = int(indptr[-1])
+    nnz = int(lower.indptr[-1])
     faulty = injector is not None and injector.active
     unified = design_hooks(design).page_table
 
-    def _delegate():
-        return execute_array(
-            lower, b, dist, machine, design,
-            dag=dag, costs=costs, trace_enabled=trace_enabled,
-            max_events=max_events, injector=injector,
-            recovery=recovery, watchdog=watchdog, stale=stale,
-        )
-
-    # ----------------------------------------------------------------
     # Batch preconditions.  The scalar-exact fallback boundary: any run
-    # whose semantics the window algebra does not cover is delegated
+    # whose semantics the epoch algebra does not cover is delegated
     # wholesale — including budgets the margin analysis cannot clear
     # (total events are bounded by ~7n + 4nnz, so larger budgets can
-    # never fire mid-window) and the stale-sync design (Phase B's batch
-    # solve assumes every ``left.sum`` read is final; a bounded-stale
-    # wake breaks that algebra, so those runs take the token engine).
-    # ----------------------------------------------------------------
+    # never fire mid-run) and the stale-sync design (the batch solve
+    # assumes every ``left.sum`` read is final; a bounded-stale wake
+    # breaks that algebra, so those runs take the token engine).
     if (
         faulty
         or watchdog is not None
@@ -160,1045 +91,39 @@ def execute_vector(
         or stale is not None
         or max_events <= 7 * n + 4 * nnz
     ):
-        return _delegate()
+        return execute_array(
+            lower, b, dist, machine, design,
+            dag=dag, costs=costs, trace_enabled=trace_enabled,
+            max_events=max_events, injector=injector,
+            recovery=recovery, watchdog=watchdog, stale=stale,
+        )
 
-    gpu_spec = machine.gpu
-    in_counts = np.diff(dag.in_ptr)
-    col_nnz = np.diff(indptr)
-    gather_t = gather_cost_table(costs.gather, in_counts)
-    solve_t = solve_cost_table(gpu_spec.t_per_nnz, col_nnz, in_counts)
-    pos_gather = gather_t[gather_t > 0.0]
-    lookahead = min(
-        float(gpu_spec.t_warp_dispatch),
-        float(solve_t.min()) if n else 0.0,
-        float(pos_gather.min()) if len(pos_gather) else np.inf,
+    plan = compile_plan(
+        lower, b, dist, machine, design,
+        dag=dag, costs=costs,
+        in_flight_per_link=MESSAGES_IN_FLIGHT_PER_LINK,
     )
+    if plan is None:
+        # Zero lookahead or zero-cost fan-out increments: the epoch
+        # algebra cannot bound interaction, so take the token engine.
+        return execute_array(
+            lower, b, dist, machine, design,
+            dag=dag, costs=costs, trace_enabled=trace_enabled,
+            max_events=max_events, injector=injector,
+            recovery=recovery, watchdog=watchdog, stale=stale,
+        )
+    if epoch_lookahead is not None:
+        # Manual epoch-width override (the RunConfig knob): narrower
+        # widths split epochs finer; over-wide ones are clamped back to
+        # the compiled safe bound on every epoch, so either way the
+        # playout stays bit-identical.
+        if not epoch_lookahead > 0.0:
+            from repro.errors import ConfigurationError
 
-    validate_diagonals(indptr, lower.indices, n)
-    n_gpus = machine.n_gpus
-    gpu_of = dist.gpu_of
-    src_col = np.repeat(np.arange(n, dtype=np.int64), col_nnz)
-    src_g_e = gpu_of[src_col]
-    dst_g_e = gpu_of[lower.indices]
-    local_e = src_g_e == dst_g_e
-    inc_e, dl_e = edge_cost_tables(costs, src_g_e, dst_g_e, local_e)
-    offdiag = np.ones(nnz, dtype=bool)
-    offdiag[indptr[:-1]] = False
-    min_inc = float(inc_e[offdiag].min()) if offdiag.any() else np.inf
-    # min_inc > 0 guarantees every delivery lands strictly after its
-    # POST (no zero-delay fan-out cascades the key algebra must chase).
-    if lookahead <= 0.0 or min_inc <= 0.0:
-        return _delegate()
-
-    # ----------------------------------------------------------------
-    # Precompute — identical tables to the array engine.
-    # ----------------------------------------------------------------
-    topo = machine.topology
-    phys = machine.active_gpus
-    indptr_l = indptr.tolist()
-    idx_np = lower.indices
-    idx_l = idx_np.tolist()
-    data_l = lower.data.tolist()
-    g_l = gpu_of.tolist()
-    b_l = np.asarray(b, dtype=np.float64).tolist()
-    remaining = dag.in_degree.astype(np.int64).copy()
-    gather_l = gather_t.tolist()
-    solve_l = solve_t.tolist()
-    inc_l = inc_e.tolist()
-    dl_l = dl_e.tolist()
-    srcg_l = src_g_e.tolist()
-    dstg_l = dst_g_e.tolist()
-
-    layout = TokenLayout.for_system(n, nnz)
-    n8 = layout.local_base
-    m8 = layout.xfer_base
-    f8 = layout.failure_base
-    spawn_code_l = layout.spawn_codes(local_e).tolist()
-    e_contrib = np.zeros(nnz)
-    e_delay = [0.0] * nnz
-
-    bank = ResourceBank()
-    for g in range(n_gpus):
-        bank.add(f"gpu{g}.warps", gpu_spec.warp_slots)
-    pair_rid = np.full(n_gpus * n_gpus, -1, dtype=np.int64)
-    pair_wire = np.zeros(n_gpus * n_gpus)
-    cross_pairs = np.unique(src_g_e[~local_e] * n_gpus + dst_g_e[~local_e])
-    for p in cross_pairs.tolist():
-        src_pe, dst_pe = p // n_gpus, p % n_gpus
-        ga, gb = int(phys[src_pe]), int(phys[dst_pe])
-        capacity = link_capacity(topo, ga, gb, MESSAGES_IN_FLIGHT_PER_LINK)
-        pair_rid[p] = bank.add(f"link{src_pe}->{dst_pe}", capacity)
-        pair_wire[p] = wire_time(topo, ga, gb)
-    elink_l = np.where(
-        local_e, -1, pair_rid[src_g_e * n_gpus + dst_g_e]
-    ).tolist()
-    ewire_l = np.where(
-        local_e, 0.0, pair_wire[src_g_e * n_gpus + dst_g_e]
-    ).tolist()
-
-    # Initial dispatch front, bucketed exactly like the array engine.
-    task_of = dist.task_of()
-    launch = launch_times(dist.n_tasks, gpu_spec.t_kernel_launch)
-    spawn_times = launch[task_of]
-    order = np.argsort(spawn_times, kind="stable")
-    codes_sorted = (order.astype(np.int64) << COMP_SHIFT).tolist()
-    uniq, starts = np.unique(spawn_times[order], return_index=True)
-    theap = uniq.tolist()
-    bounds = starts.tolist()
-    bounds.append(n)
-    buckets = {
-        t: codes_sorted[bounds[j] : bounds[j + 1]]
-        for j, t in enumerate(theap)
-    }
-
-    parked_ready = [False] * n
-    x_l = [0.0] * n
-    left_sum = np.zeros(n)
-    done_l = [False] * n
-
-    trace = Trace(enabled=trace_enabled)
-    emit = trace.emit if trace_enabled else None
-    c_dispatch = c_solve = c_release = c_xb = c_xe = 0
-
-    nevents = 0
-    now = 0.0
-    t_disp = gpu_spec.t_warp_dispatch
-
-    r_cap = bank.capacity
-    r_used = bank.in_use
-    r_tot = bank.total_acquisitions
-    r_peak = bank.peak_in_use
-    r_q = bank._queues
-    bget = buckets.get
-
-    wire_state = XFER_CLAIM + 1  # parked claims resume at the wire step
-
-    gc_was_enabled = gc.isenabled()
-    gc.disable()
-    try:
-        while theap:
-            t0 = heappop(theap)
-            horizon = t0 + lookahead
-            wtimes = [t0]
-            wlists = [buckets.pop(t0)]
-            while theap and theap[0] < horizon:
-                t = heappop(theap)
-                wtimes.append(t)
-                wlists.append(buckets.pop(t))
-            total = sum(map(len, wlists))
-
-            if total < BATCH_MIN_EVENTS:
-                # ------------------------------------------------------
-                # Scalar sub-path: the array engine's loop, merged with
-                # any in-window buckets its own pushes create.  Leftover
-                # in-window heap times simply seed the next window.
-                # ------------------------------------------------------
-                nwin = len(wtimes)
-                # Pushes targeting a pre-collected (already popped)
-                # bucket time must append to that bucket, exactly as
-                # the array engine appends to the live calendar bucket.
-                wmap = dict(zip(wtimes, wlists))
-
-                def spush(t2, ncode):
-                    b2 = bget(t2)
-                    if b2 is None:
-                        b2 = wmap.get(t2)
-                    if b2 is None:
-                        buckets[t2] = [ncode]
-                        heappush(theap, t2)
-                    else:
-                        b2.append(ncode)
-
-                wi = 0
-                while wi < nwin:
-                    tw = wtimes[wi]
-                    if theap and theap[0] < tw:
-                        t = heappop(theap)
-                        cur = buckets.pop(t)
-                    else:
-                        t = tw
-                        cur = wlists[wi]
-                        wi += 1
-                    now = t
-                    for code in cur:
-                        if code < 0:
-                            e = -1 - code
-                            dst = idx_l[e]
-                            left_sum[dst] += e_contrib[e]
-                            rem = remaining[dst] - 1
-                            remaining[dst] = rem
-                            if rem == 0 and parked_ready[dst]:
-                                parked_ready[dst] = False
-                                cur.append((dst << 3) | COMP_GATHER)
-                            continue
-                        if code >= n8:
-                            if code < m8:
-                                e = code - n8
-                                t2 = now + e_delay[e]
-                                ncode = -1 - e
-                                if t2 > now:
-                                    spush(t2, ncode)
-                                else:
-                                    cur.append(ncode)
-                                continue
-                            c = code - m8
-                            st = c & 3
-                            e = c >> 2
-                            if st == XFER_RETIRE:
-                                if emit is not None:
-                                    emit(
-                                        now, TRACE_XFER_END, gpu=srcg_l[e],
-                                        detail=(srcg_l[e], dstg_l[e], idx_l[e]),
-                                    )
-                                else:
-                                    c_xe += 1
-                                link = elink_l[e]
-                                q = r_q[link]
-                                if q:
-                                    r_tot[link] += 1
-                                    cur.append(q.popleft())
-                                else:
-                                    r_used[link] -= 1
-                                t2 = now + e_delay[e]
-                                ncode = -1 - e
-                                if t2 > now:
-                                    spush(t2, ncode)
-                                else:
-                                    cur.append(ncode)
-                                continue
-                            if st == XFER_CLAIM:
-                                link = elink_l[e]
-                                q = r_q[link]
-                                if q or r_used[link] >= r_cap[link]:
-                                    q.append(code + 1)
-                                    continue
-                                u = r_used[link] + 1
-                                r_used[link] = u
-                                r_tot[link] += 1
-                                if u > r_peak[link]:
-                                    r_peak[link] = u
-                            if emit is not None:
-                                emit(
-                                    now, TRACE_XFER_BEGIN, gpu=srcg_l[e],
-                                    detail=(srcg_l[e], dstg_l[e], idx_l[e]),
-                                )
-                            else:
-                                c_xb += 1
-                            t2 = now + ewire_l[e]
-                            ncode = code - st + XFER_RETIRE
-                            if t2 > now:
-                                spush(t2, ncode)
-                            else:
-                                cur.append(ncode)
-                            continue
-                        i = code >> 3
-                        st = code & 7
-                        if st == COMP_GATHER:
-                            if remaining[i] > 0:
-                                parked_ready[i] = True
-                                continue
-                            gather = gather_l[i]
-                            if gather > 0.0:
-                                t2 = now + gather
-                                ncode = (code & -8) | COMP_SOLVE
-                                if t2 > now:
-                                    spush(t2, ncode)
-                                else:
-                                    cur.append(ncode)
-                                continue
-                            st = COMP_SOLVE
-                        if st == COMP_SOLVE:
-                            t2 = now + solve_l[i]
-                            ncode = (code & -8) | COMP_POST
-                            if t2 > now:
-                                spush(t2, ncode)
-                            else:
-                                cur.append(ncode)
-                            continue
-                        if st == COMP_POST:
-                            lo = indptr_l[i]
-                            hi = indptr_l[i + 1]
-                            xi = (b_l[i] - left_sum[i]) / data_l[lo]
-                            x_l[i] = xi
-                            done_l[i] = True
-                            g = g_l[i]
-                            if emit is not None:
-                                emit(now, TRACE_SOLVE, gpu=g, detail=i)
-                            else:
-                                c_solve += 1
-                            uc = 0.0
-                            for e in range(lo + 1, hi):
-                                uc += inc_l[e]
-                                e_contrib[e] = data_l[e] * xi
-                                e_delay[e] = uc + dl_l[e]
-                            if hi > lo + 1:
-                                cur.extend(spawn_code_l[lo + 1 : hi])
-                            if uc > 0.0:
-                                t2 = now + uc
-                                ncode = (code & -8) | COMP_RELEASE
-                                if t2 > now:
-                                    spush(t2, ncode)
-                                else:
-                                    cur.append(ncode)
-                                continue
-                            st = COMP_RELEASE
-                        if st == COMP_RELEASE:
-                            g = g_l[i]
-                            if emit is not None:
-                                emit(now, TRACE_RELEASE, gpu=g, detail=i)
-                            else:
-                                c_release += 1
-                            q = r_q[g]
-                            if q:
-                                r_tot[g] += 1
-                                cur.append(q.popleft())
-                            else:
-                                r_used[g] -= 1
-                            continue
-                        # COMP_ACQUIRE / COMP_DISPATCH
-                        g = g_l[i]
-                        if not st:  # COMP_ACQUIRE == 0
-                            q = r_q[g]
-                            if q or r_used[g] >= r_cap[g]:
-                                q.append(code | COMP_DISPATCH)
-                                continue
-                            u = r_used[g] + 1
-                            r_used[g] = u
-                            r_tot[g] += 1
-                            if u > r_peak[g]:
-                                r_peak[g] = u
-                        if emit is not None:
-                            emit(now, TRACE_DISPATCH, gpu=g, detail=i)
-                        else:
-                            c_dispatch += 1
-                        t2 = now + t_disp
-                        ncode = (code & -8) | COMP_GATHER
-                        if t2 > now:
-                            spush(t2, ncode)
-                        else:
-                            cur.append(ncode)
-                    nevents += len(cur)
-                continue
-
-            # ----------------------------------------------------------
-            # Batch path.  Phase A: classify the window's calendar
-            # tokens in one vectorised pass.  Key of token at global
-            # position p in bucket time t: (t, 0, p).
-            #
-            # The two dominant key shapes are held as numeric columns
-            # instead of nested tuples:
-            #
-            #   gen0   (t, 0, p)               -> cls 0, cols (t, p)
-            #   spawn  (t, 1, (t, 0, p), sub)  -> cls 1, cols (t, p, sub)
-            #
-            # Global position p is monotone in bucket time, so the
-            # lexicographic order of (t, cls, p, sub) reproduces the
-            # nested-tuple order exactly; deliveries, gather/solve
-            # pushes and calendar re-insertion all run through
-            # np.lexsort over those columns.  Deep genealogies (link
-            # claim/wire/retire chains, hand-over wakes) keep real
-            # tuple keys and are merged in by binary search — they are
-            # the rare classes.
-            # ----------------------------------------------------------
-            codes_np = np.fromiter(
-                chain.from_iterable(wlists), np.int64, total
+            raise ConfigurationError(
+                f"epoch_lookahead must be > 0, got {epoch_lookahead}",
+                parameter="epoch_lookahead",
+                value=epoch_lookahead,
             )
-            lens = np.fromiter(map(len, wlists), np.int64, len(wlists))
-            times_np = np.repeat(np.asarray(wtimes), lens)
-            times_l = times_np.tolist()
-            codes_l = codes_np.tolist()
-            wmax = wtimes[-1]
-            internal = 0
-            emits = [] if emit is not None else None
-
-            is_neg = codes_np < 0
-            is_comp = (~is_neg) & (codes_np < n8)
-            comp_state = codes_np & 7
-
-            # Escapes carry their pusher key flattened to 10 numeric
-            # columns (pre-order walk of the nested key tuple, zero
-            # padded) plus target (t2, code).  Four shapes occur on
-            # link-free paths:
-            #   S0 gen0      (t, 0, p)
-            #   S1 shallow   (t, 1, (t', 0, p), s)
-            #   S2 deep wake (t, 1, (t, 1, (t', 1, (t', 0, p), s), 0), 0)
-            #   S3 handover  (t, 1, (t, 1, (t', 0, p), s), 0)
-            # The cls markers are part of the columns, so the first
-            # numeric difference always lands before any structural
-            # divergence and lexicographic column order equals tuple
-            # order.  Link-chain keys (unbounded depth) ride in
-            # ``esc_rare`` as (t2, key, code), merged by binary search.
-            esc_items: list = []
-            esc_vec: list = []
-            esc_rare: list = []
-            esc_append = esc_items.append
-            # In-window landings: numeric (td, p, sub, e) for POST
-            # fan-outs, tuple-keyed (key, e) for link-chain retires.
-            bd_items: list = []
-            bd_append = bd_items.append
-            hop_items: list = []
-            rare_deliv: list = []
-
-            link_ops: dict = {}
-            gpu_ops: dict = {}
-
-            # Gen0 transfer tokens feed the link mini-sims.
-            for p in np.nonzero(
-                (codes_np >= m8) & (codes_np < f8)
-            )[0].tolist():
-                c = codes_l[p] - m8
-                e = c >> 2
-                link_ops.setdefault(elink_l[e], []).append(
-                    ((times_l[p], 0, p), c & 3, e)
-                )
-            # Gen0 local-hop tokens (cross-window stragglers pushed by
-            # a scalar window; spawned hops are internalised in phase
-            # B).  Delivery key (td, 1, (tp, 0, p), 0); escape pusher
-            # key is the token's own gen0 key.
-            for p in np.nonzero(
-                (codes_np >= n8) & (codes_np < m8)
-            )[0].tolist():
-                e = codes_l[p] - n8
-                tp = times_l[p]
-                td = tp + e_delay[e]
-                if td < horizon:
-                    hop_items.append((td, tp, p, e))
-                    if td > wmax:
-                        wmax = td
-                    internal += 1
-                else:
-                    esc_append((
-                        tp, 0.0, p, 0.0, 0.0, 0.0, 0.0, 0.0,
-                        0.0, 0.0, td, -1 - e,
-                    ))
-            # Gen0 warp-pool tokens.
-            for p in np.nonzero(
-                is_comp & (comp_state == COMP_RELEASE)
-            )[0].tolist():
-                i = codes_l[p] >> 3
-                gpu_ops.setdefault(g_l[i], []).append(
-                    ((times_l[p], 0, p), _OP_REL, i)
-                )
-            for p in np.nonzero(is_comp & (comp_state == 0))[0].tolist():
-                i = codes_l[p] >> 3
-                gpu_ops.setdefault(g_l[i], []).append(
-                    ((times_l[p], 0, p), _OP_ACQ, i)
-                )
-
-            # ----------------------------------------------------------
-            # Phase B: gen0 POSTs.  left.sum reads are final (the last
-            # delivery to a posting component precedes it by at least
-            # gather + solve > W, so no in-window landing targets it).
-            # ----------------------------------------------------------
-            for p in np.nonzero(
-                is_comp & (comp_state == COMP_POST)
-            )[0].tolist():
-                i = codes_l[p] >> 3
-                tp = times_l[p]
-                lo = indptr_l[i]
-                hi = indptr_l[i + 1]
-                xi = (b_l[i] - left_sum[i]) / data_l[lo]
-                x_l[i] = xi
-                done_l[i] = True
-                g = g_l[i]
-                if emits is not None:
-                    emits.append(((tp, 0, p), TRACE_SOLVE, g, i))
-                else:
-                    c_solve += 1
-                uc = 0.0
-                sub = 0
-                for e in range(lo + 1, hi):
-                    uc += inc_l[e]
-                    e_contrib[e] = data_l[e] * xi
-                    d = uc + dl_l[e]
-                    e_delay[e] = d
-                    link = elink_l[e]
-                    internal += 1  # the spawned hop / claim event
-                    if link < 0:
-                        td = tp + d
-                        if td < horizon:
-                            bd_append((td, p, sub, e))
-                            internal += 1  # the in-window landing
-                            if td > wmax:
-                                wmax = td
-                        else:
-                            esc_append((
-                                tp, 1.0, tp, 0.0, p, sub,
-                                0.0, 0.0, 0.0, 0.0, td, -1 - e,
-                            ))
-                    else:
-                        link_ops.setdefault(link, []).append(
-                            ((tp, 1, (tp, 0, p), sub), _OP_CLAIM, e)
-                        )
-                    sub += 1
-                if uc > 0.0:
-                    t2 = tp + uc
-                    if t2 < horizon:
-                        gpu_ops.setdefault(g, []).append(
-                            ((t2, 1, (tp, 0, p), sub), _OP_REL, i)
-                        )
-                        if t2 > wmax:
-                            wmax = t2
-                        internal += 1
-                    else:
-                        esc_append((
-                            tp, 0.0, p, 0.0, 0.0, 0.0, 0.0, 0.0,
-                            0.0, 0.0, t2, (i << 3) | COMP_RELEASE,
-                        ))
-                else:
-                    # Empty fan-out: release in this same event.
-                    gpu_ops.setdefault(g, []).append(((tp, 0, p), -1, i))
-
-            # ----------------------------------------------------------
-            # Phase C: per-link mini-simulations.  Claim/wire/retire
-            # chains stay inside the window (wire << W); each retire
-            # hands the channel to the FIFO head and lands its delivery.
-            # ----------------------------------------------------------
-            for link, ops in link_ops.items():
-                heapify(ops)
-                q = r_q[link]
-                while ops:
-                    key, op, e = heappop(ops)
-                    tk = key[0]
-                    if op == _OP_CLAIM:
-                        if q or r_used[link] >= r_cap[link]:
-                            q.append(m8 + ((e << 2) | wire_state))
-                            continue
-                        u = r_used[link] + 1
-                        r_used[link] = u
-                        r_tot[link] += 1
-                        if u > r_peak[link]:
-                            r_peak[link] = u
-                    if op != _OP_RETIRE:
-                        # Wire step (granted claim, woken waiter, or a
-                        # stray gen0 wire token).
-                        if emits is not None:
-                            emits.append((
-                                key, TRACE_XFER_BEGIN, srcg_l[e],
-                                (srcg_l[e], dstg_l[e], idx_l[e]),
-                            ))
-                        else:
-                            c_xb += 1
-                        tr = tk + ewire_l[e]
-                        rkey = (tr, 1, key, 0)
-                        if tr < horizon:
-                            heappush(ops, (rkey, _OP_RETIRE, e))
-                            if tr > wmax:
-                                wmax = tr
-                            internal += 1
-                        else:
-                            code2 = m8 + ((e << 2) | XFER_RETIRE)
-                            if key[1] == 0:
-                                esc_append((
-                                    tk, 0.0, key[2], 0.0, 0.0, 0.0,
-                                    0.0, 0.0, 0.0, 0.0, tr, code2,
-                                ))
-                            elif key[2][1] == 0:
-                                inner = key[2]
-                                esc_append((
-                                    tk, 1.0, inner[0], 0.0, inner[2],
-                                    key[3], 0.0, 0.0, 0.0, 0.0,
-                                    tr, code2,
-                                ))
-                            else:
-                                esc_rare.append((tr, key, code2))
-                        continue
-                    # Retire: end the transfer, hand over, land update.
-                    if emits is not None:
-                        emits.append((
-                            key, TRACE_XFER_END, srcg_l[e],
-                            (srcg_l[e], dstg_l[e], idx_l[e]),
-                        ))
-                    else:
-                        c_xe += 1
-                    sub = 0
-                    if q:
-                        r_tot[link] += 1
-                        woken = q.popleft()
-                        e2 = (woken - m8) >> 2
-                        heappush(ops, ((tk, 1, key, 0), _OP_WIRE, e2))
-                        internal += 1
-                        sub = 1
-                    else:
-                        r_used[link] -= 1
-                    td = tk + e_delay[e]
-                    if td < horizon:
-                        rare_deliv.append(((td, 1, key, sub), e))
-                        if td > wmax:
-                            wmax = td
-                        internal += 1
-                    elif key[1] == 0:
-                        esc_append((
-                            tk, 0.0, key[2], 0.0, 0.0, 0.0,
-                            0.0, 0.0, 0.0, 0.0, td, -1 - e,
-                        ))
-                    elif key[2][1] == 0:
-                        inner = key[2]
-                        esc_append((
-                            tk, 1.0, inner[0], 0.0, inner[2], key[3],
-                            0.0, 0.0, 0.0, 0.0, td, -1 - e,
-                        ))
-                    elif key[2][2][1] == 0:
-                        inner = key[2]
-                        esc_append((
-                            tk, 1.0, inner[0], 1.0, inner[2][0], 0.0,
-                            inner[2][2], inner[3], 0.0, 0.0,
-                            td, -1 - e,
-                        ))
-                    else:
-                        esc_rare.append((td, key, -1 - e))
-
-            # ----------------------------------------------------------
-            # Phase D: assemble the delivery set.  Delivery keys are
-            # flattened to numeric columns like escapes:
-            #   gen0 (t, 0, p)                              (t,0,p)
-            #   hop  (td, 1, (tp, 0, p), 0)                 (td,1,tp,0,p)
-            #   POST (td, 1, (tp, 1, (tp, 0, p), sub), 0)   (td,1,tp,1,tp,0,p,sub)
-            # Constant columns are dropped: the sort columns are
-            # (t, c1, c2, c3, c4, c6, c7).
-            # ----------------------------------------------------------
-            g0_p = np.nonzero(is_neg)[0]
-            n_g0 = len(g0_p)
-            n_b = len(bd_items)
-            n_h = len(hop_items)
-            zg = np.zeros(n_g0)
-            t_parts = [times_np[is_neg]]
-            c1_parts = [zg]
-            c2_parts = [g0_p.astype(np.float64)]
-            c3_parts = [zg]
-            c4_parts = [zg]
-            c6_parts = [zg]
-            c7_parts = [zg]
-            e_parts = [-1 - codes_np[is_neg]]
-            if n_b:
-                bd_arr = np.array(bd_items)
-                bp = bd_arr[:, 1]
-                tp_b = times_np[bp.astype(np.int64)]
-                ob = np.ones(n_b)
-                t_parts.append(bd_arr[:, 0])
-                c1_parts.append(ob)
-                c2_parts.append(tp_b)
-                c3_parts.append(ob)
-                c4_parts.append(tp_b)
-                c6_parts.append(bp)
-                c7_parts.append(bd_arr[:, 2])
-                e_parts.append(bd_arr[:, 3].astype(np.int64))
-            if n_h:
-                hp_arr = np.array(hop_items)
-                zh = np.zeros(n_h)
-                t_parts.append(hp_arr[:, 0])
-                c1_parts.append(np.ones(n_h))
-                c2_parts.append(hp_arr[:, 1])
-                c3_parts.append(zh)
-                c4_parts.append(hp_arr[:, 2])
-                c6_parts.append(zh)
-                c7_parts.append(zh)
-                e_parts.append(hp_arr[:, 3].astype(np.int64))
-            if len(t_parts) > 1:
-                b_t = np.concatenate(t_parts)
-                b_c1 = np.concatenate(c1_parts)
-                b_c2 = np.concatenate(c2_parts)
-                b_c3 = np.concatenate(c3_parts)
-                b_c4 = np.concatenate(c4_parts)
-                b_c6 = np.concatenate(c6_parts)
-                b_c7 = np.concatenate(c7_parts)
-                b_e = np.concatenate(e_parts)
-            else:
-                b_t = t_parts[0]
-                b_c1 = zg
-                b_c2 = c2_parts[0]
-                b_c3 = zg
-                b_c4 = zg
-                b_c6 = zg
-                b_c7 = zg
-                b_e = e_parts[0]
-            b_dst = idx_np[b_e]
-
-            # ----------------------------------------------------------
-            # Phase E: gen0 GATHER resolution against the delivery set,
-            # then the vectorised landing pass (np.add.at applies
-            # repeated indices sequentially — exact accumulation order),
-            # then parked-component wakes at their zeroing landing.
-            # ----------------------------------------------------------
-            gath_sel = np.nonzero(
-                is_comp & (comp_state == COMP_GATHER)
-            )[0]
-            ready_p = None
-            if len(gath_sel):
-                gi_v = codes_np[gath_sel] >> 3
-                rem_v = remaining[gi_v]
-                ready_mask = rem_v == 0
-                extra_p = []
-                for j in np.nonzero(rem_v > 0)[0].tolist():
-                    p = int(gath_sel[j])
-                    i = int(gi_v[j])
-                    tg = times_l[p]
-                    rem = int(rem_v[j])
-                    if len(b_e):
-                        rem -= int(np.count_nonzero(
-                            (b_dst == i)
-                            & (
-                                (b_t < tg)
-                                | (
-                                    (b_t == tg)
-                                    & (b_c1 == 0.0)
-                                    & (b_c2 < p)
-                                )
-                            )
-                        ))
-                    if rem > 0 and rare_deliv:
-                        kg = (tg, 0, p)
-                        for kd, e2 in rare_deliv:
-                            if idx_l[e2] == i and kd < kg:
-                                rem -= 1
-                    if rem > 0:
-                        parked_ready[i] = True
-                    else:
-                        extra_p.append(p)
-                ready_p = gath_sel[ready_mask]
-                if extra_p:
-                    ready_p = np.concatenate(
-                        (ready_p, np.array(extra_p, dtype=np.int64))
-                    )
-                if len(ready_p):
-                    gii = codes_np[ready_p] >> 3
-                    tgv = times_np[ready_p]
-                    gv = gather_t[gii]
-                    has_g = gv > 0.0
-                    zr = np.zeros(len(ready_p))
-                    esc_vec.append((
-                        tgv,
-                        zr,
-                        ready_p.astype(np.float64),
-                        zr, zr, zr, zr, zr, zr, zr,
-                        np.where(has_g, tgv + gv, tgv + solve_t[gii]),
-                        np.where(
-                            has_g,
-                            (gii << 3) | COMP_SOLVE,
-                            (gii << 3) | COMP_POST,
-                        ).astype(np.float64),
-                    ))
-
-            n_bulk = len(b_e)
-            if n_bulk or rare_deliv:
-                sorder = np.lexsort(
-                    (b_c7, b_c6, b_c4, b_c3, b_c2, b_c1, b_t)
-                )
-                s_t = b_t[sorder]
-                s_e = b_e[sorder]
-                r_final = None
-                if rare_deliv:
-                    rare_deliv.sort(key=itemgetter(0))
-                    s_c1_l = b_c1[sorder].tolist()
-                    s_c2_l = b_c2[sorder].tolist()
-                    s_c3_l = b_c3[sorder].tolist()
-                    s_c4_l = b_c4[sorder].tolist()
-                    s_c6_l = b_c6[sorder].tolist()
-                    s_c7_l = b_c7[sorder].tolist()
-                    s_t_l = s_t.tolist()
-
-                    def _dkey(j):
-                        if s_c1_l[j] == 0.0:
-                            return (s_t_l[j], 0, int(s_c2_l[j]))
-                        if s_c3_l[j] == 0.0:
-                            return (
-                                s_t_l[j], 1,
-                                (s_c2_l[j], 0, int(s_c4_l[j])), 0,
-                            )
-                        tpj = s_c2_l[j]
-                        return (
-                            s_t_l[j], 1,
-                            (tpj, 1, (tpj, 0, int(s_c6_l[j])),
-                             int(s_c7_l[j])), 0,
-                        )
-
-                    pos_list = []
-                    for kd, _e2 in rare_deliv:
-                        lo2, hi2 = 0, n_bulk
-                        while lo2 < hi2:
-                            mid = (lo2 + hi2) >> 1
-                            if _dkey(mid) < kd:
-                                lo2 = mid + 1
-                            else:
-                                hi2 = mid
-                        pos_list.append(lo2)
-                    pos_arr = np.array(pos_list, dtype=np.int64)
-                    m_e = np.insert(
-                        s_e, pos_arr,
-                        np.array(
-                            [e2 for _k, e2 in rare_deliv], dtype=np.int64
-                        ),
-                    )
-                    m_t = np.insert(
-                        s_t, pos_arr,
-                        np.array([k[0] for k, _e2 in rare_deliv]),
-                    )
-                    r_final = pos_arr + np.arange(len(pos_arr))
-                else:
-                    m_e = s_e
-                    m_t = s_t
-                m_dst = idx_np[m_e]
-                np.add.at(left_sum, m_dst, e_contrib[m_e])
-                uniq_d, cnt_d = np.unique(m_dst, return_counts=True)
-                remaining[uniq_d] -= cnt_d
-                zero_sel = np.nonzero(remaining[uniq_d] == 0)[0]
-                if len(zero_sel):
-                    perm = np.argsort(m_dst, kind="stable")
-                    ends = np.cumsum(cnt_d) - 1
-                    for j in zero_sel.tolist():
-                        i = int(uniq_d[j])
-                        if not parked_ready[i]:
-                            continue
-                        parked_ready[i] = False
-                        z = int(perm[ends[j]])
-                        tz = float(m_t[z])
-                        jb = z
-                        rare_k = None
-                        if r_final is not None:
-                            rb = int(np.searchsorted(r_final, z))
-                            if (
-                                rb < len(r_final)
-                                and int(r_final[rb]) == z
-                            ):
-                                rare_k = rare_deliv[rb][0]
-                            else:
-                                jb = z - rb
-                        internal += 1  # the wake GATHER event
-                        gather = gather_l[i]
-                        if gather > 0.0:
-                            t_out2 = tz + gather
-                            c_out2 = (i << 3) | COMP_SOLVE
-                        else:
-                            t_out2 = tz + solve_l[i]
-                            c_out2 = (i << 3) | COMP_POST
-                        if rare_k is not None:
-                            esc_rare.append(
-                                (t_out2, (tz, 1, rare_k, 0), c_out2)
-                            )
-                        else:
-                            sj = sorder[jb]
-                            if b_c1[sj] == 0.0:
-                                # kw = (tz, 1, (tz, 0, p), 0) — S1
-                                esc_append((
-                                    tz, 1.0, tz, 0.0,
-                                    int(b_c2[sj]), 0.0,
-                                    0.0, 0.0, 0.0, 0.0, t_out2, c_out2,
-                                ))
-                            elif b_c3[sj] == 0.0:
-                                # zeroing delivery was a gen0 hop:
-                                # kw = (tz, 1, (tz, 1, (tp, 0, p), 0),
-                                # 0) — S3
-                                esc_append((
-                                    tz, 1.0, tz, 1.0, b_c2[sj], 0.0,
-                                    b_c4[sj], 0.0, 0.0, 0.0,
-                                    t_out2, c_out2,
-                                ))
-                            else:
-                                tpj = b_c2[sj]
-                                # kw = (tz, 1, (tz, 1, (tpj, 1,
-                                # (tpj, 0, p), sub), 0), 0) — S2
-                                esc_append((
-                                    tz, 1.0, tz, 1.0, tpj, 1.0,
-                                    tpj, 0.0, b_c6[sj], b_c7[sj],
-                                    t_out2, c_out2,
-                                ))
-
-            # ----------------------------------------------------------
-            # Phase F: per-warp-pool mini-simulations (acquires,
-            # releases, FIFO hand-overs; every dispatch pushes its
-            # gather past the horizon).
-            # ----------------------------------------------------------
-            for g, ops in gpu_ops.items():
-                ops.sort(key=itemgetter(0))
-                q = r_q[g]
-                for key, op, i in ops:
-                    if op == _OP_ACQ:
-                        if q or r_used[g] >= r_cap[g]:
-                            q.append((i << 3) | COMP_DISPATCH)
-                            continue
-                        u = r_used[g] + 1
-                        r_used[g] = u
-                        r_tot[g] += 1
-                        if u > r_peak[g]:
-                            r_peak[g] = u
-                        if emits is not None:
-                            emits.append((key, TRACE_DISPATCH, g, i))
-                        else:
-                            c_dispatch += 1
-                        esc_append((
-                            key[0], 0.0, key[2], 0.0, 0.0, 0.0,
-                            0.0, 0.0, 0.0, 0.0,
-                            key[0] + t_disp, (i << 3) | COMP_GATHER,
-                        ))
-                        continue
-                    # Release (op == _OP_REL: its own event; op == -1:
-                    # fall-through inside an empty-fan-out POST).
-                    if emits is not None:
-                        emits.append((key, TRACE_RELEASE, g, i))
-                    else:
-                        c_release += 1
-                    if q:
-                        r_tot[g] += 1
-                        i2 = q.popleft() >> 3
-                        tk = key[0]
-                        internal += 1
-                        if emits is not None:
-                            emits.append(
-                                ((tk, 1, key, 0), TRACE_DISPATCH, g, i2)
-                            )
-                        else:
-                            c_dispatch += 1
-                        if key[1] == 0:
-                            # wake key (tk, 1, (tk, 0, p), 0) — S1
-                            esc_append((
-                                tk, 1.0, tk, 0.0, key[2], 0.0,
-                                0.0, 0.0, 0.0, 0.0,
-                                tk + t_disp, (i2 << 3) | COMP_GATHER,
-                            ))
-                        else:
-                            inner = key[2]
-                            # (tk, 1, (tk, 1, (tp, 0, p), s), 0) — S3
-                            esc_append((
-                                tk, 1.0, tk, 1.0, inner[0], 0.0,
-                                inner[2], key[3], 0.0, 0.0,
-                                tk + t_disp, (i2 << 3) | COMP_GATHER,
-                            ))
-                    else:
-                        r_used[g] -= 1
-
-            # ----------------------------------------------------------
-            # Phase G: gen0 SOLVEs (every POST lands past the horizon).
-            # ----------------------------------------------------------
-            sol_sel = np.nonzero(
-                is_comp & (comp_state == COMP_SOLVE)
-            )[0]
-            if len(sol_sel):
-                si = codes_np[sol_sel] >> 3
-                tsv = times_np[sol_sel]
-                zs = np.zeros(len(sol_sel))
-                esc_vec.append((
-                    tsv,
-                    zs,
-                    sol_sel.astype(np.float64),
-                    zs, zs, zs, zs, zs, zs, zs,
-                    tsv + solve_t[si],
-                    ((si << 3) | COMP_POST).astype(np.float64),
-                ))
-
-            # ----------------------------------------------------------
-            # Phase H: emit the trace in key order, then merge all
-            # escapes in pusher-key order (insertion order within a
-            # future bucket must match the chronological push order)
-            # and bulk-insert them into the calendar grouped by time.
-            # ----------------------------------------------------------
-            if emits is not None:
-                emits.sort(key=itemgetter(0))
-                for key, kind, g, detail in emits:
-                    emit(key[0], kind, gpu=g, detail=detail)
-
-            cols = []
-            if esc_items:
-                cols.append(np.array(esc_items))
-            for seg in esc_vec:
-                cols.append(np.column_stack(seg))
-            if esc_rare and cols:
-                # Deep link-chain pusher keys present: rebuild tuple
-                # keys from the columns and do one combined sort (this
-                # path only sees windows with contended transfers).
-                esc = cols[0] if len(cols) == 1 else np.vstack(cols)
-                comb = []
-                for c in esc.tolist():
-                    if c[1] == 0.0:
-                        k = (c[0], 0, int(c[2]))
-                    elif c[3] == 0.0:
-                        k = (
-                            c[0], 1, (c[2], 0, int(c[4])), int(c[5])
-                        )
-                    elif c[5] == 0.0:
-                        k = (
-                            c[0], 1,
-                            (c[2], 1, (c[4], 0, int(c[6])), int(c[7])),
-                            0,
-                        )
-                    else:
-                        k = (
-                            c[0], 1,
-                            (
-                                c[2], 1,
-                                (c[4], 1, (c[6], 0, int(c[8])),
-                                 int(c[9])),
-                                0,
-                            ), 0,
-                        )
-                    comb.append((k, c[10], int(c[11])))
-                for t2, k, code in esc_rare:
-                    comb.append((k, t2, code))
-                comb.sort(key=itemgetter(0))
-                et = np.array([r[1] for r in comb])
-                ec = np.array([r[2] for r in comb], dtype=np.int64)
-            elif cols:
-                esc = cols[0] if len(cols) == 1 else np.vstack(cols)
-                eorder = np.lexsort((
-                    esc[:, 9], esc[:, 8], esc[:, 7], esc[:, 6],
-                    esc[:, 5], esc[:, 4], esc[:, 3], esc[:, 2],
-                    esc[:, 1], esc[:, 0],
-                ))
-                et = esc[:, 10][eorder]
-                ec = esc[:, 11][eorder].astype(np.int64)
-            elif esc_rare:
-                esc_rare.sort(key=itemgetter(1))
-                et = np.array([r[0] for r in esc_rare])
-                ec = np.array(
-                    [r[2] for r in esc_rare], dtype=np.int64
-                )
-            else:
-                et = np.empty(0)
-                ec = np.empty(0, dtype=np.int64)
-            if len(ec):
-                tins = np.argsort(et, kind="stable")
-                ts_s = et[tins]
-                cs_l = ec[tins].tolist()
-                ut, ustarts = np.unique(ts_s, return_index=True)
-                ub = ustarts.tolist()
-                ub.append(len(cs_l))
-                for j, t2 in enumerate(ut.tolist()):
-                    b2 = bget(t2)
-                    if b2 is None:
-                        buckets[t2] = cs_l[ub[j] : ub[j + 1]]
-                        heappush(theap, t2)
-                    else:
-                        b2.extend(cs_l[ub[j] : ub[j + 1]])
-            nevents += total + internal
-            now = wmax
-    finally:
-        if gc_was_enabled:
-            gc.enable()
-
-    if remaining.any():
-        stuck: dict = {
-            repr(("ready", i)): 1 for i in range(n) if parked_ready[i]
-        }
-        for rid, q in enumerate(r_q):
-            if q:
-                stuck[bank.names[rid]] = len(q)
-        if stuck:
-            raise DeadlockError(
-                f"deadlock: {sum(stuck.values())} waiters with empty "
-                f"event calendar; waiters per channel: {stuck}",
-                blocked=stuck,
-                diagnostics={
-                    "now": now,
-                    "events_processed": nevents,
-                    "unsatisfied": int(np.count_nonzero(remaining)),
-                },
-            )
-        raise SolverError("DES run finished with unsatisfied dependencies")
-    if emit is None:
-        trace.bulk_count(TRACE_DISPATCH, c_dispatch)
-        trace.bulk_count(TRACE_SOLVE, c_solve)
-        trace.bulk_count(TRACE_RELEASE, c_release)
-        trace.bulk_count(TRACE_XFER_BEGIN, c_xb)
-        trace.bulk_count(TRACE_XFER_END, c_xe)
-
-    x = np.asarray(x_l, dtype=np.float64)
-    return (x, now, trace, 0, nevents)
+        plan.lookahead = float(epoch_lookahead)
+    return execute_plan(plan, trace_enabled=trace_enabled)

@@ -1,0 +1,206 @@
+"""Property-based bit-equality for the epoch-compiled DES engine.
+
+Hypothesis drives random workloads (structure, level shape, dependency
+density, scatter, seed) through every communication design — including
+stale-sync, which exercises the scalar-delegation boundary — and holds
+the epoch-compiled ``vector`` engine to *bit*-equality with the array
+engine: every trace record, the solution bits, the simulated wall
+clock, and the fault/event counters must match exactly.
+
+The negative test then compiles a plan, deliberately widens its epoch
+beyond the structure-derived safe bound, and proves the executor
+*clamps* the over-wide window (counted in ``overwide_clamps``) rather
+than silently reordering events — the guard that makes the widening
+argument in :mod:`repro.engine.epoch` falsifiable.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.dag import build_dag
+from repro.engine import epoch
+from repro.exec_model.costmodel import Design
+from repro.machine.node import dgx1
+from repro.solvers.des_solver import (
+    MESSAGES_IN_FLIGHT_PER_LINK,
+    des_execute,
+)
+from repro.tasks.schedule import block_distribution
+from repro.workloads.generators import dag_profile_matrix
+
+DESIGNS = list(Design)
+
+
+@st.composite
+def des_workloads(draw):
+    """Random (matrix, design, n_gpus, b-seed) DES workloads.
+
+    Sizes stay small enough for ~100 reference-engine runs but large
+    enough (up to 90 rows, 4 GPUs) to hit cross-GPU traffic, link
+    queueing, and multi-level wake chains.
+    """
+    n = draw(st.integers(min_value=2, max_value=90))
+    n_levels = draw(st.integers(min_value=1, max_value=n))
+    dep = draw(st.floats(min_value=1.0, max_value=4.0))
+    scatter = draw(st.sampled_from([0.0, 0.5, 1.0]))
+    locality = draw(st.sampled_from([0.0, 0.5, 1.0]))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    design = draw(st.sampled_from(DESIGNS))
+    n_gpus = draw(st.sampled_from([1, 2, 4]))
+    b_seed = draw(st.integers(min_value=0, max_value=2**8))
+    lower = dag_profile_matrix(
+        n=n,
+        n_levels=n_levels,
+        dependency=dep,
+        scatter=scatter,
+        locality=locality,
+        seed=seed,
+    )
+    return lower, design, n_gpus, b_seed
+
+
+def _run(lower, design, n_gpus, b_seed, engine):
+    n = lower.shape[0]
+    machine = dgx1(n_gpus, require_p2p=design is not Design.UNIFIED)
+    dist = block_distribution(n, n_gpus)
+    b = np.random.default_rng(b_seed).standard_normal(n)
+    # ``stale`` stays None: des_execute resolves the design default, so
+    # STALE_SYNC draws cover the bounded-stale delegation path too.
+    return des_execute(lower, b, dist, machine, design, engine=engine)
+
+
+def _assert_bit_identical(ref, vec):
+    assert ref.events == vec.events
+    assert ref.page_faults == vec.page_faults
+    assert ref.total_time == vec.total_time  # exact, not approx
+    assert ref.x.tobytes() == vec.x.tobytes()
+    assert len(ref.trace.records) == len(vec.trace.records)
+    for k, (r, v) in enumerate(zip(ref.trace.records, vec.trace.records)):
+        assert r == v, f"trace diverges at record {k}: {r} != {v}"
+
+
+@settings(max_examples=60, deadline=None)
+@given(des_workloads())
+def test_epoch_engine_bit_identical_to_array(work):
+    """vector(=epoch-compiled) == array, record by record, on random
+    workloads across every design (incl. stale-sync delegation)."""
+    lower, design, n_gpus, b_seed = work
+    arr = _run(lower, design, n_gpus, b_seed, "array")
+    vec = _run(lower, design, n_gpus, b_seed, "vector")
+    _assert_bit_identical(arr, vec)
+
+
+@settings(max_examples=25, deadline=None)
+@given(des_workloads())
+def test_epoch_engine_bit_identical_to_reference(work):
+    """Spot-check the full triangle: reference == vector too (the array
+    engine is itself held to reference parity elsewhere)."""
+    lower, design, n_gpus, b_seed = work
+    ref = _run(lower, design, n_gpus, b_seed, "reference")
+    vec = _run(lower, design, n_gpus, b_seed, "vector")
+    _assert_bit_identical(ref, vec)
+
+
+class TestOverwideEpochClamp:
+    """Deliberately over-wide epochs must be detected and split."""
+
+    def _compile(self, lower, design, n_gpus=2, b_seed=3):
+        n = lower.shape[0]
+        machine = dgx1(n_gpus, require_p2p=design is not Design.UNIFIED)
+        dist = block_distribution(n, n_gpus)
+        b = np.random.default_rng(b_seed).standard_normal(n)
+        dag = build_dag(lower)
+        from repro.exec_model.artefacts import get_artefacts
+
+        art = get_artefacts(lower)
+        costs = art.comm_costs(machine, design)
+        plan = epoch.compile_plan(
+            lower, b, dist, machine, design,
+            dag=dag, costs=costs,
+            in_flight_per_link=MESSAGES_IN_FLIGHT_PER_LINK,
+        )
+        assert plan is not None
+        return plan, b, dist, machine, dag, costs
+
+    def test_overwide_lookahead_is_clamped_not_reordered(self):
+        lower = dag_profile_matrix(
+            n=80, n_levels=10, dependency=3.0, scatter=0.5, seed=11
+        )
+        design = Design.SHMEM_READONLY
+        plan, b, dist, machine, _, _ = self._compile(lower, design)
+
+        # Sabotage: widen the epoch far beyond the structure-derived
+        # safe bound.  A naive executor would drain whole levels out
+        # of causal order; ours must clamp back to safe_lookahead.
+        plan.lookahead = plan.safe_lookahead * 1e6
+
+        out = epoch.execute_plan(plan)
+        stats = epoch.last_run_stats()
+        assert stats is not None
+        assert stats["overwide_clamps"] > 0  # the guard actually fired
+        assert stats["lookahead"] == plan.lookahead
+        assert stats["safe_lookahead"] == plan.safe_lookahead
+
+        arr = des_execute(
+            lower, b, dist, machine, design, engine="array"
+        )
+        x, total_time, trace, page_faults, events = out
+        assert events == arr.events
+        assert page_faults == arr.page_faults
+        assert total_time == arr.total_time
+        assert x.tobytes() == arr.x.tobytes()
+        assert len(trace.records) == len(arr.trace.records)
+        for k, (r, v) in enumerate(zip(arr.trace.records, trace.records)):
+            assert r == v, f"trace diverges at record {k}: {r} != {v}"
+
+    def test_epoch_lookahead_config_knob(self):
+        """The RunConfig override reaches the plan and stays exact."""
+        from repro.errors import ConfigurationError
+        from repro.runtime.config import RunConfig
+        from repro.runtime.session import SolverSession
+
+        lower = dag_profile_matrix(
+            n=300, n_levels=6, dependency=3.0, scatter=0.0, seed=2
+        )
+        b_n = lower.shape[0]
+        b = np.random.default_rng(0).standard_normal(b_n)
+        base = SolverSession(
+            RunConfig(engine="vector", n_gpus=2)
+        ).execute(lower, b)
+        stats = epoch.last_run_stats()
+        wide = SolverSession(
+            RunConfig(engine="vector", n_gpus=2, epoch_lookahead=1.0)
+        ).execute(lower, b)
+        assert epoch.last_run_stats()["overwide_clamps"] > 0
+        narrow = SolverSession(
+            RunConfig(
+                engine="vector", n_gpus=2,
+                epoch_lookahead=stats["safe_lookahead"] / 4,
+            )
+        ).execute(lower, b)
+        assert epoch.last_run_stats()["overwide_clamps"] == 0
+        for other in (wide, narrow):
+            assert other.x.tobytes() == base.x.tobytes()
+            assert other.total_time == base.total_time
+            assert other.trace.records == base.trace.records
+
+        with pytest.raises(ConfigurationError):
+            RunConfig(engine="array", epoch_lookahead=1.0)
+        with pytest.raises(ConfigurationError):
+            RunConfig(engine="vector", epoch_lookahead=0.0)
+
+    def test_honest_lookahead_never_clamps(self):
+        # Wide levels so at least one window crosses BATCH_MIN_EVENTS
+        # and takes the batch-epoch path (narrow windows drain through
+        # the scalar sub-path and are counted separately).
+        lower = dag_profile_matrix(
+            n=600, n_levels=6, dependency=3.0, scatter=0.0, seed=4
+        )
+        plan, *_ = self._compile(lower, Design.SHMEM_NAIVE)
+        epoch.execute_plan(plan)
+        stats = epoch.last_run_stats()
+        assert stats is not None
+        assert stats["overwide_clamps"] == 0
+        assert stats["epochs"] > 0

@@ -177,6 +177,21 @@ def main(argv: list[str] | None = None) -> int:
             f"vector target {vt['case']}: {vt['ratio']:.2f}x over array "
             f"(target {vt['target']}x) -> {'met' if vt['met'] else 'missed'}"
         )
+    pt = payload.get("partition_target")
+    if pt is not None:
+        print(
+            f"partition target {pt['case']}: {pt['ratio']:.2f}x over array "
+            f"with {pt['workers']} workers (target >{pt['target']}x) -> "
+            f"{'met' if pt['met'] else 'missed'}"
+        )
+    tt = payload.get("throughput_target")
+    if tt is not None:
+        print(
+            f"throughput target {tt['case']}: "
+            f"{tt['events_per_sec']:.0f} events/s "
+            f"(target {tt['target']:.0f}) -> "
+            f"{'met' if tt['met'] else 'missed'}"
+        )
     if payload["noisy"]:
         print("WARN: timer noise detected; speedup floor not enforced")
     else:
