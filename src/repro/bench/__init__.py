@@ -17,6 +17,7 @@ from repro.bench.dessweep import (
     run_des_sweep,
 )
 from repro.bench.fastmodel import measure_case, run_sweep
+from repro.bench.loadgen import run_bench, run_case
 from repro.bench.harness import (
     MatrixContext,
     context,
@@ -56,4 +57,6 @@ __all__ = [
     "measure_des_case",
     "measure_partitioned_case",
     "run_des_sweep",
+    "run_case",
+    "run_bench",
 ]

@@ -76,6 +76,12 @@ class Simulator:
         self._events_processed: int = 0
         self._max_events = max_events
         self.watchdog = watchdog
+        #: Optional callable mapping the blocked-channel dict to extra
+        #: deadlock diagnostics (the DES solver installs one that
+        #: resolves ``("ready", i)`` channels to the per-GPU
+        #: pending-dependency frontier, so service logs can say *which*
+        #: components on *which* ranks were starved).
+        self.frontier_resolver = None
 
     # ------------------------------------------------------------------
     def spawn(self, process: Process, delay: float = 0.0) -> Process:
@@ -149,16 +155,19 @@ class Simulator:
                     for p in ps
                 }
             )
+            diagnostics = {
+                "alive": self._alive,
+                "now": self.now,
+                "blocked_process_kinds": names,
+                "events_processed": self._events_processed,
+            }
+            if self.frontier_resolver is not None:
+                diagnostics.update(self.frontier_resolver(self._waiting))
             raise DeadlockError(
                 f"deadlock: {self._alive} processes alive with empty event "
                 f"heap; waiters per channel: {blocked}",
                 blocked=blocked,
-                diagnostics={
-                    "alive": self._alive,
-                    "now": self.now,
-                    "blocked_process_kinds": names,
-                    "events_processed": self._events_processed,
-                },
+                diagnostics=diagnostics,
             )
         return self._events_processed - start_count
 

@@ -143,6 +143,7 @@ __all__ = [
     "coerce_design",
     "missing_diagonal",
     "validate_diagonals",
+    "frontier_diagnostics",
     # parity-check manifest
     "PROTOCOL_CONSTANTS",
 ]
@@ -730,6 +731,30 @@ def coerce_design(design: Design | str) -> Design:
 def missing_diagonal(col: int) -> SolverError:
     """The shared missing-diagonal error (identical message, both engines)."""
     return SolverError(f"missing diagonal at column {col}")
+
+
+def frontier_diagnostics(components, gpu_of) -> dict:
+    """Per-GPU pending-dependency frontier for deadlock diagnostics.
+
+    ``components`` are the component ids still parked on their readiness
+    channel when the calendar drained; ``gpu_of`` maps components to
+    owning ranks.  Both engines attach the identical payload to
+    :class:`~repro.errors.DeadlockError` so service logs can name the
+    starved components and the ranks holding them:
+
+    * ``pending_frontier`` — ascending ``{"component", "gpu"}`` rows;
+    * ``frontier_by_gpu`` — ``{gpu: [component, ...]}``, ids ascending.
+    """
+    comps = sorted(int(i) for i in components)
+    by_gpu: dict[int, list[int]] = {}
+    for i in comps:
+        by_gpu.setdefault(int(gpu_of[i]), []).append(i)
+    return {
+        "pending_frontier": [
+            {"component": i, "gpu": int(gpu_of[i])} for i in comps
+        ],
+        "frontier_by_gpu": by_gpu,
+    }
 
 
 def validate_diagonals(indptr: np.ndarray, indices: np.ndarray, n: int) -> None:

@@ -26,6 +26,12 @@ __all__ = [
     "WorkloadError",
     "FaultInjectionError",
     "RecoveryExhaustedError",
+    "ServiceError",
+    "ServiceOverloadError",
+    "DeadlineExceededError",
+    "CircuitOpenError",
+    "WorkerCrashError",
+    "ServiceShutdownError",
 ]
 
 
@@ -162,3 +168,111 @@ class RecoveryExhaustedError(SolverError):
     def __init__(self, message: str, *, context: dict | None = None):
         super().__init__(message)
         self.context = context or {}
+
+
+class ServiceError(ReproError, RuntimeError):
+    """Base class for the solve-service layer (:mod:`repro.serve`).
+
+    Every service-level failure mode — overload, deadline, open circuit,
+    worker crash, shutdown — derives from this, so a client can catch
+    the whole domain with one clause while the concrete subclasses keep
+    the failure actionable.
+    """
+
+
+class ServiceOverloadError(ServiceError):
+    """The service refused a request to protect itself (backpressure).
+
+    Raised by admission control (token bucket empty) and by the bounded
+    request queue (no free slot) — the service never buffers without
+    bound.  ``retry_after`` is the earliest back-off the client should
+    honour, in wall seconds.
+
+    Attributes
+    ----------
+    retry_after:
+        Suggested client back-off before resubmitting (seconds).
+    reason:
+        ``"admission"`` (token bucket) or ``"queue_full"`` (bounded
+        queue).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after: float = 0.0,
+        reason: str = "overload",
+    ):
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.reason = reason
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline expired before a result was produced.
+
+    The request is cooperatively cancelled: queued work is skipped, an
+    in-flight solve is abandoned (its worker-side watchdog bounds the
+    stray computation), and the client gets this typed error instead of
+    a hang.
+
+    Attributes
+    ----------
+    deadline:
+        The request's wall-clock budget in seconds.
+    stage:
+        Where the deadline fired: ``"queued"`` / ``"executing"``.
+    """
+
+    def __init__(
+        self, message: str, *, deadline: float = 0.0, stage: str = ""
+    ):
+        super().__init__(message)
+        self.deadline = deadline
+        self.stage = stage
+
+
+class CircuitOpenError(ServiceError):
+    """The (fingerprint, config) circuit breaker is open: failing fast.
+
+    Repeated :class:`RecoveryExhaustedError` / :class:`DeadlockError`
+    outcomes on one key trip its breaker; until the cooldown elapses,
+    requests for that key are rejected immediately (or degraded, when
+    the client allows) instead of burning a worker on a known-bad solve.
+
+    Attributes
+    ----------
+    key:
+        The tripped ``(matrix fingerprint, config fingerprint)`` pair.
+    retry_after:
+        Seconds until the breaker admits a half-open probe.
+    failures:
+        Consecutive failures that tripped it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        key: tuple = (),
+        retry_after: float = 0.0,
+        failures: int = 0,
+    ):
+        super().__init__(message)
+        self.key = key
+        self.retry_after = retry_after
+        self.failures = failures
+
+
+class WorkerCrashError(ServiceError):
+    """A worker process died (or was killed) mid-solve.
+
+    Transient by contract: the service rebuilds the pool and retries
+    with exponential backoff + jitter; only exhausting the retry budget
+    surfaces this to the client.
+    """
+
+
+class ServiceShutdownError(ServiceError):
+    """The service is stopping; the request was not (fully) served."""

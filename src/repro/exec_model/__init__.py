@@ -3,7 +3,10 @@
 from repro.exec_model.artefacts import (
     AnalysisArtefacts,
     PlacementArtefacts,
+    SpillStore,
     get_artefacts,
+    load_artefacts,
+    spill_artefacts,
 )
 from repro.exec_model.costmodel import CommCosts, Design, build_comm_costs
 from repro.exec_model.efficiency import EfficiencyReport, analyse_efficiency
@@ -33,7 +36,10 @@ __all__ = [
     "analysis_phase_time",
     "AnalysisArtefacts",
     "PlacementArtefacts",
+    "SpillStore",
     "get_artefacts",
+    "spill_artefacts",
+    "load_artefacts",
     "MemoryPlan",
     "matrix_footprint",
     "memory_plan",

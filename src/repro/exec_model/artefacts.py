@@ -27,7 +27,10 @@ real for the simulators too:
 from __future__ import annotations
 
 import pickle
+import shutil
+import tempfile
 import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -48,6 +51,7 @@ from repro.tasks.schedule import Distribution
 __all__ = [
     "AnalysisArtefacts",
     "PlacementArtefacts",
+    "SpillStore",
     "get_artefacts",
     "spill_artefacts",
     "load_artefacts",
@@ -285,6 +289,98 @@ def spill_artefacts(lower: CscMatrix, path: str | Path) -> Path:
     with path.open("wb") as fh:
         pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
     return path
+
+
+class SpillStore:
+    """Context-managed spill directory with an LRU byte budget.
+
+    :func:`spill_artefacts` writes a pickle per call and reclaims
+    nothing — fine for a one-shot sweep fan-out, a leak for a
+    long-lived session server spilling a bundle per distinct matrix.
+    A ``SpillStore`` owns the lifecycle instead:
+
+    * :meth:`put` spills a matrix's bundle at most once per ``key``
+      (the caller's fingerprint) and returns the path;
+    * every ``put`` / :meth:`get` refreshes the key's LRU position, and
+      any ``put`` that pushes :attr:`total_bytes` over ``byte_budget``
+      evicts least-recently-used spill files (never the one just
+      written) until the store fits again;
+    * :meth:`close` — or leaving the ``with`` block — removes every
+      spill file, and the directory too when the store created it.
+
+    A long session therefore cannot grow the spill directory without
+    bound: the on-disk footprint is ``max(byte_budget, largest single
+    bundle)``.
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        *,
+        byte_budget: int | None = None,
+    ):
+        self._owns_root = root is None
+        self.root = Path(
+            tempfile.mkdtemp(prefix="repro-spill-") if root is None else root
+        )
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.byte_budget = byte_budget
+        self._entries: OrderedDict[str, tuple[Path, int]] = OrderedDict()
+        self.evictions = 0
+        self.spills = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        """Bytes currently held by live (non-evicted) spill files."""
+        return sum(size for _p, size in self._entries.values())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Path | None:
+        """Path of ``key``'s spill file (refreshes LRU), or ``None``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self._entries.move_to_end(key)
+        return entry[0]
+
+    def put(self, key: str, lower: CscMatrix) -> Path:
+        """Spill ``lower``'s bundle under ``key`` (idempotent per key)."""
+        cached = self.get(key)
+        if cached is not None:
+            return cached
+        path = self.root / f"{key}.pkl"
+        spill_artefacts(lower, path)
+        self.spills += 1
+        self._entries[key] = (path, path.stat().st_size)
+        self._evict(keep=key)
+        return path
+
+    def _evict(self, keep: str) -> None:
+        if self.byte_budget is None:
+            return
+        while self.total_bytes > self.byte_budget and len(self._entries) > 1:
+            old_key = next(k for k in self._entries if k != keep)
+            path, _size = self._entries.pop(old_key)
+            path.unlink(missing_ok=True)
+            self.evictions += 1
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Remove every spill file (and the directory, when owned)."""
+        for path, _size in self._entries.values():
+            path.unlink(missing_ok=True)
+        self._entries.clear()
+        if self._owns_root:
+            shutil.rmtree(self.root, ignore_errors=True)
+
+    def __enter__(self) -> "SpillStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 def load_artefacts(path: str | Path) -> tuple[CscMatrix, AnalysisArtefacts]:

@@ -23,7 +23,13 @@ survivable, and — above all — *loud*:
   matrix across designs and distributions asserting every cell either
   recovers to a bit-correct solution or fails with a typed
   :class:`~repro.errors.ReproError` — never hangs, never silently
-  wrong.
+  wrong;
+* :mod:`repro.resilience.service_faults` — the same declarative
+  vocabulary one layer up: worker kills, dispatch stalls, and slow
+  clients injected into the :mod:`repro.serve` session server's own
+  hook points (its chaos suite holds the *service* to the solve-level
+  contract: typed error, certified degraded result, or bitwise
+  recovery).
 
 Determinism contract: a :class:`FaultPlan` materialises into pure
 per-edge / per-component decision tables keyed by stable identities
@@ -52,6 +58,12 @@ from repro.resilience.recovery import (
     resilient_execute,
     residual_repair,
 )
+from repro.resilience.service_faults import (
+    ServiceFaultInjector,
+    ServiceFaultKind,
+    ServiceFaultPlan,
+    ServiceFaultSpec,
+)
 from repro.resilience.watchdog import Watchdog
 
 __all__ = [
@@ -65,6 +77,10 @@ __all__ = [
     "resilient_execute",
     "residual_repair",
     "Watchdog",
+    "ServiceFaultKind",
+    "ServiceFaultSpec",
+    "ServiceFaultPlan",
+    "ServiceFaultInjector",
     "ChaosCell",
     "ChaosReport",
     "default_scenarios",

@@ -265,7 +265,8 @@ def resilient_execute(
 
     The pipeline body moved to the runtime facade; this wrapper emits
     the documented ``repro.runtime shim`` DeprecationWarning and
-    delegates unchanged.
+    delegates unchanged.  Scheduled for removal in
+    :data:`repro.runtime.shims.DEFAULT_REMOVAL_VERSION` (2.0.0).
     """
     from repro.runtime.session import resilient_run
     from repro.runtime.shims import shim_warn

@@ -1,0 +1,201 @@
+"""Service-level fault plans for the solve service (:mod:`repro.serve`).
+
+PR 4's :class:`~repro.resilience.faults.FaultPlan` injects faults *inside*
+one simulated solve — links, messages, GPUs.  A session server has its
+own fault surface above any single solve: worker processes die, the
+dispatch path stalls, clients stop reading their responses.  This module
+names those faults the same way the solve-level plans do — a declarative
+spec list materialised into an injector the service consults at its hook
+points — so the service chaos suite can drive both layers through one
+vocabulary.
+
+Kinds
+-----
+``worker_kill``
+    Kill ``count`` workers once the plan's clock passes ``at``.  In the
+    inline pool the victim job raises
+    :class:`~repro.errors.WorkerCrashError`; in the process pool a real
+    child is SIGKILLed.  Either way the service's retry loop (backoff +
+    jitter, pool rebuild) must recover.
+``queue_stall``
+    The dispatch loop sleeps through ``[at, at + duration)``: queued
+    requests age toward their deadlines, exercising cooperative
+    cancellation and the typed
+    :class:`~repro.errors.DeadlineExceededError` path.
+``slow_client``
+    Response consumers add ``delay`` seconds per read inside
+    ``[at, at + duration)`` (``duration`` 0 = forever).  The TCP
+    front-end's bounded write path must drop the laggard instead of
+    buffering without bound.
+
+Determinism: all windows are relative to the injector's build time, so a
+scenario replays identically against a fresh service.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import FaultInjectionError
+
+__all__ = [
+    "ServiceFaultKind",
+    "ServiceFaultSpec",
+    "ServiceFaultPlan",
+    "ServiceFaultInjector",
+]
+
+
+class ServiceFaultKind(str, Enum):
+    """The injectable service-level fault classes."""
+
+    WORKER_KILL = "worker_kill"
+    QUEUE_STALL = "queue_stall"
+    SLOW_CLIENT = "slow_client"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ServiceFaultSpec:
+    """One declarative service fault.
+
+    Attributes
+    ----------
+    kind:
+        The fault class (coerced from its string value).
+    at:
+        Seconds after injector build when the fault arms.
+    duration:
+        Window length for ``queue_stall`` / ``slow_client``
+        (``slow_client`` treats 0 as "until shutdown").
+    count:
+        Workers to kill (``worker_kill`` only).
+    delay:
+        Per-read client delay in seconds (``slow_client`` only).
+    """
+
+    kind: ServiceFaultKind
+    at: float = 0.0
+    duration: float = 0.0
+    count: int = 1
+    delay: float = 0.0
+
+    def __post_init__(self):
+        object.__setattr__(self, "kind", ServiceFaultKind(self.kind))
+        if self.at < 0.0:
+            raise FaultInjectionError(f"fault time must be >= 0, got {self.at}")
+        if self.duration < 0.0:
+            raise FaultInjectionError(
+                f"fault duration must be >= 0, got {self.duration}"
+            )
+        if self.kind is ServiceFaultKind.WORKER_KILL and self.count < 1:
+            raise FaultInjectionError(
+                f"worker_kill count must be >= 1, got {self.count}"
+            )
+        if self.kind is ServiceFaultKind.SLOW_CLIENT and self.delay <= 0.0:
+            raise FaultInjectionError(
+                f"slow_client delay must be > 0, got {self.delay}"
+            )
+
+
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """Immutable list of service faults; ``build`` arms an injector."""
+
+    specs: tuple = ()
+
+    def __post_init__(self):
+        object.__setattr__(
+            self,
+            "specs",
+            tuple(
+                s if isinstance(s, ServiceFaultSpec) else ServiceFaultSpec(**s)
+                for s in self.specs
+            ),
+        )
+
+    @property
+    def is_null(self) -> bool:
+        return not self.specs
+
+    @classmethod
+    def single(cls, kind, **kwargs) -> "ServiceFaultPlan":
+        """Plan with one spec (the chaos suite's common case)."""
+        return cls(specs=(ServiceFaultSpec(kind=kind, **kwargs),))
+
+    def build(self, clock=time.monotonic) -> "ServiceFaultInjector":
+        """Arm the plan against ``clock`` (injectable for tests)."""
+        return ServiceFaultInjector(self, clock=clock)
+
+
+@dataclass
+class ServiceFaultInjector:
+    """Armed service-fault state the service polls at its hook points.
+
+    Counters (``kills_delivered``, ``stalls_served``,
+    ``client_delays_served``) let the chaos suite assert a scenario
+    actually fired rather than passing vacuously.
+    """
+
+    plan: ServiceFaultPlan
+    clock: object = time.monotonic
+    t0: float = field(init=False)
+    kills_delivered: int = 0
+    stalls_served: int = 0
+    client_delays_served: int = 0
+    _kills_pending: int = field(init=False, default=0)
+
+    def __post_init__(self):
+        self.t0 = self.clock()
+        self._kills_pending = sum(
+            s.count
+            for s in self.plan.specs
+            if s.kind is ServiceFaultKind.WORKER_KILL
+        )
+
+    @property
+    def active(self) -> bool:
+        return not self.plan.is_null
+
+    def _elapsed(self) -> float:
+        return self.clock() - self.t0
+
+    # ----------------------------------------------------------- hook points
+    def take_worker_kill(self) -> bool:
+        """True exactly ``count`` times once a ``worker_kill`` spec arms."""
+        if self._kills_pending <= 0:
+            return False
+        now = self._elapsed()
+        for s in self.plan.specs:
+            if s.kind is ServiceFaultKind.WORKER_KILL and now >= s.at:
+                self._kills_pending -= 1
+                self.kills_delivered += 1
+                return True
+        return False
+
+    def dispatch_stall(self) -> float:
+        """Remaining seconds of an armed ``queue_stall`` window (else 0)."""
+        now = self._elapsed()
+        for s in self.plan.specs:
+            if (
+                s.kind is ServiceFaultKind.QUEUE_STALL
+                and s.at <= now < s.at + s.duration
+            ):
+                self.stalls_served += 1
+                return s.at + s.duration - now
+        return 0.0
+
+    def client_delay(self) -> float:
+        """Per-read delay of an armed ``slow_client`` window (else 0)."""
+        now = self._elapsed()
+        for s in self.plan.specs:
+            if s.kind is ServiceFaultKind.SLOW_CLIENT and now >= s.at:
+                if s.duration and now >= s.at + s.duration:
+                    continue
+                self.client_delays_served += 1
+                return s.delay
+        return 0.0

@@ -15,6 +15,7 @@ valid choices — no bare ``ValueError`` / ``KeyError`` paths.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, fields
 
@@ -299,8 +300,14 @@ class RunConfig:
         return cls.from_mapping(mapping)
 
     def to_mapping(self) -> dict:
-        """Round-trippable plain mapping (machine/plan/recovery elided to
-        their reprs when not JSON-representable)."""
+        """Round-trippable plain mapping (the ``--config`` JSON surface).
+
+        ``plan`` and ``recovery`` are emitted in the exact nested shapes
+        :meth:`from_mapping` accepts, so
+        ``RunConfig.from_mapping(cfg.to_mapping())`` reproduces every
+        semantic knob — and therefore the same :meth:`fingerprint`.
+        Only ``machine`` (a live topology object) is elided.
+        """
         out: dict = {
             "design": self.design.value,
             "engine": self.engine,
@@ -325,7 +332,90 @@ class RunConfig:
             out.setdefault("watchdog", {})[
                 "wall_limit"
             ] = self.watchdog_wall_limit
+        if self.plan is not None:
+            specs = []
+            for spec in self.plan.specs:
+                row = {"kind": spec.kind.value}
+                # Elide per-field defaults (keeps t_end's infinity out
+                # of the JSON surface unless explicitly set).
+                for f in fields(spec):
+                    value = getattr(spec, f.name)
+                    if f.name != "kind" and value != f.default:
+                        row[f.name] = value
+                specs.append(row)
+            out["plan"] = {"seed": self.plan.seed, "specs": specs}
+        if self.recovery is not None:
+            out["recovery"] = {
+                f.name: getattr(self.recovery, f.name)
+                for f in fields(self.recovery)
+            }
         return out
+
+    # --------------------------------------------------------------- hashing
+    def canonical_mapping(self) -> dict:
+        """Exhaustive, deterministic mapping of every knob that changes
+        execution semantics — the input of :meth:`fingerprint`.
+
+        Unlike :meth:`to_mapping` (the human-facing JSON surface, which
+        elides defaults and non-JSON objects), this mapping includes the
+        fault plan, the recovery policy, and the machine shape, all
+        reduced to plain sortable values, so two configs hash equal
+        exactly when every semantic knob is equal.
+        """
+        plan = None
+        if self.plan is not None:
+            specs = []
+            for spec in getattr(self.plan, "specs", ()):
+                row = {}
+                for f in fields(spec):
+                    v = getattr(spec, f.name)
+                    row[f.name] = getattr(v, "value", v)
+                specs.append(row)
+            plan = {"seed": getattr(self.plan, "seed", 0), "specs": specs}
+        recovery = None
+        if self.recovery is not None:
+            recovery = {
+                f.name: getattr(self.recovery, f.name)
+                for f in fields(self.recovery)
+            }
+        if self.machine is None:
+            machine = ["default-dgx1", self.n_gpus]
+        else:
+            machine = [
+                getattr(self.machine, "name", type(self.machine).__name__),
+                getattr(self.machine, "n_gpus", self.n_gpus),
+            ]
+        return {
+            "design": self.design.value,
+            "engine": self.engine,
+            "scheduler": self.scheduler,
+            "machine": machine,
+            "n_gpus": self.n_gpus,
+            "distribution": self.distribution,
+            "tasks_per_gpu": self.tasks_per_gpu,
+            "stale_k": self.stale_k,
+            "stale_ceiling": self.stale_ceiling,
+            "plan": plan,
+            "recovery": recovery,
+            "watchdog_stall_horizon": self.watchdog_stall_horizon,
+            "watchdog_wall_limit": self.watchdog_wall_limit,
+            "trace_enabled": self.trace_enabled,
+            "epoch_lookahead": self.epoch_lookahead,
+        }
+
+    def fingerprint(self) -> str:
+        """Stable hex digest of :meth:`canonical_mapping`.
+
+        The hash path behind service-layer artefact sharing and
+        circuit-breaker keys: equal configs (however constructed —
+        directly, via :meth:`from_mapping`, or round-tripped through
+        JSON) produce equal fingerprints, and any semantic difference —
+        including fault-plan and ``stale_k`` fields — changes it.
+        """
+        blob = json.dumps(
+            self.canonical_mapping(), sort_keys=True, default=str
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
 
 def load_run_config(source: str | None) -> RunConfig:

@@ -10,22 +10,39 @@ filter CI's deprecation-shim job allows::
 Any *other* DeprecationWarning escaping the tier-1 suite fails that job,
 so new deprecations must either go through :func:`shim_warn` or migrate
 their callers.
+
+Policy: every shim names its removal version (``removal=``; default
+:data:`DEFAULT_REMOVAL_VERSION`, the next major release), so the warning
+tells callers both *what to migrate to* and *when the shim dies*.  The
+serve layer introduces no shims of its own; if it ever does, they must
+come through :func:`shim_warn` too — the CI job treats an unprefixed
+DeprecationWarning from any layer as a failure.
 """
 
 from __future__ import annotations
 
 import warnings
 
-__all__ = ["SHIM_PREFIX", "shim_warn"]
+__all__ = ["SHIM_PREFIX", "DEFAULT_REMOVAL_VERSION", "shim_warn"]
 
 #: Leading text of every documented shim warning (CI filters on it).
 SHIM_PREFIX = "repro.runtime shim"
 
+#: Release in which currently-documented shims are deleted.
+DEFAULT_REMOVAL_VERSION = "2.0.0"
 
-def shim_warn(old: str, new: str) -> None:
-    """Emit the documented deprecation warning for a shimmed entry point."""
+
+def shim_warn(old: str, new: str, removal: str | None = None) -> None:
+    """Emit the documented deprecation warning for a shimmed entry point.
+
+    The message always carries the :data:`SHIM_PREFIX` (the CI filter)
+    and the removal version (``removal`` or
+    :data:`DEFAULT_REMOVAL_VERSION`).
+    """
+    removal = removal or DEFAULT_REMOVAL_VERSION
     warnings.warn(
-        f"{SHIM_PREFIX}: {old} is deprecated; use {new} instead",
+        f"{SHIM_PREFIX}: {old} is deprecated; use {new} instead "
+        f"(removal: {removal})",
         DeprecationWarning,
         stacklevel=3,
     )

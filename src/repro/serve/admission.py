@@ -1,0 +1,119 @@
+"""Token-bucket admission control priced by the fast model.
+
+The service's first line of defence: before a request may even join the
+bounded queue, it must afford its *estimated cost* from a token bucket.
+The cost estimate comes from the analytic fast model
+(:func:`~repro.exec_model.timeline.simulate_execution`) — the admission
+oracle ROADMAP item 5 anticipated: a near-zero-cost prediction of the
+solve's simulated makespan, cached per ``(matrix, config)`` key, so a
+heavyweight solve consumes proportionally more admission budget than a
+trivial one and a flood of expensive requests is shed *before* it ties
+up workers.
+
+Rejections are typed :class:`~repro.errors.ServiceOverloadError` with a
+computed ``retry_after`` — the bucket knows exactly when enough tokens
+will have refilled — so well-behaved clients back off precisely instead
+of hammering.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ServiceOverloadError
+
+__all__ = ["TokenBucket", "AdmissionController"]
+
+
+class TokenBucket:
+    """Classic token bucket with a monotonic (injectable) clock.
+
+    ``capacity`` bounds the burst; ``refill_rate`` is tokens per
+    second.  :meth:`try_take` either debits ``cost`` and returns 0.0,
+    or leaves the bucket untouched and returns the seconds until
+    ``cost`` tokens will be available.
+    """
+
+    def __init__(
+        self, capacity: float, refill_rate: float, clock=time.monotonic
+    ):
+        if capacity <= 0 or refill_rate <= 0:
+            raise ValueError(
+                f"capacity and refill_rate must be > 0, got "
+                f"{capacity}/{refill_rate}"
+            )
+        self.capacity = float(capacity)
+        self.refill_rate = float(refill_rate)
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(
+            self.capacity,
+            self._tokens + (now - self._stamp) * self.refill_rate,
+        )
+        self._stamp = now
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def try_take(self, cost: float) -> float:
+        """Debit ``cost`` tokens; 0.0 on success, else seconds to wait."""
+        self._refill()
+        if cost <= self._tokens:
+            self._tokens -= cost
+            return 0.0
+        deficit = min(cost, self.capacity) - self._tokens
+        return deficit / self.refill_rate
+
+
+class AdmissionController:
+    """Admit or shed requests by fast-model-priced token cost.
+
+    A request estimated to occupy ``est`` simulated seconds costs
+    ``max(1, est / unit_cost)`` tokens — ``unit_cost`` is the simulated
+    makespan worth one token.  ``None`` for ``bucket`` disables
+    admission control (every request admitted), which is the unit-test
+    default; services under load configure a bucket sized to their
+    worker throughput.
+    """
+
+    def __init__(
+        self, bucket: TokenBucket | None = None, unit_cost: float = 1e-3
+    ):
+        if unit_cost <= 0:
+            raise ValueError(f"unit_cost must be > 0, got {unit_cost}")
+        self.bucket = bucket
+        self.unit_cost = unit_cost
+        self.admitted = 0
+        self.shed = 0
+
+    def cost_of(self, estimate: float) -> float:
+        """Token cost of a solve estimated at ``estimate`` sim-seconds."""
+        return max(1.0, float(estimate) / self.unit_cost)
+
+    def admit(self, estimate: float) -> float:
+        """Admit a request or raise typed overload with ``retry_after``.
+
+        Returns the token cost debited (0.0 when admission control is
+        disabled).
+        """
+        if self.bucket is None:
+            self.admitted += 1
+            return 0.0
+        cost = self.cost_of(estimate)
+        wait = self.bucket.try_take(cost)
+        if wait > 0.0:
+            self.shed += 1
+            raise ServiceOverloadError(
+                f"admission shed: cost {cost:.1f} tokens exceeds budget; "
+                f"retry after {wait:.3f}s",
+                retry_after=wait,
+                reason="admission",
+            )
+        self.admitted += 1
+        return cost

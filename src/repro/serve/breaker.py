@@ -1,0 +1,134 @@
+"""Per-(fingerprint, config) circuit breakers for the solve service.
+
+A request key that keeps ending in
+:class:`~repro.errors.RecoveryExhaustedError` /
+:class:`~repro.errors.DeadlockError` is structurally broken for the
+service's purposes — an unsolvable fault plan, a poisoned matrix, a
+config that deadlocks.  Burning a worker (and a retry ladder) on every
+recurrence steals capacity from healthy tenants, so each key gets the
+classic three-state breaker:
+
+* **closed** — requests flow; consecutive failures count up;
+* **open** — after ``threshold`` consecutive failures, requests for the
+  key fail fast with :class:`~repro.errors.CircuitOpenError` (or drop
+  straight to the degradation ladder's estimate rung when the client
+  allows) until ``cooldown`` elapses;
+* **half-open** — one probe request is admitted after the cooldown; its
+  success closes the breaker, its failure re-opens it (with the
+  cooldown restarted).
+
+The clock is injectable so the state machine is unit-testable without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["CircuitBreaker", "BreakerBoard"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Three-state breaker over consecutive structural failures."""
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 1.0,
+        clock=time.monotonic,
+    ):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if cooldown <= 0:
+            raise ValueError(f"cooldown must be > 0, got {cooldown}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self.failures = 0
+        self.trips = 0
+        self._opened_at: float | None = None
+        self._probing = False
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return CLOSED
+        if self._clock() - self._opened_at >= self.cooldown:
+            return HALF_OPEN
+        return OPEN
+
+    @property
+    def retry_after(self) -> float:
+        """Seconds until a half-open probe is admitted (0 when allowed)."""
+        if self._opened_at is None:
+            return 0.0
+        remaining = self.cooldown - (self._clock() - self._opened_at)
+        return max(0.0, remaining)
+
+    def allow(self) -> bool:
+        """May a request for this key proceed right now?
+
+        Closed: always.  Open: no.  Half-open: exactly one in-flight
+        probe at a time.
+        """
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == HALF_OPEN and not self._probing:
+            self._probing = True
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def record_success(self) -> None:
+        """A served request closes the breaker and clears the count."""
+        self.failures = 0
+        self._opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        """A structural failure; trips the breaker at ``threshold``."""
+        self.failures += 1
+        self._probing = False
+        if self._opened_at is not None:
+            # Half-open probe failed: re-open with a fresh cooldown.
+            self._opened_at = self._clock()
+        elif self.failures >= self.threshold:
+            self._opened_at = self._clock()
+            self.trips += 1
+
+
+class BreakerBoard:
+    """Lazy registry of one :class:`CircuitBreaker` per request key."""
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 1.0,
+        clock=time.monotonic,
+    ):
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._breakers: dict[tuple, CircuitBreaker] = {}
+
+    def get(self, key: tuple) -> CircuitBreaker:
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.threshold, self.cooldown, clock=self._clock
+            )
+            self._breakers[key] = breaker
+        return breaker
+
+    def states(self) -> dict:
+        """Snapshot ``{key: state}`` for diagnostics endpoints."""
+        return {k: b.state for k, b in self._breakers.items()}
+
+    def __len__(self) -> int:
+        return len(self._breakers)

@@ -1,0 +1,162 @@
+"""Newline-delimited-JSON TCP front-end for :class:`SolveService`.
+
+One connection, many requests: each line in is one
+:meth:`~repro.serve.request.SolveRequest.from_mapping` mapping, each
+line out is either a :meth:`~repro.serve.request.ServiceResult.to_mapping`
+payload or a typed error mapping::
+
+    {"error": "ServiceOverloadError", "message": ..., "retry_after": 0.12}
+
+Errors never tear the connection down — a shed request is a *response*,
+and a well-behaved client uses ``retry_after`` to back off.  What does
+tear the connection down is the slow-client defence: writes go through a
+small OS send buffer and a bounded ``drain()`` timeout, so a client that
+stops reading cannot pin server memory or wedge a handler task — its
+connection is dropped (and counted) instead.  That is the service-level
+mirror of the solver's "never hang" invariant.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ReproError,
+    ServiceOverloadError,
+)
+from repro.serve.request import SolveRequest
+from repro.serve.service import SolveService
+
+__all__ = ["ServiceEndpoint"]
+
+#: Bytes of OS-level send buffering before ``drain()`` blocks — small on
+#: purpose, so a non-reading client surfaces as a drain timeout quickly.
+WRITE_HIGH_WATER = 64 * 1024
+
+
+class ServiceEndpoint:
+    """A :class:`SolveService` listening on a TCP socket.
+
+    Parameters
+    ----------
+    service:
+        The (not-yet-started) service to expose.
+    host / port:
+        Bind address; port ``0`` picks a free port (tests), readable
+        from :attr:`port` after :meth:`start`.
+    drain_timeout:
+        Seconds a response write may wait for the client to read before
+        the connection is declared slow and dropped.
+    """
+
+    def __init__(
+        self,
+        service: SolveService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        drain_timeout: float = 2.0,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self.drain_timeout = drain_timeout
+        self.slow_client_drops = 0
+        self.protocol_errors = 0
+        self._server: asyncio.AbstractServer | None = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle,
+            self.host,
+            self.port,
+            limit=WRITE_HIGH_WATER,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+
+    async def __aenter__(self) -> "ServiceEndpoint":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    async def serve_forever(self) -> None:  # pragma: no cover - CLI path
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _error_mapping(err: ReproError) -> dict:
+        out = {
+            "error": type(err).__name__,
+            "message": str(err),
+        }
+        if isinstance(err, (ServiceOverloadError, CircuitOpenError)):
+            out["retry_after"] = err.retry_after
+        if isinstance(err, ServiceOverloadError):
+            out["reason"] = err.reason
+        if isinstance(err, DeadlineExceededError):
+            out["stage"] = err.stage
+        return out
+
+    async def _respond(self, writer: asyncio.StreamWriter, payload: dict):
+        """Write one response line; drop the connection on a slow client."""
+        writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+        try:
+            await asyncio.wait_for(writer.drain(), self.drain_timeout)
+            return True
+        except asyncio.TimeoutError:
+            self.slow_client_drops += 1
+            writer.transport.abort()
+            return False
+
+    async def _handle(self, reader, writer):
+        writer.transport.set_write_buffer_limits(high=WRITE_HIGH_WATER)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    mapping = json.loads(line)
+                    request = SolveRequest.from_mapping(mapping)
+                except (json.JSONDecodeError, ReproError) as err:
+                    self.protocol_errors += 1
+                    ok = await self._respond(
+                        writer,
+                        {"error": type(err).__name__, "message": str(err)},
+                    )
+                    if not ok:
+                        return
+                    continue
+                try:
+                    result = await self.service.submit(request)
+                    payload = result.to_mapping()
+                except ReproError as err:
+                    payload = self._error_mapping(err)
+                if not await self._respond(writer, payload):
+                    return
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (  # pragma: no cover - dead transport / shutdown race
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+            ):
+                pass

@@ -102,6 +102,7 @@ from repro.engine.protocol import (
     edge_cost_tables,
     exhausted_delivery,
     failure_victims,
+    frontier_diagnostics,
     gather_cost_table,
     launch_times,
     link_capacity,
@@ -839,15 +840,21 @@ def execute_array(
             if q:
                 stuck[bank.names[rid]] = len(q)
         if stuck:
+            diagnostics = {
+                "now": now,
+                "events_processed": nevents,
+                "unsatisfied": sum(1 for r in remaining if r),
+            }
+            diagnostics.update(
+                frontier_diagnostics(
+                    [i for i in range(n) if parked_ready[i]], gpu_np
+                )
+            )
             raise DeadlockError(
                 f"deadlock: {sum(stuck.values())} waiters with empty "
                 f"event calendar; waiters per channel: {stuck}",
                 blocked=stuck,
-                diagnostics={
-                    "now": now,
-                    "events_processed": nevents,
-                    "unsatisfied": sum(1 for r in remaining if r),
-                },
+                diagnostics=diagnostics,
             )
         raise SolverError("DES run finished with unsatisfied dependencies")
     if emit is None:

@@ -61,6 +61,7 @@ from repro.engine.protocol import (
     edge_notify_delay,
     edge_update_inc,
     exhausted_delivery,
+    frontier_diagnostics,
     failure_victims,
     launch_times,
     link_capacity,
@@ -269,6 +270,17 @@ def des_execute(
     failure_mode = faulty and injector.has_gpu_failures
 
     sim = Simulator(watchdog=watchdog)
+    # Deadlock reports name the starved components and their owning
+    # ranks: the readiness channels still holding waiters when the
+    # calendar drains are exactly the pending-dependency frontier.
+    sim.frontier_resolver = lambda waiting: frontier_diagnostics(
+        [
+            ch[1]
+            for ch, ps in waiting.items()
+            if ps and isinstance(ch, tuple) and ch[0] == "ready"
+        ],
+        dist.gpu_of,
+    )
     trace = Trace(enabled=trace_enabled)
     slots = [
         Resource(f"gpu{g}.warps", capacity=gpu_spec.warp_slots)

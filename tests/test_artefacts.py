@@ -105,3 +105,123 @@ def test_manual_bundle_passthrough():
     ref = simulate_execution(low, dist, machine)
     assert rep.solve_time == ref.solve_time
     np.testing.assert_array_equal(rep.gpu_finish, ref.gpu_finish)
+
+
+# ---------------------------------------------------------------------------
+# SpillStore: context-managed spill lifecycle with an LRU byte budget
+# ---------------------------------------------------------------------------
+def _spill_fixture(n=32, seed=0):
+    from repro.workloads.generators import forest_lower
+
+    return forest_lower(n, seed=seed)
+
+
+def test_spill_store_put_is_idempotent_per_key(tmp_path):
+    from repro.exec_model.artefacts import SpillStore
+
+    lower = _spill_fixture()
+    with SpillStore(tmp_path / "spill") as store:
+        p1 = store.put("k", lower)
+        p2 = store.put("k", lower)
+        assert p1 == p2 and p1.exists()
+        assert store.spills == 1
+        assert "k" in store and store.get("k") == p1
+
+
+def test_spill_store_round_trips_bundle(tmp_path):
+    from repro.exec_model.artefacts import SpillStore, load_artefacts
+
+    lower = _spill_fixture()
+    with SpillStore(tmp_path / "spill") as store:
+        path = store.put("k", lower)
+        loaded, bundle = load_artefacts(path)
+        assert (loaded.indptr == lower.indptr).all()
+        assert (loaded.data == lower.data).all()
+        assert bundle.dag.n == lower.shape[0]
+
+
+def test_spill_store_close_removes_files_and_owned_root():
+    from repro.exec_model.artefacts import SpillStore
+
+    lower = _spill_fixture()
+    store = SpillStore()  # owns a tempdir
+    path = store.put("k", lower)
+    root = store.root
+    assert path.exists()
+    store.close()
+    assert not path.exists()
+    assert not root.exists()
+
+
+def test_spill_store_byte_budget_evicts_lru(tmp_path):
+    from repro.exec_model.artefacts import SpillStore
+
+    matrices = [_spill_fixture(seed=s) for s in range(4)]
+    probe = SpillStore(tmp_path / "probe")
+    one = probe.put("probe", matrices[0]).stat().st_size
+    probe.close()
+
+    with SpillStore(
+        tmp_path / "spill", byte_budget=int(2.5 * one)
+    ) as store:
+        for i, lower in enumerate(matrices):
+            store.put(f"k{i}", lower)
+        assert store.total_bytes <= int(2.5 * one)
+        assert store.evictions >= 1
+        # Oldest keys evicted, newest retained.
+        assert "k3" in store
+        assert "k0" not in store
+        live = {p.name for p in (tmp_path / "spill").iterdir()}
+        assert "k3.pkl" in live and "k0.pkl" not in live
+
+
+def test_spill_store_get_refreshes_lru(tmp_path):
+    from repro.exec_model.artefacts import SpillStore
+
+    matrices = [_spill_fixture(seed=s) for s in range(3)]
+    probe = SpillStore(tmp_path / "probe")
+    one = probe.put("probe", matrices[0]).stat().st_size
+    probe.close()
+
+    with SpillStore(
+        tmp_path / "spill", byte_budget=int(2.5 * one)
+    ) as store:
+        store.put("k0", matrices[0])
+        store.put("k1", matrices[1])
+        assert store.get("k0") is not None  # k0 now most-recently-used
+        store.put("k2", matrices[2])        # must evict k1, not k0
+        assert "k0" in store and "k1" not in store
+
+
+def test_spill_store_long_session_footprint_is_bounded(tmp_path):
+    """Regression: a long session must not grow the spill dir unboundedly."""
+    from repro.exec_model.artefacts import SpillStore
+
+    probe = SpillStore(tmp_path / "probe")
+    one = probe.put("probe", _spill_fixture(seed=0)).stat().st_size
+    probe.close()
+
+    budget = int(3.2 * one)
+    with SpillStore(tmp_path / "spill", byte_budget=budget) as store:
+        for s in range(12):  # 12 distinct matrices through one store
+            store.put(f"m{s}", _spill_fixture(seed=s))
+            assert store.total_bytes <= budget
+            on_disk = sum(
+                p.stat().st_size for p in (tmp_path / "spill").iterdir()
+            )
+            assert on_disk <= budget
+        assert store.spills == 12
+        assert store.evictions == 12 - len(
+            list((tmp_path / "spill").iterdir())
+        )
+
+
+def test_spill_store_single_oversized_bundle_is_kept(tmp_path):
+    """The budget never evicts the entry just written (floor of one)."""
+    from repro.exec_model.artefacts import SpillStore
+
+    lower = _spill_fixture()
+    with SpillStore(tmp_path / "spill", byte_budget=1) as store:
+        path = store.put("big", lower)
+        assert path.exists()
+        assert "big" in store

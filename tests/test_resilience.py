@@ -413,3 +413,57 @@ class TestChromeTraceResilience:
         fail_arrows = [e for e in flows if e.get("id", 0) >= 1 << 40]
         assert [e["ph"] for e in fail_arrows] == ["s", "f"]
         assert fail_arrows[0]["tid"] == 2 and fail_arrows[1]["tid"] == 3
+
+
+class TestDeadlockFrontierDiagnostics:
+    """Satellite: deadlock reports name the starved components per GPU."""
+
+    def _deadlock(self, engine, n=48, seed=3):
+        from repro.solvers.des_solver import des_execute
+        from repro.tasks.schedule import block_distribution
+
+        lower = forest_lower(n, seed=seed)
+        b = np.random.default_rng(seed).standard_normal(n)
+        dist = block_distribution(n, 4)
+        plan = FaultPlan.single(FaultKind.MSG_DROP, rate=1.0, seed=5)
+        with pytest.raises(DeadlockError) as ei:
+            des_execute(
+                lower, b, dist, dgx1(4), Design.SHMEM_READONLY,
+                engine=engine,
+                injector=plan.build(lower, dist),
+                recovery=RecoveryPolicy(retry=False),
+                watchdog=Watchdog(stall_horizon=10.0),
+            )
+        return ei.value, dist
+
+    @pytest.mark.parametrize("engine", ["reference", "array"])
+    def test_frontier_payload_shape(self, engine):
+        err, dist = self._deadlock(engine)
+        frontier = err.diagnostics["pending_frontier"]
+        by_gpu = err.diagnostics["frontier_by_gpu"]
+        assert frontier, "a drained-calendar deadlock must name waiters"
+        comps = [row["component"] for row in frontier]
+        assert comps == sorted(comps)
+        for row in frontier:
+            assert set(row) == {"component", "gpu"}
+            assert isinstance(row["component"], int)
+            assert row["gpu"] == int(dist.gpu_of[row["component"]])
+        # The per-GPU view is exactly the row set regrouped.
+        regrouped = {}
+        for row in frontier:
+            regrouped.setdefault(row["gpu"], []).append(row["component"])
+        assert by_gpu == regrouped
+        for comps_on_gpu in by_gpu.values():
+            assert comps_on_gpu == sorted(comps_on_gpu)
+
+    def test_frontier_identical_across_engines(self):
+        ref_err, _ = self._deadlock("reference")
+        arr_err, _ = self._deadlock("array")
+        assert (
+            ref_err.diagnostics["pending_frontier"]
+            == arr_err.diagnostics["pending_frontier"]
+        )
+        assert (
+            ref_err.diagnostics["frontier_by_gpu"]
+            == arr_err.diagnostics["frontier_by_gpu"]
+        )

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Closed-loop service load generator; writes ``BENCH_serve.json``.
+
+    python tools/loadgen.py            # full run: >=100 in-flight clients
+    python tools/loadgen.py --ci       # quick CI subset (same invariants)
+    python tools/loadgen.py --out results.json
+
+Runs three cases — clean, faulted-with-degradation, faulted-hard-fail —
+and enforces the service-level acceptance gates:
+
+* every request is accounted for (no hangs, no silent drops);
+* degraded-mode goodput is strictly above hard-fail goodput under the
+  same fault plan;
+* (full mode) the clean case reached >= 100 concurrent in-flight solves;
+* the clean p99 latency is under the ceiling — enforced only when the
+  run is not timer-noisy, mirroring the fast-model bench's policy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.loadgen import run_bench  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_serve.json")
+    )
+    parser.add_argument(
+        "--ci", action="store_true", help="quick mode: smaller fleet"
+    )
+    parser.add_argument("--n", type=int, default=48, help="workload size")
+    args = parser.parse_args(argv)
+
+    if args.ci:
+        payload = run_bench(n=args.n, requests=48, concurrency=24)
+    else:
+        payload = run_bench(n=args.n, requests=130, concurrency=110)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    for name, case in payload["cases"].items():
+        p50 = case["p50_latency"]
+        p99 = case["p99_latency"]
+        print(
+            f"{name:>18}: served {case['served']:>4}/{case['requests']:<4} "
+            f"goodput {case['goodput']:>8.1f}/s  "
+            f"p50 {p50 * 1e3:7.1f}ms  p99 {p99 * 1e3:7.1f}ms  "
+            f"max-inflight {case['max_inflight']}"
+            if p50 is not None
+            else f"{name:>18}: served {case['served']:>4}/"
+            f"{case['requests']:<4} goodput {case['goodput']:>8.1f}/s  "
+            f"outcomes {case['outcomes']}"
+        )
+    print(f"\nwrote {args.out}")
+
+    failures = []
+    if not payload["all_accounted"]:
+        failures.append("requests unaccounted for (hang or silent drop)")
+    if not payload["goodput_ordered"]:
+        failures.append(
+            f"degraded goodput {payload['degraded_goodput']:.1f}/s not "
+            f"above hard-fail {payload['hardfail_goodput']:.1f}/s"
+        )
+    if not args.ci and not payload["inflight_ok"]:
+        failures.append("clean case never reached the in-flight target")
+    if not payload["p99_ok"]:
+        if payload["noisy"]:
+            print(
+                "WARN: p99 over ceiling but run is timer-noisy; "
+                "not enforced"
+            )
+        else:
+            failures.append(
+                f"clean p99 over the {payload['p99_ceiling']}s ceiling"
+            )
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Run the solver-as-a-service TCP endpoint.
+
+    python tools/serve.py                      # 127.0.0.1:8753, inline pool
+    python tools/serve.py --port 0             # pick a free port
+    python tools/serve.py --workers 4          # process-pool isolation
+
+Clients speak newline-delimited JSON: one request mapping per line
+(see ``repro.serve.request.SolveRequest.from_mapping``), one response
+or typed-error mapping per line back.  Ctrl-C shuts down cleanly,
+failing still-queued requests with a typed shutdown error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.serve import ServiceEndpoint, SolveService  # noqa: E402
+from repro.serve.admission import (  # noqa: E402
+    AdmissionController,
+    TokenBucket,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8753)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="0 = inline thread pool, >=1 = process pool",
+    )
+    parser.add_argument("--queue-depth", type=int, default=64)
+    parser.add_argument("--max-inflight", type=int, default=4)
+    parser.add_argument(
+        "--degrade-watermark",
+        type=int,
+        default=None,
+        help="queue depth at which consenting requests get estimates",
+    )
+    parser.add_argument("--default-deadline", type=float, default=30.0)
+    parser.add_argument(
+        "--admission-capacity",
+        type=float,
+        default=None,
+        help="token-bucket burst capacity (omit to disable admission)",
+    )
+    parser.add_argument(
+        "--admission-rate",
+        type=float,
+        default=100.0,
+        help="token refill per second (with --admission-capacity)",
+    )
+    parser.add_argument("--drain-timeout", type=float, default=2.0)
+    args = parser.parse_args(argv)
+
+    admission = None
+    if args.admission_capacity is not None:
+        admission = AdmissionController(
+            TokenBucket(args.admission_capacity, args.admission_rate)
+        )
+    service = SolveService(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        max_inflight=args.max_inflight,
+        degrade_watermark=args.degrade_watermark,
+        default_deadline=args.default_deadline,
+        admission=admission,
+    )
+    endpoint = ServiceEndpoint(
+        service, args.host, args.port, drain_timeout=args.drain_timeout
+    )
+
+    async def _serve() -> None:
+        async with endpoint:
+            print(
+                f"serving on {endpoint.host}:{endpoint.port} "
+                f"({service.pool.mode} pool)",
+                flush=True,
+            )
+            await endpoint.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutdown")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
