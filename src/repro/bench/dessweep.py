@@ -69,6 +69,8 @@ from repro.workloads.generators import dag_profile_matrix
 __all__ = [
     "DES_CASES",
     "QUICK_CASES",
+    "SCALE_OUT_CASES",
+    "QUICK_SCALE_OUT",
     "NOISE_CV",
     "SPEEDUP_FLOOR",
     "VECTOR_FLOOR",
@@ -84,6 +86,7 @@ __all__ = [
     "COUNTER_KINDS",
     "measure_des_case",
     "measure_partitioned_case",
+    "measure_scaleout_case",
     "run_des_sweep",
 ]
 
@@ -180,6 +183,79 @@ COUNTER_KINDS = ("dispatch", "solve", "release", "xfer_begin", "xfer_end")
 
 #: Worker processes for the partitioned playout measurement.
 PARTITION_WORKERS = 2
+
+#: Multi-node scale-out rows (the paper's strong-scaling regime pushed
+#: past a single NVSwitch island).  Each row simulates a cluster of
+#: NVSwitch nodes joined by an IB tier and compares the flat taskpool
+#: round-robin of Section V against the hierarchical (node-aware)
+#: placement on the *same* workload, machine, and design — the
+#: simulated makespan and the inter-node edge-tier split are the
+#: figures of merit, so no wall-clock timing is involved.  The
+#: ``geometric`` profile with high locality is the adversarial family:
+#: dense short-range dependencies that flat round-robin deals across
+#: the slow tier on nearly every task boundary.  Each shape is measured
+#: under two designs because they expose the tier very differently:
+#: ``shmem_naive`` serialises a full Get-Update-Put round trip per
+#: remote dependant (per-pair latency on the critical path — flat
+#: placement pays IB on most of them), while ``shmem_readonly`` buries
+#: per-pair latency under the local-accumulate + warp-concurrent gather
+#: and is largely insulated from placement; there the hierarchical win
+#: is fabric traffic over the slow tier, not makespan.
+SCALE_OUT_CASES: dict[str, dict[str, Any]] = {
+    "cluster-8x8": dict(
+        workload=dict(
+            n=4_000, n_levels=40, dependency=6.0, profile="geometric",
+            locality=0.9, order_mix=0.3, scatter=0.0, seed=0,
+        ),
+        n_nodes=8, gpus_per_node=8, tasks_per_gpu=4, node_run=32,
+        design="shmem_readonly", tri_engine=True,
+    ),
+    "cluster-8x8-naive": dict(
+        workload=dict(
+            n=4_000, n_levels=40, dependency=6.0, profile="geometric",
+            locality=0.9, order_mix=0.3, scatter=0.0, seed=0,
+        ),
+        n_nodes=8, gpus_per_node=8, tasks_per_gpu=4, node_run=32,
+        design="shmem_naive",
+    ),
+    "cluster-16x8": dict(
+        workload=dict(
+            n=16_000, n_levels=48, dependency=7.0, profile="geometric",
+            locality=0.9, order_mix=0.3, scatter=0.0, seed=0,
+        ),
+        n_nodes=16, gpus_per_node=8, tasks_per_gpu=4, node_run=32,
+        design="shmem_readonly",
+    ),
+    "cluster-16x8-naive": dict(
+        workload=dict(
+            n=16_000, n_levels=48, dependency=7.0, profile="geometric",
+            locality=0.9, order_mix=0.3, scatter=0.0, seed=0,
+        ),
+        n_nodes=16, gpus_per_node=8, tasks_per_gpu=4, node_run=32,
+        design="shmem_naive",
+    ),
+    "cluster-16x16": dict(
+        workload=dict(
+            n=32_000, n_levels=56, dependency=7.0, profile="geometric",
+            locality=0.9, order_mix=0.3, scatter=0.0, seed=0,
+        ),
+        n_nodes=16, gpus_per_node=16, tasks_per_gpu=4, node_run=32,
+        design="shmem_readonly",
+    ),
+    "cluster-16x16-naive": dict(
+        workload=dict(
+            n=32_000, n_levels=56, dependency=7.0, profile="geometric",
+            locality=0.9, order_mix=0.3, scatter=0.0, seed=0,
+        ),
+        n_nodes=16, gpus_per_node=16, tasks_per_gpu=4, node_run=32,
+        design="shmem_naive",
+    ),
+}
+
+#: Scale-out subset run by ``tools/sweep.py --quick``: the 64-GPU smoke
+#: rows (counter-verified in quick mode; the full sweep upgrades the
+#: read-only row to record-level tri-engine verification).
+QUICK_SCALE_OUT = ("cluster-8x8", "cluster-8x8-naive")
 
 
 def _executions_identical(ref, arr) -> bool:
@@ -426,6 +502,130 @@ def measure_partitioned_case(
     }
 
 
+def _scaleout_config(
+    spec: dict[str, Any], design: Design
+) -> dict[str, Any]:
+    """The :class:`~repro.runtime.RunConfig` mapping for one scale-out
+    row — the machine shape and distribution travel to the worker as
+    config, not as pickled objects.  The row's own ``design`` (the
+    tier-exposure axis) wins over the sweep-wide default."""
+    cfg: dict[str, Any] = {
+        "topology": "cluster",
+        "n_nodes": spec["n_nodes"],
+        "gpus_per_node": spec["gpus_per_node"],
+        "distribution": "hierarchical",
+        "design": spec.get("design", design.value),
+    }
+    if spec.get("tasks_per_gpu") is not None:
+        cfg["tasks_per_gpu"] = spec["tasks_per_gpu"]
+    if spec.get("node_run") is not None:
+        cfg["node_run"] = spec["node_run"]
+    return cfg
+
+
+def measure_scaleout_case(
+    name: str,
+    spill_path: str,
+    config: dict[str, Any],
+    *,
+    tri_engine: bool = False,
+) -> dict[str, Any]:
+    """Simulate one multi-node row: flat taskpool vs hierarchical.
+
+    ``config`` is a :class:`~repro.runtime.RunConfig` mapping with the
+    node axis set; the worker resolves the cluster machine and both
+    distributions from it.  Both placements replay the same workload on
+    the same fabric; the row records each placement's simulated
+    makespan and its edge-tier split (how many dependency edges cross
+    the IB fallback tier).  With ``tri_engine`` the row verifies all
+    three engines record-identical on both placements; otherwise the
+    array and vector engines are checked at the counter level.
+    """
+    from repro.runtime.config import RunConfig
+
+    lower, art = load_artefacts(spill_path)
+    n = lower.shape[0]
+    base_cfg = RunConfig.from_mapping(config)
+    machine = base_cfg.resolve_machine()
+    design = base_cfg.design
+    costs = art.comm_costs(machine, design)
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(n)
+
+    def run(dist, engine: str, trace: bool):
+        return des_execute(
+            lower, b, dist, machine, design,
+            engine=engine, trace_enabled=trace, dag=art.dag, costs=costs,
+        )
+
+    flat_map = {k: v for k, v in config.items() if k != "node_run"}
+    flat_map["distribution"] = "taskpool"
+    placements = {}
+    identical = True
+    for dname, mapping in (
+        ("taskpool", flat_map),
+        ("hierarchical", dict(config)),
+    ):
+        cfg = RunConfig.from_mapping(mapping)
+        dist = cfg.build_distribution(n, machine.n_gpus, lower=lower)
+        tiers = art.edge_tiers(dist, machine)
+        if tri_engine:
+            ref = run(dist, "reference", True)
+            arr = run(dist, "array", True)
+            vec = run(dist, "vector", True)
+            identical = (
+                identical
+                and _executions_identical(ref, arr)
+                and _executions_identical(ref, vec)
+            )
+            base = ref
+        else:
+            arr = run(dist, "array", False)
+            vec = run(dist, "vector", False)
+            identical = identical and _counters_identical(arr, vec)
+            base = arr
+        placements[dname] = {
+            "distribution": dname,
+            "sim_time": float(base.total_time),
+            "events": int(base.events),
+            "n_tasks": int(dist.partition.n_tasks),
+            "edges_direct": int(tiers.n_direct),
+            "edges_fallback": int(tiers.n_fallback),
+            "fallback_fraction": float(tiers.fallback_fraction),
+        }
+    flat = placements["taskpool"]
+    hier = placements["hierarchical"]
+    node_run = base_cfg.node_run
+    if node_run is None:
+        node_run = 2 * base_cfg.gpus_per_node
+    return {
+        "name": name,
+        "n": int(n),
+        "nnz": int(lower.nnz),
+        "n_gpus": machine.n_gpus,
+        "n_nodes": base_cfg.n_nodes,
+        "gpus_per_node": base_cfg.gpus_per_node,
+        "node_run": int(node_run),
+        "machine_shape": list(base_cfg.machine_shape()),
+        "design": design.value,
+        "engines_verified": (
+            ["reference", "array", "vector"]
+            if tri_engine
+            else ["array", "vector"]
+        ),
+        "verified": "trace" if tri_engine else "counters",
+        "identical": identical,
+        "flat": flat,
+        "hierarchical": hier,
+        "hier_speedup": (
+            flat["sim_time"] / hier["sim_time"]
+            if hier["sim_time"] > 0
+            else None
+        ),
+        "analysis_shared": art.build_counts.get("dag", 0) == 0,
+    }
+
+
 def run_des_sweep(
     *,
     quick: bool = False,
@@ -437,6 +637,7 @@ def run_des_sweep(
     engines: tuple[str, ...] = SWEEP_ENGINES,
     partitioned: bool = True,
     partition_workers: int = PARTITION_WORKERS,
+    scale_out: bool = True,
 ) -> dict[str, Any]:
     """Run the engine sweep; returns the ``BENCH_des.json`` payload.
 
@@ -451,6 +652,15 @@ def run_des_sweep(
     ``design`` select the simulated node shape and communication design
     every case is measured on (the ``tools/sweep.py --config``
     surface).
+
+    ``scale_out`` adds the multi-node rows (:data:`SCALE_OUT_CASES`):
+    64-256 simulated GPUs across an IB tier, flat taskpool vs
+    hierarchical placement, engine identity enforced per row (record
+    level on the tri-engine row of the full sweep, counter level on the
+    quick smoke row).  A scale-out identity mismatch fails the sweep
+    like any other; the hierarchical-vs-flat makespans are recorded
+    honestly, not gated.  Scale-out rows only run against the built-in
+    case table — a custom ``cases`` mapping skips them.
     """
     engines = tuple(engines)
     unknown = [e for e in engines if e not in SWEEP_ENGINES]
@@ -465,7 +675,15 @@ def run_des_sweep(
         names = [c for c in table if not quick or c in QUICK_CASES]
     if jobs is None:
         jobs = max(1, min(len(names), (os.cpu_count() or 2) - 1))
+    so_names = []
+    if scale_out and cases is None:
+        # A custom case table is the unit-test / ad-hoc surface; the
+        # scale-out shapes are fixed rows of the real sweep only.
+        so_names = [
+            c for c in SCALE_OUT_CASES if not quick or c in QUICK_SCALE_OUT
+        ]
     results: list[dict[str, Any]] = []
+    so_results: list[dict[str, Any]] = []
     with tempfile.TemporaryDirectory(prefix="des-sweep-") as tmp:
         spills = {}
         for cname in names:
@@ -473,6 +691,20 @@ def run_des_sweep(
             spills[cname] = str(
                 spill_artefacts(low, Path(tmp) / f"{cname}.pkl")
             )
+        so_spills = {}
+        wl_paths: dict[tuple, str] = {}
+        for cname in so_names:
+            # Rows differing only in design share one spilled analysis.
+            wl = SCALE_OUT_CASES[cname]["workload"]
+            key = tuple(sorted(wl.items()))
+            if key not in wl_paths:
+                low = dag_profile_matrix(**wl)
+                wl_paths[key] = str(
+                    spill_artefacts(
+                        low, Path(tmp) / f"so-{len(wl_paths)}.pkl"
+                    )
+                )
+            so_spills[cname] = wl_paths[key]
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = {
                 cname: pool.submit(
@@ -492,7 +724,24 @@ def run_des_sweep(
                 )
                 for cname in names
             }
+            so_futures = {
+                cname: pool.submit(
+                    measure_scaleout_case,
+                    cname,
+                    so_spills[cname],
+                    _scaleout_config(SCALE_OUT_CASES[cname], design),
+                    # Quick mode keeps the smoke row at counter-level
+                    # verification; the full sweep runs the reference
+                    # engine for record-level tri-engine identity.
+                    tri_engine=bool(
+                        SCALE_OUT_CASES[cname].get("tri_engine")
+                        and not quick
+                    ),
+                )
+                for cname in so_names
+            }
             results = [futures[cname].result() for cname in names]
+            so_results = [so_futures[cname].result() for cname in so_names]
         if partitioned:
             # After the pool: the partitioned playout times its own
             # worker processes and must not share cores with the sweep.
@@ -516,7 +765,10 @@ def run_des_sweep(
     partition_identical = all(
         c.get("partition_identical") is not False for c in results
     )
-    analysis_shared = all(c["analysis_shared"] for c in results)
+    scaleout_identical = all(c["identical"] for c in so_results)
+    analysis_shared = all(c["analysis_shared"] for c in results) and all(
+        c["analysis_shared"] for c in so_results
+    )
     floor_misses = [
         c["name"]
         for c in results
@@ -603,8 +855,10 @@ def run_des_sweep(
         "noise_cv": NOISE_CV,
         "skip_reference_n": SKIP_REFERENCE_N,
         "cases": results,
+        "scale_out": so_results,
         "all_identical": all_identical,
         "partition_identical": partition_identical,
+        "scaleout_identical": scaleout_identical,
         "analysis_shared": analysis_shared,
         "noisy": noisy,
         "floor_misses": floor_misses,
@@ -615,6 +869,7 @@ def run_des_sweep(
         "pass": (
             all_identical
             and partition_identical
+            and scaleout_identical
             and analysis_shared
             and not floor_misses
         ),

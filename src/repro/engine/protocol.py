@@ -138,6 +138,15 @@ __all__ = [
     "edge_update_inc",
     "edge_notify_delay",
     "edge_cost_tables",
+    # link tiers (multi-node fabric)
+    "LINK_TIER_LOCAL",
+    "LINK_TIER_DIRECT",
+    "LINK_TIER_FALLBACK",
+    "rank_tier_matrix",
+    "edge_tier_table",
+    "tiered_edge_cost_tables",
+    "fallback_legal",
+    "validate_fabric_reach",
     # validation
     "VALID_ENGINES",
     "coerce_design",
@@ -652,11 +661,19 @@ class DesignHooks:
         The default :class:`StalePolicy` for
         :attr:`~repro.exec_model.costmodel.Design.STALE_SYNC` (``None``
         for every fully synchronous design).
+    one_sided:
+        ``True`` for the NVSHMEM designs whose remote traffic is
+        one-sided puts/gets.  These may cross the fallback link tier
+        only when the topology grants ``shmem_over_fallback`` (the IB
+        RDMA transport) — see :func:`fallback_legal`; the unified
+        design stages through page migration and has no such
+        restriction.
     """
 
     design: Design
     page_table: bool
     stale: "StalePolicy | None" = None
+    one_sided: bool = True
 
 
 _DESIGN_HOOKS = {
@@ -664,6 +681,7 @@ _DESIGN_HOOKS = {
         design=d,
         page_table=d is Design.UNIFIED,
         stale=DEFAULT_STALE_POLICY if d is Design.STALE_SYNC else None,
+        one_sided=d is not Design.UNIFIED,
     )
     for d in Design
 }
@@ -704,6 +722,104 @@ def edge_cost_tables(
     )
     delay = np.where(local_e, 0.0, costs.notify[src_g_e, dst_g_e])
     return inc, delay
+
+
+# ---------------------------------------------------------------------------
+# Link tiers: the multi-node fabric's classification of every GPU pair.
+# Pricing already flows per pair through the CommCosts matrices (built
+# from the topology's tiered latencies/bandwidths), so these helpers add
+# *metadata*, never arithmetic — every float an engine pays is unchanged
+# and the three engines stay bit-identical by construction.
+# ---------------------------------------------------------------------------
+#: Same rank: no wire.
+LINK_TIER_LOCAL = 0
+#: Direct link (NVLink / NVSwitch island).
+LINK_TIER_DIRECT = 1
+#: Fallback path: PCIe staging on a single node, RDMA over IB across
+#: nodes.  NVSHMEM one-sided designs may use it only when the topology
+#: grants ``shmem_over_fallback``.
+LINK_TIER_FALLBACK = 2
+
+
+def rank_tier_matrix(machine) -> np.ndarray:
+    """``(n_gpus, n_gpus)`` link tier of every PE-rank pair.
+
+    Ranks map to physical GPUs through ``machine.active_gpus`` before
+    the topology is consulted, so a DGX-1 clique run and a full-cluster
+    run both classify correctly.
+    """
+    phys = np.asarray(machine.active_gpus, dtype=np.int64)
+    return machine.topology.tier_matrix()[np.ix_(phys, phys)]
+
+
+def edge_tier_table(machine, src_g_e: np.ndarray, dst_g_e: np.ndarray) -> np.ndarray:
+    """Vectorised per-edge link tier (ranks in, tiers out)."""
+    return rank_tier_matrix(machine)[src_g_e, dst_g_e]
+
+
+def tiered_edge_cost_tables(
+    costs: CommCosts,
+    machine,
+    src_g_e: np.ndarray,
+    dst_g_e: np.ndarray,
+    local_e: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`edge_cost_tables` plus the per-edge link tier.
+
+    The ``(inc, delay)`` arrays are exactly the classic tables (same
+    binary64 values, same lookups); ``tier`` classifies each edge as
+    local / direct / fallback so schedulers and reports can attribute
+    cost to the fabric level that carries it.
+    """
+    inc, delay = edge_cost_tables(costs, src_g_e, dst_g_e, local_e)
+    return inc, delay, edge_tier_table(machine, src_g_e, dst_g_e)
+
+
+def fallback_legal(design: Design | str, topology) -> bool:
+    """Whether ``design`` may carry traffic over the fallback tier.
+
+    One-sided NVSHMEM designs (naive, read-only/zerocopy, stale-sync)
+    need the topology to grant ``shmem_over_fallback`` — the IB RDMA
+    transport of multi-node NVSHMEM; the CUDA-10-era single-node
+    fallback (PCIe staging) cannot carry one-sided gets, which is the
+    paper's 4-GPU DGX-1 limit.  The unified design stages through the
+    page-migration path, so any fallback link is legal.  The causality
+    replayer enforces the same rule on every recorded transfer.
+    """
+    if topology.fallback is None:
+        return False
+    if design_hooks(design).one_sided:
+        return bool(topology.shmem_over_fallback)
+    return True
+
+
+def validate_fabric_reach(machine, design: Design | str) -> None:
+    """Reject a run whose design cannot reach every active rank pair.
+
+    Raises a typed :class:`~repro.errors.TopologyError` naming the first
+    offending pair when any pair of active ranks needs the fallback tier
+    and :func:`fallback_legal` denies it — the shared upfront check of
+    ``des_execute``, so all engines fail identically before any event is
+    played.
+    """
+    from repro.errors import TopologyError
+
+    topo = machine.topology
+    tiers = rank_tier_matrix(machine)
+    needs_fallback = np.argwhere(tiers >= LINK_TIER_FALLBACK)
+    if needs_fallback.size and not fallback_legal(design, topo):
+        a, b = (int(v) for v in needs_fallback[0])
+        design = coerce_design(design)
+        raise TopologyError(
+            f"design {design.value!r} cannot reach rank {a} -> rank {b}: "
+            f"the pair crosses the fallback tier of {topo.name} and "
+            + (
+                "the topology has no fallback link"
+                if topo.fallback is None
+                else f"{topo.fallback.name} does not carry one-sided access "
+                "(shmem_over_fallback=False)"
+            )
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -818,4 +934,7 @@ PROTOCOL_CONSTANTS: dict[str, object] = {
     "ACT_EXHAUSTED": ACT_EXHAUSTED,
     "MESSAGE_BYTES": MESSAGE_BYTES,
     "MESSAGES_IN_FLIGHT_PER_LINK": MESSAGES_IN_FLIGHT_PER_LINK,
+    "LINK_TIER_LOCAL": LINK_TIER_LOCAL,
+    "LINK_TIER_DIRECT": LINK_TIER_DIRECT,
+    "LINK_TIER_FALLBACK": LINK_TIER_FALLBACK,
 }

@@ -51,6 +51,7 @@ from repro.tasks.schedule import Distribution
 __all__ = [
     "AnalysisArtefacts",
     "PlacementArtefacts",
+    "EdgeTierArtefacts",
     "SpillStore",
     "get_artefacts",
     "spill_artefacts",
@@ -86,6 +87,33 @@ class PlacementArtefacts:
     front_cuts: tuple[np.ndarray, ...]  # per GPU: front_ptr positions
 
 
+@dataclass(frozen=True)
+class EdgeTierArtefacts:
+    """Link-tier classification of one placement on one fabric.
+
+    The node axis of a mesh-built machine, projected onto the DAG's
+    out-edges: which dependency edges ride the fast intra-island link
+    and which must cross the fallback tier (RDMA over IB on a cluster,
+    PCIe staging on a single node).  Pure metadata — pricing stays in
+    the :class:`~repro.exec_model.costmodel.CommCosts` matrices — but
+    it is what scale-out studies and schedulers reason about.
+    """
+
+    tier_e: np.ndarray  # per out-edge link tier (protocol LINK_TIER_*)
+    n_local: int  # same-rank edges
+    n_direct: int  # remote edges on the direct link tier
+    n_fallback: int  # remote edges crossing the fallback tier
+    node_of_rank: np.ndarray  # owning node per PE rank (node axis)
+    node_of_comp: np.ndarray  # owning node per component
+    internode_edge: np.ndarray  # out-edge crosses the node axis
+
+    @property
+    def fallback_fraction(self) -> float:
+        """Fraction of all dependency edges crossing the fallback tier."""
+        total = self.tier_e.size
+        return self.n_fallback / total if total else 0.0
+
+
 class AnalysisArtefacts:
     """Structure-keyed bundle of reusable SpTRSV analysis products.
 
@@ -110,6 +138,7 @@ class AnalysisArtefacts:
         self._edges: dict[str, np.ndarray] | None = None
         self._placements: dict[tuple, PlacementArtefacts] = {}
         self._costs: dict[tuple, tuple[MachineConfig, CommCosts]] = {}
+        self._edge_tiers: dict[tuple, tuple[MachineConfig, EdgeTierArtefacts]] = {}
 
     # ----------------------------------------------------------- structure
     @property
@@ -203,6 +232,51 @@ class AnalysisArtefacts:
             self.build_counts.get("placements", 0) + 1
         )
         return place
+
+    def edge_tiers(
+        self, dist: Distribution, machine: MachineConfig
+    ) -> EdgeTierArtefacts:
+        """Link-tier classification of ``dist`` on ``machine``'s fabric.
+
+        Cached by placement content and machine identity, like
+        :meth:`placement` / :meth:`comm_costs`: a sweep re-pricing one
+        placement across designs classifies the node axis exactly once.
+        """
+        key = (dist.n_gpus, dist.gpu_of.tobytes(), id(machine))
+        cached = self._edge_tiers.get(key)
+        if cached is not None and cached[0] is machine:
+            return cached[1]
+        from repro.engine.protocol import (
+            LINK_TIER_DIRECT,
+            LINK_TIER_FALLBACK,
+            LINK_TIER_LOCAL,
+            rank_tier_matrix,
+        )
+
+        place = self.placement(dist)
+        tier_e = rank_tier_matrix(machine)[place.src_g, place.dst_g]
+        shape = machine.topology.node_shape
+        gpus_per_node = shape[1] if shape is not None else machine.n_gpus
+        phys = np.asarray(machine.active_gpus, dtype=np.int64)
+        node_of_rank = phys // gpus_per_node
+        node_of_comp = node_of_rank[place.gpu_of]
+        internode = node_of_rank[place.src_g] != node_of_rank[place.dst_g]
+        tiers = EdgeTierArtefacts(
+            tier_e=tier_e,
+            n_local=int(np.count_nonzero(tier_e == LINK_TIER_LOCAL)),
+            n_direct=int(np.count_nonzero(tier_e == LINK_TIER_DIRECT)),
+            n_fallback=int(np.count_nonzero(tier_e >= LINK_TIER_FALLBACK)),
+            node_of_rank=node_of_rank,
+            node_of_comp=node_of_comp,
+            internode_edge=internode,
+        )
+        if len(self._edge_tiers) >= _SUBCACHE_CAP:
+            self._edge_tiers.pop(next(iter(self._edge_tiers)))
+        self._edge_tiers[key] = (machine, tiers)
+        self.build_counts["edge_tiers"] = (
+            self.build_counts.get("edge_tiers", 0) + 1
+        )
+        return tiers
 
     # ----------------------------------------------------------- cost tables
     def comm_costs(

@@ -10,6 +10,12 @@ carrying real NumPy data so solvers produce real numerics.
 from repro.machine.gpu import BatchWarpPool, GpuCounters, WarpScheduler, solve_cost
 from repro.machine.link import LinkTracker
 from repro.machine.memory import DeviceMemory
+from repro.machine.mesh import (
+    DeviceMesh,
+    cluster_mesh,
+    mesh_machine,
+    mesh_topology,
+)
 from repro.machine.multinode import INFINIBAND, cluster, multinode_topology, node_of
 from repro.machine.node import MachineConfig, dgx1, dgx2
 from repro.machine.sm import SmWarpScheduler
@@ -53,6 +59,10 @@ __all__ = [
     "multinode_topology",
     "node_of",
     "INFINIBAND",
+    "DeviceMesh",
+    "cluster_mesh",
+    "mesh_topology",
+    "mesh_machine",
     "SymmetricHeap",
     "warp_reduction_time",
     "serial_reduction_time",

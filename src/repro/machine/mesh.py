@@ -1,0 +1,260 @@
+"""Device-mesh layout: named axes over a hierarchical GPU fabric.
+
+The paper stops at one DGX node; ROADMAP item 4 asks for "scale" as a
+config axis.  A :class:`DeviceMesh` is the layout half of that axis: a
+named, N-dimensional arrangement of GPU ranks (the same idea as PyTorch's
+``DeviceMesh`` / JAX's mesh axes), with node-major C-order rank
+numbering, coordinate and subgroup queries, and a *tier* function — how
+many axis levels two ranks must cross to reach each other.  The fabric
+half stays a plain :class:`~repro.machine.topology.Topology`:
+:func:`mesh_topology` lowers a two-axis mesh onto NVSwitch islands
+joined by an InfiniBand fallback tier, so every existing consumer —
+cost models, engines, verifiers — prices the hierarchy without change.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.machine.node import MachineConfig
+from repro.machine.specs import NVSWITCH, GpuSpec, LinkSpec, V100
+from repro.machine.topology import Topology
+
+__all__ = [
+    "DeviceMesh",
+    "cluster_mesh",
+    "mesh_topology",
+    "mesh_machine",
+]
+
+
+@dataclass(frozen=True)
+class DeviceMesh:
+    """A named N-dimensional layout of GPU ranks.
+
+    Attributes
+    ----------
+    axis_names:
+        One name per axis, outermost first — ``("node", "gpu")`` for a
+        cluster of NVSwitch islands.
+    shape:
+        Extent of each axis.  Ranks are numbered in C order (outermost
+        axis slowest), so a ``(node, gpu)`` mesh is *node-major*: rank
+        ``r`` lives on node ``r // gpus_per_node``.
+    """
+
+    axis_names: tuple[str, ...]
+    shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        names = tuple(str(a) for a in self.axis_names)
+        shape = tuple(int(s) for s in self.shape)
+        if not names:
+            raise TopologyError("a mesh needs at least one axis")
+        if len(names) != len(set(names)):
+            raise TopologyError(f"duplicate mesh axis names: {names}")
+        if len(names) != len(shape):
+            raise TopologyError(
+                f"{len(names)} axis names for {len(shape)} axis extents"
+            )
+        if any(s < 1 for s in shape):
+            raise TopologyError(f"every mesh axis needs extent >= 1: {shape}")
+        object.__setattr__(self, "axis_names", names)
+        object.__setattr__(self, "shape", shape)
+
+    # ------------------------------------------------------------- geometry
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        """Total number of ranks in the mesh."""
+        return math.prod(self.shape)
+
+    def axis(self, name: str) -> int:
+        """Index of a named axis (typed error on unknown names)."""
+        try:
+            return self.axis_names.index(name)
+        except ValueError:
+            raise TopologyError(
+                f"unknown mesh axis {name!r}; axes: {self.axis_names}"
+            ) from None
+
+    def rank(self, *coords: int) -> int:
+        """Rank of a coordinate tuple (C order, outermost axis first)."""
+        if len(coords) != self.ndim:
+            raise TopologyError(
+                f"expected {self.ndim} coordinates, got {len(coords)}"
+            )
+        for c, s, name in zip(coords, self.shape, self.axis_names):
+            if not 0 <= c < s:
+                raise TopologyError(
+                    f"coordinate {c} out of range for axis {name!r} "
+                    f"(extent {s})"
+                )
+        return int(np.ravel_multi_index(coords, self.shape))
+
+    def coords(self, rank: int) -> tuple[int, ...]:
+        """Coordinate tuple of a rank (inverse of :meth:`rank`)."""
+        self._check(rank)
+        return tuple(int(c) for c in np.unravel_index(rank, self.shape))
+
+    def coord(self, rank: int, axis: str) -> int:
+        """One named coordinate of a rank (e.g. its node index)."""
+        return self.coords(rank)[self.axis(axis)]
+
+    # ------------------------------------------------------------ subgroups
+    def subgroup(self, rank: int, axis: str) -> tuple[int, ...]:
+        """All ranks sharing every coordinate of ``rank`` except ``axis``.
+
+        ``subgroup(r, "gpu")`` on a ``(node, gpu)`` mesh is the set of
+        ranks on ``r``'s node — the communication group that stays on
+        the fast intra-node fabric.
+        """
+        i = self.axis(axis)
+        coords = list(self.coords(rank))
+        members = []
+        for c in range(self.shape[i]):
+            coords[i] = c
+            members.append(self.rank(*coords))
+        return tuple(members)
+
+    def groups(self, axis: str) -> tuple[tuple[int, ...], ...]:
+        """Every communication group along ``axis`` (disjoint cover).
+
+        Groups vary ``axis`` with all other coordinates fixed, ordered
+        by the fixed coordinates; each rank appears in exactly one group.
+        """
+        i = self.axis(axis)
+        other_shape = tuple(s for j, s in enumerate(self.shape) if j != i)
+        if not other_shape:
+            return (tuple(range(self.size)),)
+        out = []
+        for fixed in np.ndindex(*other_shape):
+            coords = list(fixed[:i]) + [0] + list(fixed[i:])
+            members = []
+            for c in range(self.shape[i]):
+                coords[i] = c
+                members.append(self.rank(*coords))
+            out.append(tuple(members))
+        return tuple(out)
+
+    # ----------------------------------------------------------------- tiers
+    def tier(self, a: int, b: int) -> int:
+        """Hierarchy distance of two ranks.
+
+        0 for the rank itself; otherwise ``ndim - i`` where ``i`` is the
+        outermost axis whose coordinates differ.  On a ``(node, gpu)``
+        mesh: 1 for two GPUs on one node (they differ only along the
+        innermost axis), 2 across nodes — matching
+        :meth:`~repro.machine.topology.Topology.tier_of` on the lowered
+        fabric.
+        """
+        ca, cb = self.coords(a), self.coords(b)
+        for i, (x, y) in enumerate(zip(ca, cb)):
+            if x != y:
+                return self.ndim - i
+        return 0
+
+    def tier_matrix(self) -> np.ndarray:
+        """``(size, size)`` tier of every rank pair (see :meth:`tier`)."""
+        coords = np.stack(
+            np.unravel_index(np.arange(self.size), self.shape), axis=1
+        )
+        differs = coords[:, None, :] != coords[None, :, :]
+        # Outermost differing axis: first True along the last dimension.
+        any_diff = differs.any(axis=2)
+        first = differs.argmax(axis=2)
+        return np.where(any_diff, self.ndim - first, 0).astype(np.int64)
+
+    def _check(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise TopologyError(
+                f"rank {rank} out of range for mesh {self.axis_names} "
+                f"{self.shape}"
+            )
+
+
+def cluster_mesh(n_nodes: int, gpus_per_node: int) -> DeviceMesh:
+    """The canonical two-axis cluster layout: ``(node, gpu)``."""
+    return DeviceMesh(axis_names=("node", "gpu"), shape=(n_nodes, gpus_per_node))
+
+
+def mesh_topology(
+    mesh: DeviceMesh,
+    tier_links: tuple[LinkSpec, ...] | None = None,
+    name: str | None = None,
+) -> Topology:
+    """Lower a mesh onto a tiered :class:`Topology`.
+
+    ``tier_links`` gives one :class:`LinkSpec` per non-local tier,
+    innermost (fastest) first.  A one-axis mesh is a single all-to-all
+    island; a two-axis mesh becomes NVSwitch-style islands along the
+    innermost axis joined through the outer tier's link as the fallback
+    path (NVSHMEM's RDMA transport, ``shmem_over_fallback=True``).  A
+    :class:`Topology` carries exactly two link classes, so meshes deeper
+    than two axes are rejected rather than silently collapsed.
+    """
+    from repro.machine.multinode import INFINIBAND
+
+    if tier_links is None:
+        tier_links = (NVSWITCH, INFINIBAND)[: mesh.ndim]
+    if len(tier_links) != mesh.ndim:
+        raise TopologyError(
+            f"need one link per mesh tier: {mesh.ndim} axes, "
+            f"{len(tier_links)} links"
+        )
+    if mesh.ndim > 2:
+        raise TopologyError(
+            "a Topology carries two link tiers (direct + fallback); "
+            f"cannot lower a {mesh.ndim}-axis mesh"
+        )
+    tiers = mesh.tier_matrix()
+    lc = (tiers == 1).astype(np.int64)
+    if name is None:
+        name = "cluster-" + "x".join(str(s) for s in mesh.shape)
+    if mesh.ndim == 1:
+        return Topology(
+            name=name,
+            n_gpus=mesh.size,
+            link_count=lc,
+            link=tier_links[0],
+            fallback=None,
+            switched=True,
+            node_shape=(1, mesh.size),
+        )
+    return Topology(
+        name=name,
+        n_gpus=mesh.size,
+        link_count=lc,
+        link=tier_links[0],
+        fallback=tier_links[1],
+        switched=True,  # per-GPU bandwidth constant within each tier
+        shmem_over_fallback=True,  # NVSHMEM's IB transport
+        node_shape=(mesh.shape[0], mesh.shape[1]),
+    )
+
+
+def mesh_machine(
+    mesh: DeviceMesh,
+    gpu: GpuSpec = V100,
+    tier_links: tuple[LinkSpec, ...] | None = None,
+) -> MachineConfig:
+    """A ready-to-run machine over every rank of a mesh.
+
+    ``require_p2p`` is False: crossing the outer tier goes through the
+    fallback transport instead of being rejected, in contrast to the
+    strict single-node DGX-1 clique rule.
+    """
+    topo = mesh_topology(mesh, tier_links)
+    return MachineConfig(
+        topology=topo,
+        active_gpus=tuple(range(topo.n_gpus)),
+        gpu=gpu,
+        require_p2p=False,
+    )

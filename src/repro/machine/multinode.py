@@ -36,27 +36,22 @@ def multinode_topology(
 ) -> Topology:
     """A cluster of all-to-all nodes bridged by an inter-node fabric.
 
-    GPUs ``[k * gpus_per_node, (k+1) * gpus_per_node)`` form node ``k``.
-    Intra-node pairs are directly linked; inter-node pairs route through
-    the fallback (RDMA over IB), so NVSHMEM-style one-sided access still
-    *works*, just slower — matching NVSHMEM's IB transport.
+    GPUs ``[k * gpus_per_node, (k+1) * gpus_per_node)`` form node ``k``
+    (the node-major rank order of a ``(node, gpu)``
+    :class:`~repro.machine.mesh.DeviceMesh`, which this is a thin
+    wrapper over).  Intra-node pairs are directly linked; inter-node
+    pairs route through the fallback (RDMA over IB), so NVSHMEM-style
+    one-sided access still *works*, just slower — matching NVSHMEM's IB
+    transport.
     """
+    from repro.machine.mesh import cluster_mesh, mesh_topology
+
     if n_nodes < 1 or gpus_per_node < 1:
         raise TopologyError("need at least one node and one GPU per node")
-    n = n_nodes * gpus_per_node
-    lc = np.zeros((n, n), dtype=np.int64)
-    for k in range(n_nodes):
-        lo, hi = k * gpus_per_node, (k + 1) * gpus_per_node
-        lc[lo:hi, lo:hi] = 1
-    np.fill_diagonal(lc, 0)
-    return Topology(
+    return mesh_topology(
+        cluster_mesh(n_nodes, gpus_per_node),
+        tier_links=(intra, inter),
         name=f"cluster-{n_nodes}x{gpus_per_node}",
-        n_gpus=n,
-        link_count=lc,
-        link=intra,
-        fallback=inter,
-        switched=True,  # per-GPU bandwidth constant within each tier
-        shmem_over_fallback=True,  # NVSHMEM's IB transport
     )
 
 

@@ -68,6 +68,11 @@ class Topology:
         fallback path.  False for single-node fabrics (the paper's
         CUDA-10-era NVSHMEM is P2P-only — the 4-GPU DGX-1 limit); True
         for multi-node clusters whose fallback is an RDMA transport.
+    node_shape:
+        Optional ``(n_nodes, gpus_per_node)`` annotation for fabrics
+        built from a :class:`~repro.machine.mesh.DeviceMesh` — the node
+        axis of the hierarchy.  ``None`` means a single-node fabric;
+        consumers treat it as ``(1, n_gpus)``.
     """
 
     name: str
@@ -77,6 +82,7 @@ class Topology:
     fallback: LinkSpec | None = None
     switched: bool = False
     shmem_over_fallback: bool = False
+    node_shape: tuple[int, int] | None = None
 
     def __post_init__(self) -> None:
         lc = np.asarray(self.link_count, dtype=np.int64)
@@ -89,6 +95,18 @@ class Topology:
         if np.any(np.diag(lc) != 0):
             raise TopologyError("link_count diagonal must be zero")
         object.__setattr__(self, "link_count", lc)
+        if self.node_shape is not None:
+            shape = tuple(int(s) for s in self.node_shape)
+            if len(shape) != 2 or any(s < 1 for s in shape):
+                raise TopologyError(
+                    f"node_shape must be (n_nodes, gpus_per_node), got "
+                    f"{self.node_shape!r}"
+                )
+            if shape[0] * shape[1] != self.n_gpus:
+                raise TopologyError(
+                    f"node_shape {shape} does not cover {self.n_gpus} GPUs"
+                )
+            object.__setattr__(self, "node_shape", shape)
 
     # ------------------------------------------------------------------
     def connected(self, a: int, b: int) -> bool:
@@ -127,6 +145,59 @@ class Topology:
         if a == b:
             return 0.0
         return self.latency(a, b) + nbytes / self.peer_bandwidth(a, b)
+
+    # ------------------------------------------------------------ link tiers
+    @property
+    def n_tiers(self) -> int:
+        """Number of distinct non-local link tiers (1 without a fallback)."""
+        return 1 if self.fallback is None else 2
+
+    def tier_of(self, a: int, b: int) -> int:
+        """Link tier of the ``a -> b`` pair.
+
+        Tier 0 is the GPU itself (loopback), tier 1 the direct link
+        (NVLink / NVSwitch), tier 2 the fallback path (PCIe staging on a
+        single node, RDMA over IB on a cluster).  Unreachable pairs —
+        disconnected with no fallback — raise :class:`TopologyError`,
+        mirroring :meth:`peer_bandwidth`.
+        """
+        self._check(a)
+        self._check(b)
+        if a == b:
+            return 0
+        if self.link_count[a, b] > 0:
+            return 1
+        if self.fallback is None:
+            raise TopologyError(
+                f"GPU {a} and GPU {b} are not P2P connected in {self.name}"
+            )
+        return 2
+
+    def tier_link(self, tier: int) -> LinkSpec | None:
+        """The :class:`LinkSpec` carrying a tier (``None`` for tier 0)."""
+        if tier == 0:
+            return None
+        if tier == 1:
+            return self.link
+        if tier == 2 and self.fallback is not None:
+            return self.fallback
+        raise TopologyError(f"{self.name} has no link tier {tier}")
+
+    def tier_matrix(self) -> np.ndarray:
+        """``(n_gpus, n_gpus)`` tier of every GPU pair (see :meth:`tier_of`).
+
+        Raises :class:`TopologyError` when any pair is unreachable, so a
+        successful call guarantees every off-diagonal tier is priced.
+        """
+        tiers = np.where(self.link_count > 0, 1, 2).astype(np.int64)
+        np.fill_diagonal(tiers, 0)
+        if self.fallback is None and np.any(tiers > 1):
+            a, b = np.argwhere(tiers > 1)[0]
+            raise TopologyError(
+                f"GPU {int(a)} and GPU {int(b)} are not P2P connected in "
+                f"{self.name}"
+            )
+        return tiers
 
     def p2p_clique(self, size: int) -> list[int]:
         """A set of ``size`` mutually P2P-connected GPUs.

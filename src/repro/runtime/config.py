@@ -28,11 +28,17 @@ __all__ = [
     "RunConfig",
     "VALID_DISTRIBUTIONS",
     "VALID_SCHEDULERS",
+    "VALID_TOPOLOGIES",
     "load_run_config",
 ]
 
 #: Fast-model scheduling passes (see ``simulate_execution``).
 VALID_SCHEDULERS = ("auto", "batched", "reference")
+
+#: Machine families ``RunConfig(topology=...)`` can build without a live
+#: machine object: the two paper platforms plus the multi-node cluster
+#: (NVSwitch islands joined by the InfiniBand tier).
+VALID_TOPOLOGIES = ("dgx1", "dgx2", "cluster")
 
 #: Design aliases accepted on the JSON surface, matching the chaos
 #: harness's vocabulary (``zerocopy`` is the read-only NVSHMEM design).
@@ -68,16 +74,37 @@ class RunConfig:
         ``"reference"``.
     machine:
         Explicit :class:`~repro.machine.node.MachineConfig`; ``None``
-        builds a ``dgx1(n_gpus)`` node lazily.
+        builds the machine named by ``topology`` lazily (a
+        ``dgx1(n_gpus)`` node by default).
     n_gpus:
         GPU count for the default machine (ignored when ``machine`` is
-        given).
+        given; derived as ``n_nodes * gpus_per_node`` when the node
+        axis is set).
+    topology:
+        Machine family to build when no live ``machine`` is given:
+        ``"dgx1"`` (the default), ``"dgx2"``, or ``"cluster"`` —
+        NVSwitch islands joined by the InfiniBand tier, which requires
+        the node axis below.
+    n_nodes / gpus_per_node:
+        The node axis of a ``"cluster"`` topology (both or neither).
+        Setting it makes scale a config knob: ``n_gpus`` is forced to
+        ``n_nodes * gpus_per_node`` (an explicit conflicting ``n_gpus``
+        is a typed error).
     distribution:
         Task distribution: ``"block"`` (contiguous), ``"taskpool"``
-        (round-robin, ``tasks_per_gpu`` pools per rank), or
+        (round-robin, ``tasks_per_gpu`` pools per rank),
         ``"costaware"`` (greedy LPT over per-task solve+gather+edge
         cost; needs the matrix, so :meth:`build_distribution` must be
-        given ``lower``).
+        given ``lower``), or ``"hierarchical"`` (node-aware two-level
+        round-robin; needs the node axis).
+    node_run:
+        Locality knob of the ``"hierarchical"`` distribution: how many
+        consecutive tasks stay on one node before the deal moves to the
+        next (see
+        :func:`~repro.tasks.hierarchical.hierarchical_distribution`).
+        ``None`` uses the policy default (``2 * gpus_per_node``);
+        setting it with any other distribution raises
+        :class:`~repro.errors.ConfigurationError`.
     tasks_per_gpu:
         Pool count per rank for the ``taskpool`` / ``costaware``
         distributions.  ``None`` (the default) uses each policy's
@@ -120,8 +147,12 @@ class RunConfig:
     scheduler: str = "auto"
     machine: object | None = None
     n_gpus: int = 4
+    topology: str | None = None
+    n_nodes: int | None = None
+    gpus_per_node: int | None = None
     distribution: str = "block"
     tasks_per_gpu: int | None = None
+    node_run: int | None = None
     stale_k: int | None = None
     stale_ceiling: float | None = None
     plan: object | None = None
@@ -145,6 +176,7 @@ class RunConfig:
                 parameter="n_gpus",
                 value=self.n_gpus,
             )
+        self._validate_node_axis()
         if self.tasks_per_gpu is not None and self.tasks_per_gpu < 1:
             raise ConfigurationError(
                 f"tasks_per_gpu must be >= 1, got {self.tasks_per_gpu}",
@@ -170,14 +202,138 @@ class RunConfig:
         # construction, not mid-solve.
         self.build_stale_policy()
 
+    def _validate_node_axis(self) -> None:
+        """Coherence of the scale-out knobs (topology / node axis)."""
+        if self.topology is not None:
+            _choice("topology", self.topology, VALID_TOPOLOGIES)
+        if (self.n_nodes is None) != (self.gpus_per_node is None):
+            raise ConfigurationError(
+                "the node axis needs both n_nodes and gpus_per_node "
+                f"(got n_nodes={self.n_nodes}, "
+                f"gpus_per_node={self.gpus_per_node})",
+                parameter="n_nodes",
+                value=(self.n_nodes, self.gpus_per_node),
+            )
+        if self.n_nodes is not None:
+            if self.n_nodes < 1 or self.gpus_per_node < 1:
+                raise ConfigurationError(
+                    f"node axis must be >= 1x1, got "
+                    f"{self.n_nodes}x{self.gpus_per_node}",
+                    parameter="n_nodes",
+                    value=(self.n_nodes, self.gpus_per_node),
+                )
+            if self.topology in ("dgx1", "dgx2"):
+                raise ConfigurationError(
+                    f"topology {self.topology!r} is a single node; the "
+                    "node axis requires topology='cluster'",
+                    parameter="topology",
+                    value=self.topology,
+                )
+            derived = self.n_nodes * self.gpus_per_node
+            if self.n_gpus not in (4, derived):
+                # 4 is the field default, silently superseded by the
+                # node axis; any other explicit value must agree.
+                raise ConfigurationError(
+                    f"n_gpus={self.n_gpus} conflicts with the node axis "
+                    f"{self.n_nodes}x{self.gpus_per_node} "
+                    f"(= {derived} GPUs)",
+                    parameter="n_gpus",
+                    value=self.n_gpus,
+                )
+            object.__setattr__(self, "n_gpus", derived)
+            if self.machine is not None and self.machine.n_gpus != derived:
+                raise ConfigurationError(
+                    f"machine has {self.machine.n_gpus} GPUs but the "
+                    f"node axis is {self.n_nodes}x{self.gpus_per_node}",
+                    parameter="machine",
+                    value=self.machine,
+                )
+        elif self.topology == "cluster":
+            raise ConfigurationError(
+                "topology 'cluster' needs the node axis; pass n_nodes= "
+                "and gpus_per_node=",
+                parameter="topology",
+                value=self.topology,
+            )
+        if self.node_run is not None:
+            if self.distribution != "hierarchical":
+                raise ConfigurationError(
+                    "node_run is the hierarchical locality knob; "
+                    f"distribution {self.distribution!r} does not "
+                    "accept it",
+                    parameter="node_run",
+                    value=self.node_run,
+                )
+            if self.node_run < 1:
+                raise ConfigurationError(
+                    f"node_run must be >= 1, got {self.node_run}",
+                    parameter="node_run",
+                    value=self.node_run,
+                )
+        if self.distribution == "hierarchical" and self.n_nodes is None:
+            shape = (
+                getattr(self.machine.topology, "node_shape", None)
+                if self.machine is not None
+                else None
+            )
+            if shape is None:
+                raise ConfigurationError(
+                    "distribution 'hierarchical' places along the node "
+                    "axis; pass n_nodes= and gpus_per_node= (or a "
+                    "mesh-built machine)",
+                    parameter="distribution",
+                    value=self.distribution,
+                )
+
     # ------------------------------------------------------------ builders
     def resolve_machine(self):
-        """The configured machine, building the default node on demand."""
+        """The configured machine, building the named topology on demand."""
         if self.machine is not None:
             return self.machine
+        if self.n_nodes is not None:
+            from repro.machine.multinode import cluster
+
+            return cluster(self.n_nodes, self.gpus_per_node)
+        if self.topology == "dgx2":
+            from repro.machine.node import dgx2
+
+            return dgx2(self.n_gpus)
         from repro.machine.node import dgx1
 
         return dgx1(self.n_gpus)
+
+    def machine_shape(self) -> tuple[str, int, int]:
+        """``(topology_name, n_nodes, gpus_per_node)`` of the machine.
+
+        The serialisable shape of the fabric — what
+        :meth:`canonical_mapping` hashes so service-layer artefact
+        fingerprints distinguish topologies (a 2x4 cluster is not a
+        1x8 island, even though both run 8 ranks).  Live machines
+        report their topology's ``node_shape`` when mesh-built and
+        ``(1, n_gpus)`` otherwise.
+        """
+        if self.machine is not None:
+            topo = self.machine.topology
+            shape = getattr(topo, "node_shape", None)
+            if shape is None:
+                shape = (1, self.machine.n_gpus)
+            return (topo.name, int(shape[0]), int(shape[1]))
+        if self.n_nodes is not None:
+            return (
+                f"cluster-{self.n_nodes}x{self.gpus_per_node}",
+                self.n_nodes,
+                self.gpus_per_node,
+            )
+        if self.topology == "dgx2":
+            return ("DGX-2", 1, self.n_gpus)
+        return ("DGX-1", 1, self.n_gpus)
+
+    @property
+    def effective_n_gpus(self) -> int:
+        """Rank count of the resolved machine (without building it)."""
+        if self.machine is not None:
+            return self.machine.n_gpus
+        return self.n_gpus
 
     def build_stale_policy(self) -> StalePolicy | None:
         """The :class:`~repro.engine.protocol.StalePolicy` implied by the
@@ -214,7 +370,7 @@ class RunConfig:
         from repro.tasks.schedule import build_distribution
 
         machine = None
-        if self.distribution == "costaware":
+        if self.distribution in ("costaware", "hierarchical"):
             machine = self.resolve_machine()
         return build_distribution(
             self.distribution,
@@ -224,6 +380,9 @@ class RunConfig:
             lower=lower,
             machine=machine,
             design=self.design,
+            n_nodes=self.n_nodes,
+            gpus_per_node=self.gpus_per_node,
+            node_run=self.node_run,
         )
 
     def build_watchdog(self):
@@ -255,8 +414,11 @@ class RunConfig:
         """
         known = {f.name for f in fields(cls)}
         kwargs: dict = {}
+        shape = None
         for key, value in mapping.items():
-            if key == "recovery" and isinstance(value, dict):
+            if key == "machine_shape":
+                shape = _validate_machine_shape(value)
+            elif key == "recovery" and isinstance(value, dict):
                 kwargs["recovery"] = _recovery_from_mapping(value)
             elif key == "plan" and isinstance(value, dict):
                 kwargs["plan"] = _plan_from_mapping(value)
@@ -273,13 +435,16 @@ class RunConfig:
             elif key in known:
                 kwargs[key] = value
             else:
+                valid = known | {"watchdog", "machine_shape"}
                 raise ConfigurationError(
                     f"unknown RunConfig key {key!r}; valid keys: "
-                    + ", ".join(sorted(known | {"watchdog"})),
+                    + ", ".join(sorted(valid)),
                     parameter=key,
                     value=value,
-                    choices=tuple(sorted(known | {"watchdog"})),
+                    choices=tuple(sorted(valid)),
                 )
+        if shape is not None:
+            _apply_machine_shape(shape, kwargs)
         return cls(**kwargs)
 
     @classmethod
@@ -306,16 +471,28 @@ class RunConfig:
         :meth:`from_mapping` accepts, so
         ``RunConfig.from_mapping(cfg.to_mapping())`` reproduces every
         semantic knob — and therefore the same :meth:`fingerprint`.
-        Only ``machine`` (a live topology object) is elided.
+        A live ``machine`` object is not emitted directly; its shape is
+        (the ``machine_shape`` key, see :meth:`machine_shape`), so the
+        round trip rebuilds an equivalent fabric for the cluster and
+        DGX families and keeps the fingerprint stable.
         """
         out: dict = {
             "design": self.design.value,
             "engine": self.engine,
             "scheduler": self.scheduler,
-            "n_gpus": self.n_gpus,
+            "n_gpus": self.effective_n_gpus,
             "distribution": self.distribution,
             "trace_enabled": self.trace_enabled,
         }
+        if self.topology is not None:
+            out["topology"] = self.topology
+        if self.n_nodes is not None:
+            out["n_nodes"] = self.n_nodes
+            out["gpus_per_node"] = self.gpus_per_node
+        if self.node_run is not None:
+            out["node_run"] = self.node_run
+        if self.machine is not None:
+            out["machine_shape"] = list(self.machine_shape())
         if self.tasks_per_gpu is not None:
             out["tasks_per_gpu"] = self.tasks_per_gpu
         if self.stale_k is not None:
@@ -378,21 +555,15 @@ class RunConfig:
                 f.name: getattr(self.recovery, f.name)
                 for f in fields(self.recovery)
             }
-        if self.machine is None:
-            machine = ["default-dgx1", self.n_gpus]
-        else:
-            machine = [
-                getattr(self.machine, "name", type(self.machine).__name__),
-                getattr(self.machine, "n_gpus", self.n_gpus),
-            ]
         return {
             "design": self.design.value,
             "engine": self.engine,
             "scheduler": self.scheduler,
-            "machine": machine,
-            "n_gpus": self.n_gpus,
+            "machine": list(self.machine_shape()),
+            "n_gpus": self.effective_n_gpus,
             "distribution": self.distribution,
             "tasks_per_gpu": self.tasks_per_gpu,
+            "node_run": self.node_run,
             "stale_k": self.stale_k,
             "stale_ceiling": self.stale_ceiling,
             "plan": plan,
@@ -438,6 +609,57 @@ def load_run_config(source: str | None) -> RunConfig:
                 value=source,
             ) from None
     return RunConfig.from_json(source)
+
+
+def _validate_machine_shape(value) -> tuple[str, int, int]:
+    """Validate a ``machine_shape`` entry: ``[name, n_nodes, gpus_per_node]``."""
+    if (
+        not isinstance(value, (list, tuple))
+        or len(value) != 3
+        or not isinstance(value[0], str)
+    ):
+        raise ConfigurationError(
+            "machine_shape must be [topology_name, n_nodes, gpus_per_node], "
+            f"got {value!r}",
+            parameter="machine_shape",
+            value=value,
+        )
+    name, n_nodes, gpus_per_node = value[0], int(value[1]), int(value[2])
+    if n_nodes < 1 or gpus_per_node < 1:
+        raise ConfigurationError(
+            f"machine_shape axis must be >= 1x1, got {value!r}",
+            parameter="machine_shape",
+            value=value,
+        )
+    return name, n_nodes, gpus_per_node
+
+
+def _apply_machine_shape(shape: tuple[str, int, int], kwargs: dict) -> None:
+    """Fold a ``machine_shape`` entry into the config kwargs.
+
+    Cluster shapes reconstruct the node axis (and therefore an
+    equivalent fabric via :meth:`RunConfig.resolve_machine`); DGX shapes
+    select the topology family.  Explicit keys win, but a conflicting
+    explicit node axis is a typed error rather than a silent override.
+    """
+    name, n_nodes, gpus_per_node = shape
+    if name.startswith("cluster-"):
+        for key, value in (("n_nodes", n_nodes), ("gpus_per_node", gpus_per_node)):
+            if key in kwargs and kwargs[key] != value:
+                raise ConfigurationError(
+                    f"machine_shape {list(shape)!r} conflicts with "
+                    f"{key}={kwargs[key]}",
+                    parameter="machine_shape",
+                    value=list(shape),
+                )
+            kwargs[key] = value
+        kwargs.setdefault("topology", "cluster")
+    elif name == "DGX-2":
+        kwargs.setdefault("topology", "dgx2")
+        kwargs.setdefault("n_gpus", n_nodes * gpus_per_node)
+    else:
+        # DGX-1 / unknown single-node fabrics: the default family.
+        kwargs.setdefault("n_gpus", n_nodes * gpus_per_node)
 
 
 def _recovery_from_mapping(mapping: dict):

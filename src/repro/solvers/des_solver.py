@@ -70,6 +70,7 @@ from repro.engine.protocol import (
     resolve_stale_policy,
     solve_cost,
     stale_validation_times,
+    validate_fabric_reach,
     wake_threshold,
     wire_time,
 )
@@ -197,6 +198,7 @@ def des_execute(
     hooks = design_hooks(design)
     stale = resolve_stale_policy(design, stale)
     wake_at = wake_threshold(stale)
+    validate_fabric_reach(machine, design)
     n = lower.shape[0]
     if dist.n != n:
         raise SolverError("distribution does not match the matrix")
@@ -609,6 +611,7 @@ class DesSolver(TriangularSolver):
         distribution: str = "block",
         tasks_per_gpu: int | None = None,
         stale: StalePolicy | None = None,
+        node_run: int | None = None,
     ):
         self.machine = machine if machine is not None else dgx1(4)
         self.design = coerce_design(design)
@@ -617,6 +620,9 @@ class DesSolver(TriangularSolver):
         self.distribution = distribution
         self.tasks_per_gpu = tasks_per_gpu
         self.stale = resolve_stale_policy(self.design, stale)
+        # Locality knob of the hierarchical distribution; the node axis
+        # itself comes from the machine's topology (node_shape).
+        self.node_run = node_run
 
     def solve(self, lower: CscMatrix, b: np.ndarray) -> SolveResult:
         from repro.tasks.schedule import build_distribution
@@ -641,6 +647,7 @@ class DesSolver(TriangularSolver):
             lower=lower,
             machine=self.machine,
             design=self.design,
+            node_run=self.node_run,
         )
         ex = des_execute(
             lower,

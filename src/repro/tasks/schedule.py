@@ -1,6 +1,6 @@
 """Task-to-GPU distribution and the malleable task pool (Section V).
 
-Three placement policies:
+Four placement policies:
 
 * :func:`block_distribution` — the baseline: components split into one
   contiguous block per GPU in ascending order.  Produces the
@@ -15,6 +15,11 @@ Three placement policies:
   tasks), then tasks dealt greedily longest-processing-time first onto
   the least-loaded GPU (schedules beating plain level-set / positional
   dealing on imbalanced DAGs, after Böhnlein et al.).
+* :func:`~repro.tasks.hierarchical.hierarchical_distribution` — the
+  node-aware two-level round-robin for multi-node fabrics: runs of
+  consecutive tasks stay on one NVSwitch island so the slow inter-node
+  tier only carries long-range dependencies (the ``node_run`` locality
+  knob).
 
 All return a :class:`Distribution` that the execution models and the
 functional solver emulations consume; :func:`build_distribution`
@@ -44,7 +49,7 @@ __all__ = [
 
 #: Distribution names :func:`build_distribution` (and therefore
 #: ``RunConfig(distribution=...)``) accepts.
-VALID_DISTRIBUTIONS = ("block", "taskpool", "costaware")
+VALID_DISTRIBUTIONS = ("block", "taskpool", "costaware", "hierarchical")
 
 
 @dataclass(frozen=True)
@@ -329,22 +334,68 @@ def build_distribution(
     lower=None,
     machine=None,
     design=None,
+    n_nodes: int | None = None,
+    gpus_per_node: int | None = None,
+    node_run: int | None = None,
 ) -> Distribution:
     """Resolve a distribution by name (:data:`VALID_DISTRIBUTIONS`).
 
     ``tasks_per_gpu=None`` means each policy's canonical granularity:
-    2 for ``"taskpool"`` (the paper's default pool), 1 for
+    2 for ``"taskpool"`` (the paper's default pool) and
+    ``"hierarchical"`` (the same pool, dealt node-aware), 1 for
     ``"costaware"`` (cost-balanced boundaries already encode the
     imbalance).  ``"costaware"`` prices tasks from the system matrix
     and so requires ``lower=`` and ``machine=``; the positional
-    policies ignore them.  Unknown names raise a typed
-    :class:`~repro.errors.ConfigurationError` listing the choices.
+    policies ignore them.  ``"hierarchical"`` needs the node axis —
+    ``n_nodes`` and ``gpus_per_node`` (inferred from
+    ``machine.topology.node_shape`` when a mesh-built machine is
+    passed), with ``node_run`` as its locality knob (see
+    :func:`~repro.tasks.hierarchical.hierarchical_distribution`); the
+    knob is rejected for every other policy.  Unknown names raise a
+    typed :class:`~repro.errors.ConfigurationError` listing the
+    choices.
     """
+    if name != "hierarchical" and node_run is not None:
+        raise ConfigurationError(
+            f"node_run is the hierarchical locality knob; distribution "
+            f"{name!r} does not accept it",
+            parameter="node_run",
+            value=node_run,
+        )
     if name == "block":
         return block_distribution(n, n_gpus)
     if name == "taskpool":
         return round_robin_distribution(
             n, n_gpus, 2 if tasks_per_gpu is None else tasks_per_gpu
+        )
+    if name == "hierarchical":
+        if (n_nodes is None or gpus_per_node is None) and machine is not None:
+            shape = getattr(machine.topology, "node_shape", None)
+            if shape is not None:
+                n_nodes, gpus_per_node = shape
+        if n_nodes is None or gpus_per_node is None:
+            raise ConfigurationError(
+                "distribution 'hierarchical' places along the node axis; "
+                "pass n_nodes= and gpus_per_node= (or a mesh-built "
+                "machine whose topology carries node_shape)",
+                parameter="distribution",
+                value=name,
+            )
+        if n_nodes * gpus_per_node != n_gpus:
+            raise ConfigurationError(
+                f"node axis {n_nodes}x{gpus_per_node} does not cover "
+                f"{n_gpus} ranks",
+                parameter="n_nodes",
+                value=(n_nodes, gpus_per_node),
+            )
+        from repro.tasks.hierarchical import hierarchical_distribution
+
+        return hierarchical_distribution(
+            n,
+            n_nodes,
+            gpus_per_node,
+            2 if tasks_per_gpu is None else tasks_per_gpu,
+            node_run=node_run,
         )
     if name == "costaware":
         if lower is None or machine is None:

@@ -92,14 +92,6 @@ class CausalityReport:
 # ======================================================================
 # DES trace audit
 # ======================================================================
-def _shmem_design(design: Design) -> bool:
-    return design in (
-        Design.SHMEM_NAIVE,
-        Design.SHMEM_READONLY,
-        Design.STALE_SYNC,
-    )
-
-
 def check_des_trace(
     trace: Trace,
     dag: DependencyDag,
@@ -160,6 +152,7 @@ def check_des_trace(
         TRACE_VALIDATE,
         resolve_stale_policy,
     )
+    from repro.engine.protocol import fallback_legal
     from repro.solvers.des_solver import MESSAGES_IN_FLIGHT_PER_LINK
 
     design = Design(design)
@@ -326,11 +319,10 @@ def check_des_trace(
                 continue
             ga = machine.active_gpus[key[0]]
             gb = machine.active_gpus[key[1]]
-            direct = topo.connected(ga, gb)
-            if _shmem_design(design):
-                reachable = direct or topo.shmem_over_fallback
-            else:
-                reachable = direct or topo.fallback is not None
+            # Shared protocol rule: a fallback-tier hop is legal only
+            # when the design may ride the fallback transport (one-sided
+            # NVSHMEM needs ``shmem_over_fallback`` — the IB RDMA path).
+            reachable = topo.connected(ga, gb) or fallback_legal(design, topo)
             if not reachable:
                 rep.flag(
                     "link-topology",

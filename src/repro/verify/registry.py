@@ -73,7 +73,12 @@ REQUIRED_DESIGNS: tuple[str, ...] = (
 )
 
 #: Task distributions the matrix must exercise.
-REQUIRED_DISTRIBUTIONS: tuple[str, ...] = ("block", "taskpool", "costaware")
+REQUIRED_DISTRIBUTIONS: tuple[str, ...] = (
+    "block",
+    "taskpool",
+    "costaware",
+    "hierarchical",
+)
 
 
 @dataclass(frozen=True)
@@ -231,6 +236,24 @@ class PlanSolver(TriangularSolver):
         return SolveResult(x=res.x, report=res.report, solver=self.name)
 
 
+def _cluster_des(engine: str):
+    """DES solver on a 2-node x 2-GPU cluster with hierarchical placement.
+
+    The smallest machine whose topology has a real fallback tier between
+    nodes, so conformance runs exercise ``tier_of``/``fallback_legal``
+    and the hierarchical node axis end to end.
+    """
+    from repro.machine.multinode import cluster
+    from repro.solvers.des_solver import DesSolver
+
+    return DesSolver(
+        machine=cluster(2, 2),
+        engine=engine,
+        distribution="hierarchical",
+        node_run=2,
+    )
+
+
 def default_registry() -> ConformanceRegistry:
     """The full conformance matrix: every solver class in the package."""
     from repro.machine.node import dgx2
@@ -374,6 +397,37 @@ def default_registry() -> ConformanceRegistry:
             relations=("differential", "permutation", "row_scaling"),
             design="shmem_readonly",
             distribution="costaware",
+        )
+    )
+    add(
+        ConformanceCase(
+            "des-cluster-2x2",
+            # Multi-node fabric: two NVSwitch islands joined by an IB
+            # tier.  Hierarchical placement keeps dependency runs on a
+            # node; the causality replayer checks every transfer against
+            # the tiered reachability rule (IB hops are legal only
+            # because the cluster fabric sets ``shmem_over_fallback``).
+            lambda: _cluster_des(engine="reference"),
+            DesSolver,
+            max_n=300,
+            relations=("differential", "permutation", "row_scaling"),
+            design="shmem_readonly",
+            distribution="hierarchical",
+        )
+    )
+    add(
+        ConformanceCase(
+            "des-cluster-2x2-vector",
+            # The epoch-compiled engine must stay bit-identical to the
+            # reference generators on the multi-node fabric too — the
+            # tier metadata prices inter-node edges but never changes
+            # the arithmetic.
+            lambda: _cluster_des(engine="vector"),
+            DesSolver,
+            max_n=300,
+            relations=("differential", "permutation", "row_scaling"),
+            design="shmem_readonly",
+            distribution="hierarchical",
         )
     )
     add(

@@ -4,7 +4,9 @@
 Fans the benchmark cases out across cores with a process pool (analysis
 artefacts are spilled once by the parent and loaded by the workers),
 verifies bit-identical traces/solutions/counters per case, times the
-selected engines plus the partitioned parallel playout, and writes
+selected engines plus the partitioned parallel playout, runs the
+multi-node scale-out rows (64-256 simulated GPUs, flat taskpool vs
+hierarchical placement across the IB tier), and writes
 ``BENCH_des.json``.
 
     python tools/sweep.py                    # full sweep incl. scale cases
@@ -84,6 +86,11 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for the partitioned playout (default: 2)",
     )
     parser.add_argument(
+        "--no-scale-out",
+        action="store_true",
+        help="skip the multi-node scale-out rows (64-256 simulated GPUs)",
+    )
+    parser.add_argument(
         "--config",
         default=None,
         help="RunConfig JSON object (or @file.json) selecting design/n_gpus",
@@ -126,6 +133,7 @@ def main(argv: list[str] | None = None) -> int:
         engines=engines,
         partitioned=not args.no_partitioned,
         partition_workers=args.partition_workers,
+        scale_out=not args.no_scale_out,
     )
     args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
@@ -146,6 +154,24 @@ def main(argv: list[str] | None = None) -> int:
             f"{_fmt(c['speedup'], 7, 2)}x  "
             f"{'yes' if ok else 'MISMATCH'}"
         )
+    if payload.get("scale_out"):
+        so_hdr = (
+            f"{'scale-out':>15} {'gpus':>6} {'nodes':>6} {'flat-sim':>10} "
+            f"{'hier-sim':>10} {'hier-x':>7} {'ib-flat':>8} {'ib-hier':>8}  ok"
+        )
+        print("\n" + so_hdr)
+        print("-" * len(so_hdr))
+        for c in payload["scale_out"]:
+            print(
+                f"{c['name']:>15} {c['n_gpus']:>6} {c['n_nodes']:>6} "
+                f"{_fmt(c['flat']['sim_time'], 10, 4)} "
+                f"{_fmt(c['hierarchical']['sim_time'], 10, 4)} "
+                f"{_fmt(c['hier_speedup'], 6, 2)}x "
+                f"{c['flat']['fallback_fraction']:>7.1%} "
+                f"{c['hierarchical']['fallback_fraction']:>7.1%}  "
+                f"{'yes' if c['identical'] else 'MISMATCH'}"
+                f" ({c['verified']})"
+            )
     print(f"\nwrote {args.out}")
 
     if not payload["all_identical"]:
@@ -153,6 +179,9 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if not payload["partition_identical"]:
         print("FAIL: partitioned playout diverged from the sequential run")
+        return 1
+    if not payload.get("scaleout_identical", True):
+        print("FAIL: engines diverged on a multi-node scale-out row")
         return 1
     if not payload["analysis_shared"]:
         print("FAIL: a worker re-derived its analysis instead of loading it")
